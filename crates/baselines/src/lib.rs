@@ -1,0 +1,99 @@
+//! `baselines` — the comparison systems of the paper's evaluation.
+//!
+//! The paper positions Bullet′ against three deployed systems (Figs 4, 5 and
+//! 14); each is reproduced here as a protocol over the same [`netsim`]
+//! emulator so every system sees identical network conditions:
+//!
+//! * [`bittorrent`] — tracker-coordinated swarming with tit-for-tat choking,
+//!   rarest-first piece selection, and hard-coded constants everywhere;
+//! * [`bullet_orig`] — the original Bullet (SOSP '03): RanSub-discovered mesh
+//!   with fixed peer sets, fixed outstanding windows and random requests;
+//! * [`splitstream`] — an interior-node-disjoint forest of stripe trees fed
+//!   by pure push.
+
+pub mod bittorrent;
+pub mod bullet_orig;
+pub mod splitstream;
+
+pub use bittorrent::{BitTorrentConfig, BitTorrentNode, BtMsg};
+pub use bullet_orig::bullet_config;
+pub use splitstream::{SplitStreamNode, SsMsg, StripeForest};
+
+#[cfg(test)]
+mod end_to_end {
+    use super::*;
+    use desim::{RngFactory, SimDuration};
+    use dissem_codec::FileSpec;
+    use netsim::{topology, Network, NodeId, Runner, StopReason};
+
+    #[test]
+    fn bittorrent_swarm_completes_and_benefits_from_swarming() {
+        let rng = RngFactory::new(31);
+        let topo = topology::modelnet_mesh(10, 0.005, &rng);
+        let file = FileSpec::new(512 * 1024, 16 * 1024);
+        let cfg = BitTorrentConfig::new(file);
+        let nodes: Vec<BitTorrentNode> =
+            (0..10).map(|i| BitTorrentNode::new(NodeId(i), cfg.clone())).collect();
+        let mut runner = Runner::new(Network::new(topo), nodes, &rng);
+        runner.exempt_from_completion(NodeId(0));
+        let report = runner.run(SimDuration::from_secs(3_600));
+        assert_eq!(report.reason, StopReason::AllComplete, "{report:?}");
+        for node in runner.nodes().iter().skip(1) {
+            assert_eq!(node.blocks_held(), 32);
+            assert!(node.completed_at().is_some());
+        }
+        // Leechers must have uploaded to each other: the swarm's total
+        // received bytes exceed what the seed alone pushed out.
+        let seed_out = runner.network().traffic(NodeId(0)).data_bytes_out;
+        let total_in: u64 =
+            (1..10).map(|i| runner.network().traffic(NodeId(i)).data_bytes_in).sum();
+        assert!(
+            total_in > seed_out,
+            "peers should exchange data among themselves (seed {seed_out}, total {total_in})"
+        );
+    }
+
+    #[test]
+    fn bittorrent_runs_are_deterministic() {
+        let run = |seed: u64| {
+            let rng = RngFactory::new(seed);
+            let topo = topology::modelnet_mesh(8, 0.01, &rng);
+            let cfg = BitTorrentConfig::new(FileSpec::new(256 * 1024, 16 * 1024));
+            let nodes: Vec<BitTorrentNode> =
+                (0..8).map(|i| BitTorrentNode::new(NodeId(i), cfg.clone())).collect();
+            let mut runner = Runner::new(Network::new(topo), nodes, &rng);
+            runner.exempt_from_completion(NodeId(0));
+            runner.run(SimDuration::from_secs(3_600)).completion_secs
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn all_three_baselines_complete_on_the_same_topology() {
+        let seed = 77;
+        let file = FileSpec::new(256 * 1024, 16 * 1024);
+
+        // BitTorrent.
+        let rng = RngFactory::new(seed);
+        let topo = topology::modelnet_mesh(8, 0.01, &rng);
+        let cfg = BitTorrentConfig::new(file);
+        let nodes: Vec<BitTorrentNode> =
+            (0..8).map(|i| BitTorrentNode::new(NodeId(i), cfg.clone())).collect();
+        let mut bt = Runner::new(Network::new(topo), nodes, &rng);
+        bt.exempt_from_completion(NodeId(0));
+        assert_eq!(bt.run(SimDuration::from_secs(3_600)).reason, StopReason::AllComplete);
+
+        // Original Bullet.
+        let rng = RngFactory::new(seed);
+        let topo = topology::modelnet_mesh(8, 0.01, &rng);
+        let mut bl = bullet_orig::build_runner(topo, file, &rng);
+        assert_eq!(bl.run(SimDuration::from_secs(3_600)).reason, StopReason::AllComplete);
+
+        // SplitStream.
+        let rng = RngFactory::new(seed);
+        let topo = topology::modelnet_mesh(8, 0.01, &rng);
+        let mut ss = splitstream::build_runner(topo, file, &rng);
+        assert_eq!(ss.run(SimDuration::from_secs(3_600)).reason, StopReason::AllComplete);
+    }
+}

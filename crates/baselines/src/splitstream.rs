@@ -1,0 +1,394 @@
+//! A SplitStream-like baseline (paper §5, compared in Figs 4, 5, 14).
+//!
+//! SplitStream splits the content into `k` stripes and pushes each stripe
+//! down its own tree; the forest is built so that every node is an interior
+//! node in (at most) one tree, spreading the forwarding load. The property
+//! the paper leans on is structural: a slow or lossy link high up in one
+//! stripe tree throttles that entire stripe for the whole subtree beneath it,
+//! and no mechanism re-routes around it. Like the paper's methodology, the
+//! content is treated as source-encoded: a node completes once it has
+//! received `(1 + 0.04) · n` distinct blocks.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use desim::SimDuration;
+use dissem_codec::{BlockBitmap, BlockId, FileSpec};
+use netsim::{BlockReceipt, Ctx, NodeId, Protocol, Runner, Topology, WireSize};
+use rand::seq::SliceRandom;
+
+/// Number of stripes (and stripe trees).
+pub const DEFAULT_STRIPES: usize = 8;
+/// Interior fan-out of each stripe tree.
+pub const STRIPE_FANOUT: usize = 4;
+/// Encoding overhead allowance granted by the paper.
+pub const ASSUMED_ENCODING_OVERHEAD: f64 = 0.04;
+/// Blocks kept in flight towards each child per stripe.
+const PUSH_WINDOW: usize = 3;
+/// Housekeeping timer kind.
+const TIMER_KEEPALIVE: u32 = 1;
+
+/// SplitStream needs no dynamic control traffic in this model; the forest is
+/// computed at start-up. The only message is a completion-irrelevant
+/// placeholder kept for protocol-trait compatibility.
+#[derive(Debug, Clone)]
+pub enum SsMsg {}
+
+impl WireSize for SsMsg {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+/// The stripe forest: for every stripe, each node's parent and children.
+#[derive(Debug, Clone)]
+pub struct StripeForest {
+    /// `children[stripe][node]` — the node's children in that stripe's tree.
+    children: Vec<Vec<Vec<NodeId>>>,
+    stripes: usize,
+}
+
+impl StripeForest {
+    /// Builds a forest of `stripes` trees over `n` nodes rooted at node 0.
+    ///
+    /// Interior nodes of stripe `s` are (preferentially) the nodes whose index
+    /// is congruent to `s` modulo the stripe count, which yields the
+    /// interior-node-disjointness SplitStream aims for; remaining nodes attach
+    /// as leaves.
+    pub fn build(n: usize, stripes: usize, rng: &desim::RngFactory) -> Self {
+        assert!(n >= 2, "need at least a source and one receiver");
+        assert!(stripes >= 1);
+        let mut rng = rng.stream("splitstream.forest");
+        let mut children = vec![vec![Vec::new(); n]; stripes];
+        for (s, tree) in children.iter_mut().enumerate() {
+            // Interior candidates for this stripe, excluding the root.
+            let mut interior: Vec<u32> =
+                (1..n as u32).filter(|i| (*i as usize) % stripes == s).collect();
+            interior.shuffle(&mut rng);
+            let mut leaves: Vec<u32> =
+                (1..n as u32).filter(|i| (*i as usize) % stripes != s).collect();
+            leaves.shuffle(&mut rng);
+
+            // Chain of attachment points: the root, then interior nodes in
+            // breadth-first order as their slots fill.
+            let mut attach: Vec<u32> = vec![0];
+            let mut slots: HashMap<u32, usize> = HashMap::new();
+            slots.insert(0, STRIPE_FANOUT);
+            let place = |node: u32,
+                             attach: &mut Vec<u32>,
+                             slots: &mut HashMap<u32, usize>,
+                             tree: &mut Vec<Vec<NodeId>>,
+                             becomes_interior: bool| {
+                // Find the first attachment point with a free slot; if the
+                // stripe has too few interior nodes for the population (small
+                // deployments), exceed the deepest attachment point's fanout
+                // rather than failing.
+                let parent = attach
+                    .iter()
+                    .position(|p| slots.get(p).copied().unwrap_or(0) > 0)
+                    .map(|pos| attach[pos])
+                    .unwrap_or_else(|| *attach.last().expect("attach is never empty"));
+                if let Some(free) = slots.get_mut(&parent) {
+                    *free = free.saturating_sub(1);
+                }
+                tree[parent as usize].push(NodeId(node));
+                if becomes_interior {
+                    attach.push(node);
+                    slots.insert(node, STRIPE_FANOUT);
+                }
+            };
+            for node in interior {
+                place(node, &mut attach, &mut slots, tree, true);
+            }
+            for node in leaves {
+                place(node, &mut attach, &mut slots, tree, false);
+            }
+        }
+        StripeForest { children, stripes }
+    }
+
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.stripes
+    }
+
+    /// Children of `node` in `stripe`'s tree.
+    pub fn children(&self, stripe: usize, node: NodeId) -> &[NodeId] {
+        &self.children[stripe][node.index()]
+    }
+
+    /// Which stripe a block belongs to.
+    pub fn stripe_of(&self, block: BlockId) -> usize {
+        block.index() % self.stripes
+    }
+
+    /// Total number of forwarding children over all stripes for `node`.
+    pub fn fanout(&self, node: NodeId) -> usize {
+        (0..self.stripes).map(|s| self.children(s, node).len()).sum()
+    }
+}
+
+/// A SplitStream participant.
+#[derive(Debug)]
+pub struct SplitStreamNode {
+    id: NodeId,
+    file: FileSpec,
+    forest: StripeForest,
+    have: BlockBitmap,
+    /// Per-child queue of blocks awaiting a push slot.
+    backlog: BTreeMap<NodeId, VecDeque<BlockId>>,
+    completion_target: u32,
+    block_space: u32,
+    /// Source bookkeeping: next block to inject.
+    next_inject: u32,
+    completed_at: Option<f64>,
+    arrival_times: Vec<f64>,
+    duplicates: u64,
+}
+
+impl SplitStreamNode {
+    /// Creates the node; node 0 is the source.
+    pub fn new(id: NodeId, file: FileSpec, forest: StripeForest) -> Self {
+        let n = file.num_blocks();
+        let completion_target = file.completion_target(ASSUMED_ENCODING_OVERHEAD);
+        // The source injects a slightly longer encoded stream than strictly
+        // needed so stragglers are not starved of distinct blocks.
+        let block_space =
+            (f64::from(n) * (1.0 + 2.0 * ASSUMED_ENCODING_OVERHEAD)).ceil() as u32;
+        let have = if id == NodeId(0) {
+            BlockBitmap::full(block_space)
+        } else {
+            BlockBitmap::new(block_space)
+        };
+        SplitStreamNode {
+            id,
+            file,
+            forest,
+            have,
+            backlog: BTreeMap::new(),
+            completion_target,
+            block_space,
+            next_inject: 0,
+            completed_at: None,
+            arrival_times: Vec::new(),
+            duplicates: 0,
+        }
+    }
+
+    /// Completion time (seconds), if reached.
+    pub fn completed_at(&self) -> Option<f64> {
+        self.completed_at
+    }
+
+    /// Arrival times of useful blocks (seconds).
+    pub fn arrival_times(&self) -> &[f64] {
+        &self.arrival_times
+    }
+
+    /// Number of duplicate receipts (should be zero: trees never duplicate).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Number of distinct blocks held.
+    pub fn blocks_held(&self) -> u32 {
+        self.have.count()
+    }
+
+    fn is_source(&self) -> bool {
+        self.id == NodeId(0)
+    }
+
+    fn download_done(&self) -> bool {
+        self.have.count() >= self.completion_target
+    }
+
+    /// Pushes queued blocks towards `child` while its pipe has room.
+    fn drain_child(&mut self, ctx: &mut Ctx<'_, SsMsg>, child: NodeId) {
+        let Some(queue) = self.backlog.get_mut(&child) else {
+            return;
+        };
+        let mut budget = PUSH_WINDOW.saturating_sub(ctx.pending_to(child));
+        while budget > 0 {
+            let Some(block) = queue.pop_front() else {
+                break;
+            };
+            let bytes = if block.0 < self.file.num_blocks() {
+                u64::from(self.file.block_size(block))
+            } else {
+                u64::from(self.file.block_bytes)
+            };
+            ctx.queue_block(child, block, bytes);
+            budget -= 1;
+        }
+    }
+
+    /// Enqueues `block` for every child in its stripe tree and pushes what fits.
+    fn forward(&mut self, ctx: &mut Ctx<'_, SsMsg>, block: BlockId) {
+        let stripe = self.forest.stripe_of(block);
+        let children: Vec<NodeId> = self.forest.children(stripe, self.id).to_vec();
+        for child in children {
+            self.backlog.entry(child).or_default().push_back(block);
+            self.drain_child(ctx, child);
+        }
+    }
+
+    /// Source: keep injecting the encoded stream into the stripe trees.
+    fn source_inject(&mut self, ctx: &mut Ctx<'_, SsMsg>) {
+        if !self.is_source() {
+            return;
+        }
+        // Keep a bounded number of blocks buffered per child so a slow stripe
+        // does not absorb the entire stream into its backlog at t = 0.
+        while self.next_inject < self.block_space {
+            let block = BlockId(self.next_inject);
+            let stripe = self.forest.stripe_of(block);
+            let children = self.forest.children(stripe, self.id);
+            let busiest = children
+                .iter()
+                .map(|c| {
+                    ctx.pending_to(*c)
+                        + self.backlog.get(c).map(VecDeque::len).unwrap_or(0)
+                })
+                .max()
+                .unwrap_or(0);
+            if busiest >= PUSH_WINDOW * 2 {
+                break;
+            }
+            self.forward(ctx, block);
+            self.next_inject += 1;
+        }
+    }
+}
+
+impl Protocol<SsMsg> for SplitStreamNode {
+    fn on_init(&mut self, ctx: &mut Ctx<'_, SsMsg>) {
+        self.source_inject(ctx);
+        ctx.set_timer(SimDuration::from_secs(1), TIMER_KEEPALIVE, 0);
+    }
+
+    fn on_control(&mut self, _ctx: &mut Ctx<'_, SsMsg>, _from: NodeId, msg: SsMsg) {
+        match msg {}
+    }
+
+    fn on_block_received(&mut self, ctx: &mut Ctx<'_, SsMsg>, _from: NodeId, receipt: BlockReceipt) {
+        let block = receipt.block;
+        if self.have.contains(block) {
+            self.duplicates += 1;
+            return;
+        }
+        self.have.insert(block);
+        self.arrival_times.push(ctx.now().as_secs_f64());
+        if self.download_done() && self.completed_at.is_none() {
+            self.completed_at = Some(ctx.now().as_secs_f64());
+        }
+        // Forward down our stripe subtree regardless of our own completion.
+        self.forward(ctx, block);
+    }
+
+    fn on_block_sent(&mut self, ctx: &mut Ctx<'_, SsMsg>, to: NodeId, _block: BlockId) {
+        self.drain_child(ctx, to);
+        self.source_inject(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SsMsg>, kind: u32, _data: u64) {
+        if kind == TIMER_KEEPALIVE {
+            // Drain any backlog that stalled (e.g. after a bandwidth change).
+            let children: Vec<NodeId> = self.backlog.keys().copied().collect();
+            for child in children {
+                self.drain_child(ctx, child);
+            }
+            self.source_inject(ctx);
+            ctx.set_timer(SimDuration::from_secs(1), TIMER_KEEPALIVE, 0);
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.is_source() || self.download_done()
+    }
+}
+
+/// Builds the SplitStream node set for a topology.
+pub fn build_nodes(topo: &Topology, file: FileSpec, rng: &desim::RngFactory) -> Vec<SplitStreamNode> {
+    let forest = StripeForest::build(topo.len(), DEFAULT_STRIPES, rng);
+    (0..topo.len() as u32)
+        .map(|i| SplitStreamNode::new(NodeId(i), file, forest.clone()))
+        .collect()
+}
+
+/// Builds a ready-to-run runner for a SplitStream experiment.
+pub fn build_runner(
+    topo: Topology,
+    file: FileSpec,
+    rng: &desim::RngFactory,
+) -> Runner<SsMsg, SplitStreamNode> {
+    let nodes = build_nodes(&topo, file, rng);
+    let mut runner = Runner::new(netsim::Network::new(topo), nodes, rng);
+    runner.exempt_from_completion(NodeId(0));
+    runner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::RngFactory;
+    use netsim::{topology, StopReason};
+
+    #[test]
+    fn forest_reaches_every_node_in_every_stripe() {
+        let rng = RngFactory::new(5);
+        let forest = StripeForest::build(40, 8, &rng);
+        for stripe in 0..8 {
+            let mut seen = vec![false; 40];
+            let mut stack = vec![NodeId(0)];
+            seen[0] = true;
+            while let Some(x) = stack.pop() {
+                for &c in forest.children(stripe, x) {
+                    assert!(!seen[c.index()], "node visited twice in stripe {stripe}");
+                    seen[c.index()] = true;
+                    stack.push(c);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "stripe {stripe} tree does not span all nodes");
+        }
+    }
+
+    #[test]
+    fn interior_load_is_spread_across_stripes() {
+        let rng = RngFactory::new(6);
+        let n = 64;
+        let forest = StripeForest::build(n, 8, &rng);
+        // No non-root node should be interior (have children) in many stripes.
+        for node in 1..n as u32 {
+            let interior_in = (0..8)
+                .filter(|&s| !forest.children(s, NodeId(node)).is_empty())
+                .count();
+            assert!(
+                interior_in <= 2,
+                "node {node} is interior in {interior_in} stripes; SplitStream aims for 1"
+            );
+        }
+    }
+
+    #[test]
+    fn stripes_partition_blocks() {
+        let rng = RngFactory::new(7);
+        let forest = StripeForest::build(10, 8, &rng);
+        let counts: Vec<usize> = (0..8)
+            .map(|s| (0..800u32).filter(|b| forest.stripe_of(BlockId(*b)) == s).count())
+            .collect();
+        assert!(counts.iter().all(|&c| c == 100));
+    }
+
+    #[test]
+    fn splitstream_completes_a_small_download() {
+        let rng = RngFactory::new(9);
+        let topo = topology::modelnet_mesh(10, 0.005, &rng);
+        let mut runner = build_runner(topo, FileSpec::new(512 * 1024, 16 * 1024), &rng);
+        let report = runner.run(SimDuration::from_secs(3_600));
+        assert_eq!(report.reason, StopReason::AllComplete, "{report:?}");
+        // Trees never deliver the same block twice to a node.
+        for node in runner.nodes().iter().skip(1) {
+            assert_eq!(node.duplicates(), 0);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! A Criterion benchmark that runs a scaled-down version of the paper's
+//! headline experiment (Figure 4's four-system comparison) end to end, so
+//! `cargo bench` exercises every protocol implementation, the emulator and
+//! the harness in one go. Timing here is host CPU time for the simulation,
+//! not the emulated download time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bullet_bench::{run_system, SystemKind};
+use desim::{RngFactory, SimDuration};
+use dissem_codec::FileSpec;
+use netsim::topology;
+
+fn bench_fig4_scaled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_scaled");
+    group.sample_size(10);
+    for kind in SystemKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let rng = RngFactory::new(1);
+                let topo = topology::modelnet_mesh(15, 0.03, &rng);
+                let run = run_system(
+                    kind,
+                    topo,
+                    FileSpec::from_mb_kb(2, 16),
+                    &rng,
+                    &Vec::new(),
+                    SimDuration::from_secs(3600),
+                );
+                assert_eq!(run.unfinished, 0);
+                run.times.iter().sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(figures, bench_fig4_scaled);
+criterion_main!(figures);

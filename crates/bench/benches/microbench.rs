@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks for the core data structures and algorithms:
+//! the LT rateless codes, block bitmaps, RanSub sample merging, the rsync
+//! delta codec, the flow-control step and the discrete-event engine.
+//!
+//! These are wall-clock benchmarks of the *implementation* (the figures
+//! measure emulated protocol behaviour, not host CPU time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+use bullet_prime::{OutstandingController, OutstandingPolicy};
+use desim::{RngFactory, SimTime, Simulator};
+use dissem_codec::{BlockBitmap, BlockId, LtDecoder, LtEncoder};
+use overlay::{merge_samples, NodeSummary, Sample};
+use shotgun::{apply_delta, generate_delta};
+
+fn bench_lt_codes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lt_codes");
+    for &k in &[256u32, 1024] {
+        let block = 1024usize;
+        let data: Vec<u8> = (0..k as usize * block).map(|i| i as u8).collect();
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode_decode", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut enc = LtEncoder::new(&data, block, 7);
+                let mut dec = LtDecoder::new(k, block);
+                while !dec.is_complete() {
+                    dec.push(&enc.next_block());
+                }
+                dec.recovered_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap");
+    let n = 6400u32; // The paper's 100 MB / 16 KB block count.
+    group.bench_function("insert_and_count_6400", |b| {
+        b.iter(|| {
+            let mut bm = BlockBitmap::new(n);
+            for i in (0..n).step_by(3) {
+                bm.insert(BlockId(i));
+            }
+            bm.count()
+        })
+    });
+    let mut a = BlockBitmap::new(n);
+    let mut bbm = BlockBitmap::new(n);
+    for i in 0..n {
+        if i % 2 == 0 {
+            a.insert(BlockId(i));
+        }
+        if i % 3 == 0 {
+            bbm.insert(BlockId(i));
+        }
+    }
+    group.bench_function("difference_count_6400", |b| b.iter(|| a.difference_count(&bbm)));
+    group.finish();
+}
+
+fn bench_ransub_merge(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let groups: Vec<Sample> = (0..8)
+        .map(|g| Sample {
+            entries: (0..10)
+                .map(|i| NodeSummary {
+                    node: g * 100 + i,
+                    have_count: i,
+                    has_everything: false,
+                })
+                .collect(),
+            weight: 12,
+        })
+        .collect();
+    c.bench_function("ransub_merge_8x10", |b| {
+        b.iter(|| merge_samples(&mut rng, 10, &groups).entries.len())
+    });
+}
+
+fn bench_rsync_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsync_delta");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let old: Vec<u8> = (0..1_000_000).map(|_| rng.gen()).collect();
+    let mut new = old.clone();
+    for b in &mut new[400_000..404_096] {
+        *b = rng.gen();
+    }
+    group.throughput(Throughput::Bytes(new.len() as u64));
+    group.bench_function("generate_1mb_small_edit", |b| {
+        b.iter(|| generate_delta(&old, &new, 4096).ops.len())
+    });
+    let delta = generate_delta(&old, &new, 4096);
+    group.bench_function("apply_1mb", |b| b.iter(|| apply_delta(&old, &delta).unwrap().len()));
+    group.finish();
+}
+
+fn bench_flow_controller(c: &mut Criterion) {
+    c.bench_function("flow_controller_100k_updates", |b| {
+        b.iter(|| {
+            let mut ctl = OutstandingController::new(OutstandingPolicy::Dynamic, 3, 50);
+            for i in 0..100_000u32 {
+                let wasted = if i % 3 == 0 { -0.01 } else { 0.02 };
+                ctl.on_block_received(BlockId(i % 640), i % 7, wasted, 500_000.0, 16_384.0, ctl.window());
+                if ctl.wants_mark() {
+                    ctl.note_requested(BlockId(i % 640 + 1));
+                }
+            }
+            ctl.window()
+        })
+    });
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    c.bench_function("desim_schedule_run_100k", |b| {
+        b.iter(|| {
+            let mut sim: Simulator<u32> = Simulator::new();
+            for i in 0..100_000u32 {
+                sim.schedule_at(SimTime::from_nanos(u64::from(i % 9973) * 1000), i);
+            }
+            let mut count = 0u32;
+            sim.run(|_, _, _| {
+                count += 1;
+                desim::Control::Continue
+            });
+            count
+        })
+    });
+}
+
+fn bench_end_to_end_dissemination(c: &mut Criterion) {
+    use bullet_bench::{run_system, SystemKind};
+    use dissem_codec::FileSpec;
+    use netsim::topology;
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for kind in [SystemKind::BulletPrime, SystemKind::BitTorrent] {
+        group.bench_with_input(
+            BenchmarkId::new("disseminate_1mb_10nodes", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let rng = RngFactory::new(11);
+                    let topo = topology::modelnet_mesh(10, 0.01, &rng);
+                    let run = run_system(
+                        kind,
+                        topo,
+                        FileSpec::from_mb_kb(1, 16),
+                        &rng,
+                        &Vec::new(),
+                        desim::SimDuration::from_secs(1800),
+                    );
+                    run.times.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lt_codes,
+    bench_bitmap,
+    bench_ransub_merge,
+    bench_rsync_delta,
+    bench_flow_controller,
+    bench_event_engine,
+    bench_end_to_end_dissemination
+);
+criterion_main!(benches);

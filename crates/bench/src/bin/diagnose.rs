@@ -1,0 +1,86 @@
+//! Diagnostic deep-dive into a single Bullet′ run: per-receiver completion
+//! time, peer counts, duplicate fraction and control overhead. Useful when a
+//! figure looks off and you want to know *which* mechanism is responsible.
+
+use bullet_bench::CommonOpts;
+use bullet_prime::Config;
+use desim::{RngFactory, SimDuration};
+use dissem_codec::FileSpec;
+use netsim::{topology, NodeId};
+
+fn main() {
+    let opts = CommonOpts::from_env();
+    let nodes = opts.nodes_or(40, 100);
+    let file = FileSpec::new(opts.file_bytes_or(10.0, 100.0), opts.block_bytes_or(16));
+    let rng = RngFactory::new(opts.seed);
+    let topo = topology::modelnet_mesh(nodes, 0.03, &rng);
+    let cfg = Config::new(file);
+
+    let mut runner = bullet_prime::build_runner(topo, &cfg, &rng);
+    let report = runner.run(SimDuration::from_secs_f64(opts.time_limit));
+
+    println!(
+        "{:>5} {:>10} {:>8} {:>8} {:>8} {:>9} {:>10} {:>10}",
+        "node", "done(s)", "senders", "recvrs", "dup%", "blocks", "ctl_out", "ctl_in"
+    );
+    let mut rows: Vec<(f64, String)> = Vec::new();
+    for i in 1..nodes {
+        let id = NodeId(i as u32);
+        let node = runner.node(id);
+        let m = node.metrics();
+        let t = m.completed_at.unwrap_or(f64::NAN);
+        let (s, r) = node.peer_counts();
+        let traffic = runner.network().traffic(id);
+        rows.push((
+            t,
+            format!(
+                "{:>5} {:>10.1} {:>8} {:>8} {:>8.1} {:>9} {:>10} {:>10}",
+                i,
+                t,
+                s,
+                r,
+                m.duplicate_fraction() * 100.0,
+                m.useful_blocks(),
+                traffic.control_bytes_out,
+                traffic.control_bytes_in
+            ),
+        ));
+    }
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    for (_, line) in rows {
+        println!("{line}");
+    }
+    // Arrival-gap forensics for the three slowest receivers.
+    let mut by_completion: Vec<NodeId> = (1..nodes as u32).map(NodeId).collect();
+    by_completion.sort_by(|a, b| {
+        let ta = runner.node(*a).metrics().completed_at.unwrap_or(f64::MAX);
+        let tb = runner.node(*b).metrics().completed_at.unwrap_or(f64::MAX);
+        ta.partial_cmp(&tb).expect("finite")
+    });
+    for id in by_completion.iter().rev().take(3) {
+        let m = runner.node(*id).metrics();
+        let gaps = m.inter_arrival_times();
+        let mut biggest: Vec<(usize, f64)> =
+            gaps.iter().copied().enumerate().collect();
+        biggest.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let last: Vec<String> = m
+            .arrival_times
+            .iter()
+            .rev()
+            .take(5)
+            .map(|t| format!("{t:.1}"))
+            .collect();
+        println!(
+            "straggler {}: last arrivals {:?}, biggest gaps {:?}",
+            id,
+            last,
+            &biggest[..biggest.len().min(3)]
+        );
+    }
+    println!(
+        "run: {} events, ended at {:.1}s, {} receivers unfinished",
+        report.events,
+        report.end_time.as_secs_f64(),
+        report.completion_secs.iter().skip(1).filter(|c| c.is_none()).count()
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 6 of the paper. Run with `--help` for options.
+
+fn main() {
+    let opts = bullet_bench::CommonOpts::from_env();
+    let figure = bullet_bench::experiments::fig06(&opts);
+    bullet_bench::emit(&figure, &opts);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 10 of the paper. Run with `--help` for options.
+
+fn main() {
+    let opts = bullet_bench::CommonOpts::from_env();
+    let figure = bullet_bench::experiments::fig10(&opts);
+    bullet_bench::emit(&figure, &opts);
+}

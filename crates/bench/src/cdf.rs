@@ -1,0 +1,194 @@
+//! Series / CDF handling for the figure harness.
+//!
+//! Every figure in the paper's evaluation is either a CDF of per-node
+//! download times (Figs 4–12, 14, 15) or a per-block series (Fig 13). This
+//! module holds the small amount of shared plumbing: turning completion-time
+//! vectors into CDFs, computing the summary statistics quoted in the text
+//! (median/percentile improvements, slowest-node speed-ups), and printing
+//! figures as aligned text tables or JSON for external plotting.
+
+use serde::Serialize;
+
+/// One labelled curve of a figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label (matches the paper's legend where applicable).
+    pub label: String,
+    /// `(x, y)` points. For CDFs, x = download time (s), y = fraction of nodes.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a CDF series from unsorted completion times.
+    pub fn cdf(label: impl Into<String>, times: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = times.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let n = sorted.len().max(1) as f64;
+        let points = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, (i + 1) as f64 / n))
+            .collect();
+        Series { label: label.into(), points }
+    }
+
+    /// Builds a plain x/y series.
+    pub fn xy(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+
+    /// Largest x value (the slowest node for CDFs).
+    pub fn max_x(&self) -> f64 {
+        self.points.iter().map(|(x, _)| *x).fold(f64::NAN, f64::max)
+    }
+
+    /// The x value at which the CDF reaches `fraction` (e.g. 0.5 = median).
+    pub fn quantile(&self, fraction: f64) -> f64 {
+        if self.points.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((self.points.len() as f64 * fraction).ceil() as usize)
+            .clamp(1, self.points.len())
+            - 1;
+        self.points[idx].0
+    }
+}
+
+/// A complete figure: several series plus identifying metadata.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Which paper figure this reproduces (e.g. "Figure 4").
+    pub id: String,
+    /// Human-readable description of the setup.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+    /// Free-form notes: derived headline numbers, paper comparisons, caveats.
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: "download time (s)".into(),
+            y_label: "fraction of nodes".into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Adds a headline note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the figure as text: a summary table plus (optionally) the raw
+    /// CDF points of each series.
+    pub fn render_text(&self, raw_points: bool) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = writeln!(
+            out,
+            "{:<44} {:>10} {:>10} {:>10} {:>10}",
+            "series", "p10", "median", "p90", "slowest"
+        );
+        for s in &self.series {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                s.label,
+                s.quantile(0.10),
+                s.quantile(0.50),
+                s.quantile(0.90),
+                s.max_x()
+            );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        if raw_points {
+            for s in &self.series {
+                let _ = writeln!(out, "-- {} --", s.label);
+                for (x, y) in &s.points {
+                    let _ = writeln!(out, "{x:.3}\t{y:.4}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialises the figure to JSON (for external plotting).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figures are always serialisable")
+    }
+}
+
+/// Relative improvement of `ours` over `theirs` at a given CDF quantile,
+/// expressed the way the paper quotes it ("faster by X%"): the fraction of
+/// `theirs` saved by `ours`.
+pub fn improvement_at(ours: &Series, theirs: &Series, fraction: f64) -> f64 {
+    let a = ours.quantile(fraction);
+    let b = theirs.quantile(fraction);
+    if b <= 0.0 {
+        return 0.0;
+    }
+    (b - a) / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_sorted_and_normalised() {
+        let s = Series::cdf("x", &[3.0, 1.0, 2.0, 4.0]);
+        let xs: Vec<f64> = s.points.iter().map(|(x, _)| *x).collect();
+        assert_eq!(xs, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.points.last().unwrap().1, 1.0);
+        assert_eq!(s.points.first().unwrap().1, 0.25);
+        assert_eq!(s.max_x(), 4.0);
+    }
+
+    #[test]
+    fn quantiles_pick_expected_elements() {
+        let s = Series::cdf("x", &[10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]);
+        assert_eq!(s.quantile(0.5), 50.0);
+        assert_eq!(s.quantile(0.9), 90.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert_eq!(s.quantile(0.0), 10.0);
+    }
+
+    #[test]
+    fn improvement_matches_paper_style_quote() {
+        let ours = Series::cdf("ours", &[75.0; 10]);
+        let theirs = Series::cdf("theirs", &[100.0; 10]);
+        let imp = improvement_at(&ours, &theirs, 0.5);
+        assert!((imp - 0.25).abs() < 1e-12, "75 vs 100 is 25% faster");
+    }
+
+    #[test]
+    fn render_text_contains_labels_and_notes() {
+        let mut f = Figure::new("Figure 0", "smoke test");
+        f.push(Series::cdf("alpha", &[1.0, 2.0]));
+        f.note("hello");
+        let text = f.render_text(false);
+        assert!(text.contains("Figure 0"));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("note: hello"));
+        let json = f.to_json();
+        assert!(json.contains("\"alpha\""));
+    }
+}

@@ -1,0 +1,25 @@
+//! `bullet-bench` — the experiment harness that regenerates every figure of
+//! the paper's evaluation.
+//!
+//! * [`cdf`] — series/figure data structures, CDFs, summary statistics;
+//! * [`opts`] — the tiny shared command-line surface of the `figNN` binaries;
+//! * [`systems`] — uniform runners for Bullet′, Bullet, BitTorrent and
+//!   SplitStream over a topology and change schedule;
+//! * [`bounds`] — the analytic reference curves of Fig 4;
+//! * [`experiments`] — one function per figure (4–15).
+//!
+//! Binaries: `fig04` … `fig15` regenerate the corresponding figure (reduced
+//! scale by default, `--full` for the paper's workload), `lt_overhead`
+//! measures the rateless-code reception overhead quoted in §2.2.
+//! Criterion micro-benchmarks for the core data structures live in
+//! `benches/`.
+
+pub mod bounds;
+pub mod cdf;
+pub mod experiments;
+pub mod opts;
+pub mod systems;
+
+pub use cdf::{improvement_at, Figure, Series};
+pub use opts::{emit, CommonOpts};
+pub use systems::{run_bullet_prime_with, run_system, SystemKind, SystemRun};

@@ -1,0 +1,161 @@
+//! Minimal command-line options shared by every figure binary.
+//!
+//! The binaries default to a reduced scale (fewer nodes, a smaller file) so
+//! the entire figure suite runs in minutes; `--full` switches to the paper's
+//! workload sizes. No external argument-parsing crate is used — the option
+//! surface is tiny and fixed.
+
+/// Options accepted by every `figNN` binary.
+#[derive(Debug, Clone)]
+pub struct CommonOpts {
+    /// Number of overlay participants (including the source).
+    pub nodes: Option<usize>,
+    /// File size in MiB.
+    pub file_mb: Option<f64>,
+    /// Block size in KiB.
+    pub block_kb: Option<u32>,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Use the paper's full workload sizes.
+    pub full: bool,
+    /// Print every CDF point rather than just the summary table.
+    pub raw: bool,
+    /// Also emit the figure as JSON to this path.
+    pub json: Option<String>,
+    /// Virtual-time limit in seconds.
+    pub time_limit: f64,
+}
+
+impl Default for CommonOpts {
+    fn default() -> Self {
+        CommonOpts {
+            nodes: None,
+            file_mb: None,
+            block_kb: None,
+            seed: 20050410,
+            full: false,
+            raw: false,
+            json: None,
+            time_limit: 7200.0,
+        }
+    }
+}
+
+impl CommonOpts {
+    /// Parses options from an iterator of arguments (excluding `argv[0]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage string on unknown flags or malformed values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = CommonOpts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value_for = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+            };
+            match arg.as_str() {
+                "--nodes" => opts.nodes = Some(parse_num(&value_for("--nodes")?)?),
+                "--mb" => opts.file_mb = Some(parse_num(&value_for("--mb")?)?),
+                "--block-kb" => opts.block_kb = Some(parse_num(&value_for("--block-kb")?)?),
+                "--seed" => opts.seed = parse_num(&value_for("--seed")?)?,
+                "--time-limit" => opts.time_limit = parse_num(&value_for("--time-limit")?)?,
+                "--json" => opts.json = Some(value_for("--json")?),
+                "--full" => opts.full = true,
+                "--raw" => opts.raw = true,
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown option {other}\n{USAGE}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses from the process arguments, exiting with a usage message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Node count to use given a reduced default and the paper's value.
+    pub fn nodes_or(&self, reduced: usize, paper: usize) -> usize {
+        self.nodes.unwrap_or(if self.full { paper } else { reduced })
+    }
+
+    /// File size (bytes) to use given a reduced default and the paper's value
+    /// in MiB.
+    pub fn file_bytes_or(&self, reduced_mb: f64, paper_mb: f64) -> u64 {
+        let mb = self.file_mb.unwrap_or(if self.full { paper_mb } else { reduced_mb });
+        (mb * 1024.0 * 1024.0) as u64
+    }
+
+    /// Block size (bytes) to use given the paper's value in KiB.
+    pub fn block_bytes_or(&self, paper_kb: u32) -> u32 {
+        self.block_kb.unwrap_or(paper_kb) * 1024
+    }
+}
+
+const USAGE: &str = "usage: figNN [--nodes N] [--mb M] [--block-kb K] [--seed S] \
+[--time-limit SECS] [--full] [--raw] [--json PATH]";
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("could not parse '{s}'\n{USAGE}"))
+}
+
+/// Writes a figure to stdout and optionally to a JSON file, honouring the
+/// shared options.
+pub fn emit(figure: &crate::cdf::Figure, opts: &CommonOpts) {
+    print!("{}", figure.render_text(opts.raw));
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, figure.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+        } else {
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CommonOpts, String> {
+        CommonOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_reduced_scale() {
+        let o = parse(&[]).unwrap();
+        assert!(!o.full);
+        assert_eq!(o.nodes_or(40, 100), 40);
+        assert_eq!(o.file_bytes_or(10.0, 100.0), 10 * 1024 * 1024);
+        assert_eq!(o.block_bytes_or(16), 16 * 1024);
+    }
+
+    #[test]
+    fn full_switches_to_paper_scale() {
+        let o = parse(&["--full"]).unwrap();
+        assert_eq!(o.nodes_or(40, 100), 100);
+        assert_eq!(o.file_bytes_or(10.0, 100.0), 100 * 1024 * 1024);
+    }
+
+    #[test]
+    fn explicit_values_override_everything() {
+        let o = parse(&["--full", "--nodes", "12", "--mb", "2.5", "--block-kb", "8", "--seed", "9"]).unwrap();
+        assert_eq!(o.nodes_or(40, 100), 12);
+        assert_eq!(o.file_bytes_or(10.0, 100.0), (2.5 * 1024.0 * 1024.0) as u64);
+        assert_eq!(o.block_bytes_or(16), 8192);
+        assert_eq!(o.seed, 9);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--nodes"]).is_err());
+        assert!(parse(&["--nodes", "abc"]).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Uniform wrappers for running each dissemination system on a topology.
+//!
+//! Every figure needs the same thing: run protocol X on topology T (with an
+//! optional bandwidth-change schedule) and collect per-receiver completion
+//! times. These helpers keep the per-figure code declarative.
+
+use baselines::{bittorrent, bullet_orig, splitstream, BitTorrentConfig, BitTorrentNode};
+use bullet_prime::{BulletPrimeNode, Config};
+use desim::{RngFactory, SimDuration, SimTime};
+use dissem_codec::FileSpec;
+use netsim::{ChangeSchedule, Network, NodeId, Runner, Topology};
+
+/// The systems compared in Figs 4, 5 and 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// The paper's contribution.
+    BulletPrime,
+    /// Original Bullet (SOSP '03), fixed parameters.
+    BulletOriginal,
+    /// BitTorrent with a central tracker.
+    BitTorrent,
+    /// SplitStream-style stripe-tree push.
+    SplitStream,
+}
+
+impl SystemKind {
+    /// Legend label used in the figures (matching the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::BulletPrime => "BulletPrime",
+            SystemKind::BulletOriginal => "Bullet",
+            SystemKind::BitTorrent => "BitTorrent",
+            SystemKind::SplitStream => "SplitStream",
+        }
+    }
+
+    /// All four systems in the order the paper lists them.
+    pub fn all() -> [SystemKind; 4] {
+        [
+            SystemKind::BulletPrime,
+            SystemKind::BulletOriginal,
+            SystemKind::BitTorrent,
+            SystemKind::SplitStream,
+        ]
+    }
+}
+
+/// Result of one protocol run.
+#[derive(Debug, Clone)]
+pub struct SystemRun {
+    /// Per-receiver completion times (seconds). Nodes that did not finish
+    /// within the time limit are reported at the end-of-run time.
+    pub times: Vec<f64>,
+    /// Number of receivers that did not finish within the limit.
+    pub unfinished: usize,
+    /// Virtual end time of the run.
+    pub end_time: f64,
+}
+
+fn collect_times(report: &netsim::RunReport) -> SystemRun {
+    let end = report.end_time.as_secs_f64();
+    let mut unfinished = 0;
+    let times = report
+        .completion_secs
+        .iter()
+        .enumerate()
+        .skip(1) // Node 0 is the source in every system.
+        .map(|(_, c)| {
+            c.unwrap_or_else(|| {
+                unfinished += 1;
+                end
+            })
+        })
+        .collect();
+    SystemRun { times, unfinished, end_time: end }
+}
+
+fn apply_schedule<M: netsim::WireSize, P: netsim::Protocol<M>>(
+    runner: &mut Runner<M, P>,
+    schedule: &ChangeSchedule,
+) {
+    for (at, batch) in schedule {
+        runner.schedule_link_change(*at, batch.clone());
+    }
+}
+
+/// Runs Bullet′ with an explicit configuration and returns both the timing
+/// summary and the protocol nodes (for metric extraction, e.g. Fig 13).
+pub fn run_bullet_prime_with(
+    topo: Topology,
+    cfg: &Config,
+    rng: &RngFactory,
+    schedule: &ChangeSchedule,
+    limit: SimDuration,
+) -> (SystemRun, Vec<BulletPrimeNode>) {
+    let mut runner = bullet_prime::build_runner(topo, cfg, rng);
+    apply_schedule(&mut runner, schedule);
+    let report = runner.run(limit);
+    (collect_times(&report), runner.into_nodes())
+}
+
+/// Runs one of the four compared systems with its default configuration.
+pub fn run_system(
+    kind: SystemKind,
+    topo: Topology,
+    file: FileSpec,
+    rng: &RngFactory,
+    schedule: &ChangeSchedule,
+    limit: SimDuration,
+) -> SystemRun {
+    match kind {
+        SystemKind::BulletPrime => {
+            let cfg = Config::new(file);
+            run_bullet_prime_with(topo, &cfg, rng, schedule, limit).0
+        }
+        SystemKind::BulletOriginal => {
+            let mut runner = bullet_orig::build_runner(topo, file, rng);
+            apply_schedule(&mut runner, schedule);
+            collect_times(&runner.run(limit))
+        }
+        SystemKind::BitTorrent => {
+            let cfg = BitTorrentConfig::new(file);
+            let nodes: Vec<BitTorrentNode> = (0..topo.len() as u32)
+                .map(|i| BitTorrentNode::new(NodeId(i), cfg.clone()))
+                .collect();
+            let mut runner = Runner::new(Network::new(topo), nodes, rng);
+            runner.exempt_from_completion(NodeId(0));
+            apply_schedule(&mut runner, schedule);
+            collect_times(&runner.run(limit))
+        }
+        SystemKind::SplitStream => {
+            let mut runner = splitstream::build_runner(topo, file, rng);
+            apply_schedule(&mut runner, schedule);
+            collect_times(&runner.run(limit))
+        }
+    }
+}
+
+/// Convenience for BitTorrent-only callers needing node access.
+pub fn run_bittorrent(
+    topo: Topology,
+    cfg: &bittorrent::BitTorrentConfig,
+    rng: &RngFactory,
+    limit: SimDuration,
+) -> (SystemRun, Vec<BitTorrentNode>) {
+    let nodes: Vec<BitTorrentNode> = (0..topo.len() as u32)
+        .map(|i| BitTorrentNode::new(NodeId(i), cfg.clone()))
+        .collect();
+    let mut runner = Runner::new(Network::new(topo), nodes, rng);
+    runner.exempt_from_completion(NodeId(0));
+    let report = runner.run(limit);
+    (collect_times(&report), runner.into_nodes())
+}
+
+/// Builds the bandwidth-change schedule of §4.1 for a run of `nodes`
+/// participants over `horizon` seconds (used by Figs 5 and 8).
+pub fn paper_dynamic_schedule(nodes: usize, horizon: f64, rng: &RngFactory) -> ChangeSchedule {
+    netsim::dynamics::correlated_decrease_schedule(
+        nodes,
+        SimDuration::from_secs(20),
+        SimDuration::from_secs_f64(horizon),
+        rng,
+    )
+}
+
+/// Builds the Fig 12 cascading-degrade schedule for the standard cascade
+/// topology: the victim is the last node; one dedicated link degrades to
+/// 100 Kbps every `period_secs` (25 s in the paper).
+pub fn cascade_schedule(fast_nodes: usize, period_secs: f64) -> ChangeSchedule {
+    let senders: Vec<NodeId> = (1..fast_nodes as u32).map(NodeId).collect();
+    let victim = NodeId(fast_nodes as u32);
+    netsim::dynamics::cascading_degrade_schedule(
+        &senders,
+        victim,
+        SimDuration::from_secs_f64(period_secs),
+    )
+}
+
+/// A helper for bounding runs to an absolute virtual time.
+pub fn limit_secs(secs: f64) -> SimDuration {
+    SimTime::from_secs_f64(secs) - SimTime::ZERO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::topology;
+
+    #[test]
+    fn all_four_systems_run_on_a_tiny_workload() {
+        for kind in SystemKind::all() {
+            let rng = RngFactory::new(3);
+            let topo = topology::modelnet_mesh(6, 0.005, &rng);
+            let run = run_system(
+                kind,
+                topo,
+                FileSpec::new(128 * 1024, 16 * 1024),
+                &rng,
+                &Vec::new(),
+                SimDuration::from_secs(1800),
+            );
+            assert_eq!(run.times.len(), 5, "{kind:?}");
+            assert_eq!(run.unfinished, 0, "{kind:?} left receivers unfinished");
+            assert!(run.times.iter().all(|&t| t > 0.0 && t <= run.end_time));
+        }
+    }
+
+    #[test]
+    fn schedules_are_generated_for_the_standard_scenarios() {
+        let rng = RngFactory::new(1);
+        let dynamic = paper_dynamic_schedule(20, 100.0, &rng);
+        assert_eq!(dynamic.len(), 5);
+        let cascade = cascade_schedule(7, 25.0);
+        assert_eq!(cascade.len(), 6);
+        assert_eq!(cascade[0].0.as_secs_f64(), 25.0);
+        assert!(cascade.iter().all(|(_, b)| b.changes[0].1 == NodeId(7)));
+    }
+}

@@ -1,0 +1,258 @@
+//! Block-availability bitmaps.
+//!
+//! Every node keeps a bitmap of the blocks it holds; senders advertise their
+//! bitmaps to receivers (as incremental diffs, see [`crate::diff`]) and the
+//! request strategies consult the union of the per-peer bitmaps to compute
+//! block *rarity*.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::BlockId;
+
+/// A fixed-capacity bitset over block indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockBitmap {
+    words: Vec<u64>,
+    capacity: u32,
+    ones: u32,
+}
+
+impl BlockBitmap {
+    /// Creates an empty bitmap able to hold `capacity` blocks.
+    pub fn new(capacity: u32) -> Self {
+        BlockBitmap {
+            words: vec![0; (capacity as usize).div_ceil(64)],
+            capacity,
+            ones: 0,
+        }
+    }
+
+    /// Creates a bitmap with every one of the `capacity` bits set (e.g. the
+    /// source's own bitmap in unencoded mode).
+    pub fn full(capacity: u32) -> Self {
+        let mut bm = BlockBitmap::new(capacity);
+        for i in 0..capacity {
+            bm.insert(BlockId(i));
+        }
+        bm
+    }
+
+    /// Number of block slots this bitmap covers.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Number of blocks currently present.
+    pub fn count(&self) -> u32 {
+        self.ones
+    }
+
+    /// Returns true when no block is present.
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Returns true when every slot is set.
+    pub fn is_full(&self) -> bool {
+        self.ones == self.capacity
+    }
+
+    /// Fraction of the file present, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        f64::from(self.ones) / f64::from(self.capacity)
+    }
+
+    /// Tests whether block `id` is present.
+    pub fn contains(&self, id: BlockId) -> bool {
+        if id.0 >= self.capacity {
+            return false;
+        }
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.words[w] >> b & 1 == 1
+    }
+
+    /// Inserts block `id`; returns true if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the bitmap capacity.
+    pub fn insert(&mut self, id: BlockId) -> bool {
+        assert!(
+            id.0 < self.capacity,
+            "block {id} outside bitmap capacity {}",
+            self.capacity
+        );
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.ones += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes block `id`; returns true if it was present.
+    pub fn remove(&mut self, id: BlockId) -> bool {
+        if id.0 >= self.capacity {
+            return false;
+        }
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << b;
+        if self.words[w] & mask != 0 {
+            self.words[w] &= !mask;
+            self.ones -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates over the ids of present blocks in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            BitIter { word, base: wi as u32 * 64 }.filter(move |id| id.0 < self.capacity)
+        })
+    }
+
+    /// Iterates over the ids of *missing* blocks in ascending order.
+    pub fn iter_missing(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.capacity).map(BlockId).filter(move |id| !self.contains(*id))
+    }
+
+    /// Returns the blocks present in `self` but not in `other`
+    /// (i.e. what `self` could offer a peer whose bitmap is `other`).
+    pub fn difference(&self, other: &BlockBitmap) -> Vec<BlockId> {
+        self.iter().filter(|id| !other.contains(*id)).collect()
+    }
+
+    /// Number of blocks present in `self` but not in `other`, without
+    /// materialising the list.
+    pub fn difference_count(&self, other: &BlockBitmap) -> u32 {
+        let mut n = 0u32;
+        for (i, w) in self.words.iter().enumerate() {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            n += (w & !o).count_ones();
+        }
+        n
+    }
+
+    /// In-place union with `other` (must have the same capacity).
+    pub fn union_with(&mut self, other: &BlockBitmap) {
+        assert_eq!(self.capacity, other.capacity, "bitmap capacity mismatch");
+        let mut ones = 0;
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= *o;
+            ones += w.count_ones();
+        }
+        self.ones = ones;
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = BlockId;
+    fn next(&mut self) -> Option<BlockId> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(BlockId(self.base + tz))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut bm = BlockBitmap::new(130);
+        assert!(bm.insert(BlockId(0)));
+        assert!(bm.insert(BlockId(64)));
+        assert!(bm.insert(BlockId(129)));
+        assert!(!bm.insert(BlockId(129)), "double insert reports false");
+        assert_eq!(bm.count(), 3);
+        assert!(bm.contains(BlockId(64)));
+        assert!(!bm.contains(BlockId(63)));
+        assert!(bm.remove(BlockId(64)));
+        assert!(!bm.remove(BlockId(64)));
+        assert_eq!(bm.count(), 2);
+    }
+
+    #[test]
+    fn full_and_fraction() {
+        let bm = BlockBitmap::full(100);
+        assert!(bm.is_full());
+        assert_eq!(bm.count(), 100);
+        assert_eq!(bm.fraction(), 1.0);
+        let empty = BlockBitmap::new(100);
+        assert!(empty.is_empty());
+        assert_eq!(empty.fraction(), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_sorted_present_blocks() {
+        let mut bm = BlockBitmap::new(200);
+        for id in [5u32, 1, 190, 64, 65] {
+            bm.insert(BlockId(id));
+        }
+        let got: Vec<u32> = bm.iter().map(|b| b.0).collect();
+        assert_eq!(got, vec![1, 5, 64, 65, 190]);
+    }
+
+    #[test]
+    fn difference_and_counts_agree() {
+        let mut a = BlockBitmap::new(128);
+        let mut b = BlockBitmap::new(128);
+        for i in 0..50 {
+            a.insert(BlockId(i));
+        }
+        for i in 25..80 {
+            b.insert(BlockId(i));
+        }
+        let diff = a.difference(&b);
+        assert_eq!(diff.len(), 25);
+        assert_eq!(a.difference_count(&b), 25);
+        assert_eq!(b.difference_count(&a), 30);
+    }
+
+    #[test]
+    fn union_matches_manual() {
+        let mut a = BlockBitmap::new(70);
+        let mut b = BlockBitmap::new(70);
+        a.insert(BlockId(3));
+        b.insert(BlockId(68));
+        b.insert(BlockId(3));
+        a.union_with(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.contains(BlockId(68)));
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let bm = BlockBitmap::new(10);
+        assert!(!bm.contains(BlockId(10)));
+        assert!(!bm.contains(BlockId(1000)));
+    }
+
+    #[test]
+    fn iter_missing_complements_iter() {
+        let mut bm = BlockBitmap::new(33);
+        bm.insert(BlockId(0));
+        bm.insert(BlockId(32));
+        let missing: Vec<u32> = bm.iter_missing().map(|b| b.0).collect();
+        assert_eq!(missing.len(), 31);
+        assert!(!missing.contains(&0));
+        assert!(!missing.contains(&32));
+    }
+}

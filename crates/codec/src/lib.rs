@@ -1,0 +1,128 @@
+//! `dissem-codec` — the data model of the dissemination systems.
+//!
+//! This crate holds everything about the *object being distributed* and is
+//! deliberately independent of the network emulator and of any particular
+//! protocol:
+//!
+//! * [`block`] — the file/block layout ([`FileSpec`], [`BlockId`]);
+//! * [`bitmap`] — per-node block availability sets ([`BlockBitmap`]);
+//! * [`diff`] — incremental availability diffs (paper §3.3.4);
+//! * [`soliton`] / [`lt`] — rateless erasure codes (paper §2.2, §4.6);
+//! * [`file`] — real in-memory content, slicing and reassembly, used by the
+//!   examples, Shotgun and the integrity tests.
+
+pub mod bitmap;
+pub mod block;
+pub mod diff;
+pub mod file;
+pub mod lt;
+pub mod soliton;
+
+pub use bitmap::BlockBitmap;
+pub use block::{BlockId, FileSpec};
+pub use diff::{Diff, DiffTracker};
+pub use file::{FileAssembler, FileData};
+pub use lt::{EncodedBlock, LtDecoder, LtEncoder};
+pub use soliton::RobustSoliton;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Insert/contains/count stay mutually consistent under arbitrary
+        /// insert sequences.
+        #[test]
+        fn bitmap_count_matches_inserts(ids in proptest::collection::vec(0u32..512, 0..300)) {
+            let mut bm = BlockBitmap::new(512);
+            let mut reference = std::collections::BTreeSet::new();
+            for &i in &ids {
+                let newly = bm.insert(BlockId(i));
+                prop_assert_eq!(newly, reference.insert(i));
+            }
+            prop_assert_eq!(bm.count() as usize, reference.len());
+            for i in 0..512u32 {
+                prop_assert_eq!(bm.contains(BlockId(i)), reference.contains(&i));
+            }
+            let iterated: Vec<u32> = bm.iter().map(|b| b.0).collect();
+            let expected: Vec<u32> = reference.iter().copied().collect();
+            prop_assert_eq!(iterated, expected);
+        }
+
+        /// difference_count equals the length of the materialised difference.
+        #[test]
+        fn bitmap_difference_consistent(
+            a in proptest::collection::vec(0u32..256, 0..200),
+            b in proptest::collection::vec(0u32..256, 0..200),
+        ) {
+            let mut ba = BlockBitmap::new(256);
+            let mut bb = BlockBitmap::new(256);
+            for i in a { ba.insert(BlockId(i)); }
+            for i in b { bb.insert(BlockId(i)); }
+            prop_assert_eq!(ba.difference(&bb).len() as u32, ba.difference_count(&bb));
+        }
+
+        /// Incremental diffs never repeat a block and eventually cover
+        /// everything the sender has.
+        #[test]
+        fn diffs_cover_without_repeats(
+            waves in proptest::collection::vec(proptest::collection::vec(0u32..128, 0..40), 1..8)
+        ) {
+            let mut have = BlockBitmap::new(128);
+            let mut tracker = DiffTracker::new();
+            let mut heard = std::collections::BTreeSet::new();
+            for wave in waves {
+                for i in wave {
+                    have.insert(BlockId(i));
+                }
+                let diff = tracker.next_diff(&have, usize::MAX);
+                for b in diff.blocks {
+                    prop_assert!(heard.insert(b), "block {:?} advertised twice", b);
+                }
+            }
+            // After the final diff, everything the sender has was heard.
+            let have_set: std::collections::BTreeSet<BlockId> = have.iter().collect();
+            prop_assert_eq!(heard, have_set);
+        }
+
+        /// LT codes round-trip arbitrary content with arbitrary block sizes.
+        #[test]
+        fn lt_round_trip(
+            len in 1usize..2000,
+            block in 1usize..257,
+            seed in any::<u64>(),
+        ) {
+            let data: Vec<u8> = (0..len).map(|i| (i as u64 ^ seed) as u8).collect();
+            let mut enc = LtEncoder::new(&data, block, seed);
+            let k = enc.num_source_blocks();
+            let mut dec = LtDecoder::new(k, block.max(1));
+            let mut fed = 0u64;
+            while !dec.is_complete() {
+                dec.push(&enc.next_block());
+                fed += 1;
+                prop_assert!(fed < 20 * u64::from(k) + 200, "decoder failed to converge");
+            }
+            prop_assert_eq!(dec.assemble(data.len()).unwrap(), data);
+        }
+
+        /// The file assembler reconstructs content for any permutation of blocks.
+        #[test]
+        fn assembler_any_order(len in 1u64..5000, block in 1u32..512, seed in any::<u64>()) {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let spec = FileSpec::new(len, block);
+            let f = FileData::synthetic(spec, seed);
+            let mut ids: Vec<BlockId> = spec.blocks().collect();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            ids.shuffle(&mut rng);
+            let mut asm = FileAssembler::new(spec);
+            for id in ids {
+                asm.put(id, f.block(id));
+            }
+            prop_assert!(asm.is_complete());
+            let rebuilt = asm.into_file().unwrap();
+            prop_assert_eq!(rebuilt.bytes(), f.bytes());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Degree distributions for rateless (LT / online) erasure codes.
+//!
+//! The encoder draws each encoded block's *degree* — the number of source
+//! blocks XOR-ed together — from the robust soliton distribution, the choice
+//! that makes the peeling decoder succeed with `k + O(sqrt(k) ln^2(k/δ))`
+//! received blocks with probability `1 - δ`.
+
+use rand::Rng;
+
+/// The robust soliton distribution over degrees `1..=k`.
+#[derive(Debug, Clone)]
+pub struct RobustSoliton {
+    /// Cumulative distribution over degrees; `cdf[i]` is the probability of a
+    /// degree `<= i + 1`.
+    cdf: Vec<f64>,
+    /// Expected reception overhead factor `beta = sum(rho + tau)`.
+    beta: f64,
+}
+
+impl RobustSoliton {
+    /// Builds the robust soliton distribution for `k` source blocks with
+    /// tuning constants `c` and failure probability `delta`.
+    ///
+    /// Typical values (used throughout this repository): `c = 0.05`,
+    /// `delta = 0.05`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, or if `c` or `delta` are not in `(0, 1]`.
+    pub fn new(k: u32, c: f64, delta: f64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(c > 0.0 && c <= 1.0, "c must be in (0, 1]");
+        assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0, 1]");
+        let kf = f64::from(k);
+        // Expected ripple size.
+        let s = c * (kf / delta).ln() * kf.sqrt();
+        let spike = (kf / s).floor().max(1.0) as u32;
+
+        let mut weights = Vec::with_capacity(k as usize);
+        let mut total = 0.0;
+        for d in 1..=k {
+            let df = f64::from(d);
+            // Ideal soliton component.
+            let rho = if d == 1 { 1.0 / kf } else { 1.0 / (df * (df - 1.0)) };
+            // Robust component.
+            let tau = if d < spike {
+                s / (df * kf)
+            } else if d == spike {
+                s * (s / delta).ln() / kf
+            } else {
+                0.0
+            };
+            let w = rho + tau;
+            total += w;
+            weights.push(total);
+        }
+        let beta = total;
+        let cdf: Vec<f64> = weights.into_iter().map(|w| w / total).collect();
+        RobustSoliton { cdf, beta }
+    }
+
+    /// Number of source blocks this distribution was built for.
+    pub fn k(&self) -> u32 {
+        self.cdf.len() as u32
+    }
+
+    /// The normalisation constant `beta`; the expected number of encoded
+    /// blocks needed for decoding is roughly `k * beta` in the asymptotic
+    /// analysis.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Probability of drawing exactly degree `d`.
+    pub fn pmf(&self, d: u32) -> f64 {
+        if d == 0 || d > self.k() {
+            return 0.0;
+        }
+        let i = (d - 1) as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Samples a degree in `1..=k`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        // Binary search the CDF for the first entry >= u.
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i as u32 + 1,
+            Err(i) => (i as u32 + 1).min(self.k()),
+        }
+    }
+
+    /// Probability that an encoded block has degree 1 (an unencoded source
+    /// block); the paper notes these are generated with low probability
+    /// (around 0.01) yet are required to start the peeling decoder.
+    pub fn degree_one_probability(&self) -> f64 {
+        self.pmf(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let dist = RobustSoliton::new(1000, 0.05, 0.05);
+        let sum: f64 = (1..=1000).map(|d| dist.pmf(d)).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "pmf sums to {sum}");
+    }
+
+    #[test]
+    fn degree_one_probability_is_small_but_positive() {
+        let dist = RobustSoliton::new(6400, 0.05, 0.05);
+        let p1 = dist.degree_one_probability();
+        assert!(p1 > 0.0 && p1 < 0.05, "p(degree 1) = {p1}");
+    }
+
+    #[test]
+    fn beta_close_to_one_for_large_k() {
+        // Reception overhead should be a few percent for file-scale k.
+        let dist = RobustSoliton::new(6400, 0.03, 0.05);
+        assert!(dist.beta() > 1.0 && dist.beta() < 1.25, "beta = {}", dist.beta());
+    }
+
+    #[test]
+    fn samples_lie_in_range_and_cover_spike() {
+        let dist = RobustSoliton::new(500, 0.05, 0.05);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut max_seen = 0;
+        for _ in 0..20_000 {
+            let d = dist.sample(&mut rng);
+            assert!((1..=500).contains(&d));
+            max_seen = max_seen.max(d);
+        }
+        assert!(max_seen > 10, "samples never exceeded degree {max_seen}");
+    }
+
+    #[test]
+    fn small_k_works() {
+        let dist = RobustSoliton::new(1, 0.05, 0.05);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(dist.sample(&mut rng), 1);
+        assert_eq!(dist.k(), 1);
+    }
+
+    #[test]
+    fn empirical_mean_matches_pmf_mean() {
+        let dist = RobustSoliton::new(200, 0.05, 0.05);
+        let analytic: f64 = (1..=200).map(|d| f64::from(d) * dist.pmf(d)).sum();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let n = 50_000;
+        let empirical: f64 = (0..n).map(|_| f64::from(dist.sample(&mut rng))).sum::<f64>() / f64::from(n);
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.05,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+}

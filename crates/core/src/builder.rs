@@ -1,0 +1,78 @@
+//! Convenience constructors for whole Bullet′ deployments.
+//!
+//! The experiment harness, the examples and the baselines all need the same
+//! three steps: build a control tree over the topology, instantiate one
+//! protocol node per host, and hand everything to the runner. This module
+//! packages those steps.
+
+use desim::RngFactory;
+use netsim::{Network, NodeId, Runner, Topology};
+use overlay::ControlTree;
+
+use crate::config::Config;
+use crate::messages::Msg;
+use crate::node::BulletPrimeNode;
+
+/// Default fan-out of the control tree (the source pushes fresh blocks to
+/// this many direct children).
+pub const CONTROL_TREE_DEGREE: usize = 10;
+
+/// Builds a Bullet′ deployment over `topo`: a random control tree rooted at
+/// node 0 and one [`BulletPrimeNode`] per host, all sharing `cfg`.
+pub fn build_nodes(topo: &Topology, cfg: &Config, rng: &RngFactory) -> Vec<BulletPrimeNode> {
+    let tree = ControlTree::random(topo.len(), CONTROL_TREE_DEGREE, rng);
+    build_nodes_with_tree(topo, &tree, cfg)
+}
+
+/// Builds one [`BulletPrimeNode`] per host over an explicit control tree.
+pub fn build_nodes_with_tree(
+    topo: &Topology,
+    tree: &ControlTree,
+    cfg: &Config,
+) -> Vec<BulletPrimeNode> {
+    assert_eq!(tree.len(), topo.len(), "control tree and topology sizes differ");
+    (0..topo.len() as u32)
+        .map(|i| BulletPrimeNode::new(NodeId(i), tree, cfg.clone()))
+        .collect()
+}
+
+/// Builds a ready-to-run [`Runner`] for a Bullet′ experiment on `topo`.
+///
+/// The source (node 0) is exempted from the completion check, so
+/// [`Runner::run`] stops once every *receiver* finishes.
+pub fn build_runner(topo: Topology, cfg: &Config, rng: &RngFactory) -> Runner<Msg, BulletPrimeNode> {
+    let nodes = build_nodes(&topo, cfg, rng);
+    let mut runner = Runner::new(Network::new(topo), nodes, rng);
+    runner.exempt_from_completion(NodeId(0));
+    runner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Role;
+    use dissem_codec::FileSpec;
+    use netsim::topology;
+
+    #[test]
+    fn builder_assigns_exactly_one_source() {
+        let rng = RngFactory::new(7);
+        let topo = topology::constrained_access(12);
+        let cfg = Config::new(FileSpec::new(256 * 1024, 16 * 1024));
+        let nodes = build_nodes(&topo, &cfg, &rng);
+        assert_eq!(nodes.len(), 12);
+        let sources = nodes.iter().filter(|n| n.role() == Role::Source).count();
+        assert_eq!(sources, 1);
+        assert_eq!(nodes[0].role(), Role::Source);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes differ")]
+    fn mismatched_tree_is_rejected() {
+        let rng = RngFactory::new(7);
+        let topo = topology::constrained_access(5);
+        let tree = ControlTree::random(6, 3, &rng);
+        let cfg = Config::new(FileSpec::new(64 * 1024, 16 * 1024));
+        let _ = build_nodes_with_tree(&topo, &tree, &cfg);
+    }
+}

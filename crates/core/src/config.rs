@@ -1,0 +1,208 @@
+//! Bullet′ configuration.
+//!
+//! The paper's stated design goal is to *minimise the number of parameters an
+//! end user has to tweak* (§3): the released defaults below are the adaptive
+//! ones. The explicit "fixed" variants exist so the evaluation can reproduce
+//! the paper's ablations (fixed peer-set sizes in Figs 7–9, fixed outstanding
+//! windows in Figs 10–12, alternative request strategies in Fig 6).
+
+use desim::SimDuration;
+use dissem_codec::FileSpec;
+
+/// How a receiver orders candidate blocks when issuing requests (paper §3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStrategy {
+    /// Request blocks in the order their availability was discovered.
+    FirstEncountered,
+    /// Request blocks in uniformly random order.
+    Random,
+    /// Request the globally rarest blocks first, ties broken deterministically.
+    Rarest,
+    /// Request the rarest blocks first, ties broken uniformly at random
+    /// (Bullet′'s default).
+    RarestRandom,
+}
+
+/// How many senders/receivers a node maintains (paper §3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerSetPolicy {
+    /// Adaptive sizing: start at the initial value, adjust every RanSub epoch
+    /// with the ManageSenders/ManageReceivers feedback loop and 1.5σ trimming.
+    Dynamic,
+    /// Keep exactly this many senders and receivers (no trimming, no
+    /// adaptation) — the static configurations of Figs 7–9.
+    Fixed(usize),
+}
+
+/// How many block requests a receiver keeps outstanding per sender (§3.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutstandingPolicy {
+    /// The XCP-inspired dynamic controller (Bullet′'s default).
+    Dynamic,
+    /// A fixed number of outstanding blocks per sender (BitTorrent uses 5).
+    Fixed(u32),
+}
+
+/// Whether the source transmits the original blocks or a rateless-encoded
+/// stream (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferMode {
+    /// Transmit the original file blocks; a receiver needs every block.
+    Unencoded,
+    /// Transmit a source-encoded stream; a receiver needs `(1 + epsilon) * n`
+    /// distinct blocks out of a stream of `(1 + headroom) * n`.
+    Encoded {
+        /// Reception overhead (the paper measured ≈ 0.04).
+        epsilon: f64,
+    },
+}
+
+/// Complete configuration of a Bullet′ deployment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// The file being disseminated.
+    pub file: FileSpec,
+    /// Request-ordering strategy.
+    pub request_strategy: RequestStrategy,
+    /// Peer-set sizing policy.
+    pub peer_policy: PeerSetPolicy,
+    /// Per-sender outstanding-request policy.
+    pub outstanding_policy: OutstandingPolicy,
+    /// Unencoded vs source-encoded transfer.
+    pub transfer_mode: TransferMode,
+    /// Initial number of senders and receivers (the released Bullet default).
+    pub initial_peers: usize,
+    /// Hard lower bound on the number of senders/receivers.
+    pub min_peers: usize,
+    /// Hard upper bound on the number of senders/receivers.
+    pub max_peers: usize,
+    /// RanSub collect/distribute period.
+    pub ransub_period: SimDuration,
+    /// Number of summaries delivered per RanSub epoch.
+    pub ransub_subset_size: usize,
+    /// Peers whose bandwidth sits this many standard deviations below the
+    /// mean are disconnected at epoch boundaries.
+    pub trim_sigma: f64,
+    /// Initial per-sender outstanding window (blocks).
+    pub initial_outstanding: u32,
+    /// Upper bound on the per-sender outstanding window.
+    pub max_outstanding: u32,
+    /// How many blocks the source keeps queued per control-tree child before
+    /// considering that child's pipe full.
+    pub source_pipe_blocks: usize,
+    /// If true, availability diffs are only flushed by the periodic
+    /// housekeeping timer instead of self-clocking on idle request pipelines.
+    /// Bullet′ keeps this off; the original-Bullet baseline turns it on to
+    /// model its coarser, periodic summary exchange.
+    pub lazy_diffs: bool,
+    /// Housekeeping timer period (request refresh / stall recovery).
+    pub housekeeping_period: SimDuration,
+    /// Re-request a block from another sender if it has been outstanding this
+    /// long (stall insurance; the paper notes cancelling in-flight blocks is
+    /// impractical, so this is deliberately generous).
+    pub request_timeout: SimDuration,
+}
+
+impl Config {
+    /// The released Bullet′ defaults for a given file.
+    pub fn new(file: FileSpec) -> Self {
+        Config {
+            file,
+            request_strategy: RequestStrategy::RarestRandom,
+            peer_policy: PeerSetPolicy::Dynamic,
+            outstanding_policy: OutstandingPolicy::Dynamic,
+            transfer_mode: TransferMode::Unencoded,
+            initial_peers: 10,
+            min_peers: 6,
+            max_peers: 25,
+            ransub_period: SimDuration::from_secs(5),
+            ransub_subset_size: 10,
+            trim_sigma: 1.5,
+            initial_outstanding: 3,
+            max_outstanding: 50,
+            source_pipe_blocks: 3,
+            lazy_diffs: false,
+            housekeeping_period: SimDuration::from_secs(2),
+            request_timeout: SimDuration::from_secs(15),
+        }
+    }
+
+    /// Convenience: the paper's ModelNet workload (100 MB file, 16 KB blocks).
+    pub fn modelnet_default() -> Self {
+        Config::new(FileSpec::from_mb_kb(100, 16))
+    }
+
+    /// Number of distinct blocks a receiver must hold to complete.
+    pub fn completion_target(&self) -> u32 {
+        match self.transfer_mode {
+            TransferMode::Unencoded => self.file.num_blocks(),
+            TransferMode::Encoded { epsilon } => self.file.completion_target(epsilon),
+        }
+    }
+
+    /// Size of the block identifier space (larger than the file in encoded
+    /// mode so receivers have spare distinct blocks to choose from).
+    pub fn block_space(&self) -> u32 {
+        match self.transfer_mode {
+            TransferMode::Unencoded => self.file.num_blocks(),
+            TransferMode::Encoded { epsilon } => {
+                // Three times the reception overhead of headroom.
+                (f64::from(self.file.num_blocks()) * (1.0 + 3.0 * epsilon.max(0.0))).ceil() as u32
+            }
+        }
+    }
+
+    /// Validates invariants; called by the node constructor.
+    pub fn validate(&self) {
+        assert!(self.min_peers >= 1, "min_peers must be at least 1");
+        assert!(
+            self.min_peers <= self.initial_peers && self.initial_peers <= self.max_peers,
+            "initial_peers must lie between min_peers and max_peers"
+        );
+        assert!(self.initial_outstanding >= 1, "need at least one outstanding block");
+        assert!(self.max_outstanding >= self.initial_outstanding);
+        assert!(self.trim_sigma > 0.0);
+        assert!(self.source_pipe_blocks >= 1);
+        if let TransferMode::Encoded { epsilon } = self.transfer_mode {
+            assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0, 1)");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let cfg = Config::modelnet_default();
+        assert_eq!(cfg.initial_peers, 10);
+        assert_eq!(cfg.min_peers, 6);
+        assert_eq!(cfg.max_peers, 25);
+        assert_eq!(cfg.ransub_period, SimDuration::from_secs(5));
+        assert_eq!(cfg.initial_outstanding, 3);
+        assert_eq!(cfg.request_strategy, RequestStrategy::RarestRandom);
+        assert_eq!(cfg.trim_sigma, 1.5);
+        assert_eq!(cfg.file.num_blocks(), 6400);
+        cfg.validate();
+    }
+
+    #[test]
+    fn completion_target_depends_on_mode() {
+        let mut cfg = Config::new(FileSpec::from_mb_kb(10, 16));
+        assert_eq!(cfg.completion_target(), 640);
+        assert_eq!(cfg.block_space(), 640);
+        cfg.transfer_mode = TransferMode::Encoded { epsilon: 0.04 };
+        assert_eq!(cfg.completion_target(), (640.0f64 * 1.04).ceil() as u32);
+        assert!(cfg.block_space() > cfg.completion_target());
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_peers must lie")]
+    fn invalid_peer_bounds_rejected() {
+        let mut cfg = Config::new(FileSpec::from_mb_kb(1, 16));
+        cfg.initial_peers = 30;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,694 @@
+//! The Bullet′ node: the protocol state machine run on every participant.
+//!
+//! One [`BulletPrimeNode`] instance exists per emulated host. The source
+//! (tree root) pushes each block once, round-robin over its control-tree
+//! children, skipping children whose pipe is full (§3.3.5); every node —
+//! source included — serves explicit block requests in FIFO order; receivers
+//! discover candidate senders through RanSub, maintain an adaptive peer set
+//! (§3.3.1), keep each sender's pipe full with the XCP-style outstanding
+//! controller (§3.3.3), order their requests with the configured strategy
+//! (§3.3.2) and stay up to date through incremental diffs (§3.3.4).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use desim::SimTime;
+use dissem_codec::{BlockBitmap, BlockId, DiffTracker};
+use netsim::{BlockReceipt, Ctx, NodeId, Protocol};
+use overlay::{ControlTree, NodeSummary, RanSubAgent, RanSubEmit, Sample};
+use rand::rngs::StdRng;
+
+use crate::config::Config;
+use crate::flow::OutstandingController;
+use crate::messages::Msg;
+use crate::metrics::DownloadMetrics;
+use crate::peering::{PeerManager, ReceiverObservation, SenderObservation};
+use crate::request::RequestManager;
+
+/// Timer kind: start a new RanSub epoch.
+const TIMER_RANSUB: u32 = 1;
+/// Timer kind: housekeeping (stale-request release, request refresh).
+const TIMER_HOUSEKEEPING: u32 = 2;
+
+/// Whether this node is the origin of the file or a downloader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The single node that initially holds the file.
+    Source,
+    /// A downloading participant.
+    Receiver,
+}
+
+/// Receiver-side state about one of our senders.
+#[derive(Debug)]
+struct SenderState {
+    ctl: OutstandingController,
+    /// Bytes received from this sender since the last RanSub epoch.
+    bytes_since_epoch: u64,
+    /// Exponentially weighted delivery-rate estimate (bytes/second).
+    ewma_rate: f64,
+    last_arrival: Option<SimTime>,
+    /// True if we already asked for a diff and have not received one since.
+    diff_requested: bool,
+}
+
+impl SenderState {
+    fn new(cfg: &Config) -> Self {
+        SenderState {
+            ctl: OutstandingController::new(
+                cfg.outstanding_policy,
+                cfg.initial_outstanding,
+                cfg.max_outstanding,
+            ),
+            bytes_since_epoch: 0,
+            ewma_rate: 1_000.0,
+            last_arrival: None,
+            diff_requested: false,
+        }
+    }
+
+    fn observe_arrival(&mut self, now: SimTime, bytes: u64) {
+        if let Some(last) = self.last_arrival {
+            let dt = (now - last).as_secs_f64();
+            if dt > 1e-6 {
+                let inst = bytes as f64 / dt;
+                self.ewma_rate = 0.7 * self.ewma_rate + 0.3 * inst;
+            }
+        }
+        self.last_arrival = Some(now);
+        self.bytes_since_epoch += bytes;
+    }
+}
+
+/// Sender-side state about one of our receivers.
+#[derive(Debug)]
+struct ReceiverState {
+    diff: DiffTracker,
+    /// Blocks that became available since the last diff to this receiver.
+    pending_adverts: Vec<BlockId>,
+    /// Bytes whose transmission to this receiver completed since last epoch.
+    bytes_since_epoch: u64,
+    /// The receiver's self-reported total incoming bandwidth (bytes/second).
+    their_incoming_bw: f64,
+}
+
+impl ReceiverState {
+    fn new() -> Self {
+        ReceiverState {
+            diff: DiffTracker::new(),
+            pending_adverts: Vec::new(),
+            bytes_since_epoch: 0,
+            their_incoming_bw: 0.0,
+        }
+    }
+}
+
+/// Source-only state: the non-duplicating round-robin push (§3.3.5).
+#[derive(Debug)]
+struct SourceState {
+    next_block: u32,
+    rr_cursor: usize,
+}
+
+/// A Bullet′ participant.
+#[derive(Debug)]
+pub struct BulletPrimeNode {
+    id: NodeId,
+    cfg: Config,
+    role: Role,
+    children: Vec<NodeId>,
+    ransub: RanSubAgent,
+    have: BlockBitmap,
+    completion_target: u32,
+    block_space: u32,
+
+    senders: BTreeMap<NodeId, SenderState>,
+    receivers: BTreeMap<NodeId, ReceiverState>,
+    pending_peer_requests: BTreeSet<NodeId>,
+    requester: RequestManager,
+    peer_mgr: PeerManager,
+    source: Option<SourceState>,
+
+    /// Epoch bookkeeping for bandwidth observations.
+    epoch_started_at: SimTime,
+    /// Download statistics (exposed to the harness).
+    metrics: DownloadMetrics,
+}
+
+impl BulletPrimeNode {
+    /// Creates the node running on `id`, given the shared control tree.
+    /// Node 0 (the tree root) is the source.
+    pub fn new(id: NodeId, tree: &ControlTree, cfg: Config) -> Self {
+        cfg.validate();
+        let role = if id == tree.root() { Role::Source } else { Role::Receiver };
+        let block_space = cfg.block_space();
+        let have = match role {
+            Role::Source => BlockBitmap::full(block_space),
+            Role::Receiver => BlockBitmap::new(block_space),
+        };
+        let source = match role {
+            Role::Source => Some(SourceState { next_block: 0, rr_cursor: 0 }),
+            Role::Receiver => None,
+        };
+        BulletPrimeNode {
+            id,
+            role,
+            children: tree.children(id).to_vec(),
+            ransub: RanSubAgent::new(id, tree, cfg.ransub_subset_size),
+            have,
+            completion_target: cfg.completion_target(),
+            block_space,
+            senders: BTreeMap::new(),
+            receivers: BTreeMap::new(),
+            pending_peer_requests: BTreeSet::new(),
+            requester: RequestManager::new(cfg.request_strategy, block_space),
+            peer_mgr: PeerManager::new(
+                cfg.peer_policy,
+                cfg.initial_peers,
+                cfg.min_peers,
+                cfg.max_peers,
+                cfg.trim_sigma,
+            ),
+            source,
+            epoch_started_at: SimTime::ZERO,
+            cfg,
+            metrics: DownloadMetrics::default(),
+        }
+    }
+
+    /// This node's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Download statistics.
+    pub fn metrics(&self) -> &DownloadMetrics {
+        &self.metrics
+    }
+
+    /// Number of distinct blocks currently held.
+    pub fn blocks_held(&self) -> u32 {
+        self.have.count()
+    }
+
+    /// Current number of senders / receivers (diagnostics and tests).
+    pub fn peer_counts(&self) -> (usize, usize) {
+        (self.senders.len(), self.receivers.len())
+    }
+
+    /// The current adaptive peer-set targets.
+    pub fn peer_targets(&self) -> (usize, usize) {
+        (self.peer_mgr.max_senders(), self.peer_mgr.max_receivers())
+    }
+
+    fn block_bytes(&self, block: BlockId) -> u64 {
+        // In encoded mode every block is full-sized; in unencoded mode the
+        // final block may be short.
+        if block.0 < self.cfg.file.num_blocks() {
+            u64::from(self.cfg.file.block_size(block))
+        } else {
+            u64::from(self.cfg.file.block_bytes)
+        }
+    }
+
+    fn total_incoming_rate(&self) -> f64 {
+        self.senders.values().map(|s| s.ewma_rate).sum()
+    }
+
+    fn is_download_complete(&self) -> bool {
+        self.have.count() >= self.completion_target
+    }
+
+    // ------------------------------------------------------------------
+    // Source push (§3.3.5).
+    // ------------------------------------------------------------------
+
+    fn source_push(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some(src) = self.source.as_mut() else {
+            return;
+        };
+        if self.children.is_empty() {
+            return;
+        }
+        let mut queued_now: HashMap<NodeId, usize> = HashMap::new();
+        'outer: while src.next_block < self.block_space {
+            // Find a child whose pipe has room, starting from the round-robin
+            // cursor so every child gets an equal share of distinct blocks.
+            for probe in 0..self.children.len() {
+                let child = self.children[(src.rr_cursor + probe) % self.children.len()];
+                let pending = ctx.pending_to(child) + queued_now.get(&child).copied().unwrap_or(0);
+                if pending < self.cfg.source_pipe_blocks {
+                    let block = BlockId(src.next_block);
+                    let bytes = if block.0 < self.cfg.file.num_blocks() {
+                        u64::from(self.cfg.file.block_size(block))
+                    } else {
+                        u64::from(self.cfg.file.block_bytes)
+                    };
+                    ctx.queue_block(child, block, bytes);
+                    *queued_now.entry(child).or_insert(0) += 1;
+                    src.next_block += 1;
+                    src.rr_cursor = (src.rr_cursor + probe + 1) % self.children.len();
+                    continue 'outer;
+                }
+            }
+            // Every child's pipe is full; resume when a block completes.
+            break;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // RanSub plumbing.
+    // ------------------------------------------------------------------
+
+    fn own_summary(&self) -> NodeSummary {
+        NodeSummary {
+            node: self.id.0,
+            have_count: self.have.count(),
+            has_everything: self.role == Role::Source || self.have.is_full(),
+        }
+    }
+
+    fn emit_ransub(&mut self, ctx: &mut Ctx<'_, Msg>, emits: Vec<RanSubEmit>) {
+        for emit in emits {
+            match emit {
+                RanSubEmit::CollectToParent { parent, sample, epoch } => {
+                    ctx.send(parent, Msg::RansubCollect { sample, epoch });
+                }
+                RanSubEmit::DistributeToChild { child, sample, epoch } => {
+                    ctx.send(child, Msg::RansubDistribute { sample, epoch });
+                }
+                RanSubEmit::Deliver { sample, .. } => {
+                    self.handle_epoch(ctx, sample);
+                }
+            }
+        }
+    }
+
+    /// Reacts to the arrival of this epoch's random subset: run the peering
+    /// strategy, enact its decisions, and try to fill open sender slots with
+    /// candidates from the subset (§3.3.1).
+    fn handle_epoch(&mut self, ctx: &mut Ctx<'_, Msg>, sample: Sample) {
+        let now = ctx.now();
+        let elapsed = (now - self.epoch_started_at).as_secs_f64().max(1e-3);
+        self.epoch_started_at = now;
+
+        let sender_obs: Vec<SenderObservation> = self
+            .senders
+            .iter()
+            .map(|(&peer, s)| SenderObservation {
+                peer,
+                bandwidth: s.bytes_since_epoch as f64 / elapsed,
+            })
+            .collect();
+        let receiver_obs: Vec<ReceiverObservation> = self
+            .receivers
+            .iter()
+            .map(|(&peer, r)| ReceiverObservation {
+                peer,
+                bandwidth: r.bytes_since_epoch as f64 / elapsed,
+                their_total_incoming: r.their_incoming_bw,
+            })
+            .collect();
+
+        let decision = self.peer_mgr.on_epoch(&sender_obs, &receiver_obs);
+
+        for peer in decision.drop_senders {
+            self.drop_sender(ctx, peer, true);
+        }
+        for peer in decision.drop_receivers {
+            self.drop_receiver(ctx, peer, true);
+        }
+
+        // Reset epoch counters.
+        for s in self.senders.values_mut() {
+            s.bytes_since_epoch = 0;
+        }
+        for r in self.receivers.values_mut() {
+            r.bytes_since_epoch = 0;
+        }
+
+        // Try to acquire new senders from the delivered subset.
+        if self.role == Role::Receiver && !self.is_download_complete() {
+            let mut candidates: Vec<&NodeSummary> = sample
+                .entries
+                .iter()
+                .filter(|e| {
+                    e.node != self.id.0
+                        && !self.senders.contains_key(&e.node_id())
+                        && !self.pending_peer_requests.contains(&e.node_id())
+                        && (e.has_everything || e.have_count > 0)
+                })
+                .collect();
+            // Prefer peers with the most data to offer; random tie-break so a
+            // whole epoch's worth of nodes does not stampede the same target.
+            candidates.sort_by_key(|e| std::cmp::Reverse(e.have_count));
+            for e in candidates.into_iter().take(decision.sender_slots) {
+                let peer = e.node_id();
+                self.pending_peer_requests.insert(peer);
+                ctx.send(peer, Msg::PeerRequest { have_count: self.have.count() });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Peering maintenance.
+    // ------------------------------------------------------------------
+
+    fn drop_sender(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId, notify: bool) {
+        if self.senders.remove(&peer).is_some() {
+            self.requester.remove_sender(peer);
+            if notify {
+                ctx.send(peer, Msg::PeerClose);
+            }
+        }
+    }
+
+    fn drop_receiver(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId, notify: bool) {
+        if self.receivers.remove(&peer).is_some() {
+            ctx.close_connection(peer);
+            if notify {
+                ctx.send(peer, Msg::PeerClose);
+            }
+        }
+    }
+
+    fn accept_receiver(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId) {
+        let mut state = ReceiverState::new();
+        let available: Vec<BlockId> = self.have.iter().collect();
+        state.diff.mark_advertised(available.iter().copied());
+        self.receivers.insert(peer, state);
+        ctx.send(peer, Msg::PeerAccept { available });
+    }
+
+    fn add_sender(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId, available: Vec<BlockId>) {
+        self.pending_peer_requests.remove(&peer);
+        if self.senders.contains_key(&peer) {
+            return;
+        }
+        self.senders.insert(peer, SenderState::new(&self.cfg));
+        self.requester.add_sender(peer);
+        self.requester.on_advertised(peer, &available, &self.have);
+        self.issue_requests(ctx, peer);
+    }
+
+    // ------------------------------------------------------------------
+    // Requesting (§3.3.2 + §3.3.3).
+    // ------------------------------------------------------------------
+
+    fn issue_requests(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId) {
+        if self.is_download_complete() {
+            return;
+        }
+        let Some(sender) = self.senders.get_mut(&peer) else {
+            return;
+        };
+        let window = sender.ctl.window() as usize;
+        let outstanding = self.requester.outstanding_to(peer);
+        if outstanding >= window {
+            return;
+        }
+        let want = window - outstanding;
+        let now = ctx.now();
+        let blocks = {
+            let rng: &mut StdRng = ctx.rng();
+            self.requester.select_requests(peer, want, &self.have, now, rng)
+        };
+        if blocks.is_empty() {
+            // Nothing left to ask this sender for: request a diff once.
+            if self.requester.useful_candidates(peer, &self.have) == 0 && !sender.diff_requested {
+                sender.diff_requested = true;
+                ctx.send(peer, Msg::DiffRequest);
+            }
+            return;
+        }
+        if sender.ctl.wants_mark() {
+            sender.ctl.note_requested(blocks[0]);
+        }
+        ctx.send(
+            peer,
+            Msg::BlockRequest {
+                blocks,
+                incoming_bw: self.total_incoming_rate() as u64,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Diffs (§3.3.4).
+    // ------------------------------------------------------------------
+
+    fn send_diff(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId) {
+        let Some(r) = self.receivers.get_mut(&peer) else {
+            return;
+        };
+        let mut blocks: Vec<BlockId> = Vec::new();
+        for b in r.pending_adverts.drain(..) {
+            if !r.diff.already_advertised(b) {
+                blocks.push(b);
+            }
+        }
+        if blocks.is_empty() {
+            return;
+        }
+        r.diff.mark_advertised(blocks.iter().copied());
+        ctx.send(peer, Msg::Diff { blocks });
+    }
+
+    /// Queue pending availability announcements and flush them to receivers
+    /// whose request pipeline from us is empty (self-clocking diffs).
+    fn propagate_availability(&mut self, ctx: &mut Ctx<'_, Msg>, block: BlockId) {
+        let peers: Vec<NodeId> = self.receivers.keys().copied().collect();
+        for peer in peers {
+            if let Some(r) = self.receivers.get_mut(&peer) {
+                if !r.diff.already_advertised(block) {
+                    r.pending_adverts.push(block);
+                }
+            }
+            if !self.cfg.lazy_diffs && ctx.pending_to(peer) == 0 {
+                self.send_diff(ctx, peer);
+            }
+        }
+    }
+}
+
+impl Protocol<Msg> for BulletPrimeNode {
+    fn on_init(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.epoch_started_at = ctx.now();
+        ctx.set_timer(self.cfg.ransub_period, TIMER_RANSUB, 0);
+        ctx.set_timer(self.cfg.housekeeping_period, TIMER_HOUSEKEEPING, 0);
+        if self.role == Role::Source {
+            self.source_push(ctx);
+        }
+    }
+
+    fn on_control(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::RansubCollect { sample, epoch } => {
+                let emits = {
+                    let rng = ctx.rng();
+                    self.ransub.on_collect(from, sample, epoch, rng)
+                };
+                self.emit_ransub(ctx, emits);
+            }
+            Msg::RansubDistribute { sample, epoch } => {
+                let emits = {
+                    let rng = ctx.rng();
+                    self.ransub.on_distribute(sample, epoch, rng)
+                };
+                self.emit_ransub(ctx, emits);
+            }
+            Msg::PeerRequest { .. } => {
+                if self.receivers.len() < self.peer_mgr.max_receivers()
+                    && !self.receivers.contains_key(&from)
+                {
+                    self.accept_receiver(ctx, from);
+                } else {
+                    ctx.send(from, Msg::PeerReject);
+                }
+            }
+            Msg::PeerAccept { available } => {
+                self.add_sender(ctx, from, available);
+            }
+            Msg::PeerReject => {
+                self.pending_peer_requests.remove(&from);
+            }
+            Msg::PeerClose => {
+                // The peer tears down whichever relationship exists.
+                self.drop_sender(ctx, from, false);
+                self.drop_receiver(ctx, from, false);
+            }
+            Msg::Diff { blocks } => {
+                if let Some(s) = self.senders.get_mut(&from) {
+                    s.diff_requested = false;
+                    self.requester.on_advertised(from, &blocks, &self.have);
+                    self.issue_requests(ctx, from);
+                }
+            }
+            Msg::DiffRequest => {
+                self.send_diff(ctx, from);
+            }
+            Msg::BlockRequest { blocks, incoming_bw } => {
+                if let Some(r) = self.receivers.get_mut(&from) {
+                    r.their_incoming_bw = incoming_bw as f64;
+                }
+                for block in blocks {
+                    if self.have.contains(block) {
+                        let bytes = self.block_bytes(block);
+                        ctx.queue_block(from, block, bytes);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_block_received(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, receipt: BlockReceipt) {
+        let block = receipt.block;
+        let duplicate = self.have.contains(block);
+        self.metrics.record_arrival(ctx.now(), receipt.bytes, duplicate);
+        self.requester.on_block_received(block);
+
+        if !duplicate {
+            self.have.insert(block);
+        }
+
+        // Per-sender accounting and flow control.
+        let outstanding = self.requester.outstanding_to(from) as u32;
+        if let Some(s) = self.senders.get_mut(&from) {
+            s.observe_arrival(ctx.now(), receipt.bytes);
+            s.ctl.on_block_received(
+                block,
+                receipt.in_front,
+                receipt.wasted,
+                s.ewma_rate,
+                f64::from(self.cfg.file.block_bytes),
+                outstanding,
+            );
+        }
+
+        if !duplicate {
+            self.propagate_availability(ctx, block);
+            if self.is_download_complete() {
+                self.metrics.record_completion(ctx.now(), self.senders.len());
+            }
+        }
+
+        // A slot opened towards this sender (and possibly others, handled by
+        // the housekeeping timer).
+        self.issue_requests(ctx, from);
+    }
+
+    fn on_block_sent(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, block: BlockId) {
+        let bytes = self.block_bytes(block);
+        if let Some(r) = self.receivers.get_mut(&to) {
+            r.bytes_since_epoch += bytes;
+        }
+        if self.role == Role::Source {
+            self.source_push(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, kind: u32, _data: u64) {
+        match kind {
+            TIMER_RANSUB => {
+                let summary = self.own_summary();
+                let emits = {
+                    let rng = ctx.rng();
+                    self.ransub.begin_epoch(summary, rng)
+                };
+                self.emit_ransub(ctx, emits);
+                ctx.set_timer(self.cfg.ransub_period, TIMER_RANSUB, 0);
+            }
+            TIMER_HOUSEKEEPING => {
+                // Release requests stuck behind a stalled sender so the blocks
+                // become requestable elsewhere.
+                let released =
+                    self.requester.release_stale(ctx.now(), self.cfg.request_timeout);
+                let stalled: BTreeSet<NodeId> = released.iter().map(|(p, _)| *p).collect();
+                for peer in stalled {
+                    if let Some(s) = self.senders.get_mut(&peer) {
+                        s.ctl.clear_mark();
+                    }
+                }
+                // Refresh the request pipeline towards every sender and flush
+                // any diffs whose receivers have gone idle.
+                let senders: Vec<NodeId> = self.senders.keys().copied().collect();
+                for peer in senders {
+                    self.issue_requests(ctx, peer);
+                }
+                let receivers: Vec<NodeId> = self.receivers.keys().copied().collect();
+                for peer in receivers {
+                    let has_pending = self
+                        .receivers
+                        .get(&peer)
+                        .map(|r| !r.pending_adverts.is_empty())
+                        .unwrap_or(false);
+                    if has_pending && ctx.pending_to(peer) == 0 {
+                        self.send_diff(ctx, peer);
+                    }
+                }
+                if self.role == Role::Source {
+                    self.source_push(ctx);
+                }
+                ctx.set_timer(self.cfg.housekeeping_period, TIMER_HOUSEKEEPING, 0);
+            }
+            _ => {}
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        match self.role {
+            Role::Source => true,
+            Role::Receiver => self.is_download_complete(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::RngFactory;
+    use dissem_codec::FileSpec;
+
+    fn small_config() -> Config {
+        Config::new(FileSpec::new(64 * 1024, 16 * 1024))
+    }
+
+    #[test]
+    fn source_and_receivers_are_assigned_by_tree_position() {
+        let tree = ControlTree::random(5, 3, &RngFactory::new(1));
+        let cfg = small_config();
+        let src = BulletPrimeNode::new(NodeId(0), &tree, cfg.clone());
+        let rcv = BulletPrimeNode::new(NodeId(3), &tree, cfg);
+        assert_eq!(src.role(), Role::Source);
+        assert_eq!(rcv.role(), Role::Receiver);
+        assert!(src.is_complete(), "the source always reports complete");
+        assert!(!rcv.is_complete());
+        assert_eq!(src.blocks_held(), 4);
+        assert_eq!(rcv.blocks_held(), 0);
+    }
+
+    #[test]
+    fn block_bytes_handles_short_final_block_and_encoded_space() {
+        let tree = ControlTree::random(3, 2, &RngFactory::new(2));
+        let mut cfg = Config::new(FileSpec::new(40 * 1024 + 100, 16 * 1024));
+        cfg.transfer_mode = crate::config::TransferMode::Encoded { epsilon: 0.04 };
+        let node = BulletPrimeNode::new(NodeId(0), &tree, cfg.clone());
+        // Real final block is short: 40 KB + 100 B minus two full 16 KB blocks.
+        assert_eq!(node.block_bytes(BlockId(2)), 40 * 1024 + 100 - 32 * 1024);
+        // Blocks beyond the real file (encoded head-room) are full-sized.
+        let beyond = BlockId(cfg.file.num_blocks());
+        assert_eq!(node.block_bytes(beyond), 16 * 1024);
+    }
+
+    #[test]
+    fn peer_targets_start_at_configured_initial() {
+        let tree = ControlTree::random(4, 2, &RngFactory::new(3));
+        let node = BulletPrimeNode::new(NodeId(1), &tree, small_config());
+        assert_eq!(node.peer_targets(), (10, 10));
+        assert_eq!(node.peer_counts(), (0, 0));
+    }
+}

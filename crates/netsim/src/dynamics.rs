@@ -1,0 +1,215 @@
+//! Dynamic network scenarios (paper §4.1, §4.5).
+//!
+//! Two scripted bandwidth-change scenarios drive the "dynamic" halves of the
+//! evaluation:
+//!
+//! * [`correlated_decrease_schedule`] — the paper's main synthetic change
+//!   model: every `period` (20 s), half of the participants are chosen at
+//!   random, and for each of them the core links *from* a random half of the
+//!   other participants are cut to 50% of their current value. Changes are
+//!   cumulative and never reversed.
+//! * [`cascading_degrade_schedule`] — the Fig 12 scenario: every 25 s another
+//!   one of the victim node's dedicated sender links is reduced to 100 Kbps
+//!   until every path to the victim has been degraded.
+
+use desim::{RngFactory, SimDuration, SimTime};
+use rand::seq::SliceRandom;
+
+use crate::topology::{NodeId, Topology};
+use crate::units::{kbps, BytesPerSec};
+
+/// How a single directional core link changes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BandwidthChange {
+    /// Multiply the current core bandwidth by this factor.
+    Scale(f64),
+    /// Set the core bandwidth to this absolute value (bytes/second).
+    Set(BytesPerSec),
+}
+
+/// A batch of directional link changes that take effect at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct LinkChangeBatch {
+    /// `(from, to, change)` triples applied to the core path `from → to`.
+    pub changes: Vec<(NodeId, NodeId, BandwidthChange)>,
+}
+
+impl LinkChangeBatch {
+    /// Applies the batch to `topo` and returns the affected ordered pairs so
+    /// the caller can re-price live connections.
+    pub fn apply(&self, topo: &mut Topology) -> Vec<(NodeId, NodeId)> {
+        let mut pairs = Vec::with_capacity(self.changes.len());
+        for &(from, to, change) in &self.changes {
+            let path = topo.path_mut(from, to);
+            path.bw = match change {
+                BandwidthChange::Scale(f) => (path.bw * f).max(1.0),
+                BandwidthChange::Set(v) => v.max(1.0),
+            };
+            pairs.push((from, to));
+        }
+        pairs
+    }
+
+    /// Number of directional links affected.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True when the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+/// A scheduled scenario: batches of link changes with their activation times.
+pub type ChangeSchedule = Vec<(SimTime, LinkChangeBatch)>;
+
+/// The paper's correlated, cumulative bandwidth-decrease scenario.
+///
+/// Every `period`, 50% of the `n` participants are selected uniformly at
+/// random; for each selected participant, the core links from a randomly
+/// chosen 50% of the *other* participants towards it are cut to half of
+/// their current value (the reverse direction is unaffected). The schedule
+/// covers `[period, horizon]`.
+pub fn correlated_decrease_schedule(
+    n: usize,
+    period: SimDuration,
+    horizon: SimDuration,
+    rng: &RngFactory,
+) -> ChangeSchedule {
+    let mut rng = rng.stream("dynamics.correlated");
+    let mut schedule = Vec::new();
+    let mut t = SimTime::ZERO + period;
+    let end = SimTime::ZERO + horizon;
+    let all: Vec<u32> = (0..n as u32).collect();
+    while t <= end {
+        let mut batch = LinkChangeBatch::default();
+        let mut victims = all.clone();
+        victims.shuffle(&mut rng);
+        let victims = &victims[..n / 2];
+        for &v in victims {
+            let mut others: Vec<u32> = all.iter().copied().filter(|&x| x != v).collect();
+            others.shuffle(&mut rng);
+            let senders = &others[..others.len() / 2];
+            for &s in senders {
+                batch
+                    .changes
+                    .push((NodeId(s), NodeId(v), BandwidthChange::Scale(0.5)));
+            }
+        }
+        schedule.push((t, batch));
+        t += period;
+    }
+    schedule
+}
+
+/// The Fig 12 cascading-slowdown scenario: the victim (last node) has
+/// dedicated links from `senders` peers; every `period` (25 s in the paper)
+/// one more of those links is degraded to 100 Kbps, in index order.
+pub fn cascading_degrade_schedule(
+    senders: &[NodeId],
+    victim: NodeId,
+    period: SimDuration,
+) -> ChangeSchedule {
+    let mut schedule = Vec::new();
+    let mut t = SimTime::ZERO + period;
+    for &s in senders {
+        let batch = LinkChangeBatch {
+            changes: vec![(s, victim, BandwidthChange::Set(kbps(100.0)))],
+        };
+        schedule.push((t, batch));
+        t += period;
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::constrained_access;
+    use crate::units::mbps;
+
+    #[test]
+    fn correlated_schedule_has_expected_shape() {
+        let rng = RngFactory::new(5);
+        let sched = correlated_decrease_schedule(
+            20,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(100),
+            &rng,
+        );
+        assert_eq!(sched.len(), 5, "one batch per period within the horizon");
+        for (i, (t, batch)) in sched.iter().enumerate() {
+            assert_eq!(t.as_secs_f64(), 20.0 * (i + 1) as f64);
+            // 10 victims x 9 or 10 senders each (others.len()/2 = 9).
+            assert_eq!(batch.len(), 10 * 9);
+            for &(from, to, change) in &batch.changes {
+                assert_ne!(from, to);
+                assert_eq!(change, BandwidthChange::Scale(0.5));
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_schedule_is_deterministic() {
+        let a = correlated_decrease_schedule(
+            10,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(40),
+            &RngFactory::new(9),
+        );
+        let b = correlated_decrease_schedule(
+            10,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(40),
+            &RngFactory::new(9),
+        );
+        assert_eq!(a.len(), b.len());
+        for ((_, ba), (_, bb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ba.changes, bb.changes);
+        }
+    }
+
+    #[test]
+    fn apply_scales_and_sets_bandwidth() {
+        let mut topo = constrained_access(4);
+        let before = topo.path(NodeId(0), NodeId(1)).bw;
+        let batch = LinkChangeBatch {
+            changes: vec![
+                (NodeId(0), NodeId(1), BandwidthChange::Scale(0.5)),
+                (NodeId(2), NodeId(3), BandwidthChange::Set(kbps(100.0))),
+            ],
+        };
+        let pairs = batch.apply(&mut topo);
+        assert_eq!(pairs, vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]);
+        assert_eq!(topo.path(NodeId(0), NodeId(1)).bw, before * 0.5);
+        assert_eq!(topo.path(NodeId(2), NodeId(3)).bw, kbps(100.0));
+        // Reverse directions untouched.
+        assert_eq!(topo.path(NodeId(1), NodeId(0)).bw, mbps(10.0));
+    }
+
+    #[test]
+    fn cumulative_scaling_compounds() {
+        let mut topo = constrained_access(3);
+        let batch = LinkChangeBatch {
+            changes: vec![(NodeId(0), NodeId(1), BandwidthChange::Scale(0.5))],
+        };
+        batch.apply(&mut topo);
+        batch.apply(&mut topo);
+        assert_eq!(topo.path(NodeId(0), NodeId(1)).bw, mbps(10.0) * 0.25);
+    }
+
+    #[test]
+    fn cascading_schedule_degrades_one_link_per_period() {
+        let senders: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let sched = cascading_degrade_schedule(&senders, NodeId(7), SimDuration::from_secs(25));
+        assert_eq!(sched.len(), 6);
+        assert_eq!(sched[0].0.as_secs_f64(), 25.0);
+        assert_eq!(sched[5].0.as_secs_f64(), 150.0);
+        for (i, (_, batch)) in sched.iter().enumerate() {
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch.changes[0].0, NodeId(i as u32));
+            assert_eq!(batch.changes[0].1, NodeId(7));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! `netsim` — a ModelNet-equivalent network emulator for overlay protocols.
+//!
+//! The Bullet′ paper evaluates its protocols on ModelNet: real protocol code,
+//! emulated hop-by-hop bandwidth, delay and loss. This crate plays the same
+//! role for the reproduction, as a deterministic fluid-model emulator on top
+//! of the [`desim`] event engine:
+//!
+//! * [`topology`] — the emulated topologies (full-mesh ModelNet configuration,
+//!   constrained-access, high-BDP clique, cascading-slowdown, PlanetLab-like);
+//! * [`tcp`] — the per-connection TCP throughput model (Mathis loss limit +
+//!   slow start);
+//! * [`network`] — per-connection block queues with fair sharing of access
+//!   links and the sender-side `in_front`/`wasted` measurements Bullet′'s
+//!   flow controller uses;
+//! * [`protocol`] — the [`Protocol`] trait implemented by every dissemination
+//!   system in this workspace, and the command-buffer [`Ctx`];
+//! * [`runner`] — the experiment driver;
+//! * [`dynamics`] — scripted bandwidth-change scenarios.
+
+pub mod dynamics;
+pub mod network;
+pub mod protocol;
+pub mod runner;
+pub mod tcp;
+pub mod topology;
+pub mod units;
+
+pub use dynamics::{BandwidthChange, ChangeSchedule, LinkChangeBatch};
+pub use network::{BlockReceipt, Network, NodeTraffic};
+pub use protocol::{Command, Ctx, Protocol, WireSize};
+pub use runner::{RunReport, Runner, StopReason};
+pub use topology::{NodeId, NodeSpec, PathSpec, Topology};
+pub use units::{gbps, kbps, mbps, to_mbps, BytesPerSec};
+
+#[cfg(test)]
+mod runner_tests {
+    use super::*;
+    use desim::{RngFactory, SimDuration};
+    use dissem_codec::{BlockBitmap, BlockId, FileSpec};
+
+    /// A deliberately simple protocol used to exercise the runner: node 0
+    /// (the source) pushes every block to every other node directly, keeping
+    /// at most `window` blocks queued per receiver; receivers just record
+    /// what they get.
+    struct Flood {
+        id: NodeId,
+        spec: FileSpec,
+        window: usize,
+        have: BlockBitmap,
+        next_to_send: Vec<u32>,
+        receipts: usize,
+    }
+
+    #[derive(Debug)]
+    enum Msg {}
+
+    impl WireSize for Msg {
+        fn wire_size(&self) -> usize {
+            0
+        }
+    }
+
+    impl Flood {
+        fn new(id: NodeId, n: usize, spec: FileSpec, window: usize) -> Self {
+            let have = if id == NodeId(0) {
+                BlockBitmap::full(spec.num_blocks())
+            } else {
+                BlockBitmap::new(spec.num_blocks())
+            };
+            Flood {
+                id,
+                spec,
+                window,
+                have,
+                next_to_send: vec![0; n],
+                receipts: 0,
+            }
+        }
+
+        fn is_source(&self) -> bool {
+            self.id == NodeId(0)
+        }
+
+        fn fill_pipe(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId) {
+            let idx = to.index();
+            // `ctx.pending_to` reflects network state before this handler's
+            // commands are applied, so track what this call queues separately.
+            let mut queued_now = 0usize;
+            while ctx.pending_to(to) + queued_now < self.window
+                && self.next_to_send[idx] < self.spec.num_blocks()
+            {
+                let b = BlockId(self.next_to_send[idx]);
+                ctx.queue_block(to, b, u64::from(self.spec.block_size(b)));
+                self.next_to_send[idx] += 1;
+                queued_now += 1;
+            }
+        }
+    }
+
+    impl Protocol<Msg> for Flood {
+        fn on_init(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            if self.is_source() {
+                for i in 1..ctx.num_nodes() as u32 {
+                    // Queue the initial window towards each receiver.
+                    let to = NodeId(i);
+                    for _ in 0..self.window {
+                        let next = self.next_to_send[to.index()];
+                        if next >= self.spec.num_blocks() {
+                            break;
+                        }
+                        let b = BlockId(next);
+                        ctx.queue_block(to, b, u64::from(self.spec.block_size(b)));
+                        self.next_to_send[to.index()] += 1;
+                    }
+                }
+            }
+        }
+
+        fn on_control(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: Msg) {}
+
+        fn on_block_received(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, r: BlockReceipt) {
+            self.have.insert(r.block);
+            self.receipts += 1;
+        }
+
+        fn on_block_sent(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, _block: BlockId) {
+            if self.is_source() {
+                self.fill_pipe(ctx, to);
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _kind: u32, _data: u64) {}
+
+        fn is_complete(&self) -> bool {
+            self.have.is_full()
+        }
+    }
+
+    fn run_flood(n: usize, file_kb: u64, window: usize) -> RunReport {
+        let rng = RngFactory::new(11);
+        let topo = topology::constrained_access(n);
+        let spec = FileSpec::new(file_kb * 1024, 16 * 1024);
+        let nodes: Vec<Flood> = (0..n)
+            .map(|i| Flood::new(NodeId(i as u32), n, spec, window))
+            .collect();
+        let mut runner = Runner::new(Network::new(topo), nodes, &rng);
+        runner.run(SimDuration::from_secs(3_000))
+    }
+
+    #[test]
+    fn direct_flood_completes_all_receivers() {
+        let report = run_flood(4, 256, 4);
+        assert_eq!(report.reason, StopReason::AllComplete);
+        for (i, c) in report.completion_secs.iter().enumerate() {
+            if i == 0 {
+                continue;
+            }
+            assert!(c.is_some(), "node {i} did not complete");
+        }
+        // 256 KB to three receivers over a shared 800 Kbps uplink cannot finish
+        // faster than the uplink allows: 3 * 256 KB / 100 KB/s ≈ 7.9 s.
+        let slowest = report.finished_times().last().copied().unwrap();
+        assert!(slowest > 7.0, "slowest receiver finished impossibly fast: {slowest}");
+        assert!(slowest < 200.0, "flood took unreasonably long: {slowest}");
+    }
+
+    #[test]
+    fn deeper_window_is_not_slower_on_clean_links() {
+        let small = run_flood(3, 128, 1);
+        let large = run_flood(3, 128, 8);
+        let s = small.finished_times().last().copied().unwrap();
+        let l = large.finished_times().last().copied().unwrap();
+        assert!(
+            l <= s + 1e-6,
+            "a deeper pipeline should not slow the transfer (window 1: {s}, window 8: {l})"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_flood(5, 128, 3);
+        let b = run_flood(5, 128, 3);
+        assert_eq!(a.completion_secs, b.completion_secs);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn time_limit_is_respected() {
+        let rng = RngFactory::new(11);
+        let topo = topology::constrained_access(3);
+        let spec = FileSpec::new(10 * 1024 * 1024, 16 * 1024);
+        let nodes: Vec<Flood> = (0..3).map(|i| Flood::new(NodeId(i as u32), 3, spec, 2)).collect();
+        let mut runner = Runner::new(Network::new(topo), nodes, &rng);
+        let report = runner.run(SimDuration::from_secs(5));
+        assert_eq!(report.reason, StopReason::TimeLimit);
+        assert!(report.end_time.as_secs_f64() <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn completion_fraction_counts_receivers() {
+        let report = run_flood(4, 64, 2);
+        assert_eq!(report.completion_fraction(1), 1.0);
+    }
+
+    #[test]
+    fn link_change_slows_transfer() {
+        let rng = RngFactory::new(3);
+        let spec = FileSpec::new(512 * 1024, 16 * 1024);
+
+        let run_with = |degrade: bool| -> f64 {
+            let topo = topology::constrained_access(2);
+            let nodes: Vec<Flood> =
+                (0..2).map(|i| Flood::new(NodeId(i as u32), 2, spec, 4)).collect();
+            let mut runner = Runner::new(Network::new(topo), nodes, &rng);
+            if degrade {
+                runner.schedule_link_change(
+                    desim::SimTime::from_secs_f64(1.0),
+                    LinkChangeBatch {
+                        changes: vec![(NodeId(0), NodeId(1), BandwidthChange::Set(kbps(50.0)))],
+                    },
+                );
+            }
+            let report = runner.run(SimDuration::from_secs(10_000));
+            report.finished_times().last().copied().expect("receiver finished")
+        };
+
+        let clean = run_with(false);
+        let degraded = run_with(true);
+        assert!(
+            degraded > clean * 2.0,
+            "cutting the path to 50 Kbps must slow the transfer (clean {clean}, degraded {degraded})"
+        );
+    }
+
+    #[test]
+    fn traffic_counters_match_file_volume() {
+        let rng = RngFactory::new(2);
+        let topo = topology::constrained_access(2);
+        let spec = FileSpec::new(128 * 1024, 16 * 1024);
+        let nodes: Vec<Flood> = (0..2).map(|i| Flood::new(NodeId(i as u32), 2, spec, 4)).collect();
+        let mut runner = Runner::new(Network::new(topo), nodes, &rng);
+        let report = runner.run(SimDuration::from_secs(1_000));
+        assert_eq!(report.reason, StopReason::AllComplete);
+        assert_eq!(runner.network().traffic(NodeId(1)).data_bytes_in, 128 * 1024);
+        assert_eq!(runner.network().traffic(NodeId(0)).data_bytes_out, 128 * 1024);
+    }
+}

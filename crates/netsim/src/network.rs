@@ -1,0 +1,641 @@
+//! The fluid connection model.
+//!
+//! Every ordered pair of peers that exchanges data owns a [`Connection`]: a
+//! FIFO of queued blocks served at the connection's current rate. The rate is
+//! the minimum of
+//!
+//! * the TCP ceiling of the core path (loss & window limited, see
+//!   [`crate::tcp`]), and
+//! * the sender's uplink and the receiver's downlink capacity divided evenly
+//!   among their currently *active* connections (an active connection is one
+//!   with a block in flight).
+//!
+//! Rates are re-evaluated whenever a connection becomes active or idle at
+//! either endpoint, when a scenario rewrites link characteristics, and when a
+//! block completes (the slow-start window has grown). The [`Network`] returns
+//! [`Reschedule`] records so the caller (the [`crate::runner::Runner`]) can
+//! update the pending completion events; stale events are recognised by a
+//! per-connection generation counter.
+//!
+//! The connection also records the two sender-side measurements Bullet′'s
+//! flow controller consumes (§3.3.3): `in_front`, the number of blocks queued
+//! ahead when a block was enqueued, and `wasted`, the idle gap (negative) or
+//! queue-wait time (positive) associated with the block.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use desim::{SimDuration, SimTime};
+use dissem_codec::BlockId;
+use rand::Rng;
+
+use crate::tcp::TcpPath;
+use crate::topology::{NodeId, Topology};
+use crate::units::BytesPerSec;
+
+/// Information handed to the receiving protocol when a block arrives.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockReceipt {
+    /// The delivered block.
+    pub block: BlockId,
+    /// Size of the delivered block in bytes.
+    pub bytes: u64,
+    /// Number of blocks that were queued ahead of this one (including the one
+    /// in the "socket buffer") when it was enqueued at the sender.
+    pub in_front: u32,
+    /// Sender-side wasted time in seconds: negative is idle time the sender
+    /// spent with an empty queue immediately before this block was enqueued,
+    /// positive is the time this block waited in the queue before service.
+    pub wasted: f64,
+    /// When the sending protocol enqueued the block.
+    pub queued_at: SimTime,
+    /// When the block arrived at the receiver.
+    pub delivered_at: SimTime,
+}
+
+/// A completion record produced by the sender side of a connection; the
+/// runner turns it into a delivery event after the propagation delay.
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedBlock {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The block that finished serialising at the sender.
+    pub block: BlockId,
+    /// Block size in bytes.
+    pub bytes: u64,
+    /// See [`BlockReceipt::in_front`].
+    pub in_front: u32,
+    /// See [`BlockReceipt::wasted`].
+    pub wasted: f64,
+    /// When the block was enqueued.
+    pub queued_at: SimTime,
+}
+
+/// Instruction to (re)schedule the completion event of a connection's current
+/// in-flight block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reschedule {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Generation stamp; a completion event is valid only if it carries the
+    /// connection's current generation.
+    pub gen: u64,
+    /// Absolute time at which the in-flight block will finish serialising.
+    pub at: SimTime,
+}
+
+/// A block waiting in a connection's queue.
+#[derive(Debug, Clone, Copy)]
+struct QueuedBlock {
+    block: BlockId,
+    bytes: u64,
+    queued_at: SimTime,
+    in_front: u32,
+    idle_gap: f64,
+}
+
+/// The block currently being serialised onto the wire.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    block: BlockId,
+    bytes: u64,
+    bytes_left: f64,
+    queued_at: SimTime,
+    started_at: SimTime,
+    in_front: u32,
+    idle_gap: f64,
+}
+
+/// State of one directional sender→receiver data connection.
+#[derive(Debug)]
+pub struct Connection {
+    queue: VecDeque<QueuedBlock>,
+    inflight: Option<InFlight>,
+    /// Current service rate in bytes/second (meaningful while active).
+    rate: BytesPerSec,
+    /// Last instant at which `bytes_left` was brought up to date.
+    last_progress: SimTime,
+    /// Total bytes whose transmission has completed (drives slow start).
+    bytes_acked: u64,
+    /// When the connection last became idle.
+    idle_since: SimTime,
+    /// Generation counter for completion events.
+    gen: u64,
+}
+
+impl Connection {
+    fn new(now: SimTime) -> Self {
+        Connection {
+            queue: VecDeque::new(),
+            inflight: None,
+            rate: 1.0,
+            last_progress: now,
+            bytes_acked: 0,
+            idle_since: now,
+            gen: 0,
+        }
+    }
+
+    /// True when a block is being serialised.
+    pub fn is_active(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// Number of blocks queued or in flight on this connection.
+    pub fn pending_blocks(&self) -> usize {
+        self.queue.len() + usize::from(self.inflight.is_some())
+    }
+
+    /// Bytes queued or in flight on this connection.
+    pub fn pending_bytes(&self) -> u64 {
+        let inflight = self.inflight.map(|f| f.bytes_left.ceil() as u64).unwrap_or(0);
+        inflight + self.queue.iter().map(|q| q.bytes).sum::<u64>()
+    }
+
+    /// Current service rate estimate in bytes/second.
+    pub fn current_rate(&self) -> BytesPerSec {
+        self.rate
+    }
+
+    /// Total bytes delivered on this connection so far.
+    pub fn bytes_acked(&self) -> u64 {
+        self.bytes_acked
+    }
+}
+
+/// Per-node traffic accounting maintained by the emulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeTraffic {
+    /// Bytes of control messages sent.
+    pub control_bytes_out: u64,
+    /// Bytes of control messages received.
+    pub control_bytes_in: u64,
+    /// Number of control messages sent.
+    pub control_msgs_out: u64,
+    /// Data bytes handed to the receiving protocol.
+    pub data_bytes_in: u64,
+    /// Data bytes whose serialisation completed at this sender.
+    pub data_bytes_out: u64,
+    /// Data blocks delivered to this node.
+    pub blocks_in: u64,
+    /// Data blocks sent by this node.
+    pub blocks_out: u64,
+}
+
+/// The emulated network: topology + live connection state + traffic counters.
+#[derive(Debug)]
+pub struct Network {
+    topo: Topology,
+    conns: HashMap<(NodeId, NodeId), Connection>,
+    out_active: Vec<u32>,
+    in_active: Vec<u32>,
+    active_by_node: Vec<HashSet<(NodeId, NodeId)>>,
+    traffic: Vec<NodeTraffic>,
+}
+
+impl Network {
+    /// Wraps a topology with empty connection state.
+    pub fn new(topo: Topology) -> Self {
+        let n = topo.len();
+        Network {
+            topo,
+            conns: HashMap::new(),
+            out_active: vec![0; n],
+            in_active: vec![0; n],
+            active_by_node: vec![HashSet::new(); n],
+            traffic: vec![NodeTraffic::default(); n],
+        }
+    }
+
+    /// The underlying topology (read-only).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable topology access, used by dynamic-bandwidth scenarios. Callers
+    /// must follow up with [`Network::reprice_paths`] for affected pairs.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// Number of emulated hosts.
+    pub fn len(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// Returns true if the network has no hosts (never for valid topologies).
+    pub fn is_empty(&self) -> bool {
+        self.topo.is_empty()
+    }
+
+    /// Traffic counters for `node`.
+    pub fn traffic(&self, node: NodeId) -> &NodeTraffic {
+        &self.traffic[node.index()]
+    }
+
+    /// Connection state for `from → to`, if one exists.
+    pub fn connection(&self, from: NodeId, to: NodeId) -> Option<&Connection> {
+        self.conns.get(&(from, to))
+    }
+
+    /// Number of blocks queued + in flight from `from` to `to`.
+    pub fn pending_blocks(&self, from: NodeId, to: NodeId) -> usize {
+        self.connection(from, to).map_or(0, Connection::pending_blocks)
+    }
+
+    fn tcp_path(&self, from: NodeId, to: NodeId) -> TcpPath {
+        let p = self.topo.path(from, to);
+        TcpPath {
+            bottleneck: p.bw,
+            rtt: self.topo.rtt(from, to),
+            loss: p.loss,
+        }
+    }
+
+    /// Delivery delay for a `bytes`-sized control message from `from` to
+    /// `to`, including an occasional loss-induced retransmission penalty.
+    pub fn control_delay<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+    ) -> SimDuration {
+        let prop = self.topo.one_way_delay(from, to);
+        let path = self.topo.path(from, to);
+        let access = self.topo.node(from).up.min(self.topo.node(to).down).max(1.0);
+        let serialisation = SimDuration::from_secs_f64(bytes as f64 / access.min(path.bw.max(1.0)));
+        // A lost control packet waits for a TCP retransmission: roughly one
+        // RTT plus a minimum RTO floor.
+        let mut penalty = SimDuration::ZERO;
+        if path.loss > 0.0 && rng.gen_bool(path.loss.min(0.5)) {
+            penalty = self.topo.rtt(from, to) + SimDuration::from_millis(200);
+        }
+        self.traffic[from.index()].control_bytes_out += bytes as u64;
+        self.traffic[from.index()].control_msgs_out += 1;
+        self.traffic[to.index()].control_bytes_in += bytes as u64;
+        prop + serialisation + penalty
+    }
+
+    /// One-way propagation delay used for data-block delivery after the
+    /// block finishes serialising at the sender.
+    pub fn data_delivery_delay(&self, from: NodeId, to: NodeId) -> SimDuration {
+        self.topo.one_way_delay(from, to)
+    }
+
+    /// Enqueues a block on the `from → to` connection, creating the
+    /// connection if needed. Returns the reschedules caused by rate changes.
+    pub fn queue_block(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        block: BlockId,
+        bytes: u64,
+    ) -> Vec<Reschedule> {
+        assert!(from != to, "a node cannot stream blocks to itself");
+        let conn = self
+            .conns
+            .entry((from, to))
+            .or_insert_with(|| Connection::new(now));
+        let in_front = conn.pending_blocks() as u32;
+        let idle_gap = if conn.is_active() || !conn.queue.is_empty() {
+            0.0
+        } else {
+            (now - conn.idle_since).as_secs_f64()
+        };
+        conn.queue.push_back(QueuedBlock {
+            block,
+            bytes,
+            queued_at: now,
+            in_front,
+            idle_gap,
+        });
+        if conn.is_active() {
+            Vec::new()
+        } else {
+            self.start_next(now, from, to);
+            self.mark_active(now, from, to)
+        }
+    }
+
+    /// Pops the next queued block into the in-flight slot. The caller is
+    /// responsible for activation bookkeeping and rescheduling.
+    fn start_next(&mut self, now: SimTime, from: NodeId, to: NodeId) {
+        let conn = self.conns.get_mut(&(from, to)).expect("connection exists");
+        debug_assert!(conn.inflight.is_none());
+        if let Some(q) = conn.queue.pop_front() {
+            conn.inflight = Some(InFlight {
+                block: q.block,
+                bytes: q.bytes,
+                bytes_left: q.bytes as f64,
+                queued_at: q.queued_at,
+                started_at: now,
+                in_front: q.in_front,
+                idle_gap: q.idle_gap,
+            });
+            conn.last_progress = now;
+        }
+    }
+
+    /// Handles a completion event for connection `from → to` carrying
+    /// generation `gen`. Returns `None` if the event is stale. Otherwise
+    /// returns the completed block and any reschedules.
+    pub fn on_block_done(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        gen: u64,
+    ) -> Option<(CompletedBlock, Vec<Reschedule>)> {
+        let conn = self.conns.get_mut(&(from, to))?;
+        if conn.gen != gen || conn.inflight.is_none() {
+            return None;
+        }
+        let fl = conn.inflight.take().expect("checked above");
+        conn.bytes_acked += fl.bytes;
+        conn.last_progress = now;
+        let wasted = if fl.idle_gap > 0.0 {
+            -fl.idle_gap
+        } else {
+            (fl.started_at - fl.queued_at).as_secs_f64()
+        };
+        let completed = CompletedBlock {
+            from,
+            to,
+            block: fl.block,
+            bytes: fl.bytes,
+            in_front: fl.in_front,
+            wasted,
+            queued_at: fl.queued_at,
+        };
+        self.traffic[from.index()].data_bytes_out += fl.bytes;
+        self.traffic[from.index()].blocks_out += 1;
+
+        let has_more = !self.conns[&(from, to)].queue.is_empty();
+        let reschedules = if has_more {
+            self.start_next(now, from, to);
+            // The connection stays active; only its own slow-start ceiling
+            // moved, so re-price just this connection.
+            self.reprice_connection(now, from, to).into_iter().collect()
+        } else {
+            let conn = self.conns.get_mut(&(from, to)).expect("connection exists");
+            conn.idle_since = now;
+            conn.gen += 1; // Invalidate anything still scheduled.
+            self.mark_idle(now, from, to)
+        };
+        Some((completed, reschedules))
+    }
+
+    /// Records the receiver-side arrival of a block (traffic accounting).
+    pub fn on_block_delivered(&mut self, to: NodeId, bytes: u64) {
+        self.traffic[to.index()].data_bytes_in += bytes;
+        self.traffic[to.index()].blocks_in += 1;
+    }
+
+    /// Closes the `from → to` connection, dropping queued and in-flight
+    /// blocks. Returns reschedules for the peers whose shares changed.
+    pub fn close_connection(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<Reschedule> {
+        let Some(conn) = self.conns.get_mut(&(from, to)) else {
+            return Vec::new();
+        };
+        let was_active = conn.is_active();
+        conn.queue.clear();
+        conn.inflight = None;
+        conn.gen += 1;
+        if was_active {
+            self.mark_idle(now, from, to)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Re-prices connections between the given ordered pairs (used after a
+    /// scenario rewrites link characteristics).
+    pub fn reprice_paths(&mut self, now: SimTime, pairs: &[(NodeId, NodeId)]) -> Vec<Reschedule> {
+        let mut out = Vec::new();
+        for &(a, b) in pairs {
+            if let Some(r) = self.reprice_connection(now, a, b) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    fn mark_active(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<Reschedule> {
+        self.out_active[from.index()] += 1;
+        self.in_active[to.index()] += 1;
+        self.active_by_node[from.index()].insert((from, to));
+        self.active_by_node[to.index()].insert((from, to));
+        self.reprice_endpoints(now, from, to)
+    }
+
+    fn mark_idle(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<Reschedule> {
+        debug_assert!(self.out_active[from.index()] > 0);
+        debug_assert!(self.in_active[to.index()] > 0);
+        self.out_active[from.index()] -= 1;
+        self.in_active[to.index()] -= 1;
+        self.active_by_node[from.index()].remove(&(from, to));
+        self.active_by_node[to.index()].remove(&(from, to));
+        self.reprice_endpoints(now, from, to)
+    }
+
+    /// Re-prices every active connection that touches either endpoint.
+    fn reprice_endpoints(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<Reschedule> {
+        let mut keys: Vec<(NodeId, NodeId)> = self.active_by_node[from.index()]
+            .iter()
+            .chain(self.active_by_node[to.index()].iter())
+            .copied()
+            .collect();
+        keys.sort_unstable_by_key(|(a, b)| (a.0, b.0));
+        keys.dedup();
+        let mut out = Vec::with_capacity(keys.len());
+        for (a, b) in keys {
+            if let Some(r) = self.reprice_connection(now, a, b) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Brings the in-flight block of `from → to` up to date and recomputes its
+    /// service rate; returns the new completion estimate if the connection is
+    /// active.
+    fn reprice_connection(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Option<Reschedule> {
+        let path = self.tcp_path(from, to);
+        let up_share =
+            self.topo.node(from).up / f64::from(self.out_active[from.index()].max(1));
+        let down_share =
+            self.topo.node(to).down / f64::from(self.in_active[to.index()].max(1));
+        let conn = self.conns.get_mut(&(from, to))?;
+        let fl = conn.inflight.as_mut()?;
+
+        // Account for progress made at the previous rate.
+        let elapsed = (now - conn.last_progress).as_secs_f64();
+        fl.bytes_left = (fl.bytes_left - elapsed * conn.rate).max(0.0);
+        conn.last_progress = now;
+
+        conn.rate = path.cap(conn.bytes_acked).min(up_share).min(down_share).max(1.0);
+        conn.gen += 1;
+        let finish = now + SimDuration::from_secs_f64(fl.bytes_left / conn.rate);
+        Some(Reschedule {
+            from,
+            to,
+            gen: conn.gen,
+            at: finish,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{constrained_access, NodeSpec, PathSpec};
+    use crate::units::mbps;
+    use desim::RngFactory;
+
+    fn two_node_topo(core_mbps: f64, access_mbps: f64) -> Topology {
+        let node = NodeSpec {
+            up: mbps(access_mbps),
+            down: mbps(access_mbps),
+            access_delay: SimDuration::from_millis(1),
+        };
+        let path = PathSpec {
+            bw: mbps(core_mbps),
+            delay: SimDuration::from_millis(10),
+            loss: 0.0,
+        };
+        Topology::new(vec![node; 2], vec![vec![path; 2]; 2])
+    }
+
+    #[test]
+    fn single_block_completes_at_expected_rate() {
+        let mut net = Network::new(two_node_topo(2.0, 6.0));
+        let now = SimTime::ZERO;
+        let r = net.queue_block(now, NodeId(0), NodeId(1), BlockId(0), 250_000);
+        assert_eq!(r.len(), 1);
+        // Slow start dominates a fresh connection, so completion takes longer
+        // than the raw 1-second serialisation at 2 Mbps (250 KB / 250 KB/s).
+        let finish = r[0].at.as_secs_f64();
+        assert!(finish > 1.0, "finish {finish} should exceed the raw serialisation time");
+        assert!(finish < 10.0, "finish {finish} unreasonably late");
+        // Completing with the right generation yields the block.
+        let (done, _) = net
+            .on_block_done(r[0].at, NodeId(0), NodeId(1), r[0].gen)
+            .expect("not stale");
+        assert_eq!(done.block, BlockId(0));
+        assert_eq!(done.bytes, 250_000);
+        assert_eq!(done.in_front, 0);
+        assert!(done.wasted <= 0.0, "first block on an idle connection has idle-gap wasted time");
+    }
+
+    #[test]
+    fn stale_generation_is_ignored() {
+        let mut net = Network::new(two_node_topo(2.0, 6.0));
+        let r = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(0), 16_384);
+        // Queue a second block; the connection is active so no reschedule.
+        let r2 = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(1), 16_384);
+        assert!(r2.is_empty());
+        // Pretend the link was re-priced: bump gen by closing/reopening share.
+        let bogus = Reschedule { from: NodeId(0), to: NodeId(1), gen: r[0].gen + 5, at: r[0].at };
+        assert!(net.on_block_done(bogus.at, NodeId(0), NodeId(1), bogus.gen).is_none());
+    }
+
+    #[test]
+    fn queued_blocks_report_in_front_and_wait() {
+        let mut net = Network::new(two_node_topo(2.0, 6.0));
+        let t0 = SimTime::ZERO;
+        let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 16_384);
+        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(1), 16_384);
+        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(2), 16_384);
+        assert_eq!(net.pending_blocks(NodeId(0), NodeId(1)), 3);
+
+        // Complete the first block.
+        let (b0, r1) = net.on_block_done(r[0].at, NodeId(0), NodeId(1), r[0].gen).unwrap();
+        assert_eq!(b0.in_front, 0);
+        // The second block starts immediately and reports one block in front.
+        let (b1, r2) = net
+            .on_block_done(r1[0].at, NodeId(0), NodeId(1), r1[0].gen)
+            .unwrap();
+        assert_eq!(b1.block, BlockId(1));
+        assert_eq!(b1.in_front, 1);
+        assert!(b1.wasted > 0.0, "queued block should report positive waiting time");
+        let (b2, _) = net
+            .on_block_done(r2[0].at, NodeId(0), NodeId(1), r2[0].gen)
+            .unwrap();
+        assert_eq!(b2.in_front, 2);
+    }
+
+    #[test]
+    fn concurrent_connections_share_access_link() {
+        // Constrained access topology: 800 Kbps uplink, 10 Mbps core.
+        let mut net = Network::new(constrained_access(3));
+        let t0 = SimTime::ZERO;
+        let r1 = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 100_000);
+        let single_rate = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+        let _r2 = net.queue_block(t0, NodeId(0), NodeId(2), BlockId(1), 100_000);
+        let shared_rate = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+        assert!(
+            shared_rate < single_rate,
+            "adding a second outgoing flow must reduce the first one's share"
+        );
+        assert!(r1[0].at > t0);
+    }
+
+    #[test]
+    fn closing_a_connection_restores_shares() {
+        let mut net = Network::new(constrained_access(3));
+        let t0 = SimTime::ZERO;
+        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 1_000_000);
+        net.queue_block(t0, NodeId(0), NodeId(2), BlockId(1), 1_000_000);
+        let shared = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+        let later = SimTime::from_secs_f64(1.0);
+        let rs = net.close_connection(later, NodeId(0), NodeId(2));
+        assert!(!rs.is_empty(), "closing an active connection re-prices the survivor");
+        let alone = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+        assert!(alone > shared);
+        assert_eq!(net.pending_blocks(NodeId(0), NodeId(2)), 0);
+    }
+
+    #[test]
+    fn reprice_paths_after_bandwidth_change() {
+        let mut net = Network::new(two_node_topo(2.0, 6.0));
+        let t0 = SimTime::ZERO;
+        let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 2_000_000);
+        let original_finish = r[0].at;
+        // Halve the core bandwidth at t = 1s.
+        let t1 = SimTime::from_secs_f64(1.0);
+        net.topology_mut().path_mut(NodeId(0), NodeId(1)).bw = mbps(1.0);
+        let rs = net.reprice_paths(t1, &[(NodeId(0), NodeId(1))]);
+        assert_eq!(rs.len(), 1);
+        assert!(rs[0].at > original_finish, "less bandwidth must push completion later");
+        assert!(rs[0].gen > r[0].gen);
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let mut net = Network::new(two_node_topo(2.0, 6.0));
+        let mut rng = RngFactory::new(1).stream("ctl");
+        let d = net.control_delay(&mut rng, NodeId(0), NodeId(1), 100);
+        assert!(d > SimDuration::ZERO);
+        assert_eq!(net.traffic(NodeId(0)).control_bytes_out, 100);
+        assert_eq!(net.traffic(NodeId(1)).control_bytes_in, 100);
+
+        let r = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(0), 500);
+        net.on_block_done(r[0].at, NodeId(0), NodeId(1), r[0].gen).unwrap();
+        net.on_block_delivered(NodeId(1), 500);
+        assert_eq!(net.traffic(NodeId(0)).data_bytes_out, 500);
+        assert_eq!(net.traffic(NodeId(1)).data_bytes_in, 500);
+        assert_eq!(net.traffic(NodeId(1)).blocks_in, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot stream blocks to itself")]
+    fn self_connection_rejected() {
+        let mut net = Network::new(two_node_topo(2.0, 6.0));
+        net.queue_block(SimTime::ZERO, NodeId(0), NodeId(0), BlockId(0), 10);
+    }
+}

@@ -1,0 +1,191 @@
+//! The protocol-facing API: the [`Protocol`] trait and the per-event
+//! context ([`Ctx`]) through which a protocol observes and acts on the
+//! emulated network.
+//!
+//! Handlers never touch the network directly; they record *commands*
+//! (send a control message, queue a block, arm a timer, close a peering)
+//! that the runner applies after the handler returns. This keeps protocol
+//! code free of borrow gymnastics and makes every action attributable to the
+//! event that caused it.
+
+use desim::{SimDuration, SimTime};
+use dissem_codec::BlockId;
+use rand::rngs::StdRng;
+
+use crate::network::{BlockReceipt, Network};
+use crate::topology::NodeId;
+
+/// Size, in bytes, a control message occupies on the wire. Implemented by
+/// each protocol's message enum; the emulator uses it for delivery-delay and
+/// overhead accounting.
+pub trait WireSize {
+    /// Serialized size of the message in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// A protocol instance running on one emulated node.
+///
+/// `M` is the protocol's control-message type. Data blocks do not travel
+/// inside `M`; they are queued through [`Ctx::queue_block`] and delivered via
+/// [`Protocol::on_block_received`].
+pub trait Protocol<M: WireSize>: Sized {
+    /// Called once at simulation start.
+    fn on_init(&mut self, ctx: &mut Ctx<'_, M>);
+
+    /// Called when a control message from `from` arrives.
+    fn on_control(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a data block from `from` has fully arrived.
+    fn on_block_received(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, receipt: BlockReceipt);
+
+    /// Called when a block this node queued towards `to` has finished
+    /// serialising onto the wire (the send-side analogue of
+    /// [`Protocol::on_block_received`]). Default: ignored.
+    fn on_block_sent(&mut self, _ctx: &mut Ctx<'_, M>, _to: NodeId, _block: BlockId) {}
+
+    /// Called when a timer armed through [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, kind: u32, data: u64);
+
+    /// Reports whether this node considers its download complete. The runner
+    /// may stop the experiment once every node reports completion.
+    fn is_complete(&self) -> bool {
+        false
+    }
+}
+
+/// An action recorded by a protocol handler, applied by the runner once the
+/// handler returns.
+#[derive(Debug)]
+pub enum Command<M> {
+    /// Send control message `msg` to `to`.
+    SendControl {
+        /// Destination node.
+        to: NodeId,
+        /// Message payload.
+        msg: M,
+    },
+    /// Queue a data block for transmission to `to`.
+    QueueBlock {
+        /// Destination node.
+        to: NodeId,
+        /// Block identity.
+        block: BlockId,
+        /// Block size in bytes.
+        bytes: u64,
+    },
+    /// Drop the data connection to `to`, discarding queued blocks.
+    CloseConnection {
+        /// Peer whose connection should be dropped.
+        to: NodeId,
+    },
+    /// Arm a timer that fires after `delay` with the given `kind` and `data`.
+    SetTimer {
+        /// Delay until the timer fires.
+        delay: SimDuration,
+        /// Protocol-defined timer class.
+        kind: u32,
+        /// Protocol-defined payload.
+        data: u64,
+    },
+}
+
+/// Per-event view of the world handed to protocol handlers.
+pub struct Ctx<'a, M> {
+    /// This node's identity.
+    node: NodeId,
+    /// Current virtual time.
+    now: SimTime,
+    /// Read-only view of the emulated network.
+    net: &'a Network,
+    /// This node's private RNG stream.
+    rng: &'a mut StdRng,
+    /// Commands recorded by the handler.
+    commands: Vec<Command<M>>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Creates a context (used by the runner).
+    pub(crate) fn new(node: NodeId, now: SimTime, net: &'a Network, rng: &'a mut StdRng) -> Self {
+        Ctx {
+            node,
+            now,
+            net,
+            rng,
+            commands: Vec::new(),
+        }
+    }
+
+    /// Consumes the context, returning the recorded commands.
+    pub(crate) fn into_commands(self) -> Vec<Command<M>> {
+        self.commands
+    }
+
+    /// This node's identity.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Number of nodes in the experiment.
+    pub fn num_nodes(&self) -> usize {
+        self.net.len()
+    }
+
+    /// Number of blocks currently queued or in flight from this node to `to`.
+    pub fn pending_to(&self, to: NodeId) -> usize {
+        self.net.pending_blocks(self.node, to)
+    }
+
+    /// Number of blocks currently queued or in flight from `from` to this
+    /// node (what the peer still owes us at the transport level).
+    pub fn pending_from(&self, from: NodeId) -> usize {
+        self.net.pending_blocks(from, self.node)
+    }
+
+    /// Round-trip time between this node and `peer` according to the
+    /// topology. Real implementations estimate this from traffic; the
+    /// emulator exposes the configured value for simplicity.
+    pub fn rtt(&self, peer: NodeId) -> SimDuration {
+        self.net.topology().rtt(self.node, peer)
+    }
+
+    /// Sends a control message.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        debug_assert!(to != self.node, "no self-messaging");
+        self.commands.push(Command::SendControl { to, msg });
+    }
+
+    /// Queues a data block for transmission to `to`.
+    pub fn queue_block(&mut self, to: NodeId, block: BlockId, bytes: u64) {
+        self.commands.push(Command::QueueBlock { to, block, bytes });
+    }
+
+    /// Closes the data connection to `to`, discarding its queue.
+    pub fn close_connection(&mut self, to: NodeId) {
+        self.commands.push(Command::CloseConnection { to });
+    }
+
+    /// Arms a timer.
+    pub fn set_timer(&mut self, delay: SimDuration, kind: u32, data: u64) {
+        self.commands.push(Command::SetTimer { delay, kind, data });
+    }
+}
+
+impl<M> std::fmt::Debug for Ctx<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("node", &self.node)
+            .field("now", &self.now)
+            .field("commands", &self.commands.len())
+            .finish()
+    }
+}

@@ -1,0 +1,311 @@
+//! The experiment runner: glues the event engine, the network model and the
+//! per-node protocol instances together.
+//!
+//! The runner owns one [`Protocol`] instance per emulated node, translates
+//! recorded [`Command`]s into network activity and event-queue entries, and
+//! stops when every node reports completion, when the event queue drains, or
+//! when the configured time limit is reached.
+
+use desim::{RngFactory, SimDuration, SimTime, Simulator};
+use rand::rngs::StdRng;
+
+use crate::dynamics::LinkChangeBatch;
+use crate::network::{CompletedBlock, Network};
+use crate::protocol::{Command, Ctx, Protocol, WireSize};
+use crate::topology::NodeId;
+
+/// Internal event vocabulary of the runner.
+#[derive(Debug)]
+enum NetEvent<M> {
+    /// A control message arrives at `to`.
+    Control { from: NodeId, to: NodeId, msg: M },
+    /// The in-flight block on connection `from → to` finished serialising.
+    BlockDone { from: NodeId, to: NodeId, gen: u64 },
+    /// A fully serialised block arrives at the receiver.
+    BlockArrive { done: CompletedBlock },
+    /// A protocol timer fires at `node`.
+    Timer { node: NodeId, kind: u32, data: u64 },
+    /// A scheduled link-change batch takes effect.
+    LinkChange { index: usize },
+}
+
+/// Why the run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every node reported completion.
+    AllComplete,
+    /// The configured time limit was reached first.
+    TimeLimit,
+    /// The event queue drained before every node completed.
+    Drained,
+}
+
+/// Summary of a finished run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-node completion time (seconds), `None` if the node never finished.
+    pub completion_secs: Vec<Option<f64>>,
+    /// Virtual time at which the run stopped.
+    pub end_time: SimTime,
+    /// Total number of events processed.
+    pub events: u64,
+    /// Why the run stopped.
+    pub reason: StopReason,
+}
+
+impl RunReport {
+    /// Completion times of the nodes that finished, sorted ascending.
+    pub fn finished_times(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.completion_secs.iter().flatten().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("completion times are finite"));
+        v
+    }
+
+    /// Fraction of nodes (excluding `skip`, typically the source) that finished.
+    pub fn completion_fraction(&self, skip: usize) -> f64 {
+        let total = self.completion_secs.len().saturating_sub(skip);
+        if total == 0 {
+            return 1.0;
+        }
+        let done = self
+            .completion_secs
+            .iter()
+            .skip(skip)
+            .filter(|c| c.is_some())
+            .count();
+        done as f64 / total as f64
+    }
+}
+
+/// Drives one experiment: a network, a protocol instance per node, and a
+/// schedule of link changes.
+pub struct Runner<M: WireSize, P: Protocol<M>> {
+    sim: Simulator<NetEvent<M>>,
+    net: Network,
+    nodes: Vec<P>,
+    rngs: Vec<StdRng>,
+    link_changes: Vec<LinkChangeBatch>,
+    completion: Vec<Option<SimTime>>,
+    /// Nodes exempt from the all-complete check (e.g. the source, which never
+    /// "downloads").
+    exempt: Vec<bool>,
+}
+
+impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
+    /// Creates a runner over `net` with one protocol instance per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` does not match the topology size.
+    pub fn new(net: Network, nodes: Vec<P>, rng: &RngFactory) -> Self {
+        assert_eq!(
+            nodes.len(),
+            net.len(),
+            "need exactly one protocol instance per emulated node"
+        );
+        let rngs = (0..nodes.len())
+            .map(|i| rng.stream_indexed("runner.node", i as u64))
+            .collect();
+        let n = nodes.len();
+        Runner {
+            sim: Simulator::new(),
+            net,
+            nodes,
+            rngs,
+            link_changes: Vec::new(),
+            completion: vec![None; n],
+            exempt: vec![false; n],
+        }
+    }
+
+    /// Marks `node` as exempt from the all-complete stop condition.
+    pub fn exempt_from_completion(&mut self, node: NodeId) {
+        self.exempt[node.index()] = true;
+    }
+
+    /// Schedules a batch of link changes to take effect at `at`.
+    pub fn schedule_link_change(&mut self, at: SimTime, batch: LinkChangeBatch) {
+        let index = self.link_changes.len();
+        self.link_changes.push(batch);
+        self.sim.schedule_at(at, NetEvent::LinkChange { index });
+    }
+
+    /// Read access to the emulated network (topology + traffic counters).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Read access to the protocol instances.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// The protocol instance running on `node`.
+    pub fn node(&self, node: NodeId) -> &P {
+        &self.nodes[node.index()]
+    }
+
+    /// Consumes the runner, returning the protocol instances (for post-run
+    /// inspection of per-node state and metrics).
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Runs the experiment until `limit` of virtual time.
+    pub fn run(&mut self, limit: SimDuration) -> RunReport {
+        self.run_until(SimTime::ZERO + limit)
+    }
+
+    /// Runs the experiment until the absolute virtual instant `limit`.
+    pub fn run_until(&mut self, limit: SimTime) -> RunReport {
+        // Initialise every node.
+        for i in 0..self.nodes.len() {
+            self.dispatch(NodeId(i as u32), |node, ctx| node.on_init(ctx));
+        }
+        self.refresh_completion();
+
+        let reason = loop {
+            if self.all_complete() {
+                break StopReason::AllComplete;
+            }
+            match self.sim.peek_time() {
+                None => break StopReason::Drained,
+                Some(t) if t > limit => break StopReason::TimeLimit,
+                Some(_) => {}
+            }
+            let (_, ev) = self.sim.step().expect("peeked event must exist");
+            self.handle(ev);
+        };
+
+        RunReport {
+            completion_secs: self
+                .completion
+                .iter()
+                .map(|c| c.map(SimTime::as_secs_f64))
+                .collect(),
+            end_time: self.sim.now(),
+            events: self.sim.events_processed(),
+            reason,
+        }
+    }
+
+    fn all_complete(&self) -> bool {
+        self.completion
+            .iter()
+            .zip(self.exempt.iter())
+            .all(|(c, e)| *e || c.is_some())
+    }
+
+    fn refresh_completion(&mut self) {
+        let now = self.sim.now();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if self.completion[i].is_none() && node.is_complete() {
+                self.completion[i] = Some(now);
+            }
+        }
+    }
+
+    /// Runs `f` against one node with a fresh [`Ctx`], then applies the
+    /// commands the handler recorded.
+    fn dispatch<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut P, &mut Ctx<'_, M>),
+    {
+        let idx = node.index();
+        let mut ctx = Ctx::new(node, self.sim.now(), &self.net, &mut self.rngs[idx]);
+        f(&mut self.nodes[idx], &mut ctx);
+        let commands = ctx.into_commands();
+        self.apply_commands(node, commands);
+        // Completion may have changed for this node.
+        if self.completion[idx].is_none() && self.nodes[idx].is_complete() {
+            self.completion[idx] = Some(self.sim.now());
+        }
+    }
+
+    fn apply_commands(&mut self, from: NodeId, commands: Vec<Command<M>>) {
+        let now = self.sim.now();
+        for cmd in commands {
+            match cmd {
+                Command::SendControl { to, msg } => {
+                    let size = msg.wire_size();
+                    let delay =
+                        self.net
+                            .control_delay(&mut self.rngs[from.index()], from, to, size);
+                    self.sim
+                        .schedule_in(delay, NetEvent::Control { from, to, msg });
+                }
+                Command::QueueBlock { to, block, bytes } => {
+                    let reschedules = self.net.queue_block(now, from, to, block, bytes);
+                    self.schedule_reschedules(reschedules);
+                }
+                Command::CloseConnection { to } => {
+                    let reschedules = self.net.close_connection(now, from, to);
+                    self.schedule_reschedules(reschedules);
+                }
+                Command::SetTimer { delay, kind, data } => {
+                    self.sim
+                        .schedule_in(delay, NetEvent::Timer { node: from, kind, data });
+                }
+            }
+        }
+    }
+
+    fn schedule_reschedules(&mut self, reschedules: Vec<crate::network::Reschedule>) {
+        for r in reschedules {
+            self.sim.schedule_at(
+                r.at,
+                NetEvent::BlockDone {
+                    from: r.from,
+                    to: r.to,
+                    gen: r.gen,
+                },
+            );
+        }
+    }
+
+    fn handle(&mut self, ev: NetEvent<M>) {
+        let now = self.sim.now();
+        match ev {
+            NetEvent::Control { from, to, msg } => {
+                self.dispatch(to, |node, ctx| node.on_control(ctx, from, msg));
+            }
+            NetEvent::BlockDone { from, to, gen } => {
+                if let Some((done, reschedules)) = self.net.on_block_done(now, from, to, gen) {
+                    self.schedule_reschedules(reschedules);
+                    let block = done.block;
+                    self.dispatch(from, |node, ctx| node.on_block_sent(ctx, to, block));
+                    let delay = self.net.data_delivery_delay(from, to);
+                    self.sim.schedule_in(delay, NetEvent::BlockArrive { done });
+                }
+            }
+            NetEvent::BlockArrive { done } => {
+                self.net.on_block_delivered(done.to, done.bytes);
+                let receipt = crate::network::BlockReceipt {
+                    block: done.block,
+                    bytes: done.bytes,
+                    in_front: done.in_front,
+                    wasted: done.wasted,
+                    queued_at: done.queued_at,
+                    delivered_at: now,
+                };
+                self.dispatch(done.to, |node, ctx| {
+                    node.on_block_received(ctx, done.from, receipt)
+                });
+            }
+            NetEvent::Timer { node, kind, data } => {
+                self.dispatch(node, |n, ctx| n.on_timer(ctx, kind, data));
+            }
+            NetEvent::LinkChange { index } => {
+                let batch = std::mem::take(&mut self.link_changes[index]);
+                let pairs = batch.apply(self.net.topology_mut());
+                let reschedules = self.net.reprice_paths(now, &pairs);
+                self.schedule_reschedules(reschedules);
+            }
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Emulated topologies.
+//!
+//! The paper runs every controlled experiment on a **fully interconnected
+//! mesh**: each pair of overlay participants is joined by a dedicated core
+//! link with its own bandwidth, propagation delay and loss rate, and each
+//! node additionally has inbound and outbound access links. This module
+//! describes such topologies and provides generators for every configuration
+//! the evaluation uses (§4.1, §4.4, §4.5, §4.7).
+
+use desim::{RngFactory, SimDuration};
+use rand::Rng;
+
+use crate::units::{kbps, mbps, BytesPerSec};
+
+/// Identifier of an emulated end host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Numeric index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Access-link characteristics of one end host.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeSpec {
+    /// Outbound (uplink) capacity in bytes/second.
+    pub up: BytesPerSec,
+    /// Inbound (downlink) capacity in bytes/second.
+    pub down: BytesPerSec,
+    /// One-way access-link propagation delay.
+    pub access_delay: SimDuration,
+}
+
+/// Directional core-path characteristics between a pair of hosts.
+#[derive(Debug, Clone, Copy)]
+pub struct PathSpec {
+    /// Core-link capacity in bytes/second.
+    pub bw: BytesPerSec,
+    /// One-way core propagation delay.
+    pub delay: SimDuration,
+    /// Packet loss probability on the core link, in `[0, 1)`.
+    pub loss: f64,
+}
+
+/// A complete emulated topology: per-node access links plus a directional
+/// core path for every ordered pair.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<NodeSpec>,
+    /// `core[a][b]` is the path from `a` to `b`. The diagonal is unused.
+    core: Vec<Vec<PathSpec>>,
+}
+
+impl Topology {
+    /// Builds a topology from explicit node and path tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is not an `n x n` matrix for `n = nodes.len()`.
+    pub fn new(nodes: Vec<NodeSpec>, core: Vec<Vec<PathSpec>>) -> Self {
+        let n = nodes.len();
+        assert!(n >= 2, "a topology needs at least two nodes");
+        assert_eq!(core.len(), n, "core matrix must be n x n");
+        for row in &core {
+            assert_eq!(row.len(), n, "core matrix must be n x n");
+        }
+        Topology { nodes, core }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns true if the topology has no hosts (never true for constructed
+    /// topologies; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    /// Access-link spec of `node`.
+    pub fn node(&self, node: NodeId) -> &NodeSpec {
+        &self.nodes[node.index()]
+    }
+
+    /// Core path spec from `a` to `b`.
+    pub fn path(&self, a: NodeId, b: NodeId) -> &PathSpec {
+        &self.core[a.index()][b.index()]
+    }
+
+    /// Mutable core path spec (used by dynamic-bandwidth scenarios).
+    pub fn path_mut(&mut self, a: NodeId, b: NodeId) -> &mut PathSpec {
+        &mut self.core[a.index()][b.index()]
+    }
+
+    /// One-way end-to-end propagation delay from `a` to `b` (access + core +
+    /// access).
+    pub fn one_way_delay(&self, a: NodeId, b: NodeId) -> SimDuration {
+        self.nodes[a.index()].access_delay
+            + self.core[a.index()][b.index()].delay
+            + self.nodes[b.index()].access_delay
+    }
+
+    /// Round-trip time between `a` and `b`.
+    pub fn rtt(&self, a: NodeId, b: NodeId) -> SimDuration {
+        self.one_way_delay(a, b) + self.one_way_delay(b, a)
+    }
+}
+
+fn uniform_delay_ms<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> SimDuration {
+    SimDuration::from_secs_f64(rng.gen_range(lo..=hi) / 1000.0)
+}
+
+/// The paper's main ModelNet configuration (§4.1): `n` nodes in a full mesh,
+/// 6 Mbps access links (1 ms delay), 2 Mbps core links with 5–200 ms
+/// propagation delay and uniform random loss in `[0, max_loss]` (3% in the
+/// paper), fixed per link for the whole experiment.
+pub fn modelnet_mesh(n: usize, max_loss: f64, rng: &RngFactory) -> Topology {
+    let mut loss_rng = rng.stream("topology.loss");
+    let mut delay_rng = rng.stream("topology.delay");
+    let nodes = vec![
+        NodeSpec {
+            up: mbps(6.0),
+            down: mbps(6.0),
+            access_delay: SimDuration::from_millis(1),
+        };
+        n
+    ];
+    let mut core = Vec::with_capacity(n);
+    for a in 0..n {
+        let mut row = Vec::with_capacity(n);
+        for b in 0..n {
+            if a == b {
+                row.push(PathSpec { bw: mbps(2.0), delay: SimDuration::ZERO, loss: 0.0 });
+                continue;
+            }
+            row.push(PathSpec {
+                bw: mbps(2.0),
+                delay: uniform_delay_ms(&mut delay_rng, 5.0, 200.0),
+                loss: loss_rng.gen_range(0.0..=max_loss.max(0.0)),
+            });
+        }
+        core.push(row);
+    }
+    Topology::new(nodes, core)
+}
+
+/// The constrained-access topology of Fig 9: ample core bandwidth (10 Mbps,
+/// 1 ms) but 800 Kbps access links and no random loss.
+pub fn constrained_access(n: usize) -> Topology {
+    let nodes = vec![
+        NodeSpec {
+            up: kbps(800.0),
+            down: kbps(800.0),
+            access_delay: SimDuration::from_millis(1),
+        };
+        n
+    ];
+    let path = PathSpec {
+        bw: mbps(10.0),
+        delay: SimDuration::from_millis(1),
+        loss: 0.0,
+    };
+    let core = vec![vec![path; n]; n];
+    Topology::new(nodes, core)
+}
+
+/// The flow-control topology of Figs 10–11: `n` participants joined by
+/// 10 Mbps, 100 ms links (high bandwidth-delay product), with uniform random
+/// loss in `[0, max_loss]` on the core (0 for Fig 10, 1.5% for Fig 11).
+pub fn high_bdp_clique(n: usize, max_loss: f64, rng: &RngFactory) -> Topology {
+    let mut loss_rng = rng.stream("topology.loss");
+    let nodes = vec![
+        NodeSpec {
+            up: mbps(10.0),
+            down: mbps(10.0),
+            access_delay: SimDuration::from_millis(1),
+        };
+        n
+    ];
+    let mut core = Vec::with_capacity(n);
+    for a in 0..n {
+        let mut row = Vec::with_capacity(n);
+        for b in 0..n {
+            let loss = if a == b || max_loss <= 0.0 {
+                0.0
+            } else {
+                loss_rng.gen_range(0.0..=max_loss)
+            };
+            row.push(PathSpec {
+                bw: mbps(10.0),
+                delay: SimDuration::from_millis(50),
+                loss,
+            });
+        }
+        core.push(row);
+    }
+    Topology::new(nodes, core)
+}
+
+/// The cascading-slowdown topology of Fig 12: `fast_nodes + 1` participants
+/// (the source plus `fast_nodes - 1` well-connected peers) joined by 10 Mbps,
+/// 1 ms links, plus one final "victim" node reached over dedicated 5 Mbps,
+/// 100 ms links.
+pub fn cascade_topology(fast_nodes: usize) -> Topology {
+    let n = fast_nodes + 1;
+    let victim = n - 1;
+    // Every participant (including the source) has a 10 Mbps access link, so
+    // fresh data enters the well-connected group at 10 Mbps and the victim's
+    // dedicated 5 Mbps links are initially not the bottleneck.
+    let mut nodes = vec![
+        NodeSpec {
+            up: mbps(10.0),
+            down: mbps(10.0),
+            access_delay: SimDuration::from_micros(100),
+        };
+        n
+    ];
+    // The victim only downloads; give it headroom so its own access link is
+    // never the limit (the experiment is about its dedicated core paths).
+    nodes[victim] = NodeSpec {
+        up: mbps(10.0),
+        down: mbps(30.0),
+        access_delay: SimDuration::from_micros(100),
+    };
+    let mut core = Vec::with_capacity(n);
+    for a in 0..n {
+        let mut row = Vec::with_capacity(n);
+        for b in 0..n {
+            let spec = if a == victim || b == victim {
+                PathSpec {
+                    bw: mbps(5.0),
+                    delay: SimDuration::from_millis(50),
+                    loss: 0.0,
+                }
+            } else {
+                PathSpec {
+                    bw: mbps(10.0),
+                    delay: SimDuration::from_micros(500),
+                    loss: 0.0,
+                }
+            };
+            row.push(spec);
+        }
+        core.push(row);
+    }
+    Topology::new(nodes, core)
+}
+
+/// A PlanetLab-like wide-area topology (§4.7): heterogeneous access links
+/// drawn from a long-tailed mix of site classes, transcontinental RTTs and a
+/// small background loss rate. No two "sites" share bottlenecks, mirroring
+/// the paper's one-node-per-site deployment.
+pub fn planetlab_like(n: usize, rng: &RngFactory) -> Topology {
+    let mut class_rng = rng.stream("topology.pl.class");
+    let mut delay_rng = rng.stream("topology.pl.delay");
+    let mut loss_rng = rng.stream("topology.pl.loss");
+
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Site classes: well-provisioned university (10 Mbps), DSL-ish (2 Mbps),
+        // congested international (1 Mbps).
+        let class: f64 = class_rng.gen();
+        let (up, down) = if class < 0.6 {
+            (mbps(10.0), mbps(10.0))
+        } else if class < 0.9 {
+            (mbps(2.0), mbps(4.0))
+        } else {
+            (mbps(1.0), mbps(1.5))
+        };
+        nodes.push(NodeSpec {
+            up,
+            down,
+            access_delay: SimDuration::from_millis(1),
+        });
+    }
+    let mut core = Vec::with_capacity(n);
+    for a in 0..n {
+        let mut row = Vec::with_capacity(n);
+        for b in 0..n {
+            if a == b {
+                row.push(PathSpec { bw: mbps(100.0), delay: SimDuration::ZERO, loss: 0.0 });
+                continue;
+            }
+            row.push(PathSpec {
+                // Wide-area cores rarely bottleneck below the access links.
+                bw: mbps(20.0),
+                delay: uniform_delay_ms(&mut delay_rng, 10.0, 150.0),
+                loss: loss_rng.gen_range(0.0..=0.01),
+            });
+        }
+        core.push(row);
+    }
+    Topology::new(nodes, core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modelnet_mesh_matches_paper_parameters() {
+        let rng = RngFactory::new(1);
+        let t = modelnet_mesh(20, 0.03, &rng);
+        assert_eq!(t.len(), 20);
+        for id in t.node_ids() {
+            assert_eq!(t.node(id).up, mbps(6.0));
+            assert_eq!(t.node(id).access_delay, SimDuration::from_millis(1));
+        }
+        let mut max_loss: f64 = 0.0;
+        let mut max_delay = SimDuration::ZERO;
+        for a in t.node_ids() {
+            for b in t.node_ids() {
+                if a == b {
+                    continue;
+                }
+                let p = t.path(a, b);
+                assert_eq!(p.bw, mbps(2.0));
+                assert!(p.loss >= 0.0 && p.loss <= 0.03);
+                assert!(p.delay >= SimDuration::from_millis(5));
+                assert!(p.delay <= SimDuration::from_millis(200));
+                max_loss = max_loss.max(p.loss);
+                max_delay = max_delay.max(p.delay);
+            }
+        }
+        assert!(max_loss > 0.0, "some link should have loss");
+        assert!(max_delay > SimDuration::from_millis(100), "delays should span the range");
+    }
+
+    #[test]
+    fn topology_is_deterministic_per_seed() {
+        let a = modelnet_mesh(10, 0.03, &RngFactory::new(7));
+        let b = modelnet_mesh(10, 0.03, &RngFactory::new(7));
+        let c = modelnet_mesh(10, 0.03, &RngFactory::new(8));
+        let n0 = NodeId(0);
+        let n5 = NodeId(5);
+        assert_eq!(a.path(n0, n5).loss, b.path(n0, n5).loss);
+        assert_eq!(a.path(n0, n5).delay, b.path(n0, n5).delay);
+        assert!(
+            a.path(n0, n5).loss != c.path(n0, n5).loss
+                || a.path(n0, n5).delay != c.path(n0, n5).delay
+        );
+    }
+
+    #[test]
+    fn rtt_adds_both_directions() {
+        let t = constrained_access(4);
+        let rtt = t.rtt(NodeId(0), NodeId(1));
+        // 2 * (1ms access + 1ms core + 1ms access) = 6ms.
+        assert_eq!(rtt, SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn cascade_topology_shapes() {
+        let t = cascade_topology(7);
+        assert_eq!(t.len(), 8);
+        let victim = NodeId(7);
+        assert_eq!(t.path(NodeId(0), victim).bw, mbps(5.0));
+        assert_eq!(t.path(NodeId(0), NodeId(1)).bw, mbps(10.0));
+        assert_eq!(t.node(NodeId(0)).up, mbps(10.0));
+        assert_eq!(t.node(victim).down, mbps(30.0));
+    }
+
+    #[test]
+    fn planetlab_like_is_heterogeneous() {
+        let t = planetlab_like(41, &RngFactory::new(3));
+        let ups: std::collections::BTreeSet<u64> =
+            t.node_ids().map(|id| t.node(id).up as u64).collect();
+        assert!(ups.len() > 1, "access bandwidths should differ across sites");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_topology_rejected() {
+        Topology::new(
+            vec![NodeSpec { up: 1.0, down: 1.0, access_delay: SimDuration::ZERO }],
+            vec![vec![PathSpec { bw: 1.0, delay: SimDuration::ZERO, loss: 0.0 }]],
+        );
+    }
+}

@@ -1,0 +1,472 @@
+//! RanSub: periodic distribution of changing, uniformly random subsets of
+//! per-node state over the control tree (paper §3.2.2).
+//!
+//! Every epoch (5 seconds in Bullet′) the root starts a **collect** wave:
+//! each leaf reports a summary of itself; interior nodes wait for their
+//! children, merge the reported samples (weighted by subtree size so the
+//! result stays uniform over the subtree) together with their own summary,
+//! and forward a compacted sample upward. Once the root has merged every
+//! subtree it starts the **distribute** wave, sending a random subset down
+//! the tree; each interior node re-mixes the incoming subset with the samples
+//! it collected from its other children so that different nodes receive
+//! different (but still uniformly distributed) subsets.
+//!
+//! The [`RanSubAgent`] encapsulates this state machine in a
+//! message-transport-agnostic way: protocols feed it incoming collect /
+//! distribute payloads and it returns the messages to emit, so both Bullet
+//! and Bullet′ reuse it unchanged.
+
+use std::collections::BTreeMap;
+
+use netsim::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::tree::ControlTree;
+
+/// Application state advertised through RanSub: enough for a receiver to
+/// judge whether a node is worth peering with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSummary {
+    /// The advertised node.
+    pub node: u32,
+    /// Number of distinct blocks the node currently holds.
+    pub have_count: u32,
+    /// True once the node holds the entire file (the source advertises itself
+    /// this way after pushing every block once).
+    pub has_everything: bool,
+}
+
+impl NodeSummary {
+    /// Wire size of one summary entry in bytes.
+    pub const WIRE_SIZE: usize = 9;
+
+    /// The advertised node as a [`NodeId`].
+    pub fn node_id(&self) -> NodeId {
+        NodeId(self.node)
+    }
+}
+
+/// A weighted sample of node summaries flowing up (collect) or down
+/// (distribute) the control tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The sampled summaries.
+    pub entries: Vec<NodeSummary>,
+    /// Number of nodes this sample represents (its subtree population during
+    /// collect; the whole overlay during distribute).
+    pub weight: u32,
+}
+
+impl Sample {
+    /// An empty sample representing zero nodes.
+    pub fn empty() -> Self {
+        Sample { entries: Vec::new(), weight: 0 }
+    }
+
+    /// Wire size of the sample in bytes.
+    pub fn wire_size(&self) -> usize {
+        8 + self.entries.len() * NodeSummary::WIRE_SIZE
+    }
+}
+
+/// Merges weighted samples into a single sample of at most `target` entries.
+///
+/// Each input sample is an (approximately) uniform sample of a disjoint
+/// population of `weight` nodes; the merge draws entries so that every node
+/// in the union remains equally likely to appear, then deduplicates.
+pub fn merge_samples<R: Rng + ?Sized>(
+    rng: &mut R,
+    target: usize,
+    groups: &[Sample],
+) -> Sample {
+    let total_weight: u32 = groups.iter().map(|g| g.weight).sum();
+    // Expand each entry with a selection weight proportional to the
+    // population it stands in for, then run a weighted shuffle.
+    let mut pool: Vec<(NodeSummary, f64)> = Vec::new();
+    for g in groups {
+        if g.entries.is_empty() {
+            continue;
+        }
+        let per_entry = f64::from(g.weight) / g.entries.len() as f64;
+        for e in &g.entries {
+            pool.push((*e, per_entry));
+        }
+    }
+    // Weighted sampling without replacement via exponential jumps
+    // (Efraimidis–Spirakis keys).
+    let mut keyed: Vec<(f64, NodeSummary)> = pool
+        .into_iter()
+        .map(|(e, w)| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            (u.powf(1.0 / w.max(1e-9)), e)
+        })
+        .collect();
+    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
+
+    let mut seen = std::collections::HashSet::new();
+    let mut entries = Vec::with_capacity(target);
+    for (_, e) in keyed {
+        if entries.len() >= target {
+            break;
+        }
+        if seen.insert(e.node) {
+            entries.push(e);
+        }
+    }
+    Sample { entries, weight: total_weight }
+}
+
+/// Messages the agent asks the embedding protocol to emit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RanSubEmit {
+    /// Send a collect payload to the parent.
+    CollectToParent {
+        /// Destination (the node's tree parent).
+        parent: NodeId,
+        /// Collected sample for the subtree rooted here.
+        sample: Sample,
+        /// Epoch number.
+        epoch: u64,
+    },
+    /// Send a distribute payload to a child.
+    DistributeToChild {
+        /// Destination child.
+        child: NodeId,
+        /// The subset the child should receive.
+        sample: Sample,
+        /// Epoch number.
+        epoch: u64,
+    },
+    /// The local node's subset for this epoch is ready.
+    Deliver {
+        /// The subset delivered to the local application (peering strategy).
+        sample: Sample,
+        /// Epoch number.
+        epoch: u64,
+    },
+}
+
+/// Per-node RanSub state machine.
+#[derive(Debug)]
+pub struct RanSubAgent {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    subset_size: usize,
+    epoch: u64,
+    /// Collect samples received from children for the current epoch.
+    collected: BTreeMap<NodeId, Sample>,
+    /// Our own summary for the current epoch.
+    own: Option<NodeSummary>,
+}
+
+impl RanSubAgent {
+    /// Creates the agent for `node` given its position in the control tree.
+    pub fn new(node: NodeId, tree: &ControlTree, subset_size: usize) -> Self {
+        RanSubAgent {
+            parent: tree.parent(node),
+            children: tree.children(node).to_vec(),
+            subset_size,
+            epoch: 0,
+            collected: BTreeMap::new(),
+            own: None,
+        }
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True if this node is the RanSub root.
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// Starts a new epoch at this node with its current application summary.
+    /// Returns the messages to emit: leaves immediately report to their
+    /// parent; the root of a two-node tree may even deliver immediately.
+    pub fn begin_epoch<R: Rng + ?Sized>(
+        &mut self,
+        summary: NodeSummary,
+        rng: &mut R,
+    ) -> Vec<RanSubEmit> {
+        self.epoch += 1;
+        self.collected.clear();
+        self.own = Some(summary);
+        self.try_complete_collect(rng)
+    }
+
+    /// Handles a collect payload from a child.
+    pub fn on_collect<R: Rng + ?Sized>(
+        &mut self,
+        from: NodeId,
+        sample: Sample,
+        epoch: u64,
+        rng: &mut R,
+    ) -> Vec<RanSubEmit> {
+        if epoch != self.epoch {
+            // Stale or early: a child can be one epoch ahead if our timer is
+            // late; adopt the newer epoch so the wave is not lost.
+            if epoch > self.epoch {
+                self.epoch = epoch;
+                self.collected.clear();
+            } else {
+                return Vec::new();
+            }
+        }
+        self.collected.insert(from, sample);
+        self.try_complete_collect(rng)
+    }
+
+    /// Handles a distribute payload from the parent: delivers the local
+    /// subset and forwards re-mixed subsets to children.
+    pub fn on_distribute<R: Rng + ?Sized>(
+        &mut self,
+        sample: Sample,
+        epoch: u64,
+        rng: &mut R,
+    ) -> Vec<RanSubEmit> {
+        let mut out = Vec::new();
+        out.push(RanSubEmit::Deliver { sample: sample.clone(), epoch });
+        for &child in &self.children {
+            // Re-mix the incoming subset with what the *other* children (and
+            // we ourselves) reported, so each child sees a different subset.
+            let mut groups: Vec<Sample> = vec![sample.clone()];
+            if let Some(own) = self.own {
+                groups.push(Sample { entries: vec![own], weight: 1 });
+            }
+            for (&c, s) in &self.collected {
+                if c != child {
+                    groups.push(s.clone());
+                }
+            }
+            let mixed = merge_samples(rng, self.subset_size, &groups);
+            out.push(RanSubEmit::DistributeToChild { child, sample: mixed, epoch });
+        }
+        out
+    }
+
+    /// If every child has reported for the current epoch, produce either the
+    /// upward collect message (interior node) or the distribute wave (root).
+    fn try_complete_collect<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<RanSubEmit> {
+        let Some(own) = self.own else {
+            return Vec::new();
+        };
+        if self.collected.len() < self.children.len() {
+            return Vec::new();
+        }
+        let mut groups: Vec<Sample> = vec![Sample { entries: vec![own], weight: 1 }];
+        groups.extend(self.collected.values().cloned());
+        let merged = merge_samples(rng, self.subset_size, &groups);
+
+        match self.parent {
+            Some(parent) => vec![RanSubEmit::CollectToParent {
+                parent,
+                sample: merged,
+                epoch: self.epoch,
+            }],
+            None => {
+                // Root: the collect wave is complete; start distribution.
+                self.on_distribute(merged, self.epoch, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::RngFactory;
+    use rand::SeedableRng;
+
+    fn summary(node: u32, have: u32) -> NodeSummary {
+        NodeSummary { node, have_count: have, has_everything: false }
+    }
+
+    #[test]
+    fn merge_respects_target_and_dedups() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = Sample { entries: (0..10).map(|i| summary(i, 0)).collect(), weight: 10 };
+        let b = Sample { entries: (5..15).map(|i| summary(i, 0)).collect(), weight: 10 };
+        let merged = merge_samples(&mut rng, 8, &[a, b]);
+        assert_eq!(merged.entries.len(), 8);
+        assert_eq!(merged.weight, 20);
+        let nodes: std::collections::HashSet<u32> = merged.entries.iter().map(|e| e.node).collect();
+        assert_eq!(nodes.len(), 8, "no duplicates after merge");
+    }
+
+    #[test]
+    fn merge_is_roughly_uniform() {
+        // Two groups of very different sizes must be represented roughly in
+        // proportion to their populations.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let big = Sample { entries: (0..30).map(|i| summary(i, 0)).collect(), weight: 90 };
+        let small = Sample { entries: (100..110).map(|i| summary(i, 0)).collect(), weight: 10 };
+        let mut from_big = 0usize;
+        let trials = 400;
+        for _ in 0..trials {
+            let merged = merge_samples(&mut rng, 10, &[big.clone(), small.clone()]);
+            from_big += merged.entries.iter().filter(|e| e.node < 100).count();
+        }
+        let frac = from_big as f64 / (trials * 10) as f64;
+        assert!(
+            (0.80..0.98).contains(&frac),
+            "expected ~90% of entries from the large group, got {frac}"
+        );
+    }
+
+    /// Runs one full epoch over an arbitrary tree by hand-delivering the
+    /// emitted messages, and returns the subset delivered at each node.
+    fn run_epoch(tree: &ControlTree, subset: usize, seed: u64) -> Vec<Option<Sample>> {
+        let n = tree.len();
+        let factory = RngFactory::new(seed);
+        let mut rngs: Vec<_> =
+            (0..n).map(|i| factory.stream_indexed("ransub", i as u64)).collect();
+        let mut agents: Vec<RanSubAgent> = (0..n as u32)
+            .map(|i| RanSubAgent::new(NodeId(i), tree, subset))
+            .collect();
+        let mut delivered: Vec<Option<Sample>> = vec![None; n];
+        let mut queue: Vec<RanSubEmit> = Vec::new();
+        // Every node begins its epoch (ordering does not matter).
+        for i in (0..n).rev() {
+            let s = summary(i as u32, i as u32);
+            let emitted = agents[i].begin_epoch(s, &mut rngs[i]);
+            annotate(&mut queue, i, emitted, &mut delivered);
+        }
+        while let Some(msg) = queue.pop() {
+            match msg {
+                RanSubEmit::CollectToParent { parent, sample, epoch } => {
+                    // Sender is implicit; find it by scanning children lists.
+                    let sender = find_sender(tree, parent, &sample);
+                    let p = parent.index();
+                    let emitted = agents[p].on_collect(sender, sample, epoch, &mut rngs[p]);
+                    annotate(&mut queue, p, emitted, &mut delivered);
+                }
+                RanSubEmit::DistributeToChild { child, sample, epoch } => {
+                    let c = child.index();
+                    let emitted = agents[c].on_distribute(sample, epoch, &mut rngs[c]);
+                    annotate(&mut queue, c, emitted, &mut delivered);
+                }
+                RanSubEmit::Deliver { .. } => unreachable!("handled in annotate"),
+            }
+        }
+        return delivered;
+
+        fn annotate(
+            queue: &mut Vec<RanSubEmit>,
+            node: usize,
+            emitted: Vec<RanSubEmit>,
+            delivered: &mut [Option<Sample>],
+        ) {
+            for e in emitted {
+                if let RanSubEmit::Deliver { sample, .. } = e {
+                    delivered[node] = Some(sample);
+                } else {
+                    queue.push(e);
+                }
+            }
+        }
+
+        /// Identifies which child of `parent` sent `sample` — in the real
+        /// protocols the transport supplies the sender, so the test only
+        /// needs a stand-in that picks the child whose subtree contains the
+        /// sample's first entry.
+        fn find_sender(tree: &ControlTree, parent: NodeId, sample: &Sample) -> NodeId {
+            let first = sample.entries.first().expect("samples are never empty").node;
+            for &c in tree.children(parent) {
+                if subtree_contains(tree, c, first) {
+                    return c;
+                }
+            }
+            panic!("no child of {parent} contains node {first}");
+        }
+
+        fn subtree_contains(tree: &ControlTree, root: NodeId, target: u32) -> bool {
+            if root.0 == target {
+                return true;
+            }
+            tree.children(root).iter().any(|&c| subtree_contains(tree, c, target))
+        }
+    }
+
+    #[test]
+    fn full_epoch_delivers_subsets_to_every_node() {
+        let tree = ControlTree::random(30, 3, &RngFactory::new(4));
+        let delivered = run_epoch(&tree, 8, 9);
+        for (i, d) in delivered.iter().enumerate() {
+            let d = d.as_ref().unwrap_or_else(|| panic!("node {i} got no subset"));
+            assert!(!d.entries.is_empty());
+            assert!(d.entries.len() <= 8);
+            // The sample must only reference real nodes.
+            for e in &d.entries {
+                assert!(e.node < 30);
+            }
+        }
+        // Different nodes should not all receive the identical subset.
+        let distinct: std::collections::HashSet<Vec<u32>> = delivered
+            .iter()
+            .map(|d| d.as_ref().unwrap().entries.iter().map(|e| e.node).collect())
+            .collect();
+        assert!(distinct.len() > 1, "re-mixing should diversify per-node subsets");
+    }
+
+    #[test]
+    fn epochs_advance_and_stale_collects_are_dropped() {
+        let tree = ControlTree::from_parents(vec![None, Some(NodeId(0)), Some(NodeId(0))]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut root = RanSubAgent::new(NodeId(0), &tree, 5);
+        assert!(root.is_root());
+        let out = root.begin_epoch(summary(0, 100), &mut rng);
+        assert!(out.is_empty(), "root with unreported children must wait");
+        assert_eq!(root.epoch(), 1);
+
+        // A stale (epoch 0) collect is ignored.
+        let stale = root.on_collect(
+            NodeId(1),
+            Sample { entries: vec![summary(1, 1)], weight: 1 },
+            0,
+            &mut rng,
+        );
+        assert!(stale.is_empty());
+
+        // Current-epoch collects from both children complete the wave.
+        let _ = root.on_collect(
+            NodeId(1),
+            Sample { entries: vec![summary(1, 1)], weight: 1 },
+            1,
+            &mut rng,
+        );
+        let out = root.on_collect(
+            NodeId(2),
+            Sample { entries: vec![summary(2, 2)], weight: 1 },
+            1,
+            &mut rng,
+        );
+        let delivers = out.iter().filter(|e| matches!(e, RanSubEmit::Deliver { .. })).count();
+        let dists = out
+            .iter()
+            .filter(|e| matches!(e, RanSubEmit::DistributeToChild { .. }))
+            .count();
+        assert_eq!(delivers, 1);
+        assert_eq!(dists, 2);
+    }
+
+    #[test]
+    fn leaf_reports_immediately_on_epoch_start() {
+        let tree = ControlTree::from_parents(vec![None, Some(NodeId(0))]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut leaf = RanSubAgent::new(NodeId(1), &tree, 5);
+        let out = leaf.begin_epoch(summary(1, 7), &mut rng);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            RanSubEmit::CollectToParent { parent, sample, epoch } => {
+                assert_eq!(*parent, NodeId(0));
+                assert_eq!(*epoch, 1);
+                assert_eq!(sample.entries, vec![summary(1, 7)]);
+                assert_eq!(sample.weight, 1);
+            }
+            other => panic!("unexpected emit {other:?}"),
+        }
+    }
+}

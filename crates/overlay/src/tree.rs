@@ -1,0 +1,209 @@
+//! The overlay control tree.
+//!
+//! Bullet′ (like Bullet before it) joins every participant into a simple
+//! random tree rooted at the source. The tree carries only *control*
+//! traffic — RanSub collect/distribute waves — plus the source's block pushes
+//! to its direct children; the high-volume data mesh is layered on top of it
+//! by the peering strategy.
+
+use desim::RngFactory;
+use netsim::NodeId;
+use rand::seq::SliceRandom;
+
+/// An overlay tree over nodes `0..n`, rooted at node 0 (the source).
+#[derive(Debug, Clone)]
+pub struct ControlTree {
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl ControlTree {
+    /// Builds a random tree over `n` nodes with at most `max_degree` children
+    /// per node, rooted at node 0.
+    ///
+    /// Nodes join in a random order and each picks a uniformly random parent
+    /// among the already-joined nodes that still have a free child slot,
+    /// mirroring the "random tree" join procedure of the MACEDON toolkit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `max_degree == 0`.
+    pub fn random(n: usize, max_degree: usize, rng: &RngFactory) -> Self {
+        assert!(n >= 2, "a control tree needs at least two nodes");
+        assert!(max_degree >= 1, "max_degree must be at least 1");
+        let mut rng = rng.stream("overlay.tree");
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+
+        // Join order: receivers in random order.
+        let mut order: Vec<u32> = (1..n as u32).collect();
+        order.shuffle(&mut rng);
+
+        // Candidates with a free slot.
+        let mut open: Vec<u32> = vec![0];
+        for node in order {
+            // Pick a random open node as parent.
+            let pick = *open
+                .as_slice()
+                .choose(&mut rng)
+                .expect("there is always at least one open node");
+            parent[node as usize] = Some(NodeId(pick));
+            children[pick as usize].push(NodeId(node));
+            if children[pick as usize].len() >= max_degree {
+                open.retain(|&x| x != pick);
+            }
+            open.push(node);
+        }
+        ControlTree { parent, children }
+    }
+
+    /// Builds an explicit tree from a parent table (index 0 must be the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if node 0 has a parent, another node lacks one, or the edges do
+    /// not form a tree reaching every node.
+    pub fn from_parents(parents: Vec<Option<NodeId>>) -> Self {
+        let n = parents.len();
+        assert!(n >= 2);
+        assert!(parents[0].is_none(), "the root must not have a parent");
+        let mut children = vec![Vec::new(); n];
+        for (i, p) in parents.iter().enumerate() {
+            if i == 0 {
+                continue;
+            }
+            let p = p.unwrap_or_else(|| panic!("node {i} has no parent"));
+            children[p.index()].push(NodeId(i as u32));
+        }
+        let tree = ControlTree { parent: parents, children };
+        // Validate connectivity.
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId(0)];
+        while let Some(x) = stack.pop() {
+            if std::mem::replace(&mut seen[x.index()], true) {
+                panic!("cycle detected in control tree");
+            }
+            stack.extend(tree.children(x).iter().copied());
+        }
+        assert!(seen.iter().all(|&s| s), "control tree does not reach every node");
+        tree
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns true if the tree is empty (never for constructed trees).
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root (always node 0, the source).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Parent of `node` (`None` for the root).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.index()]
+    }
+
+    /// Children of `node`.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    /// Returns true if `node` has no children.
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.children[node.index()].is_empty()
+    }
+
+    /// Number of nodes in the subtree rooted at `node` (including itself).
+    pub fn subtree_size(&self, node: NodeId) -> usize {
+        1 + self
+            .children(node)
+            .iter()
+            .map(|&c| self.subtree_size(c))
+            .sum::<usize>()
+    }
+
+    /// Depth of `node` (root = 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Maximum depth over all nodes.
+    pub fn height(&self) -> usize {
+        (0..self.len() as u32).map(|i| self.depth(NodeId(i))).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tree_is_connected_and_respects_degree() {
+        let rng = RngFactory::new(17);
+        let tree = ControlTree::random(100, 4, &rng);
+        assert_eq!(tree.len(), 100);
+        assert_eq!(tree.subtree_size(tree.root()), 100);
+        for i in 0..100u32 {
+            assert!(tree.children(NodeId(i)).len() <= 4);
+            if i != 0 {
+                assert!(tree.parent(NodeId(i)).is_some());
+            }
+        }
+        assert!(tree.parent(NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_per_seed() {
+        let a = ControlTree::random(50, 6, &RngFactory::new(1));
+        let b = ControlTree::random(50, 6, &RngFactory::new(1));
+        let c = ControlTree::random(50, 6, &RngFactory::new(2));
+        for i in 0..50u32 {
+            assert_eq!(a.parent(NodeId(i)), b.parent(NodeId(i)));
+        }
+        assert!((0..50u32).any(|i| a.parent(NodeId(i)) != c.parent(NodeId(i))));
+    }
+
+    #[test]
+    fn depth_and_height_consistent() {
+        let tree = ControlTree::from_parents(vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            Some(NodeId(3)),
+        ]);
+        assert_eq!(tree.depth(NodeId(0)), 0);
+        assert_eq!(tree.depth(NodeId(4)), 3);
+        assert_eq!(tree.height(), 3);
+        assert!(tree.is_leaf(NodeId(4)));
+        assert!(!tree.is_leaf(NodeId(1)));
+        assert_eq!(tree.subtree_size(NodeId(1)), 3);
+    }
+
+    #[test]
+    fn degree_one_tree_is_a_chain() {
+        let tree = ControlTree::random(10, 1, &RngFactory::new(9));
+        assert_eq!(tree.height(), 9);
+        for i in 0..10u32 {
+            assert!(tree.children(NodeId(i)).len() <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not reach every node")]
+    fn disconnected_tree_rejected() {
+        ControlTree::from_parents(vec![None, Some(NodeId(0)), Some(NodeId(3)), Some(NodeId(2))]);
+    }
+}

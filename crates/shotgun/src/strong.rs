@@ -1,0 +1,63 @@
+//! The strong block hash used to confirm weak-checksum matches.
+//!
+//! rsync uses MD4/MD5 truncated to 16 bytes; any collision-resistant-enough
+//! digest works for the algorithm (the weak checksum only pre-filters). To
+//! stay within the approved dependency set we implement a 128-bit hash from
+//! two independently keyed 64-bit FNV-1a passes with avalanche finalisation —
+//! not cryptographic, but with a 2^-128 accidental collision probability it
+//! plays the same role MD4 plays in rsync.
+
+/// A 128-bit strong digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrongHash(pub u128);
+
+/// Computes the strong digest of `data`.
+pub fn strong_hash(data: &[u8]) -> StrongHash {
+    let lo = keyed_fnv(data, 0xcbf2_9ce4_8422_2325);
+    let hi = keyed_fnv(data, 0x6c62_272e_07bb_0142);
+    StrongHash((u128::from(hi) << 64) | u128::from(lo))
+}
+
+fn keyed_fnv(data: &[u8], seed: u64) -> u64 {
+    let mut h = seed;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Avalanche finalisation (SplitMix64) so short inputs spread across bits.
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        assert_eq!(strong_hash(b"hello"), strong_hash(b"hello"));
+        assert_ne!(strong_hash(b"hello"), strong_hash(b"hellp"));
+        assert_ne!(strong_hash(b"hello"), strong_hash(b"hell"));
+        assert_ne!(strong_hash(b""), strong_hash(b"\0"));
+    }
+
+    #[test]
+    fn no_collisions_over_many_small_inputs() {
+        let mut seen = HashSet::new();
+        for i in 0u32..20_000 {
+            let data = i.to_le_bytes();
+            assert!(seen.insert(strong_hash(&data)), "collision at input {i}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_many_bits() {
+        let base = strong_hash(b"block of data for avalanche check").0;
+        let flipped = strong_hash(b"block of data for avalanche checj").0;
+        let differing = (base ^ flipped).count_ones();
+        assert!(differing > 30, "only {differing} bits differ");
+    }
+}

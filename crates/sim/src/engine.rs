@@ -1,0 +1,234 @@
+//! The simulation driver: a virtual clock plus the pending-event set.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Outcome of a bounded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the time limit.
+    Drained,
+    /// The time limit was reached with events still pending.
+    TimeLimit,
+    /// The event-count limit was reached with events still pending.
+    EventLimit,
+    /// The handler requested a stop.
+    Stopped,
+}
+
+/// Control value returned by event handlers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Control {
+    /// Keep processing events.
+    #[default]
+    Continue,
+    /// Stop the run after this event.
+    Stop,
+}
+
+/// A deterministic discrete-event simulator parameterised by its event payload.
+///
+/// The simulator only owns time and the event set; all domain state lives in
+/// the caller. Handlers receive `&mut Simulator` so they can schedule
+/// follow-up events while handling one.
+///
+/// # Examples
+///
+/// ```
+/// use desim::{Simulator, SimDuration, Control};
+///
+/// let mut sim: Simulator<&'static str> = Simulator::new();
+/// sim.schedule_in(SimDuration::from_secs(1), "tick");
+/// let mut seen = Vec::new();
+/// sim.run(|sim, _t, ev| {
+///     seen.push(ev);
+///     if seen.len() < 3 {
+///         sim.schedule_in(SimDuration::from_secs(1), "tick");
+///     }
+///     Control::Continue
+/// });
+/// assert_eq!(seen.len(), 3);
+/// assert_eq!(sim.now().as_secs_f64(), 3.0);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+    max_events: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates a simulator with the clock at zero.
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Caps the total number of events a run may process (a runaway guard for
+    /// protocols that accidentally self-schedule without making progress).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.max_events = limit;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` for delivery at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to the current instant rather than
+    /// panicking: fluid-model rate changes legitimately produce completion
+    /// estimates that land "now".
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> u64 {
+        let at = at.max(self.now);
+        self.queue.push(at, event)
+    }
+
+    /// Schedules `event` for delivery `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> u64 {
+        self.queue.push(self.now + delay, event)
+    }
+
+    /// Delivery time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops the next event and advances the clock to it.
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        let (t, ev) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue delivered an event in the past");
+        self.now = t;
+        self.processed += 1;
+        Some((t, ev))
+    }
+
+    /// Runs until the queue drains, a limit is hit, or the handler stops the run.
+    pub fn run<F>(&mut self, handler: F) -> RunOutcome
+    where
+        F: FnMut(&mut Self, SimTime, E) -> Control,
+    {
+        self.run_until(SimTime::MAX, handler)
+    }
+
+    /// Runs until `limit` (inclusive), the queue drains, an event-count limit
+    /// is hit, or the handler stops the run.
+    pub fn run_until<F>(&mut self, limit: SimTime, mut handler: F) -> RunOutcome
+    where
+        F: FnMut(&mut Self, SimTime, E) -> Control,
+    {
+        loop {
+            if self.processed >= self.max_events {
+                return RunOutcome::EventLimit;
+            }
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > limit => {
+                    // Advance the clock to the limit so callers observe a
+                    // consistent "end of run" time.
+                    self.now = limit;
+                    return RunOutcome::TimeLimit;
+                }
+                Some(_) => {}
+            }
+            let (t, ev) = self.step().expect("peek said an event was pending");
+            if handler(self, t, ev) == Control::Stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_in_order_and_advances_clock() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.schedule_at(SimTime::from_secs_f64(2.0), 2);
+        sim.schedule_at(SimTime::from_secs_f64(1.0), 1);
+        let mut order = Vec::new();
+        let outcome = sim.run(|sim, t, ev| {
+            order.push((t.as_secs_f64(), ev));
+            if ev == 1 {
+                sim.schedule_in(SimDuration::from_millis(500), 3);
+            }
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(order, vec![(1.0, 1), (1.5, 3), (2.0, 2)]);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn time_limit_stops_and_clamps_clock() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.schedule_at(SimTime::from_secs_f64(10.0), ());
+        let outcome = sim.run_until(SimTime::from_secs_f64(5.0), |_, _, _| Control::Continue);
+        assert_eq!(outcome, RunOutcome::TimeLimit);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(5.0));
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn handler_can_stop() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_nanos(i), i as u32);
+        }
+        let outcome = sim.run(|_, _, ev| if ev == 3 { Control::Stop } else { Control::Continue });
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(sim.events_processed(), 4);
+    }
+
+    #[test]
+    fn event_limit_guards_runaway() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.set_event_limit(100);
+        sim.schedule_at(SimTime::ZERO, ());
+        let outcome = sim.run(|sim, _, _| {
+            sim.schedule_in(SimDuration::from_nanos(1), ());
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::EventLimit);
+        assert_eq!(sim.events_processed(), 100);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_clamped() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.schedule_at(SimTime::from_secs_f64(5.0), 1);
+        sim.run(|sim, _, ev| {
+            if ev == 1 {
+                // "One second ago" gets delivered immediately, not dropped.
+                sim.schedule_at(SimTime::from_secs_f64(4.0), 2);
+            }
+            Control::Continue
+        });
+        assert_eq!(sim.events_processed(), 2);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(5.0));
+    }
+}

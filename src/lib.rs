@@ -1,0 +1,28 @@
+//! `bullet-repro` — a full reproduction of *Maintaining High Bandwidth under
+//! Dynamic Network Conditions* (Kostić et al., USENIX ATC 2005), the Bullet′
+//! paper, as a Rust workspace.
+//!
+//! This umbrella crate re-exports every workspace member so examples,
+//! integration tests and downstream users can reach the whole system through
+//! one dependency:
+//!
+//! * [`bullet_prime`] — the Bullet′ protocol (the paper's contribution);
+//! * [`baselines`] — BitTorrent, original Bullet and SplitStream;
+//! * [`shotgun`] — the rsync-over-Bullet′ software-update tool;
+//! * [`netsim`] — the ModelNet-equivalent network emulator;
+//! * [`overlay`] — the control tree and RanSub;
+//! * [`dissem_codec`] — blocks, bitmaps, diffs and LT rateless codes;
+//! * [`desim`] — the deterministic discrete-event engine;
+//! * [`bullet_bench`] — the experiment harness regenerating Figures 4–15.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the measured reproduction of every figure.
+
+pub use baselines;
+pub use bullet_bench;
+pub use bullet_prime;
+pub use desim;
+pub use dissem_codec;
+pub use netsim;
+pub use overlay;
+pub use shotgun;

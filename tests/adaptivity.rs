@@ -1,0 +1,130 @@
+//! Integration tests for the paper's central claim: the adaptive mechanisms
+//! (dynamic peer sets, dynamic outstanding windows, rarest-random requests)
+//! hold up across network conditions where any single static choice breaks
+//! down.
+
+use bullet_repro::bullet_bench::{run_bullet_prime_with, Series};
+use bullet_repro::bullet_prime::{Config, OutstandingPolicy, PeerSetPolicy, RequestStrategy};
+use bullet_repro::desim::{RngFactory, SimDuration};
+use bullet_repro::dissem_codec::FileSpec;
+use bullet_repro::netsim::{dynamics, topology, NodeId, Topology};
+
+const LIMIT: SimDuration = SimDuration::from_secs(7_200);
+
+fn median_with(
+    topo: Topology,
+    seed: u64,
+    schedule: &bullet_repro::netsim::ChangeSchedule,
+    file: FileSpec,
+    tweak: impl FnOnce(&mut Config),
+) -> f64 {
+    let rng = RngFactory::new(seed);
+    let mut cfg = Config::new(file);
+    tweak(&mut cfg);
+    let (run, _) = run_bullet_prime_with(topo, &cfg, &rng, schedule, LIMIT);
+    assert_eq!(run.unfinished, 0);
+    Series::cdf("cfg", &run.times).quantile(0.5)
+}
+
+/// Fig 9's point: on a constrained-access topology more peers are *not*
+/// better, and the dynamic policy must stay within striking distance of the
+/// best static choice.
+#[test]
+fn dynamic_peering_tracks_the_best_static_choice_on_constrained_access() {
+    let seed = 31;
+    let file = FileSpec::from_mb_kb(2, 16);
+    let small = median_with(topology::constrained_access(24), seed, &Vec::new(), file, |c| {
+        c.peer_policy = PeerSetPolicy::Fixed(6)
+    });
+    let large = median_with(topology::constrained_access(24), seed, &Vec::new(), file, |c| {
+        c.peer_policy = PeerSetPolicy::Fixed(14)
+    });
+    let dynamic = median_with(topology::constrained_access(24), seed, &Vec::new(), file, |_| {});
+    let best = small.min(large);
+    assert!(
+        dynamic <= best * 1.35,
+        "dynamic ({dynamic:.1}s) should track the best static choice ({best:.1}s)"
+    );
+}
+
+/// Fig 10's point: on clean high-bandwidth-delay-product paths a tiny fixed
+/// outstanding window cannot fill the pipe; the dynamic controller must beat
+/// it and approach a generously sized fixed window.
+#[test]
+fn dynamic_outstanding_fills_high_bdp_pipes() {
+    let seed = 37;
+    let file = FileSpec::new(4 * 1024 * 1024, 8 * 1024);
+    let mk = || {
+        let rng = RngFactory::new(seed);
+        topology::high_bdp_clique(12, 0.0, &rng)
+    };
+    let tiny = median_with(mk(), seed, &Vec::new(), file, |c| {
+        c.outstanding_policy = OutstandingPolicy::Fixed(1)
+    });
+    let large = median_with(mk(), seed, &Vec::new(), file, |c| {
+        c.outstanding_policy = OutstandingPolicy::Fixed(50)
+    });
+    let dynamic = median_with(mk(), seed, &Vec::new(), file, |_| {});
+    assert!(
+        dynamic < tiny,
+        "dynamic ({dynamic:.1}s) must beat a one-block window ({tiny:.1}s) on high-BDP paths"
+    );
+    assert!(
+        dynamic <= large * 1.5,
+        "dynamic ({dynamic:.1}s) should be in the same league as a 50-block window ({large:.1}s)"
+    );
+}
+
+/// Fig 12's point: when a peer's dedicated links degrade one after another,
+/// having committed 50 outstanding blocks to each connection hurts the victim
+/// compared with the adaptive controller.
+#[test]
+fn dynamic_outstanding_limits_damage_from_cascading_slowdowns() {
+    let seed = 41;
+    let fast = 7usize;
+    let file = FileSpec::new(12 * 1024 * 1024, 8 * 1024);
+    // The reduced 12 MB download lasts ~10 s at 10 Mbps, so degrade one link
+    // every 2 s to reproduce the paper's "most links degraded before the
+    // victim finishes" situation.
+    let schedule = {
+        let senders: Vec<NodeId> = (1..fast as u32).map(NodeId).collect();
+        dynamics::cascading_degrade_schedule(&senders, NodeId(fast as u32), SimDuration::from_secs(2))
+    };
+    let victim_time = |tweak: fn(&mut Config)| {
+        let rng = RngFactory::new(seed);
+        let mut cfg = Config::new(file);
+        cfg.peer_policy = PeerSetPolicy::Fixed(6);
+        tweak(&mut cfg);
+        let (run, _) =
+            run_bullet_prime_with(topology::cascade_topology(fast), &cfg, &rng, &schedule, LIMIT);
+        assert_eq!(run.unfinished, 0);
+        // The victim is the last node and by construction the slowest.
+        run.times.iter().cloned().fold(0.0f64, f64::max)
+    };
+    let overcommitted = victim_time(|c| c.outstanding_policy = OutstandingPolicy::Fixed(50));
+    let dynamic = victim_time(|_| {});
+    assert!(
+        dynamic <= overcommitted * 1.05,
+        "dynamic ({dynamic:.1}s) should not lose to a 50-block window ({overcommitted:.1}s) under cascading slowdowns"
+    );
+}
+
+/// Fig 6's point: request ordering matters; rarest-random must not lose to
+/// first-encountered, which destroys block diversity.
+#[test]
+fn rarest_random_requests_do_not_lose_to_first_encountered() {
+    let seed = 43;
+    let file = FileSpec::from_mb_kb(4, 16);
+    let mk = || {
+        let rng = RngFactory::new(seed);
+        topology::modelnet_mesh(24, 0.03, &rng)
+    };
+    let first = median_with(mk(), seed, &Vec::new(), file, |c| {
+        c.request_strategy = RequestStrategy::FirstEncountered
+    });
+    let rarest_random = median_with(mk(), seed, &Vec::new(), file, |_| {});
+    assert!(
+        rarest_random <= first * 1.10,
+        "rarest-random ({rarest_random:.1}s) should not lose to first-encountered ({first:.1}s)"
+    );
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration tests: full dissemination runs spanning the
+//! emulator, the overlay substrate, Bullet′ and the baselines.
+
+use bullet_repro::bullet_bench::{run_bullet_prime_with, run_system, Series, SystemKind};
+use bullet_repro::bullet_prime::{Config, OutstandingPolicy, PeerSetPolicy};
+use bullet_repro::desim::{RngFactory, SimDuration};
+use bullet_repro::dissem_codec::FileSpec;
+use bullet_repro::netsim::dynamics::correlated_decrease_schedule;
+use bullet_repro::netsim::{topology, NodeId};
+
+const LIMIT: SimDuration = SimDuration::from_secs(3_600);
+
+#[test]
+fn bullet_prime_beats_the_physical_floor_but_not_by_magic() {
+    let rng = RngFactory::new(1);
+    let topo = topology::modelnet_mesh(20, 0.02, &rng);
+    let file = FileSpec::from_mb_kb(4, 16);
+    let floor = file.file_bytes as f64 / topo.node(NodeId(1)).down;
+    let cfg = Config::new(file);
+    let (run, _) = run_bullet_prime_with(topo, &cfg, &rng, &Vec::new(), LIMIT);
+    assert_eq!(run.unfinished, 0);
+    for &t in &run.times {
+        assert!(t >= floor, "a receiver finished faster ({t:.1}s) than its access link allows ({floor:.1}s)");
+        assert!(t < 40.0 * floor, "a receiver took implausibly long: {t:.1}s");
+    }
+}
+
+#[test]
+fn every_system_disseminates_the_same_workload() {
+    let file = FileSpec::from_mb_kb(2, 16);
+    for kind in SystemKind::all() {
+        let rng = RngFactory::new(3);
+        let topo = topology::modelnet_mesh(12, 0.01, &rng);
+        let run = run_system(kind, topo, file, &rng, &Vec::new(), LIMIT);
+        assert_eq!(run.times.len(), 11, "{kind:?}");
+        assert_eq!(run.unfinished, 0, "{kind:?} left receivers unfinished");
+    }
+}
+
+#[test]
+fn cross_system_runs_share_no_state() {
+    // Running two systems back to back with the same seed gives the same
+    // Bullet' results as running Bullet' alone — nothing leaks through globals.
+    let file = FileSpec::from_mb_kb(1, 16);
+    let solo = {
+        let rng = RngFactory::new(9);
+        let topo = topology::modelnet_mesh(8, 0.01, &rng);
+        run_system(SystemKind::BulletPrime, topo, file, &rng, &Vec::new(), LIMIT).times
+    };
+    let _noise = {
+        let rng = RngFactory::new(9);
+        let topo = topology::modelnet_mesh(8, 0.01, &rng);
+        run_system(SystemKind::BitTorrent, topo, file, &rng, &Vec::new(), LIMIT)
+    };
+    let again = {
+        let rng = RngFactory::new(9);
+        let topo = topology::modelnet_mesh(8, 0.01, &rng);
+        run_system(SystemKind::BulletPrime, topo, file, &rng, &Vec::new(), LIMIT).times
+    };
+    assert_eq!(solo, again);
+}
+
+#[test]
+fn bandwidth_changes_slow_fixed_configurations_down() {
+    // Under the paper's correlated-decrease scenario, a statically configured
+    // Bullet' should not be faster than it was on the static network.
+    let file = FileSpec::from_mb_kb(4, 16);
+    let median = |dynamic: bool| {
+        let rng = RngFactory::new(17);
+        let topo = topology::modelnet_mesh(16, 0.02, &rng);
+        let schedule = if dynamic {
+            correlated_decrease_schedule(
+                16,
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(600),
+                &rng,
+            )
+        } else {
+            Vec::new()
+        };
+        let mut cfg = Config::new(file);
+        cfg.peer_policy = PeerSetPolicy::Fixed(6);
+        cfg.outstanding_policy = OutstandingPolicy::Fixed(3);
+        let (run, _) = run_bullet_prime_with(topo, &cfg, &rng, &schedule, LIMIT);
+        Series::cdf("x", &run.times).quantile(0.5)
+    };
+    let static_net = median(false);
+    let dynamic_net = median(true);
+    assert!(
+        dynamic_net >= static_net * 0.95,
+        "cumulative bandwidth cuts should not speed the download up (static {static_net:.1}s, dynamic {dynamic_net:.1}s)"
+    );
+}
+
+#[test]
+fn encoded_and_unencoded_bullet_prime_both_complete() {
+    for encoded in [false, true] {
+        let rng = RngFactory::new(23);
+        let topo = topology::modelnet_mesh(10, 0.01, &rng);
+        let mut cfg = Config::new(FileSpec::from_mb_kb(2, 16));
+        if encoded {
+            cfg.transfer_mode = bullet_repro::bullet_prime::TransferMode::Encoded { epsilon: 0.04 };
+        }
+        let (run, nodes) = run_bullet_prime_with(topo, &cfg, &rng, &Vec::new(), LIMIT);
+        assert_eq!(run.unfinished, 0, "encoded={encoded}");
+        let needed = cfg.completion_target();
+        for node in nodes.iter().skip(1) {
+            assert!(node.blocks_held() >= needed, "encoded={encoded}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Smoke tests for the figure harness: every figure function runs at a tiny
+//! scale, produces non-empty series with the expected legends, and renders to
+//! both text and JSON.
+
+use bullet_repro::bullet_bench::experiments;
+use bullet_repro::bullet_bench::{CommonOpts, Figure};
+
+fn tiny() -> CommonOpts {
+    CommonOpts {
+        nodes: Some(8),
+        file_mb: Some(0.25),
+        time_limit: 1800.0,
+        ..CommonOpts::default()
+    }
+}
+
+fn check(fig: &Figure, expected_series: usize) {
+    assert_eq!(fig.series.len(), expected_series, "{}", fig.id);
+    for s in &fig.series {
+        assert!(!s.points.is_empty(), "{}: series {} is empty", fig.id, s.label);
+        assert!(s.max_x().is_finite());
+    }
+    let text = fig.render_text(false);
+    assert!(text.contains(&fig.id));
+    let json = fig.to_json();
+    assert!(json.contains("series"));
+}
+
+#[test]
+fn figure_4_and_5_smoke() {
+    check(&experiments::fig04(&tiny()), 6);
+    check(&experiments::fig05(&tiny()), 4);
+}
+
+#[test]
+fn figure_6_to_9_smoke() {
+    check(&experiments::fig06(&tiny()), 4);
+    check(&experiments::fig07(&tiny()), 4);
+    let mut opts = tiny();
+    opts.time_limit = 900.0;
+    check(&experiments::fig08(&opts), 4);
+    check(&experiments::fig09(&tiny()), 3);
+}
+
+#[test]
+fn figure_10_to_12_smoke() {
+    check(&experiments::fig10(&tiny()), 6);
+    check(&experiments::fig11(&tiny()), 5);
+    check(&experiments::fig12(&tiny()), 4);
+}
+
+#[test]
+fn figure_13_to_15_smoke() {
+    let f13 = experiments::fig13(&tiny());
+    check(&f13, 1);
+    assert!(f13.notes[0].contains("overage"));
+
+    let mut opts = tiny();
+    opts.nodes = Some(10);
+    opts.file_mb = Some(1.0);
+    check(&experiments::fig14(&opts), 4);
+    check(&experiments::fig15(&opts), 6);
+}
+
+#[test]
+fn reduced_and_full_scale_share_code_paths() {
+    // `--full` only changes workload parameters, not which series are produced.
+    let mut full = tiny();
+    full.full = true;
+    full.nodes = Some(8);
+    full.file_mb = Some(0.25);
+    let a = experiments::fig04(&tiny());
+    let b = experiments::fig04(&full);
+    assert_eq!(a.series.len(), b.series.len());
+}
