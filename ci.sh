@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# CI gate for bullet-repro. Mirrors the tier-1 verify from ROADMAP.md plus
+# lint and smoke gates. Run from the repository root: ./ci.sh
+set -eu
+
+echo "==> cargo build --release (all targets)"
+cargo build --release --all-targets
+
+echo "==> cargo test -q (workspace unit + integration suites)"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+# The figure harness must stay runnable end to end at tiny scale. These tests
+# are part of the plain suite already (none are #[ignore]d — keep it that
+# way); running the file alone gives CI a named, attributable gate.
+echo "==> figure smoke gate (tests/figures_smoke.rs)"
+cargo test -q --test figures_smoke
+
+echo "==> CI green"

@@ -338,7 +338,7 @@ mod tests {
         let rng = RngFactory::new(5);
         let forest = StripeForest::build(40, 8, &rng);
         for stripe in 0..8 {
-            let mut seen = vec![false; 40];
+            let mut seen = [false; 40];
             let mut stack = vec![NodeId(0)];
             seen[0] = true;
             while let Some(x) = stack.pop() {

@@ -238,6 +238,7 @@ pub fn fig09(opts: &CommonOpts) -> Figure {
 }
 
 /// Shared core of Figs 10–12: fixed outstanding-request windows vs dynamic.
+#[allow(clippy::too_many_arguments)] // one slot per experiment knob; a builder would obscure the 1:1 mapping to the figures
 fn outstanding_sizing(
     opts: &CommonOpts,
     id: &str,

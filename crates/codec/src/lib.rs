@@ -86,6 +86,85 @@ mod proptests {
             prop_assert_eq!(heard, have_set);
         }
 
+        /// Merging availability sets is idempotent and commutative: unioning
+        /// the same bitmap in twice changes nothing, and either merge order
+        /// yields the same set.
+        #[test]
+        fn bitmap_merge_idempotent_and_commutative(
+            a in proptest::collection::vec(0u32..256, 0..200),
+            b in proptest::collection::vec(0u32..256, 0..200),
+        ) {
+            let mut ba = BlockBitmap::new(256);
+            let mut bb = BlockBitmap::new(256);
+            for i in a { ba.insert(BlockId(i)); }
+            for i in b { bb.insert(BlockId(i)); }
+
+            let mut once = ba.clone();
+            once.union_with(&bb);
+            let mut twice = once.clone();
+            twice.union_with(&bb);
+            prop_assert_eq!(&once, &twice);
+
+            let mut other_order = bb.clone();
+            other_order.union_with(&ba);
+            prop_assert_eq!(&once, &other_order);
+            prop_assert!(once.count() >= ba.count().max(bb.count()));
+        }
+
+        /// A `DiffTracker` is idempotent over an unchanged availability set:
+        /// once a diff is emitted, asking again (even with a tighter entry
+        /// budget) advertises nothing until the sender actually gains blocks,
+        /// and new acquisitions alone appear in the next diff.
+        #[test]
+        fn diff_tracker_does_not_readvertise(
+            have in proptest::collection::vec(0u32..128, 0..80),
+            gained in proptest::collection::vec(0u32..128, 0..80),
+            budget in 1usize..16,
+        ) {
+            let mut sender = BlockBitmap::new(128);
+            for &i in &have { sender.insert(BlockId(i)); }
+            let mut tracker = DiffTracker::new();
+            let first = tracker.next_diff(&sender, usize::MAX);
+            prop_assert_eq!(first.blocks.len() as u32, sender.count());
+
+            // Unchanged availability: repeated polls stay empty.
+            prop_assert!(tracker.next_diff(&sender, usize::MAX).is_empty());
+            prop_assert!(tracker.next_diff(&sender, budget).is_empty());
+
+            // After gaining blocks, only the genuinely new ones are diffed.
+            let before = sender.clone();
+            for &i in &gained { sender.insert(BlockId(i)); }
+            let second = tracker.next_diff(&sender, usize::MAX);
+            for b in &second.blocks {
+                prop_assert!(!before.contains(*b), "{b:?} re-advertised");
+                prop_assert!(sender.contains(*b));
+            }
+            prop_assert_eq!(second.blocks.len() as u32, sender.count() - before.count());
+        }
+
+        /// LT decoding is robust to duplicated encoded blocks: feeding every
+        /// block twice still converges to the original content.
+        #[test]
+        fn lt_round_trip_survives_duplicates(
+            len in 1usize..1200,
+            block in 1usize..129,
+            seed in any::<u64>(),
+        ) {
+            let data: Vec<u8> = (0..len).map(|i| (i as u64 ^ seed) as u8).collect();
+            let mut enc = LtEncoder::new(&data, block, seed);
+            let k = enc.num_source_blocks();
+            let mut dec = LtDecoder::new(k, block);
+            let mut fed = 0u64;
+            while !dec.is_complete() {
+                let encoded = enc.next_block();
+                dec.push(&encoded);
+                dec.push(&encoded);
+                fed += 1;
+                prop_assert!(fed < 20 * u64::from(k) + 200, "decoder failed to converge");
+            }
+            prop_assert_eq!(dec.assemble(data.len()).unwrap(), data);
+        }
+
         /// LT codes round-trip arbitrary content with arbitrary block sizes.
         #[test]
         fn lt_round_trip(

@@ -325,7 +325,7 @@ mod tests {
     fn reception_overhead_is_a_few_percent() {
         let overhead = measure_reception_overhead(1000, 32, 7);
         assert!(
-            overhead >= 0.0 && overhead < 0.35,
+            (0.0..0.35).contains(&overhead),
             "overhead {overhead} out of plausible range"
         );
     }

@@ -70,6 +70,11 @@ mod end_to_end {
         assert_eq!(report.reason, StopReason::AllComplete, "{report:?}");
         for node in nodes.iter().skip(1) {
             assert!(node.is_complete(), "node {} incomplete", node.id());
+            // 512 KiB file / 16 KiB blocks = exactly 32 source blocks. In the
+            // default unencoded mode (§3 of the paper) a receiver is complete
+            // when it holds every source block, no more and no fewer — unlike
+            // the encoded mode, where completion needs (1+eps)*k distinct
+            // encoded blocks (see `encoded_mode_completes_with_overhead_target`).
             assert_eq!(node.blocks_held(), 32);
             assert!(node.metrics().completed_at.is_some());
         }

@@ -12,13 +12,15 @@ use bullet_repro::dissem_codec::FileSpec;
 use bullet_repro::netsim::dynamics::correlated_decrease_schedule;
 use bullet_repro::netsim::topology;
 
+type ConfigTweak = fn(&mut Config);
+
 fn main() {
     let nodes = 30;
     let file = FileSpec::from_mb_kb(10, 16);
     let seed = 11;
     let limit = SimDuration::from_secs(3600);
 
-    let variants: [(&str, fn(&mut Config)); 2] = [
+    let variants: [(&str, ConfigTweak); 2] = [
         ("adaptive (dynamic peers + dynamic outstanding)", |_cfg| {}),
         ("static (6 peers, 3 outstanding)", |cfg| {
             cfg.peer_policy = PeerSetPolicy::Fixed(6);

@@ -1,0 +1,68 @@
+//! Workspace-level determinism regression: the whole stack — topology
+//! generation, the discrete-event engine, every protocol implementation and
+//! the harness — must be a pure function of the `RngFactory` seed.
+//!
+//! Each check runs the same experiment twice from identical seeds and
+//! requires the *byte-identical* debug rendering of the result, which covers
+//! every field (per-node completion times at full `f64` precision, event
+//! counts, end times and stop reasons). A change that breaks this is almost
+//! always an accidental source of nondeterminism (iteration over an unordered
+//! map, RNG stream shared across components, time-order tie broken by
+//! allocation order, ...) and would silently invalidate every figure.
+
+use bullet_repro::bullet_bench::{run_system, SystemKind};
+use bullet_repro::bullet_prime::{build_runner, Config};
+use bullet_repro::desim::{RngFactory, SimDuration};
+use bullet_repro::dissem_codec::FileSpec;
+use bullet_repro::netsim::{topology, RunReport};
+
+const NODES: usize = 10;
+const SEED: u64 = 20050410;
+
+fn file() -> FileSpec {
+    FileSpec::new(256 * 1024, 16 * 1024)
+}
+
+fn bullet_prime_report(seed: u64) -> RunReport {
+    let rng = RngFactory::new(seed);
+    let topo = topology::modelnet_mesh(NODES, 0.01, &rng);
+    let cfg = Config::new(file());
+    let mut runner = build_runner(topo, &cfg, &rng);
+    runner.run(SimDuration::from_secs(3_600))
+}
+
+#[test]
+fn bullet_prime_run_reports_are_byte_identical() {
+    let a = format!("{:?}", bullet_prime_report(SEED));
+    let b = format!("{:?}", bullet_prime_report(SEED));
+    assert_eq!(a, b, "same seed must reproduce the RunReport byte for byte");
+
+    let c = format!("{:?}", bullet_prime_report(SEED + 1));
+    assert_ne!(a, c, "a different seed should not reproduce the same run");
+}
+
+#[test]
+fn all_four_systems_are_deterministic() {
+    for kind in SystemKind::all() {
+        let run = |seed: u64| {
+            let rng = RngFactory::new(seed);
+            let topo = topology::modelnet_mesh(NODES, 0.01, &rng);
+            run_system(
+                kind,
+                topo,
+                file(),
+                &rng,
+                &Vec::new(),
+                SimDuration::from_secs(3_600),
+            )
+        };
+        let a = format!("{:?}", run(SEED));
+        let b = format!("{:?}", run(SEED));
+        assert_eq!(
+            a,
+            b,
+            "{}: same seed must reproduce the run byte for byte",
+            kind.label()
+        );
+    }
+}

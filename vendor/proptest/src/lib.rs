@@ -1,0 +1,122 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of proptest the workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, `any::<T>()`, integer-range
+//! and simple regex-string strategies, `proptest::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertions.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **Deterministic**: every run derives its RNG from the test's name, so
+//!   failures reproduce exactly — there is no environment-dependent entropy.
+//! * **No shrinking**: a failing case panics with its case index; rerunning
+//!   reproduces it because generation is deterministic.
+//! * Default case count is 64 (not 256) to keep the tier-1 suite fast; use
+//!   `ProptestConfig::with_cases` to override either way.
+
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Any, Strategy};
+
+/// The RNG handed to strategies (the workspace's deterministic `StdRng`).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Subset of proptest's run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Builds the per-test deterministic RNG: FNV-1a over the test name mixed
+/// with the case index.
+pub fn rng_for_case(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts inside a property body (plain `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The property-test macro: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that generates `cases` deterministic inputs and runs
+/// the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __rng = $crate::rng_for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(
+                    #[allow(unused_mut)]
+                    let mut $arg = $crate::Strategy::generate(&($strat), &mut __rng);
+                )+
+                $body
+            }
+        }
+    )*};
+}

@@ -1,0 +1,136 @@
+//! Value-generation strategies.
+
+use crate::TestRng;
+use rand::distributions::uniform::SampleUniform;
+use rand::distributions::{Distribution, Standard};
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + PartialOrd + Copy,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + PartialOrd + Copy,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// The full-domain strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T>() -> Any<T>
+where
+    Standard: Distribution<T>,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// String strategies from a pattern literal, e.g. `"[a-z]{1,12}"`.
+///
+/// Supports the tiny regex subset the workspace uses: a sequence of atoms,
+/// where an atom is a literal character or a character class of single chars
+/// and ranges (`[a-z0-9_]`), optionally followed by `{n}` or `{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed '[' in pattern {self:?}"))
+                        + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            assert!(lo <= hi, "bad range in pattern {self:?}");
+                            set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    set
+                }
+                '{' | '}' | ']' | '*' | '+' | '?' | '|' | '(' | ')' =>
+
+                    panic!("unsupported regex construct {:?} in pattern {self:?} (vendored proptest subset)", chars[i]),
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed '{{' in pattern {self:?}"))
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("bad repeat count"),
+                        n.trim().parse::<usize>().expect("bad repeat count"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse::<usize>().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!set.is_empty(), "empty character class in pattern {self:?}");
+            let count = rng.gen_range(lo..=hi);
+            for _ in 0..count {
+                out.push(set[rng.gen_range(0..set.len())]);
+            }
+        }
+        out
+    }
+}

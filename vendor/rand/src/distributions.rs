@@ -1,0 +1,199 @@
+//! Distributions (subset of `rand::distributions`).
+
+use crate::{Rng, RngCore};
+use std::marker::PhantomData;
+
+/// Types that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "canonical" uniform distribution over a type's natural domain
+/// (full integer range, `[0, 1)` for floats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform in `[0, 1)` with 53 bits of precision, as in `rand 0.8`.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Iterator returned by [`Rng::sample_iter`].
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<D, R, T> DistIter<D, R, T> {
+    pub(crate) fn new(distr: D, rng: R) -> Self {
+        DistIter { distr, rng, _marker: PhantomData }
+    }
+}
+
+impl<D, R, T> Iterator for DistIter<D, R, T>
+where
+    D: Distribution<T>,
+    R: RngCore,
+{
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges (subset of `rand::distributions::uniform`).
+
+    use crate::distributions::Distribution;
+    use crate::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be uniformly sampled from a range.
+    pub trait SampleUniform: Sized {
+        /// Uniform draw from `[low, high)`. `high` is exclusive.
+        fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Uniform draw from `[low, high]`, both ends inclusive.
+        fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    /// Range-shaped arguments accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range called with empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "gen_range called with empty range");
+            T::sample_inclusive(rng, low, high)
+        }
+    }
+
+    macro_rules! uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as u64) - (low as u64);
+                    // Debiased multiply-shift (Lemire); span > 0 by caller check.
+                    let mut x = rng.next_u64();
+                    let mut m = (x as u128).wrapping_mul(span as u128);
+                    let mut lo = m as u64;
+                    if lo < span {
+                        let t = span.wrapping_neg() % span;
+                        while lo < t {
+                            x = rng.next_u64();
+                            m = (x as u128).wrapping_mul(span as u128);
+                            lo = m as u64;
+                        }
+                    }
+                    low + ((m >> 64) as u64 as $t)
+                }
+                #[inline]
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    if high == <$t>::MAX {
+                        if low == <$t>::MIN {
+                            return rng.next_u64() as $t;
+                        }
+                        return Self::sample_half_open(rng, low - 1, high) + 1;
+                    }
+                    Self::sample_half_open(rng, low, high + 1)
+                }
+            }
+        )*};
+    }
+    uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_int {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as $u).wrapping_sub(low as $u);
+                    let offset = <u64 as SampleUniform>::sample_half_open(rng, 0, span as u64) as $u;
+                    ((low as $u).wrapping_add(offset)) as $t
+                }
+                #[inline]
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    if high == <$t>::MAX {
+                        if low == <$t>::MIN {
+                            return rng.next_u64() as $t;
+                        }
+                        return Self::sample_half_open(rng, low - 1, high) + 1;
+                    }
+                    Self::sample_half_open(rng, low, high + 1)
+                }
+            }
+        )*};
+    }
+    uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let unit: $t = crate::Standard.sample(rng);
+                    let v = low + unit * (high - low);
+                    // Guard against rounding up to the excluded endpoint.
+                    if v >= high { <$t>::from_bits(high.to_bits() - 1) } else { v }
+                }
+                #[inline]
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let unit: $t = crate::Standard.sample(rng);
+                    low + unit * (high - low)
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+}

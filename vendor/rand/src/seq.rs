@@ -1,0 +1,105 @@
+//! Sequence utilities (subset of `rand::seq`).
+
+use crate::Rng;
+
+/// Slice extensions (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniformly random element, `None` on an empty slice.
+    fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+    where
+        R: Rng + ?Sized;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: Rng + ?Sized;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R>(&self, rng: &mut R) -> Option<&T>
+    where
+        R: Rng + ?Sized,
+    {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: Rng + ?Sized,
+    {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+}
+
+pub mod index {
+    //! Index sampling without replacement (subset of `rand::seq::index`).
+
+    use crate::Rng;
+
+    /// The sampled indices, in selection order.
+    #[derive(Debug, Clone)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// True when no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+
+        /// Consumes into a `Vec<usize>`.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length`, uniformly.
+    ///
+    /// Uses a partial Fisher–Yates over a scratch index table; `length` in
+    /// this workspace is at most a few thousand, so O(length) scratch is fine.
+    pub fn sample<R>(rng: &mut R, length: usize, amount: usize) -> IndexVec
+    where
+        R: Rng + ?Sized,
+    {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} distinct indices from 0..{length}"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..length);
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+}

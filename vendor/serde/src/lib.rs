@@ -1,0 +1,155 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! just what the workspace uses: `#[derive(Serialize, Deserialize)]` and
+//! enough of a data model for `serde_json::to_string_pretty`. Instead of the
+//! real serde visitor architecture, [`Serialize`] lowers values to a small
+//! JSON-shaped [`Value`] tree that `serde_json` then renders. The derive
+//! macros live in the sibling `serde_derive` crate and target this model.
+//!
+//! [`Deserialize`] is a marker trait only: nothing in the workspace
+//! deserialises yet. Deriving it compiles and does nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A JSON-shaped value tree — the serialisation data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object (field order = declaration order).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can lower themselves to a [`Value`] tree.
+pub trait Serialize {
+    /// Lowers `self` to the serialisation data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for types that could be deserialised (unused in this workspace).
+pub trait Deserialize: Sized {}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Value::Array(vec![$($name.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! { (A) (A, B) (A, B, C) (A, B, C, D) }
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}

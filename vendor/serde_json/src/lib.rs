@@ -1,0 +1,126 @@
+//! Offline subset of `serde_json`: renders the vendored serde [`Value`] tree
+//! as JSON text. Only the serialisation half exists; nothing in the
+//! workspace parses JSON back in.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialisation error (the value model is infallible; this exists only for
+/// signature compatibility with the real crate).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Human-readable JSON with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => write_float(out, *x),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            write_seq(out, indent, depth, '[', ']', items.iter(), |out, item, depth| {
+                write_value(out, item, indent, depth)
+            });
+        }
+        Value::Object(entries) => {
+            write_seq(out, indent, depth, '{', '}', entries.iter(), |out, (k, val), depth| {
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth);
+            });
+        }
+    }
+}
+
+fn write_seq<I, T>(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    items: I,
+    mut write_item: impl FnMut(&mut String, T, usize),
+) where
+    I: ExactSizeIterator<Item = T>,
+{
+    if items.len() == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    let inner = depth + 1;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, inner);
+        write_item(out, item, inner);
+    }
+    newline_indent(out, indent, depth);
+    out.push(close);
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // Match serde_json: integral floats keep a trailing ".0".
+        if x == x.trunc() && x.abs() < 1e15 {
+            out.push_str(&format!("{x:.1}"));
+        } else {
+            out.push_str(&x.to_string());
+        }
+    } else {
+        // serde_json rejects these; figures never contain them, but degrade
+        // gracefully rather than panic inside a formatter.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
