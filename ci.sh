@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # CI gate for bullet-repro. Mirrors the tier-1 verify from ROADMAP.md plus
-# lint and smoke gates. Run from the repository root: ./ci.sh
+# lint, smoke and perf-trajectory gates. Run from the repository root: ./ci.sh
 set -eu
 
 echo "==> cargo build --release (all targets)"
@@ -12,10 +12,26 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+# Documentation gate for the first-party crates (vendor/ shims are exempt,
+# like every other lint): intra-doc links and rustdoc warnings stay clean.
+# (A `cargo fmt --check` gate is deliberately NOT enabled yet: the seed tree
+# predates rustfmt and a whole-tree reformat belongs in its own PR.)
+echo "==> cargo doc --no-deps -D warnings (first-party crates)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p desim -p netsim -p overlay -p dissem-codec -p shotgun \
+    -p bullet-prime -p baselines -p bullet-bench -p bullet-repro
+
 # The figure harness must stay runnable end to end at tiny scale. These tests
 # are part of the plain suite already (none are #[ignore]d — keep it that
 # way); running the file alone gives CI a named, attributable gate.
 echo "==> figure smoke gate (tests/figures_smoke.rs)"
 cargo test -q --test figures_smoke
+
+# Perf trajectory: a fixed-seed, dynamics-heavy Figure-5-style run. The JSON
+# records events-processed (deterministic scheduler-efficiency proxy) and
+# wall-clock; compare against the previous PR's BENCH_events.json before
+# merging scheduler or network-model changes.
+echo "==> perf record (BENCH_events.json)"
+./target/release/bench_events --out BENCH_events.json
 
 echo "==> CI green"

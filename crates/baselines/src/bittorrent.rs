@@ -577,6 +577,22 @@ impl Protocol<BtMsg> for BitTorrentNode {
         }
     }
 
+    fn on_peer_failed(&mut self, ctx: &mut Ctx<'_, BtMsg>, peer: NodeId) {
+        // Connection reset: forget the neighbour and free its request slots
+        // so the blocks become requestable from the survivors.
+        if let Some(n) = self.neighbours.remove(&peer) {
+            for b in n.outstanding {
+                self.in_flight.remove(&b);
+            }
+        }
+        if self.optimistic == Some(peer) {
+            self.optimistic = None;
+        }
+        // The tracker stops handing out the dead peer.
+        self.swarm.retain(|&p| p != peer);
+        self.issue_requests(ctx);
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_, BtMsg>, kind: u32, _data: u64) {
         match kind {
             TIMER_CHOKE => {

@@ -125,6 +125,18 @@ impl StripeForest {
     pub fn fanout(&self, node: NodeId) -> usize {
         (0..self.stripes).map(|s| self.children(s, node).len()).sum()
     }
+
+    /// Removes `node` from every child list (used when it leaves or crashes).
+    /// Its own subtrees are *not* re-parented: SplitStream has no repair
+    /// mechanism in this model, which is exactly the structural weakness the
+    /// paper's comparison highlights.
+    pub fn remove_node(&mut self, node: NodeId) {
+        for tree in &mut self.children {
+            for kids in tree.iter_mut() {
+                kids.retain(|&c| c != node);
+            }
+        }
+    }
 }
 
 /// A SplitStream participant.
@@ -288,6 +300,13 @@ impl Protocol<SsMsg> for SplitStreamNode {
     fn on_block_sent(&mut self, ctx: &mut Ctx<'_, SsMsg>, to: NodeId, _block: BlockId) {
         self.drain_child(ctx, to);
         self.source_inject(ctx);
+    }
+
+    fn on_peer_failed(&mut self, _ctx: &mut Ctx<'_, SsMsg>, peer: NodeId) {
+        // Stop forwarding to the dead child; if the peer was our parent in
+        // some stripe we simply stop receiving that stripe (no repair).
+        self.backlog.remove(&peer);
+        self.forest.remove_node(peer);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, SsMsg>, kind: u32, _data: u64) {

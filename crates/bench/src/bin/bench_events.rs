@@ -1,0 +1,75 @@
+//! Emits a small JSON performance record (`BENCH_events.json`) for a
+//! fixed-seed, dynamics-heavy Figure-5-style run, so successive PRs have a
+//! perf trajectory to compare against: the number of simulator events
+//! processed is a deterministic proxy for scheduler efficiency, and the
+//! wall-clock time tracks real cost on the same machine.
+//!
+//! Usage: `bench_events [--out PATH]` (default `BENCH_events.json` in the
+//! current directory). All workload parameters are fixed on purpose — the
+//! point is comparability across commits, not configurability.
+
+use std::time::Instant;
+
+use bullet_bench::systems::paper_dynamic_schedule;
+use bullet_prime::Config;
+use desim::{RngFactory, SimDuration};
+use dissem_codec::FileSpec;
+use netsim::topology;
+
+/// Fixed workload: the reduced Figure 5 shape (synthetic correlated
+/// bandwidth decreases every 20 s on a lossy mesh), which is the most
+/// reprice-heavy run in the suite.
+const SEED: u64 = 20050410;
+const NODES: usize = 30;
+const FILE_BYTES: u64 = 16 * 1024 * 1024;
+const BLOCK_BYTES: u32 = 16 * 1024;
+const TIME_LIMIT_SECS: u64 = 7_200;
+
+fn main() {
+    let mut out_path = String::from("BENCH_events.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a value");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown option {other}\nusage: bench_events [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rng = RngFactory::new(SEED);
+    let topo = topology::modelnet_mesh(NODES, 0.03, &rng);
+    let cfg = Config::new(FileSpec::new(FILE_BYTES, BLOCK_BYTES));
+    let schedule = paper_dynamic_schedule(NODES, TIME_LIMIT_SECS as f64, &rng);
+
+    let started = Instant::now();
+    let mut runner = bullet_prime::build_runner(topo, &cfg, &rng);
+    for (at, batch) in &schedule {
+        runner.schedule_link_change(*at, batch.clone());
+    }
+    let report = runner.run(SimDuration::from_secs(TIME_LIMIT_SECS));
+    let wall = started.elapsed().as_secs_f64();
+
+    // The committed record holds only deterministic, machine-independent
+    // fields, so re-running ci.sh on unchanged code leaves it untouched;
+    // wall-clock is printed but never written.
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig05-style dynamics-heavy run\",\n  \"seed\": {SEED},\n  \"nodes\": {NODES},\n  \"file_bytes\": {FILE_BYTES},\n  \"block_bytes\": {BLOCK_BYTES},\n  \"events_processed\": {},\n  \"virtual_end_secs\": {:.6},\n  \"stop_reason\": \"{:?}\"\n}}\n",
+        report.events,
+        report.end_time.as_secs_f64(),
+        report.reason,
+    );
+    print!("{json}");
+    println!("wall_clock_secs (this machine, not recorded): {wall:.3}");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -46,7 +46,7 @@ fn main() {
             ),
         ));
     }
-    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    rows.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
     for (_, line) in rows {
         println!("{line}");
     }
@@ -55,14 +55,14 @@ fn main() {
     by_completion.sort_by(|a, b| {
         let ta = runner.node(*a).metrics().completed_at.unwrap_or(f64::MAX);
         let tb = runner.node(*b).metrics().completed_at.unwrap_or(f64::MAX);
-        ta.partial_cmp(&tb).expect("finite")
+        f64::total_cmp(&ta, &tb)
     });
     for id in by_completion.iter().rev().take(3) {
         let m = runner.node(*id).metrics();
         let gaps = m.inter_arrival_times();
         let mut biggest: Vec<(usize, f64)> =
             gaps.iter().copied().enumerate().collect();
-        biggest.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        biggest.sort_by(|a, b| f64::total_cmp(&b.1, &a.1));
         let last: Vec<String> = m
             .arrival_times
             .iter()

@@ -1,0 +1,8 @@
+//! Regenerates the crash-churn experiment (Figure 16, beyond the paper).
+//! Run with `--help` for options.
+
+fn main() {
+    let opts = bullet_bench::CommonOpts::from_env();
+    let figure = bullet_bench::experiments::fig16(&opts);
+    bullet_bench::emit(&figure, &opts);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the flash-crowd experiment (Figure 17, beyond the paper).
+//! Run with `--help` for options.
+
+fn main() {
+    let opts = bullet_bench::CommonOpts::from_env();
+    let figure = bullet_bench::experiments::fig17(&opts);
+    bullet_bench::emit(&figure, &opts);
+}

@@ -22,7 +22,7 @@ impl Series {
     /// Builds a CDF series from unsorted completion times.
     pub fn cdf(label: impl Into<String>, times: &[f64]) -> Self {
         let mut sorted: Vec<f64> = times.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len().max(1) as f64;
         let points = sorted
             .iter()

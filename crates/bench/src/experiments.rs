@@ -11,9 +11,10 @@
 //! restores the paper's sizes. EXPERIMENTS.md records the measured
 //! paper-vs-reproduction comparison for every figure.
 
-use desim::{RngFactory, SimDuration};
+use desim::{RngFactory, SimDuration, SimTime};
 use dissem_codec::FileSpec;
-use netsim::{topology, ChangeSchedule};
+use netsim::dynamics::{crash_wave_schedule, flash_crowd_schedule};
+use netsim::{topology, ChangeSchedule, NodeEvent};
 
 use bullet_prime::{Config, OutstandingPolicy, PeerSetPolicy, RequestStrategy};
 use shotgun::{parallel_rsync_times, planetlab_client_bandwidths, simulate_shotgun, RsyncModelParams};
@@ -22,7 +23,8 @@ use crate::bounds;
 use crate::cdf::{improvement_at, Figure, Series};
 use crate::opts::CommonOpts;
 use crate::systems::{
-    cascade_schedule, paper_dynamic_schedule, run_bullet_prime_with, run_system, SystemKind,
+    cascade_schedule, paper_dynamic_schedule, run_bullet_prime_churn, run_bullet_prime_with,
+    run_system, SystemKind,
 };
 
 fn limit(opts: &CommonOpts) -> SimDuration {
@@ -445,6 +447,130 @@ pub fn fig14(opts: &CommonOpts) -> Figure {
         "slowest BulletPrime node {:.0}s vs slowest BitTorrent node {:.0}s (paper: ~400s sooner on a 50MB download)",
         ours.max_x(),
         bt.max_x()
+    ));
+    fig
+}
+
+/// Figure 16 (beyond the paper): Bullet′ under crash churn. A fraction of
+/// the receivers crashes — connections reset, no goodbye — at instants spread
+/// over the middle of the transfer; the figure shows the completion-time CDF
+/// of the *surviving* receivers for 0%/10%/25%/50% crash fractions.
+pub fn fig16(opts: &CommonOpts) -> Figure {
+    let nodes = opts.nodes_or(40, 100);
+    let file = FileSpec::new(opts.file_bytes_or(10.0, 100.0), opts.block_bytes_or(16));
+    let rng = RngFactory::new(opts.seed);
+    let mut fig = Figure::new(
+        "Figure 16",
+        format!("survivor download-time CDF under receiver crash waves ({nodes} nodes)"),
+    );
+
+    // Calibrate the crash window off the churn-free run so "mid-transfer"
+    // stays mid-transfer at every workload scale.
+    let topo = topology::modelnet_mesh(nodes, 0.03, &rng);
+    let cfg = Config::new(file);
+    let (clean, _) = run_bullet_prime_with(topo, &cfg, &rng, &Vec::new(), limit(opts));
+    let median = Series::cdf("tmp", &clean.times).quantile(0.5);
+    fig.push(Series::cdf("BulletPrime, no churn", &clean.times));
+
+    for fraction in [0.10, 0.25, 0.50] {
+        let window_start = SimTime::from_secs_f64(0.2 * median);
+        let window_end = SimTime::from_secs_f64(0.6 * median);
+        let churn = crash_wave_schedule(nodes, fraction, window_start, window_end, &rng);
+        let crashed = churn.len();
+        let topo = topology::modelnet_mesh(nodes, 0.03, &rng);
+        let cfg = Config::new(file);
+        let (run, report, _) = run_bullet_prime_churn(topo, &cfg, &rng, &churn, limit(opts));
+        let mut series = Series::cdf(
+            format!("BulletPrime, {:.0}% crash ({crashed} nodes)", fraction * 100.0),
+            &run.times,
+        );
+        if run.unfinished > 0 {
+            series.label = format!("{} ({} unfinished)", series.label, run.unfinished);
+        }
+        fig.push(series);
+        debug_assert_eq!(
+            report.departed.iter().filter(|&&d| d).count(),
+            crashed,
+            "every scheduled crash must have taken effect"
+        );
+    }
+
+    let worst = fig.series.last().expect("pushed above");
+    fig.note(format!(
+        "no-churn median {:.1}s vs 50%-crash survivor median {:.1}s; crashed nodes are excluded from the stop condition and the CDF",
+        fig.series[0].quantile(0.5),
+        worst.quantile(0.5),
+    ));
+    fig
+}
+
+/// Figure 17 (beyond the paper): a flash crowd. Only the source and a quarter
+/// of the receivers are present at t = 0; the rest join in a wave across the
+/// middle of the transfer. The CDF shows per-receiver *download duration*
+/// (completion time minus join time), so late joiners are comparable to the
+/// initial group.
+pub fn fig17(opts: &CommonOpts) -> Figure {
+    let nodes = opts.nodes_or(40, 100);
+    let file = FileSpec::new(opts.file_bytes_or(10.0, 100.0), opts.block_bytes_or(16));
+    let rng = RngFactory::new(opts.seed);
+    let mut fig = Figure::new(
+        "Figure 17",
+        format!("download-duration CDF with a flash-crowd join wave ({nodes} nodes)"),
+    );
+
+    // Everyone-from-the-start baseline, which also calibrates the join window.
+    let topo = topology::modelnet_mesh(nodes, 0.03, &rng);
+    let cfg = Config::new(file);
+    let (clean, _) = run_bullet_prime_with(topo, &cfg, &rng, &Vec::new(), limit(opts));
+    let median = Series::cdf("tmp", &clean.times).quantile(0.5);
+    fig.push(Series::cdf("BulletPrime, all present at t=0", &clean.times));
+
+    let initial = 1 + (nodes - 1) / 4; // source + 25% of the receivers
+    let churn = flash_crowd_schedule(
+        nodes,
+        initial,
+        SimTime::from_secs_f64(0.25 * median),
+        SimTime::from_secs_f64(0.75 * median),
+    );
+    let topo = topology::modelnet_mesh(nodes, 0.03, &rng);
+    let cfg = Config::new(file);
+    let (_, report, _) = run_bullet_prime_churn(topo, &cfg, &rng, &churn, limit(opts));
+    let join_time = |node: usize| -> f64 {
+        churn
+            .iter()
+            .find_map(|(at, ev)| match ev {
+                NodeEvent::Join(n) if n.index() == node => Some(at.as_secs_f64()),
+                _ => None,
+            })
+            .unwrap_or(0.0)
+    };
+    let end = report.end_time.as_secs_f64();
+    let mut unfinished = 0usize;
+    let durations: Vec<f64> = (1..nodes)
+        .map(|i| {
+            let joined = join_time(i);
+            match report.completion_secs[i] {
+                Some(c) => c - joined,
+                None => {
+                    unfinished += 1;
+                    end - joined
+                }
+            }
+        })
+        .collect();
+    let mut series = Series::cdf(
+        format!("BulletPrime, flash crowd ({} join late)", nodes - initial),
+        &durations,
+    );
+    if unfinished > 0 {
+        series.label = format!("{} ({unfinished} unfinished)", series.label);
+    }
+    fig.push(series);
+
+    fig.note(format!(
+        "all-at-start median {:.1}s vs flash-crowd per-node median {:.1}s (late joiners measured from their join instant)",
+        fig.series[0].quantile(0.5),
+        fig.series[1].quantile(0.5),
     ));
     fig
 }

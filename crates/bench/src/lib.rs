@@ -6,11 +6,14 @@
 //! * [`systems`] — uniform runners for Bullet′, Bullet, BitTorrent and
 //!   SplitStream over a topology and change schedule;
 //! * [`bounds`] — the analytic reference curves of Fig 4;
-//! * [`experiments`] — one function per figure (4–15).
+//! * [`experiments`] — one function per figure (4–15 from the paper, plus
+//!   16/17: crash-churn and flash-crowd scenarios beyond the paper).
 //!
-//! Binaries: `fig04` … `fig15` regenerate the corresponding figure (reduced
+//! Binaries: `fig04` … `fig17` regenerate the corresponding figure (reduced
 //! scale by default, `--full` for the paper's workload), `lt_overhead`
-//! measures the rateless-code reception overhead quoted in §2.2.
+//! measures the rateless-code reception overhead quoted in §2.2, and
+//! `bench_events` emits the fixed-seed scheduler-efficiency record
+//! (`BENCH_events.json`) CI tracks across PRs.
 //! Criterion micro-benchmarks for the core data structures live in
 //! `benches/`.
 
@@ -22,4 +25,6 @@ pub mod systems;
 
 pub use cdf::{improvement_at, Figure, Series};
 pub use opts::{emit, CommonOpts};
-pub use systems::{run_bullet_prime_with, run_system, SystemKind, SystemRun};
+pub use systems::{
+    run_bullet_prime_churn, run_bullet_prime_with, run_system, SystemKind, SystemRun,
+};

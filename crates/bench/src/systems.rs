@@ -8,7 +8,7 @@ use baselines::{bittorrent, bullet_orig, splitstream, BitTorrentConfig, BitTorre
 use bullet_prime::{BulletPrimeNode, Config};
 use desim::{RngFactory, SimDuration, SimTime};
 use dissem_codec::FileSpec;
-use netsim::{ChangeSchedule, Network, NodeId, Runner, Topology};
+use netsim::{ChangeSchedule, Network, NodeEvent, NodeId, NodeSchedule, Runner, Topology};
 
 /// The systems compared in Figs 4, 5 and 14.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +82,51 @@ fn apply_schedule<M: netsim::WireSize, P: netsim::Protocol<M>>(
     for (at, batch) in schedule {
         runner.schedule_link_change(*at, batch.clone());
     }
+}
+
+/// Like [`collect_times`], but for churn runs: receivers that left or
+/// crashed are excluded from the timing series (they can never finish), so
+/// the CDF describes the *survivors*.
+fn collect_survivor_times(report: &netsim::RunReport) -> SystemRun {
+    let end = report.end_time.as_secs_f64();
+    let mut unfinished = 0;
+    let times = report
+        .completion_secs
+        .iter()
+        .zip(report.departed.iter())
+        .skip(1) // Node 0 is the source.
+        .filter(|(_, &departed)| !departed)
+        .map(|(c, _)| {
+            c.unwrap_or_else(|| {
+                unfinished += 1;
+                end
+            })
+        })
+        .collect();
+    SystemRun { times, unfinished, end_time: end }
+}
+
+/// Runs Bullet′ under a node-lifecycle (churn) schedule: nodes named in
+/// `Join` events start outside the experiment and join when the event fires;
+/// `Leave`/`Crash` events remove nodes mid-run. Returns the survivor timing
+/// summary, the full runner report (per-node completions + departures), and
+/// the protocol nodes.
+pub fn run_bullet_prime_churn(
+    topo: Topology,
+    cfg: &Config,
+    rng: &RngFactory,
+    churn: &NodeSchedule,
+    limit: SimDuration,
+) -> (SystemRun, netsim::RunReport, Vec<BulletPrimeNode>) {
+    let mut runner = bullet_prime::build_runner(topo, cfg, rng);
+    for (at, event) in churn {
+        if let NodeEvent::Join(node) = event {
+            runner.set_inactive_at_start(*node);
+        }
+        runner.schedule_node_event(*at, *event);
+    }
+    let report = runner.run(limit);
+    (collect_survivor_times(&report), report, runner.into_nodes())
 }
 
 /// Runs Bullet′ with an explicit configuration and returns both the timing

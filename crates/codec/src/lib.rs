@@ -8,7 +8,7 @@
 //! * [`bitmap`] — per-node block availability sets ([`BlockBitmap`]);
 //! * [`diff`] — incremental availability diffs (paper §3.3.4);
 //! * [`soliton`] / [`lt`] — rateless erasure codes (paper §2.2, §4.6);
-//! * [`file`] — real in-memory content, slicing and reassembly, used by the
+//! * [`mod@file`] — real in-memory content, slicing and reassembly, used by the
 //!   examples, Shotgun and the integrity tests.
 
 pub mod bitmap;

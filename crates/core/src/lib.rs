@@ -109,6 +109,66 @@ mod end_to_end {
     }
 
     #[test]
+    fn joiner_whose_parent_crashed_before_the_join_reattaches_to_the_root() {
+        // Regression: node 2's control-tree parent (node 1) crashes *before*
+        // node 2 joins, so node 2 never sees an on_peer_failed for it. Its
+        // on_init must detect the dead parent and attach at the root, or it
+        // would be orphaned from every distribute wave and never complete.
+        use netsim::dynamics::NodeEvent;
+        use netsim::{Network, NodeId, Runner};
+        use overlay::ControlTree;
+
+        let n = 8;
+        let rng = desim::RngFactory::new(5);
+        let topo = netsim::topology::modelnet_mesh(n, 0.0, &rng);
+        let mut parents = vec![None, Some(NodeId(0)), Some(NodeId(1))];
+        parents.extend((3..n).map(|_| Some(NodeId(0))));
+        let tree = ControlTree::from_parents(parents);
+        let cfg = Config::new(FileSpec::new(256 * 1024, 16 * 1024));
+        let nodes = build_nodes_with_tree(&topo, &tree, &cfg);
+        let mut runner = Runner::new(Network::new(topo), nodes, &rng);
+        runner.exempt_from_completion(NodeId(0));
+        runner.set_inactive_at_start(NodeId(2));
+        runner.schedule_node_event(desim::SimTime::from_secs_f64(1.0), NodeEvent::Crash(NodeId(1)));
+        runner.schedule_node_event(desim::SimTime::from_secs_f64(5.0), NodeEvent::Join(NodeId(2)));
+        let report = runner.run(SimDuration::from_secs(3_600));
+        assert_eq!(report.reason, StopReason::AllComplete, "{report:?}");
+        assert!(
+            report.completion_secs[2].is_some(),
+            "the late joiner must complete despite its dead parent: {report:?}"
+        );
+    }
+
+    #[test]
+    fn parent_joining_after_its_child_does_not_stall_ransub() {
+        // Regression: node 2's tree parent (node 1) joins *after* node 2 has
+        // already re-attached to the root. Node 1 must start childless (its
+        // construction-time child now reports to the root), or its collect
+        // waves — and through them the whole overlay's — would wait forever
+        // on a report that never comes.
+        use netsim::dynamics::NodeEvent;
+        use netsim::{Network, NodeId, Runner};
+        use overlay::ControlTree;
+
+        let n = 8;
+        let rng = desim::RngFactory::new(6);
+        let topo = netsim::topology::modelnet_mesh(n, 0.0, &rng);
+        let mut parents = vec![None, Some(NodeId(0)), Some(NodeId(1))];
+        parents.extend((3..n).map(|_| Some(NodeId(0))));
+        let tree = ControlTree::from_parents(parents);
+        let cfg = Config::new(FileSpec::new(256 * 1024, 16 * 1024));
+        let nodes = build_nodes_with_tree(&topo, &tree, &cfg);
+        let mut runner = Runner::new(Network::new(topo), nodes, &rng);
+        runner.exempt_from_completion(NodeId(0));
+        runner.set_inactive_at_start(NodeId(1));
+        runner.schedule_node_event(desim::SimTime::from_secs_f64(6.0), NodeEvent::Join(NodeId(1)));
+        let report = runner.run(SimDuration::from_secs(3_600));
+        assert_eq!(report.reason, StopReason::AllComplete, "{report:?}");
+        assert!(report.completion_secs[1].is_some(), "the late parent completes: {report:?}");
+        assert!(report.completion_secs[2].is_some(), "the re-attached child completes: {report:?}");
+    }
+
+    #[test]
     fn fixed_peering_and_fixed_outstanding_still_complete() {
         let (report, _) = run(10, 256, 5, |cfg| {
             cfg.peer_policy = PeerSetPolicy::Fixed(6);

@@ -50,6 +50,9 @@ pub enum Msg {
     /// Receiver → sender: "I am about to run out of request candidates, send
     /// me a diff now."
     DiffRequest,
+    /// Orphan → root: "my control-tree parent failed, adopt me as a child"
+    /// (the emulator's stand-in for the overlay tree's repair protocol).
+    TreeAttach,
     /// Receiver → sender: ordered request for specific blocks.
     BlockRequest {
         /// The blocks to queue, in the order the receiver wants them served.
@@ -71,7 +74,7 @@ impl WireSize for Msg {
             }
             Msg::PeerRequest { .. } => HDR + 4,
             Msg::PeerAccept { available } => HDR + 4 + 4 * available.len(),
-            Msg::PeerReject | Msg::PeerClose | Msg::DiffRequest => HDR,
+            Msg::PeerReject | Msg::PeerClose | Msg::DiffRequest | Msg::TreeAttach => HDR,
             Msg::Diff { blocks } => HDR + 4 + 4 * blocks.len(),
             Msg::BlockRequest { blocks, .. } => HDR + 12 + 4 * blocks.len(),
         }

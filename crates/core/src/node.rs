@@ -115,6 +115,9 @@ pub struct BulletPrimeNode {
     id: NodeId,
     cfg: Config,
     role: Role,
+    /// The control-tree root (= the source), the rendezvous every node knows;
+    /// orphans reattach here when their tree parent fails.
+    root: NodeId,
     children: Vec<NodeId>,
     ransub: RanSubAgent,
     have: BlockBitmap,
@@ -152,6 +155,7 @@ impl BulletPrimeNode {
         BulletPrimeNode {
             id,
             role,
+            root: tree.root(),
             children: tree.children(id).to_vec(),
             ransub: RanSubAgent::new(id, tree, cfg.ransub_subset_size),
             have,
@@ -240,6 +244,11 @@ impl BulletPrimeNode {
             // cursor so every child gets an equal share of distinct blocks.
             for probe in 0..self.children.len() {
                 let child = self.children[(src.rr_cursor + probe) % self.children.len()];
+                // A child that has not joined (or is gone) would swallow the
+                // whole stream through its forever-empty pipe.
+                if !ctx.peer_active(child) {
+                    continue;
+                }
                 let pending = ctx.pending_to(child) + queued_now.get(&child).copied().unwrap_or(0);
                 if pending < self.cfg.source_pipe_blocks {
                     let block = BlockId(src.next_block);
@@ -338,6 +347,7 @@ impl BulletPrimeNode {
                 .iter()
                 .filter(|e| {
                     e.node != self.id.0
+                        && ctx.peer_active(e.node_id())
                         && !self.senders.contains_key(&e.node_id())
                         && !self.pending_peer_requests.contains(&e.node_id())
                         && (e.has_everything || e.have_count > 0)
@@ -357,6 +367,17 @@ impl BulletPrimeNode {
     // ------------------------------------------------------------------
     // Peering maintenance.
     // ------------------------------------------------------------------
+
+    /// Removes `child` from both push rotation and RanSub tree links,
+    /// emitting whatever the unblocked collect wave produces.
+    fn drop_tree_child(&mut self, ctx: &mut Ctx<'_, Msg>, child: NodeId) {
+        let emits = {
+            let rng = ctx.rng();
+            self.ransub.on_child_failed(child, rng)
+        };
+        self.emit_ransub(ctx, emits);
+        self.children.retain(|&c| c != child);
+    }
 
     fn drop_sender(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId, notify: bool) {
         if self.senders.remove(&peer).is_some() {
@@ -480,6 +501,27 @@ impl Protocol<Msg> for BulletPrimeNode {
         self.epoch_started_at = ctx.now();
         ctx.set_timer(self.cfg.ransub_period, TIMER_RANSUB, 0);
         ctx.set_timer(self.cfg.housekeeping_period, TIMER_HOUSEKEEPING, 0);
+        // A node initialised after t = 0 is a late joiner: its
+        // construction-time tree children have long since registered with
+        // whoever was present while it was absent (ultimately the root), so
+        // keeping them would block every collect wave through this node on
+        // reports that now flow elsewhere. Start childless; actual children
+        // (re)appear through TreeAttach.
+        if ctx.now() > SimTime::ZERO {
+            self.ransub.clear_children();
+            self.children.clear();
+        }
+        // Register with the tree parent. For nodes present from t = 0 this
+        // is an idempotent no-op at the parent; for late joiners it re-adds
+        // us to a parent that pruned us while we were absent. If the parent
+        // itself departed while we were absent (its failure notification
+        // never reached us), reattach at the root instead — departed nodes
+        // never come back.
+        if let Some(parent) = self.ransub.parent() {
+            let target = if ctx.peer_active(parent) { parent } else { self.root };
+            self.ransub.set_parent(Some(target));
+            ctx.send(target, Msg::TreeAttach);
+        }
         if self.role == Role::Source {
             self.source_push(ctx);
         }
@@ -520,6 +562,15 @@ impl Protocol<Msg> for BulletPrimeNode {
                 // The peer tears down whichever relationship exists.
                 self.drop_sender(ctx, from, false);
                 self.drop_receiver(ctx, from, false);
+            }
+            Msg::TreeAttach => {
+                // An orphaned node rejoins the tree here (only the root
+                // receives these). It becomes a push target and a RanSub
+                // child from the next epoch on.
+                if !self.children.contains(&from) {
+                    self.children.push(from);
+                }
+                self.ransub.add_child(from);
             }
             Msg::Diff { blocks } => {
                 if let Some(s) = self.senders.get_mut(&from) {
@@ -591,9 +642,70 @@ impl Protocol<Msg> for BulletPrimeNode {
         }
     }
 
+    fn on_peer_failed(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId) {
+        // React immediately instead of waiting for the bandwidth-utility trim
+        // at the next RanSub epoch (§3.3.1): the peer is unreachable, so any
+        // relationship with it only wastes request slots and pipe space.
+        self.pending_peer_requests.remove(&peer);
+        // A failed control-tree child must not keep absorbing the source's
+        // fresh blocks (queueing to it is a no-op, so its "pipe" would look
+        // forever empty and swallow the round-robin), and a collect wave
+        // must not wait for a dead child.
+        self.drop_tree_child(ctx, peer);
+        // Tree repair: if our control-tree parent died, the whole subtree
+        // under us would be cut off from every future distribute wave.
+        // Reattach at the root (the source — the one address every
+        // participant knows), mirroring the overlay tree's repair protocol.
+        if self.role != Role::Source && self.ransub.parent() == Some(peer) {
+            self.ransub.set_parent(Some(self.root));
+            ctx.send(self.root, Msg::TreeAttach);
+        }
+        let was_sender = self.senders.contains_key(&peer);
+        self.drop_sender(ctx, peer, false);
+        self.drop_receiver(ctx, peer, false);
+        if was_sender {
+            // Requests outstanding to the failed sender were just released;
+            // re-pipeline them towards the survivors right away.
+            let senders: Vec<NodeId> = self.senders.keys().copied().collect();
+            for s in senders {
+                self.issue_requests(ctx, s);
+            }
+        }
+        if self.role == Role::Source {
+            self.source_push(ctx);
+        }
+    }
+
+    fn on_shutdown(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Graceful goodbye: tell both sides of every peering so they re-peer
+        // without waiting for a timeout.
+        let peers: BTreeSet<NodeId> = self
+            .senders
+            .keys()
+            .chain(self.receivers.keys())
+            .copied()
+            .collect();
+        for peer in peers {
+            ctx.send(peer, Msg::PeerClose);
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, kind: u32, _data: u64) {
         match kind {
             TIMER_RANSUB => {
+                // Prune children that are gone or have not joined yet, so the
+                // collect wave is never blocked on a silent child; a joiner
+                // re-registers with TreeAttach when it (re)appears.
+                let silent: Vec<NodeId> = self
+                    .ransub
+                    .children()
+                    .iter()
+                    .copied()
+                    .filter(|&c| !ctx.peer_active(c))
+                    .collect();
+                for child in silent {
+                    self.drop_tree_child(ctx, child);
+                }
                 let summary = self.own_summary();
                 let emits = {
                     let rng = ctx.rng();

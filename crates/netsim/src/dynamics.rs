@@ -1,4 +1,4 @@
-//! Dynamic network scenarios (paper §4.1, §4.5).
+//! Dynamic network scenarios (paper §4.1, §4.5) and node churn.
 //!
 //! Two scripted bandwidth-change scenarios drive the "dynamic" halves of the
 //! evaluation:
@@ -11,6 +11,15 @@
 //! * [`cascading_degrade_schedule`] — the Fig 12 scenario: every 25 s another
 //!   one of the victim node's dedicated sender links is reduced to 100 Kbps
 //!   until every path to the victim has been degraded.
+//!
+//! Beyond link dynamics, this module also defines the **node-lifecycle**
+//! vocabulary ([`NodeEvent`], [`NodeSchedule`]) and two churn scenario
+//! builders for a peer-to-peer dissemination workload:
+//!
+//! * [`crash_wave_schedule`] — a fraction of the receivers crashes (no
+//!   goodbye, connections reset) at instants spread over a window;
+//! * [`flash_crowd_schedule`] — only a core group is present at t = 0 and
+//!   the remaining receivers join in a wave over a window.
 
 use desim::{RngFactory, SimDuration, SimTime};
 use rand::seq::SliceRandom;
@@ -101,6 +110,82 @@ pub fn correlated_decrease_schedule(
         t += period;
     }
     schedule
+}
+
+/// A node-lifecycle transition scheduled against the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// The node becomes a participant (it must have been marked inactive at
+    /// start via `Runner::set_inactive_at_start`).
+    Join(NodeId),
+    /// The node leaves gracefully: it gets an `on_shutdown` callback, then
+    /// its connections are torn down.
+    Leave(NodeId),
+    /// The node crashes: connections are reset with no goodbye.
+    Crash(NodeId),
+}
+
+impl NodeEvent {
+    /// The node this event concerns.
+    pub fn node(self) -> NodeId {
+        match self {
+            NodeEvent::Join(n) | NodeEvent::Leave(n) | NodeEvent::Crash(n) => n,
+        }
+    }
+}
+
+/// A scheduled churn scenario: lifecycle events with their activation times.
+pub type NodeSchedule = Vec<(SimTime, NodeEvent)>;
+
+/// Builds a crash wave: `fraction` of the receivers (nodes `1..n`, never the
+/// source) crash at instants spread evenly over `[start, end]`. The victims
+/// are chosen uniformly at random; events are returned in activation order.
+pub fn crash_wave_schedule(
+    n: usize,
+    fraction: f64,
+    start: SimTime,
+    end: SimTime,
+    rng: &RngFactory,
+) -> NodeSchedule {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(end >= start, "crash window must not be inverted");
+    let mut rng = rng.stream("dynamics.crash_wave");
+    let mut receivers: Vec<u32> = (1..n as u32).collect();
+    receivers.shuffle(&mut rng);
+    let victims = ((n.saturating_sub(1)) as f64 * fraction).round() as usize;
+    let window = end - start;
+    receivers
+        .into_iter()
+        .take(victims)
+        .enumerate()
+        .map(|(i, v)| {
+            // Spread instants evenly; `victims == 1` crashes at the start.
+            let t = start + window.mul_f64(i as f64 / victims.max(2).saturating_sub(1) as f64);
+            (t, NodeEvent::Crash(NodeId(v)))
+        })
+        .collect()
+}
+
+/// Builds a flash-crowd join wave: nodes `initial..n` are absent at t = 0 and
+/// join at instants spread evenly over `[start, end]`, in index order. The
+/// caller must mark those nodes inactive at start on the runner.
+pub fn flash_crowd_schedule(
+    n: usize,
+    initial: usize,
+    start: SimTime,
+    end: SimTime,
+) -> NodeSchedule {
+    assert!(initial >= 1, "the source must be present from the start");
+    assert!(end >= start, "join window must not be inverted");
+    let joiners = n.saturating_sub(initial);
+    let window = end - start;
+    (initial..n)
+        .enumerate()
+        .map(|(i, node)| {
+            let t = start + window.mul_f64(i as f64 / joiners.max(2).saturating_sub(1) as f64);
+            (t, NodeEvent::Join(NodeId(node as u32)))
+        })
+        .collect()
 }
 
 /// The Fig 12 cascading-slowdown scenario: the victim (last node) has
@@ -197,6 +282,61 @@ mod tests {
         batch.apply(&mut topo);
         batch.apply(&mut topo);
         assert_eq!(topo.path(NodeId(0), NodeId(1)).bw, mbps(10.0) * 0.25);
+    }
+
+    #[test]
+    fn crash_wave_picks_receivers_within_the_window() {
+        let rng = RngFactory::new(12);
+        let sched = crash_wave_schedule(
+            20,
+            0.25,
+            SimTime::from_secs_f64(10.0),
+            SimTime::from_secs_f64(30.0),
+            &rng,
+        );
+        assert_eq!(sched.len(), 5, "25% of 19 receivers rounds to 5");
+        let mut seen = std::collections::BTreeSet::new();
+        for (t, ev) in &sched {
+            assert!(matches!(ev, NodeEvent::Crash(_)));
+            let node = ev.node();
+            assert_ne!(node.0, 0, "the source never crashes");
+            assert!(node.0 < 20);
+            assert!(seen.insert(node.0), "each victim crashes once");
+            assert!(*t >= SimTime::from_secs_f64(10.0));
+            assert!(*t <= SimTime::from_secs_f64(30.0));
+        }
+        // Deterministic for a seed.
+        let again = crash_wave_schedule(
+            20,
+            0.25,
+            SimTime::from_secs_f64(10.0),
+            SimTime::from_secs_f64(30.0),
+            &RngFactory::new(12),
+        );
+        assert_eq!(sched, again);
+        // Zero fraction crashes nobody.
+        assert!(crash_wave_schedule(20, 0.0, SimTime::ZERO, SimTime::ZERO, &rng).is_empty());
+    }
+
+    #[test]
+    fn flash_crowd_joins_everyone_after_the_core_group() {
+        let sched = flash_crowd_schedule(
+            10,
+            4,
+            SimTime::from_secs_f64(5.0),
+            SimTime::from_secs_f64(15.0),
+        );
+        assert_eq!(sched.len(), 6, "nodes 4..10 join");
+        for (i, (t, ev)) in sched.iter().enumerate() {
+            assert_eq!(*ev, NodeEvent::Join(NodeId(4 + i as u32)));
+            assert!(*t >= SimTime::from_secs_f64(5.0) && *t <= SimTime::from_secs_f64(15.0));
+        }
+        assert_eq!(sched[0].0, SimTime::from_secs_f64(5.0));
+        assert_eq!(sched[5].0, SimTime::from_secs_f64(15.0));
+        // Times are non-decreasing (activation order).
+        for w in sched.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
     }
 
     #[test]

@@ -25,12 +25,240 @@ pub mod tcp;
 pub mod topology;
 pub mod units;
 
-pub use dynamics::{BandwidthChange, ChangeSchedule, LinkChangeBatch};
-pub use network::{BlockReceipt, Network, NodeTraffic};
+pub use dynamics::{BandwidthChange, ChangeSchedule, LinkChangeBatch, NodeEvent, NodeSchedule};
+pub use network::{BlockReceipt, ConnUpdate, Network, NodeTraffic};
 pub use protocol::{Command, Ctx, Protocol, WireSize};
 pub use runner::{RunReport, Runner, StopReason};
 pub use topology::{NodeId, NodeSpec, PathSpec, Topology};
 pub use units::{gbps, kbps, mbps, to_mbps, BytesPerSec};
+
+#[cfg(test)]
+mod lifecycle_tests {
+    use super::*;
+    use desim::{RngFactory, SimDuration, SimTime};
+
+    /// A minimal instrumented protocol: records every hook invocation so the
+    /// tests can assert exactly what the runner delivered.
+    struct Probe {
+        id: NodeId,
+        init_at: Option<f64>,
+        shutdowns: usize,
+        failed_peers: Vec<NodeId>,
+        timer_fires: u32,
+        ctrl_received: Vec<NodeId>,
+        complete: bool,
+        /// Peers to send a control message to at init.
+        greet: Vec<NodeId>,
+        /// Re-arm a 1 s timer forever.
+        recurring_timer: bool,
+        /// Peer to wave goodbye to from on_shutdown.
+        farewell_to: Option<NodeId>,
+    }
+
+    #[derive(Debug)]
+    struct PMsg;
+
+    impl WireSize for PMsg {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    impl Probe {
+        fn new(id: NodeId) -> Self {
+            Probe {
+                id,
+                init_at: None,
+                shutdowns: 0,
+                failed_peers: Vec::new(),
+                timer_fires: 0,
+                ctrl_received: Vec::new(),
+                complete: false,
+                greet: Vec::new(),
+                recurring_timer: false,
+                farewell_to: None,
+            }
+        }
+    }
+
+    impl Protocol<PMsg> for Probe {
+        fn on_init(&mut self, ctx: &mut Ctx<'_, PMsg>) {
+            self.init_at = Some(ctx.now().as_secs_f64());
+            for &peer in &self.greet {
+                ctx.send(peer, PMsg);
+            }
+            if self.recurring_timer {
+                ctx.set_timer(SimDuration::from_secs(1), 1, 0);
+            }
+        }
+
+        fn on_control(&mut self, _ctx: &mut Ctx<'_, PMsg>, from: NodeId, _msg: PMsg) {
+            self.ctrl_received.push(from);
+        }
+
+        fn on_block_received(&mut self, _ctx: &mut Ctx<'_, PMsg>, _from: NodeId, _r: BlockReceipt) {}
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, PMsg>, _kind: u32, _data: u64) {
+            self.timer_fires += 1;
+            if self.recurring_timer {
+                ctx.set_timer(SimDuration::from_secs(1), 1, 0);
+            }
+        }
+
+        fn on_peer_failed(&mut self, _ctx: &mut Ctx<'_, PMsg>, peer: NodeId) {
+            self.failed_peers.push(peer);
+        }
+
+        fn on_shutdown(&mut self, ctx: &mut Ctx<'_, PMsg>) {
+            self.shutdowns += 1;
+            if let Some(peer) = self.farewell_to {
+                ctx.send(peer, PMsg);
+            }
+        }
+
+        fn is_complete(&self) -> bool {
+            self.complete
+        }
+    }
+
+    fn probe_runner(n: usize, tweak: impl Fn(&mut Probe)) -> Runner<PMsg, Probe> {
+        let rng = RngFactory::new(77);
+        let topo = topology::constrained_access(n);
+        let nodes: Vec<Probe> = (0..n as u32)
+            .map(|i| {
+                let mut p = Probe::new(NodeId(i));
+                tweak(&mut p);
+                p
+            })
+            .collect();
+        Runner::new(Network::new(topo), nodes, &rng)
+    }
+
+    #[test]
+    fn graceful_leave_runs_shutdown_then_notifies_survivors() {
+        let mut runner = probe_runner(3, |p| {
+            if p.id == NodeId(1) {
+                p.farewell_to = Some(NodeId(2));
+            }
+        });
+        runner.schedule_node_event(SimTime::from_secs_f64(2.0), NodeEvent::Leave(NodeId(1)));
+        let report = runner.run_until(SimTime::from_secs_f64(10.0));
+        assert_eq!(report.reason, StopReason::Drained);
+        assert_eq!(report.departed, vec![false, true, false]);
+        let nodes = runner.into_nodes();
+        assert_eq!(nodes[1].shutdowns, 1, "the leaver gets exactly one on_shutdown");
+        assert_eq!(nodes[0].failed_peers, vec![NodeId(1)]);
+        assert_eq!(nodes[2].failed_peers, vec![NodeId(1)]);
+        assert_eq!(nodes[1].failed_peers, Vec::<NodeId>::new());
+        // The farewell control message sent from on_shutdown was delivered.
+        assert_eq!(nodes[2].ctrl_received, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn crash_skips_shutdown_and_drops_timers() {
+        let mut runner = probe_runner(3, |p| {
+            p.recurring_timer = true;
+        });
+        runner.schedule_node_event(SimTime::from_secs_f64(3.5), NodeEvent::Crash(NodeId(2)));
+        let report = runner.run_until(SimTime::from_secs_f64(10.0));
+        assert_eq!(report.reason, StopReason::TimeLimit);
+        let nodes = runner.into_nodes();
+        assert_eq!(nodes[2].shutdowns, 0, "crashes get no goodbye");
+        // Timers at 1, 2, 3 s fired; the 4 s one was dropped.
+        assert_eq!(nodes[2].timer_fires, 3);
+        assert!(nodes[0].timer_fires >= 9, "survivors keep ticking");
+        assert_eq!(nodes[0].failed_peers, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn join_initialises_late_and_drops_earlier_messages() {
+        let mut runner = probe_runner(3, |p| {
+            if p.id == NodeId(0) {
+                // Greets the not-yet-joined node 2 at t = 0: lost.
+                p.greet = vec![NodeId(2)];
+            }
+            if p.id == NodeId(1) {
+                p.recurring_timer = true; // keeps the run alive
+            }
+        });
+        runner.set_inactive_at_start(NodeId(2));
+        runner.schedule_node_event(SimTime::from_secs_f64(5.0), NodeEvent::Join(NodeId(2)));
+        let report = runner.run_until(SimTime::from_secs_f64(8.0));
+        assert_eq!(report.reason, StopReason::TimeLimit);
+        let nodes = runner.into_nodes();
+        assert_eq!(nodes[2].init_at, Some(5.0), "joiner initialises at the join instant");
+        assert!(
+            nodes[2].ctrl_received.is_empty(),
+            "messages sent before the join never arrive"
+        );
+        assert_eq!(nodes[0].init_at, Some(0.0));
+    }
+
+    #[test]
+    fn not_yet_joined_nodes_block_all_complete() {
+        let mut runner = probe_runner(2, |p| {
+            p.complete = true;
+        });
+        runner.set_inactive_at_start(NodeId(1));
+        runner.schedule_node_event(SimTime::from_secs_f64(4.0), NodeEvent::Join(NodeId(1)));
+        let report = runner.run_until(SimTime::from_secs_f64(10.0));
+        assert_eq!(report.reason, StopReason::AllComplete);
+        assert_eq!(
+            report.end_time,
+            SimTime::from_secs_f64(4.0),
+            "the run must wait for the joiner instead of stopping at t=0"
+        );
+    }
+
+    #[test]
+    fn event_limit_stops_the_runner() {
+        let mut runner = probe_runner(2, |p| p.recurring_timer = true);
+        runner.set_event_limit(7);
+        let report = runner.run_until(SimTime::from_secs_f64(1_000.0));
+        assert_eq!(report.reason, StopReason::EventLimit);
+        assert_eq!(report.events, 7);
+    }
+
+    #[test]
+    fn drained_reports_unfinished_non_exempt_nodes() {
+        // Nobody schedules anything and nobody is complete: the queue drains
+        // right after init with zero completions.
+        let mut runner = probe_runner(3, |_| {});
+        let report = runner.run_until(SimTime::from_secs_f64(100.0));
+        assert_eq!(report.reason, StopReason::Drained);
+        assert!(report.completion_secs.iter().all(Option::is_none));
+        assert_eq!(report.completion_fraction(1), 0.0);
+    }
+
+    #[test]
+    fn exempt_nodes_stop_the_run_but_still_count_as_unfinished() {
+        let mut runner = probe_runner(3, |p| {
+            p.complete = p.id != NodeId(2);
+        });
+        runner.exempt_from_completion(NodeId(2));
+        let report = runner.run_until(SimTime::from_secs_f64(100.0));
+        assert_eq!(report.reason, StopReason::AllComplete);
+        // completion_fraction does not know about exemptions: node 2 never
+        // finished and is reported as such.
+        assert!(report.completion_secs[2].is_none());
+        assert!((report.completion_fraction(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_limit_clamps_end_time_to_the_limit() {
+        // Regression: the runner used to report the time of the last
+        // *processed* event on TimeLimit while the engine clamps to the
+        // limit; both must agree on the limit itself.
+        let mut runner = probe_runner(2, |p| p.recurring_timer = true);
+        let report = runner.run_until(SimTime::from_secs_f64(2.5));
+        assert_eq!(report.reason, StopReason::TimeLimit);
+        assert_eq!(
+            report.end_time,
+            SimTime::from_secs_f64(2.5),
+            "end_time must be exactly the limit, not the last event time"
+        );
+    }
+}
 
 #[cfg(test)]
 mod runner_tests {
@@ -182,6 +410,30 @@ mod runner_tests {
         let b = run_flood(5, 128, 3);
         assert_eq!(a.completion_secs, b.completion_secs);
         assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn crashed_receiver_is_excluded_and_survivors_complete() {
+        let rng = RngFactory::new(11);
+        let topo = topology::constrained_access(4);
+        let spec = FileSpec::new(256 * 1024, 16 * 1024);
+        let nodes: Vec<Flood> =
+            (0..4).map(|i| Flood::new(NodeId(i as u32), 4, spec, 4)).collect();
+        let mut runner = Runner::new(Network::new(topo), nodes, &rng);
+        runner.schedule_node_event(
+            desim::SimTime::from_secs_f64(2.0),
+            NodeEvent::Crash(NodeId(2)),
+        );
+        let report = runner.run(SimDuration::from_secs(3_000));
+        assert_eq!(
+            report.reason,
+            StopReason::AllComplete,
+            "the crashed node must not block the all-complete stop: {report:?}"
+        );
+        assert!(report.completion_secs[2].is_none(), "a crashed node never completes");
+        assert_eq!(report.departed, vec![false, false, true, false]);
+        assert!(report.completion_secs[1].is_some());
+        assert!(report.completion_secs[3].is_some());
     }
 
     #[test]

@@ -12,10 +12,15 @@
 //!
 //! Rates are re-evaluated whenever a connection becomes active or idle at
 //! either endpoint, when a scenario rewrites link characteristics, and when a
-//! block completes (the slow-start window has grown). The [`Network`] returns
-//! [`Reschedule`] records so the caller (the [`crate::runner::Runner`]) can
-//! update the pending completion events; stale events are recognised by a
-//! per-connection generation counter.
+//! block completes (the slow-start window has grown). Each active connection
+//! has exactly **one** live completion event in the driver's queue; the
+//! [`Network`] returns [`ConnUpdate`] records telling the caller (the
+//! [`crate::runner::Runner`]) to move that event ([`ConnUpdate::Schedule`])
+//! or drop it ([`ConnUpdate::Cancel`]) through the cancellable
+//! [`desim::EventQueue`]. Earlier revisions instead abandoned stale heap
+//! entries and filtered them with a per-connection generation counter on pop;
+//! the cancellable queue removes that protocol and the stale-event flood that
+//! came with it.
 //!
 //! The connection also records the two sender-side measurements Bullet′'s
 //! flow controller consumes (§3.3.3): `in_front`, the number of blocks queued
@@ -72,19 +77,28 @@ pub struct CompletedBlock {
     pub queued_at: SimTime,
 }
 
-/// Instruction to (re)schedule the completion event of a connection's current
-/// in-flight block.
+/// Instruction for the driver to keep a connection's single completion event
+/// in sync with the fluid model.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Reschedule {
-    /// Sending node.
-    pub from: NodeId,
-    /// Receiving node.
-    pub to: NodeId,
-    /// Generation stamp; a completion event is valid only if it carries the
-    /// connection's current generation.
-    pub gen: u64,
-    /// Absolute time at which the in-flight block will finish serialising.
-    pub at: SimTime,
+pub enum ConnUpdate {
+    /// The in-flight block on `from → to` now finishes at `at`: move the
+    /// connection's completion event there (or create it if none is live).
+    Schedule {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Absolute time at which the in-flight block finishes serialising.
+        at: SimTime,
+    },
+    /// The `from → to` connection no longer has a block in flight: cancel its
+    /// completion event.
+    Cancel {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+    },
 }
 
 /// A block waiting in a connection's queue.
@@ -122,8 +136,6 @@ pub struct Connection {
     bytes_acked: u64,
     /// When the connection last became idle.
     idle_since: SimTime,
-    /// Generation counter for completion events.
-    gen: u64,
 }
 
 impl Connection {
@@ -135,7 +147,6 @@ impl Connection {
             last_progress: now,
             bytes_acked: 0,
             idle_since: now,
-            gen: 0,
         }
     }
 
@@ -287,7 +298,8 @@ impl Network {
     }
 
     /// Enqueues a block on the `from → to` connection, creating the
-    /// connection if needed. Returns the reschedules caused by rate changes.
+    /// connection if needed. Returns the completion-event updates caused by
+    /// rate changes.
     pub fn queue_block(
         &mut self,
         now: SimTime,
@@ -295,7 +307,7 @@ impl Network {
         to: NodeId,
         block: BlockId,
         bytes: u64,
-    ) -> Vec<Reschedule> {
+    ) -> Vec<ConnUpdate> {
         assert!(from != to, "a node cannot stream blocks to itself");
         let conn = self
             .conns
@@ -341,21 +353,19 @@ impl Network {
         }
     }
 
-    /// Handles a completion event for connection `from → to` carrying
-    /// generation `gen`. Returns `None` if the event is stale. Otherwise
-    /// returns the completed block and any reschedules.
+    /// Handles the completion event for connection `from → to`. With the
+    /// cancellable queue there is at most one live completion event per
+    /// connection, so a firing event always refers to the current in-flight
+    /// block; `None` is only returned defensively if the connection does not
+    /// exist or has nothing in flight (which indicates a driver bug).
     pub fn on_block_done(
         &mut self,
         now: SimTime,
         from: NodeId,
         to: NodeId,
-        gen: u64,
-    ) -> Option<(CompletedBlock, Vec<Reschedule>)> {
+    ) -> Option<(CompletedBlock, Vec<ConnUpdate>)> {
         let conn = self.conns.get_mut(&(from, to))?;
-        if conn.gen != gen || conn.inflight.is_none() {
-            return None;
-        }
-        let fl = conn.inflight.take().expect("checked above");
+        let fl = conn.inflight.take()?;
         conn.bytes_acked += fl.bytes;
         conn.last_progress = now;
         let wasted = if fl.idle_gap > 0.0 {
@@ -376,7 +386,7 @@ impl Network {
         self.traffic[from.index()].blocks_out += 1;
 
         let has_more = !self.conns[&(from, to)].queue.is_empty();
-        let reschedules = if has_more {
+        let updates = if has_more {
             self.start_next(now, from, to);
             // The connection stays active; only its own slow-start ceiling
             // moved, so re-price just this connection.
@@ -384,10 +394,11 @@ impl Network {
         } else {
             let conn = self.conns.get_mut(&(from, to)).expect("connection exists");
             conn.idle_since = now;
-            conn.gen += 1; // Invalidate anything still scheduled.
+            // The fired event was the connection's only live one, so there is
+            // nothing to cancel; the endpoints' shares changed, though.
             self.mark_idle(now, from, to)
         };
-        Some((completed, reschedules))
+        Some((completed, updates))
     }
 
     /// Records the receiver-side arrival of a block (traffic accounting).
@@ -397,25 +408,46 @@ impl Network {
     }
 
     /// Closes the `from → to` connection, dropping queued and in-flight
-    /// blocks. Returns reschedules for the peers whose shares changed.
-    pub fn close_connection(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<Reschedule> {
+    /// blocks. Returns a cancellation for this connection's completion event
+    /// (if one was live) plus updates for the peers whose shares changed.
+    pub fn close_connection(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
         let Some(conn) = self.conns.get_mut(&(from, to)) else {
             return Vec::new();
         };
         let was_active = conn.is_active();
         conn.queue.clear();
         conn.inflight = None;
-        conn.gen += 1;
         if was_active {
-            self.mark_idle(now, from, to)
+            conn.idle_since = now;
+            let mut updates = vec![ConnUpdate::Cancel { from, to }];
+            updates.extend(self.mark_idle(now, from, to));
+            updates
         } else {
             Vec::new()
         }
     }
 
+    /// Tears down every connection that touches `node` in either direction
+    /// (used when a node leaves or crashes). Returns the aggregated
+    /// completion-event updates.
+    pub fn close_all_for(&mut self, now: SimTime, node: NodeId) -> Vec<ConnUpdate> {
+        let mut keys: Vec<(NodeId, NodeId)> = self
+            .conns
+            .keys()
+            .filter(|&&(a, b)| a == node || b == node)
+            .copied()
+            .collect();
+        keys.sort_unstable_by_key(|(a, b)| (a.0, b.0));
+        let mut updates = Vec::new();
+        for (a, b) in keys {
+            updates.extend(self.close_connection(now, a, b));
+        }
+        updates
+    }
+
     /// Re-prices connections between the given ordered pairs (used after a
     /// scenario rewrites link characteristics).
-    pub fn reprice_paths(&mut self, now: SimTime, pairs: &[(NodeId, NodeId)]) -> Vec<Reschedule> {
+    pub fn reprice_paths(&mut self, now: SimTime, pairs: &[(NodeId, NodeId)]) -> Vec<ConnUpdate> {
         let mut out = Vec::new();
         for &(a, b) in pairs {
             if let Some(r) = self.reprice_connection(now, a, b) {
@@ -425,7 +457,7 @@ impl Network {
         out
     }
 
-    fn mark_active(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<Reschedule> {
+    fn mark_active(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
         self.out_active[from.index()] += 1;
         self.in_active[to.index()] += 1;
         self.active_by_node[from.index()].insert((from, to));
@@ -433,7 +465,7 @@ impl Network {
         self.reprice_endpoints(now, from, to)
     }
 
-    fn mark_idle(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<Reschedule> {
+    fn mark_idle(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
         debug_assert!(self.out_active[from.index()] > 0);
         debug_assert!(self.in_active[to.index()] > 0);
         self.out_active[from.index()] -= 1;
@@ -444,7 +476,7 @@ impl Network {
     }
 
     /// Re-prices every active connection that touches either endpoint.
-    fn reprice_endpoints(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<Reschedule> {
+    fn reprice_endpoints(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
         let mut keys: Vec<(NodeId, NodeId)> = self.active_by_node[from.index()]
             .iter()
             .chain(self.active_by_node[to.index()].iter())
@@ -464,7 +496,7 @@ impl Network {
     /// Brings the in-flight block of `from → to` up to date and recomputes its
     /// service rate; returns the new completion estimate if the connection is
     /// active.
-    fn reprice_connection(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Option<Reschedule> {
+    fn reprice_connection(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Option<ConnUpdate> {
         let path = self.tcp_path(from, to);
         let up_share =
             self.topo.node(from).up / f64::from(self.out_active[from.index()].max(1));
@@ -479,14 +511,8 @@ impl Network {
         conn.last_progress = now;
 
         conn.rate = path.cap(conn.bytes_acked).min(up_share).min(down_share).max(1.0);
-        conn.gen += 1;
         let finish = now + SimDuration::from_secs_f64(fl.bytes_left / conn.rate);
-        Some(Reschedule {
-            from,
-            to,
-            gen: conn.gen,
-            at: finish,
-        })
+        Some(ConnUpdate::Schedule { from, to, at: finish })
     }
 }
 
@@ -511,6 +537,17 @@ mod tests {
         Topology::new(vec![node; 2], vec![vec![path; 2]; 2])
     }
 
+    /// Extracts the completion time of the `Schedule` update for `from → to`.
+    fn sched_at(updates: &[ConnUpdate], from: NodeId, to: NodeId) -> SimTime {
+        updates
+            .iter()
+            .find_map(|u| match u {
+                ConnUpdate::Schedule { from: f, to: t, at } if (*f, *t) == (from, to) => Some(*at),
+                _ => None,
+            })
+            .expect("a Schedule update for the pair")
+    }
+
     #[test]
     fn single_block_completes_at_expected_rate() {
         let mut net = Network::new(two_node_topo(2.0, 6.0));
@@ -519,13 +556,13 @@ mod tests {
         assert_eq!(r.len(), 1);
         // Slow start dominates a fresh connection, so completion takes longer
         // than the raw 1-second serialisation at 2 Mbps (250 KB / 250 KB/s).
-        let finish = r[0].at.as_secs_f64();
+        let at = sched_at(&r, NodeId(0), NodeId(1));
+        let finish = at.as_secs_f64();
         assert!(finish > 1.0, "finish {finish} should exceed the raw serialisation time");
         assert!(finish < 10.0, "finish {finish} unreasonably late");
-        // Completing with the right generation yields the block.
         let (done, _) = net
-            .on_block_done(r[0].at, NodeId(0), NodeId(1), r[0].gen)
-            .expect("not stale");
+            .on_block_done(at, NodeId(0), NodeId(1))
+            .expect("block in flight");
         assert_eq!(done.block, BlockId(0));
         assert_eq!(done.bytes, 250_000);
         assert_eq!(done.in_front, 0);
@@ -533,15 +570,22 @@ mod tests {
     }
 
     #[test]
-    fn stale_generation_is_ignored() {
+    fn completion_without_inflight_is_rejected() {
         let mut net = Network::new(two_node_topo(2.0, 6.0));
+        // No connection at all.
+        assert!(net.on_block_done(SimTime::ZERO, NodeId(0), NodeId(1)).is_none());
         let r = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(0), 16_384);
-        // Queue a second block; the connection is active so no reschedule.
+        // Queueing a second block on an active connection produces no update:
+        // the live completion event is untouched.
         let r2 = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(1), 16_384);
         assert!(r2.is_empty());
-        // Pretend the link was re-priced: bump gen by closing/reopening share.
-        let bogus = Reschedule { from: NodeId(0), to: NodeId(1), gen: r[0].gen + 5, at: r[0].at };
-        assert!(net.on_block_done(bogus.at, NodeId(0), NodeId(1), bogus.gen).is_none());
+        // Draining both blocks empties the connection; a further completion
+        // has nothing in flight and is rejected.
+        let at = sched_at(&r, NodeId(0), NodeId(1));
+        let (_, u1) = net.on_block_done(at, NodeId(0), NodeId(1)).unwrap();
+        let at1 = sched_at(&u1, NodeId(0), NodeId(1));
+        let (_, _) = net.on_block_done(at1, NodeId(0), NodeId(1)).unwrap();
+        assert!(net.on_block_done(at1, NodeId(0), NodeId(1)).is_none());
     }
 
     #[test]
@@ -554,18 +598,17 @@ mod tests {
         assert_eq!(net.pending_blocks(NodeId(0), NodeId(1)), 3);
 
         // Complete the first block.
-        let (b0, r1) = net.on_block_done(r[0].at, NodeId(0), NodeId(1), r[0].gen).unwrap();
+        let at0 = sched_at(&r, NodeId(0), NodeId(1));
+        let (b0, r1) = net.on_block_done(at0, NodeId(0), NodeId(1)).unwrap();
         assert_eq!(b0.in_front, 0);
         // The second block starts immediately and reports one block in front.
-        let (b1, r2) = net
-            .on_block_done(r1[0].at, NodeId(0), NodeId(1), r1[0].gen)
-            .unwrap();
+        let at1 = sched_at(&r1, NodeId(0), NodeId(1));
+        let (b1, r2) = net.on_block_done(at1, NodeId(0), NodeId(1)).unwrap();
         assert_eq!(b1.block, BlockId(1));
         assert_eq!(b1.in_front, 1);
         assert!(b1.wasted > 0.0, "queued block should report positive waiting time");
-        let (b2, _) = net
-            .on_block_done(r2[0].at, NodeId(0), NodeId(1), r2[0].gen)
-            .unwrap();
+        let at2 = sched_at(&r2, NodeId(0), NodeId(1));
+        let (b2, _) = net.on_block_done(at2, NodeId(0), NodeId(1)).unwrap();
         assert_eq!(b2.in_front, 2);
     }
 
@@ -582,11 +625,11 @@ mod tests {
             shared_rate < single_rate,
             "adding a second outgoing flow must reduce the first one's share"
         );
-        assert!(r1[0].at > t0);
+        assert!(sched_at(&r1, NodeId(0), NodeId(1)) > t0);
     }
 
     #[test]
-    fn closing_a_connection_restores_shares() {
+    fn closing_a_connection_cancels_and_restores_shares() {
         let mut net = Network::new(constrained_access(3));
         let t0 = SimTime::ZERO;
         net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 1_000_000);
@@ -594,10 +637,38 @@ mod tests {
         let shared = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
         let later = SimTime::from_secs_f64(1.0);
         let rs = net.close_connection(later, NodeId(0), NodeId(2));
-        assert!(!rs.is_empty(), "closing an active connection re-prices the survivor");
+        assert!(
+            rs.contains(&ConnUpdate::Cancel { from: NodeId(0), to: NodeId(2) }),
+            "closing an active connection cancels its completion event: {rs:?}"
+        );
+        // ... and re-prices the survivor.
+        let _ = sched_at(&rs, NodeId(0), NodeId(1));
         let alone = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
         assert!(alone > shared);
         assert_eq!(net.pending_blocks(NodeId(0), NodeId(2)), 0);
+        // Closing an idle connection produces nothing.
+        assert!(net.close_connection(later, NodeId(0), NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn close_all_for_tears_down_both_directions() {
+        let mut net = Network::new(constrained_access(4));
+        let t0 = SimTime::ZERO;
+        net.queue_block(t0, NodeId(1), NodeId(0), BlockId(0), 500_000);
+        net.queue_block(t0, NodeId(1), NodeId(2), BlockId(1), 500_000);
+        net.queue_block(t0, NodeId(3), NodeId(1), BlockId(2), 500_000);
+        net.queue_block(t0, NodeId(0), NodeId(2), BlockId(3), 500_000);
+        let updates = net.close_all_for(SimTime::from_secs_f64(0.5), NodeId(1));
+        let cancels: Vec<_> = updates
+            .iter()
+            .filter(|u| matches!(u, ConnUpdate::Cancel { .. }))
+            .collect();
+        assert_eq!(cancels.len(), 3, "all three connections touching node 1: {updates:?}");
+        assert_eq!(net.pending_blocks(NodeId(1), NodeId(0)), 0);
+        assert_eq!(net.pending_blocks(NodeId(1), NodeId(2)), 0);
+        assert_eq!(net.pending_blocks(NodeId(3), NodeId(1)), 0);
+        // Unrelated connections keep flowing.
+        assert_eq!(net.pending_blocks(NodeId(0), NodeId(2)), 1);
     }
 
     #[test]
@@ -605,14 +676,16 @@ mod tests {
         let mut net = Network::new(two_node_topo(2.0, 6.0));
         let t0 = SimTime::ZERO;
         let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 2_000_000);
-        let original_finish = r[0].at;
+        let original_finish = sched_at(&r, NodeId(0), NodeId(1));
         // Halve the core bandwidth at t = 1s.
         let t1 = SimTime::from_secs_f64(1.0);
         net.topology_mut().path_mut(NodeId(0), NodeId(1)).bw = mbps(1.0);
         let rs = net.reprice_paths(t1, &[(NodeId(0), NodeId(1))]);
         assert_eq!(rs.len(), 1);
-        assert!(rs[0].at > original_finish, "less bandwidth must push completion later");
-        assert!(rs[0].gen > r[0].gen);
+        assert!(
+            sched_at(&rs, NodeId(0), NodeId(1)) > original_finish,
+            "less bandwidth must push completion later"
+        );
     }
 
     #[test]
@@ -625,7 +698,8 @@ mod tests {
         assert_eq!(net.traffic(NodeId(1)).control_bytes_in, 100);
 
         let r = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(0), 500);
-        net.on_block_done(r[0].at, NodeId(0), NodeId(1), r[0].gen).unwrap();
+        let at = sched_at(&r, NodeId(0), NodeId(1));
+        net.on_block_done(at, NodeId(0), NodeId(1)).unwrap();
         net.on_block_delivered(NodeId(1), 500);
         assert_eq!(net.traffic(NodeId(0)).data_bytes_out, 500);
         assert_eq!(net.traffic(NodeId(1)).data_bytes_in, 500);

@@ -46,6 +46,18 @@ pub trait Protocol<M: WireSize>: Sized {
     /// Called when a timer armed through [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, kind: u32, data: u64);
 
+    /// Called when another node leaves or crashes (the emulator's stand-in
+    /// for a connection-reset / failure-detector signal). The peer is already
+    /// unreachable: its connections are torn down and messages to it are
+    /// lost. Default: ignored.
+    fn on_peer_failed(&mut self, _ctx: &mut Ctx<'_, M>, _peer: NodeId) {}
+
+    /// Called on this node when it is about to leave gracefully, *before* its
+    /// connections are torn down: control messages sent here still go out,
+    /// but data blocks queued here are discarded with the connections.
+    /// Default: ignored.
+    fn on_shutdown(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
     /// Reports whether this node considers its download complete. The runner
     /// may stop the experiment once every node reports completion.
     fn is_complete(&self) -> bool {
@@ -97,6 +109,8 @@ pub struct Ctx<'a, M> {
     now: SimTime,
     /// Read-only view of the emulated network.
     net: &'a Network,
+    /// Which nodes are currently participating (see `Runner` lifecycle).
+    active: &'a [bool],
     /// This node's private RNG stream.
     rng: &'a mut StdRng,
     /// Commands recorded by the handler.
@@ -105,11 +119,18 @@ pub struct Ctx<'a, M> {
 
 impl<'a, M> Ctx<'a, M> {
     /// Creates a context (used by the runner).
-    pub(crate) fn new(node: NodeId, now: SimTime, net: &'a Network, rng: &'a mut StdRng) -> Self {
+    pub(crate) fn new(
+        node: NodeId,
+        now: SimTime,
+        net: &'a Network,
+        active: &'a [bool],
+        rng: &'a mut StdRng,
+    ) -> Self {
         Ctx {
             node,
             now,
             net,
+            active,
             rng,
             commands: Vec::new(),
         }
@@ -138,6 +159,14 @@ impl<'a, M> Ctx<'a, M> {
     /// Number of nodes in the experiment.
     pub fn num_nodes(&self) -> usize {
         self.net.len()
+    }
+
+    /// Whether `peer` is currently participating. The emulator's stand-in
+    /// for "a connection attempt to a gone host fails immediately": protocols
+    /// use it to avoid pouring data at nodes that left, crashed, or have not
+    /// joined yet (blocks queued towards an inactive node are discarded).
+    pub fn peer_active(&self, peer: NodeId) -> bool {
+        self.active[peer.index()]
     }
 
     /// Number of blocks currently queued or in flight from this node to `to`.

@@ -4,13 +4,37 @@
 //! The runner owns one [`Protocol`] instance per emulated node, translates
 //! recorded [`Command`]s into network activity and event-queue entries, and
 //! stops when every node reports completion, when the event queue drains, or
-//! when the configured time limit is reached.
+//! when the configured time or event limit is reached.
+//!
+//! ## Completion events
+//!
+//! Each active connection holds exactly **one** live `BlockDone` event in the
+//! queue, tracked in a `(from, to) → EventKey` map. When the fluid model
+//! re-prices a connection it returns [`ConnUpdate`]s and the runner *moves*
+//! the existing event with [`desim::Simulator::reschedule`] (or cancels it on
+//! teardown) instead of abandoning stale heap entries.
+//!
+//! ## Node lifecycle
+//!
+//! Nodes can join, leave gracefully, or crash mid-run via
+//! [`Runner::schedule_node_event`] (see [`NodeEvent`]). An inactive node
+//! receives no events: control messages and block deliveries addressed to it
+//! are dropped, its timers are discarded, and blocks cannot be queued towards
+//! it. Leaving or crashing tears down all of the node's connections and
+//! exempts it from the all-complete stop condition; surviving nodes are
+//! notified through [`Protocol::on_peer_failed`]. A graceful leaver
+//! additionally gets a [`Protocol::on_shutdown`] callback *before* teardown,
+//! so it can send farewell control messages (data blocks queued during
+//! shutdown are discarded along with its connections).
 
-use desim::{RngFactory, SimDuration, SimTime, Simulator};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use desim::{EventKey, RngFactory, SimDuration, SimTime, Simulator};
 use rand::rngs::StdRng;
 
-use crate::dynamics::LinkChangeBatch;
-use crate::network::{CompletedBlock, Network};
+use crate::dynamics::{LinkChangeBatch, NodeEvent};
+use crate::network::{CompletedBlock, ConnUpdate, Network};
 use crate::protocol::{Command, Ctx, Protocol, WireSize};
 use crate::topology::NodeId;
 
@@ -20,13 +44,15 @@ enum NetEvent<M> {
     /// A control message arrives at `to`.
     Control { from: NodeId, to: NodeId, msg: M },
     /// The in-flight block on connection `from → to` finished serialising.
-    BlockDone { from: NodeId, to: NodeId, gen: u64 },
+    BlockDone { from: NodeId, to: NodeId },
     /// A fully serialised block arrives at the receiver.
     BlockArrive { done: CompletedBlock },
     /// A protocol timer fires at `node`.
     Timer { node: NodeId, kind: u32, data: u64 },
     /// A scheduled link-change batch takes effect.
     LinkChange { index: usize },
+    /// A scheduled node-lifecycle event takes effect.
+    Lifecycle { event: NodeEvent },
 }
 
 /// Why the run ended.
@@ -38,6 +64,8 @@ pub enum StopReason {
     TimeLimit,
     /// The event queue drained before every node completed.
     Drained,
+    /// The configured event limit was reached first.
+    EventLimit,
 }
 
 /// Summary of a finished run.
@@ -45,19 +73,22 @@ pub enum StopReason {
 pub struct RunReport {
     /// Per-node completion time (seconds), `None` if the node never finished.
     pub completion_secs: Vec<Option<f64>>,
-    /// Virtual time at which the run stopped.
+    /// Virtual time at which the run stopped. On [`StopReason::TimeLimit`]
+    /// this is exactly the limit, matching [`desim::Simulator::run_until`].
     pub end_time: SimTime,
     /// Total number of events processed.
     pub events: u64,
     /// Why the run stopped.
     pub reason: StopReason,
+    /// Per-node flag: true if the node left or crashed during the run.
+    pub departed: Vec<bool>,
 }
 
 impl RunReport {
     /// Completion times of the nodes that finished, sorted ascending.
     pub fn finished_times(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.completion_secs.iter().flatten().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("completion times are finite"));
+        v.sort_by(f64::total_cmp);
         v
     }
 
@@ -78,7 +109,7 @@ impl RunReport {
 }
 
 /// Drives one experiment: a network, a protocol instance per node, and a
-/// schedule of link changes.
+/// schedule of link changes and node-lifecycle events.
 pub struct Runner<M: WireSize, P: Protocol<M>> {
     sim: Simulator<NetEvent<M>>,
     net: Network,
@@ -87,8 +118,16 @@ pub struct Runner<M: WireSize, P: Protocol<M>> {
     link_changes: Vec<LinkChangeBatch>,
     completion: Vec<Option<SimTime>>,
     /// Nodes exempt from the all-complete check (e.g. the source, which never
-    /// "downloads").
+    /// "downloads", or nodes that left/crashed).
     exempt: Vec<bool>,
+    /// Whether each node is currently participating.
+    active: Vec<bool>,
+    /// Nodes that left or crashed during the run.
+    departed: Vec<bool>,
+    /// The single live completion event of each active connection.
+    completion_events: HashMap<(NodeId, NodeId), EventKey>,
+    /// Stop once this many events have been processed.
+    max_events: u64,
 }
 
 impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
@@ -115,6 +154,10 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
             link_changes: Vec::new(),
             completion: vec![None; n],
             exempt: vec![false; n],
+            active: vec![true; n],
+            departed: vec![false; n],
+            completion_events: HashMap::new(),
+            max_events: u64::MAX,
         }
     }
 
@@ -123,11 +166,38 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
         self.exempt[node.index()] = true;
     }
 
+    /// Caps the total number of events the run may process; the run stops
+    /// with [`StopReason::EventLimit`] when the cap is reached.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.max_events = limit;
+    }
+
+    /// Marks `node` as not yet part of the experiment: it is not initialised
+    /// at start-up and receives no events until a [`NodeEvent::Join`] for it
+    /// fires. The all-complete stop condition still counts it, so a run does
+    /// not end before scheduled joiners have joined *and* completed.
+    pub fn set_inactive_at_start(&mut self, node: NodeId) {
+        self.active[node.index()] = false;
+    }
+
+    /// Whether `node` is currently participating.
+    pub fn is_active(&self, node: NodeId) -> bool {
+        self.active[node.index()]
+    }
+
     /// Schedules a batch of link changes to take effect at `at`.
     pub fn schedule_link_change(&mut self, at: SimTime, batch: LinkChangeBatch) {
         let index = self.link_changes.len();
         self.link_changes.push(batch);
         self.sim.schedule_at(at, NetEvent::LinkChange { index });
+    }
+
+    /// Schedules a node-lifecycle event (join, graceful leave, crash) to take
+    /// effect at `at`. For a [`NodeEvent::Join`], call
+    /// [`Runner::set_inactive_at_start`] for the node as well, so it does not
+    /// start as a participant.
+    pub fn schedule_node_event(&mut self, at: SimTime, event: NodeEvent) {
+        self.sim.schedule_at(at, NetEvent::Lifecycle { event });
     }
 
     /// Read access to the emulated network (topology + traffic counters).
@@ -163,9 +233,11 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
 
     /// Runs the experiment until the absolute virtual instant `limit`.
     pub fn run_until(&mut self, limit: SimTime) -> RunReport {
-        // Initialise every node.
+        // Initialise every node that starts as a participant.
         for i in 0..self.nodes.len() {
-            self.dispatch(NodeId(i as u32), |node, ctx| node.on_init(ctx));
+            if self.active[i] {
+                self.dispatch(NodeId(i as u32), |node, ctx| node.on_init(ctx));
+            }
         }
         self.refresh_completion();
 
@@ -173,9 +245,17 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
             if self.all_complete() {
                 break StopReason::AllComplete;
             }
+            if self.sim.events_processed() >= self.max_events {
+                break StopReason::EventLimit;
+            }
             match self.sim.peek_time() {
                 None => break StopReason::Drained,
-                Some(t) if t > limit => break StopReason::TimeLimit,
+                Some(t) if t > limit => {
+                    // Clamp the clock to the limit (events beyond it stay
+                    // pending), mirroring `Simulator::run_until`.
+                    self.sim.advance_to(limit);
+                    break StopReason::TimeLimit;
+                }
                 Some(_) => {}
             }
             let (_, ev) = self.sim.step().expect("peeked event must exist");
@@ -191,6 +271,7 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
             end_time: self.sim.now(),
             events: self.sim.events_processed(),
             reason,
+            departed: self.departed.clone(),
         }
     }
 
@@ -204,20 +285,23 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
     fn refresh_completion(&mut self) {
         let now = self.sim.now();
         for (i, node) in self.nodes.iter().enumerate() {
-            if self.completion[i].is_none() && node.is_complete() {
+            if self.completion[i].is_none() && self.active[i] && node.is_complete() {
                 self.completion[i] = Some(now);
             }
         }
     }
 
     /// Runs `f` against one node with a fresh [`Ctx`], then applies the
-    /// commands the handler recorded.
+    /// commands the handler recorded. No-op for inactive nodes.
     fn dispatch<F>(&mut self, node: NodeId, f: F)
     where
         F: FnOnce(&mut P, &mut Ctx<'_, M>),
     {
         let idx = node.index();
-        let mut ctx = Ctx::new(node, self.sim.now(), &self.net, &mut self.rngs[idx]);
+        if !self.active[idx] {
+            return;
+        }
+        let mut ctx = Ctx::new(node, self.sim.now(), &self.net, &self.active, &mut self.rngs[idx]);
         f(&mut self.nodes[idx], &mut ctx);
         let commands = ctx.into_commands();
         self.apply_commands(node, commands);
@@ -240,12 +324,17 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
                         .schedule_in(delay, NetEvent::Control { from, to, msg });
                 }
                 Command::QueueBlock { to, block, bytes } => {
-                    let reschedules = self.net.queue_block(now, from, to, block, bytes);
-                    self.schedule_reschedules(reschedules);
+                    // A departed (or not-yet-joined) node accepts no data:
+                    // the connection would never drain.
+                    if !self.active[to.index()] {
+                        continue;
+                    }
+                    let updates = self.net.queue_block(now, from, to, block, bytes);
+                    self.apply_conn_updates(updates);
                 }
                 Command::CloseConnection { to } => {
-                    let reschedules = self.net.close_connection(now, from, to);
-                    self.schedule_reschedules(reschedules);
+                    let updates = self.net.close_connection(now, from, to);
+                    self.apply_conn_updates(updates);
                 }
                 Command::SetTimer { delay, kind, data } => {
                     self.sim
@@ -255,16 +344,47 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
         }
     }
 
-    fn schedule_reschedules(&mut self, reschedules: Vec<crate::network::Reschedule>) {
-        for r in reschedules {
-            self.sim.schedule_at(
-                r.at,
-                NetEvent::BlockDone {
-                    from: r.from,
-                    to: r.to,
-                    gen: r.gen,
-                },
-            );
+    /// Applies the fluid model's completion-event updates to the queue:
+    /// `Schedule` moves (or creates) the connection's single live event,
+    /// `Cancel` removes it.
+    fn apply_conn_updates(&mut self, updates: Vec<ConnUpdate>) {
+        for update in updates {
+            match update {
+                ConnUpdate::Schedule { from, to, at } => {
+                    match self.completion_events.entry((from, to)) {
+                        Entry::Occupied(e) => {
+                            let moved = self.sim.reschedule(*e.get(), at);
+                            debug_assert!(moved, "completion event vanished while tracked");
+                        }
+                        Entry::Vacant(v) => {
+                            let key = self.sim.schedule_at(at, NetEvent::BlockDone { from, to });
+                            v.insert(key);
+                        }
+                    }
+                }
+                ConnUpdate::Cancel { from, to } => {
+                    if let Some(key) = self.completion_events.remove(&(from, to)) {
+                        self.sim.cancel(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes `node` from the experiment: tears down its connections,
+    /// exempts it from the stop condition and notifies the survivors.
+    fn depart(&mut self, node: NodeId) {
+        let now = self.sim.now();
+        self.active[node.index()] = false;
+        self.departed[node.index()] = true;
+        self.exempt[node.index()] = true;
+        let updates = self.net.close_all_for(now, node);
+        self.apply_conn_updates(updates);
+        // Deterministic notification order: ascending node index.
+        for i in 0..self.nodes.len() {
+            if i != node.index() && self.active[i] {
+                self.dispatch(NodeId(i as u32), |n, ctx| n.on_peer_failed(ctx, node));
+            }
         }
     }
 
@@ -272,11 +392,14 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
         let now = self.sim.now();
         match ev {
             NetEvent::Control { from, to, msg } => {
+                // Messages to a node that is gone (or not yet here) are lost.
                 self.dispatch(to, |node, ctx| node.on_control(ctx, from, msg));
             }
-            NetEvent::BlockDone { from, to, gen } => {
-                if let Some((done, reschedules)) = self.net.on_block_done(now, from, to, gen) {
-                    self.schedule_reschedules(reschedules);
+            NetEvent::BlockDone { from, to } => {
+                // The connection's live event just fired; drop the handle.
+                self.completion_events.remove(&(from, to));
+                if let Some((done, updates)) = self.net.on_block_done(now, from, to) {
+                    self.apply_conn_updates(updates);
                     let block = done.block;
                     self.dispatch(from, |node, ctx| node.on_block_sent(ctx, to, block));
                     let delay = self.net.data_delivery_delay(from, to);
@@ -284,6 +407,9 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
                 }
             }
             NetEvent::BlockArrive { done } => {
+                if !self.active[done.to.index()] {
+                    return; // Delivered into the void.
+                }
                 self.net.on_block_delivered(done.to, done.bytes);
                 let receipt = crate::network::BlockReceipt {
                     block: done.block,
@@ -303,9 +429,28 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
             NetEvent::LinkChange { index } => {
                 let batch = std::mem::take(&mut self.link_changes[index]);
                 let pairs = batch.apply(self.net.topology_mut());
-                let reschedules = self.net.reprice_paths(now, &pairs);
-                self.schedule_reschedules(reschedules);
+                let updates = self.net.reprice_paths(now, &pairs);
+                self.apply_conn_updates(updates);
             }
+            NetEvent::Lifecycle { event } => match event {
+                NodeEvent::Join(node) => {
+                    if !self.active[node.index()] && !self.departed[node.index()] {
+                        self.active[node.index()] = true;
+                        self.dispatch(node, |n, ctx| n.on_init(ctx));
+                    }
+                }
+                NodeEvent::Leave(node) => {
+                    if self.active[node.index()] {
+                        self.dispatch(node, |n, ctx| n.on_shutdown(ctx));
+                        self.depart(node);
+                    }
+                }
+                NodeEvent::Crash(node) => {
+                    if self.active[node.index()] {
+                        self.depart(node);
+                    }
+                }
+            },
         }
     }
 }

@@ -158,6 +158,10 @@ pub struct RanSubAgent {
     collected: BTreeMap<NodeId, Sample>,
     /// Our own summary for the current epoch.
     own: Option<NodeSummary>,
+    /// True once this epoch's collect wave has been completed (forwarded to
+    /// the parent or, at the root, turned into the distribute wave); guards
+    /// against re-emitting when a child is removed after the fact.
+    wave_done: bool,
 }
 
 impl RanSubAgent {
@@ -170,6 +174,7 @@ impl RanSubAgent {
             epoch: 0,
             collected: BTreeMap::new(),
             own: None,
+            wave_done: false,
         }
     }
 
@@ -183,6 +188,38 @@ impl RanSubAgent {
         self.parent.is_none()
     }
 
+    /// This node's current tree parent (`None` at the root).
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// This node's current tree children.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// Re-parents this node (tree repair after the parent failed).
+    pub fn set_parent(&mut self, parent: Option<NodeId>) {
+        self.parent = parent;
+    }
+
+    /// Adopts `child` (tree repair: an orphaned node reattached here). The
+    /// child starts counting towards collect-wave completion from the next
+    /// epoch; the current wave, if already complete, is unaffected.
+    pub fn add_child(&mut self, child: NodeId) {
+        if !self.children.contains(&child) {
+            self.children.push(child);
+        }
+    }
+
+    /// Forgets all children (tree repair: a node that joins the overlay late
+    /// must not wait on construction-time children that re-registered with
+    /// another parent while it was absent; real children re-attach).
+    pub fn clear_children(&mut self) {
+        self.children.clear();
+        self.collected.clear();
+    }
+
     /// Starts a new epoch at this node with its current application summary.
     /// Returns the messages to emit: leaves immediately report to their
     /// parent; the root of a two-node tree may even deliver immediately.
@@ -194,6 +231,25 @@ impl RanSubAgent {
         self.epoch += 1;
         self.collected.clear();
         self.own = Some(summary);
+        self.wave_done = false;
+        self.try_complete_collect(rng)
+    }
+
+    /// Removes a dead child from the tree links. Without this, an epoch whose
+    /// collect wave is waiting on the crashed child would block forever — and
+    /// with it every distribute below this node. If the removal completes the
+    /// current wave, the resulting messages are returned.
+    pub fn on_child_failed<R: Rng + ?Sized>(
+        &mut self,
+        child: NodeId,
+        rng: &mut R,
+    ) -> Vec<RanSubEmit> {
+        let before = self.children.len();
+        self.children.retain(|&c| c != child);
+        if self.children.len() == before {
+            return Vec::new(); // Not one of our children.
+        }
+        self.collected.remove(&child);
         self.try_complete_collect(rng)
     }
 
@@ -205,16 +261,17 @@ impl RanSubAgent {
         epoch: u64,
         rng: &mut R,
     ) -> Vec<RanSubEmit> {
-        if epoch != self.epoch {
-            // Stale or early: a child can be one epoch ahead if our timer is
-            // late; adopt the newer epoch so the wave is not lost.
-            if epoch > self.epoch {
-                self.epoch = epoch;
-                self.collected.clear();
-            } else {
-                return Vec::new();
-            }
+        if epoch > self.epoch {
+            // A child can be one epoch ahead if our timer is late; adopt the
+            // newer epoch so the wave is not lost.
+            self.epoch = epoch;
+            self.collected.clear();
+            self.wave_done = false;
         }
+        // A *behind* child still delivers its freshest data: nodes that
+        // joined the overlay late run a permanently lagging epoch counter,
+        // so re-stamp their reports into the current epoch instead of
+        // dropping them (which would block every wave through this node).
         self.collected.insert(from, sample);
         self.try_complete_collect(rng)
     }
@@ -253,9 +310,10 @@ impl RanSubAgent {
         let Some(own) = self.own else {
             return Vec::new();
         };
-        if self.collected.len() < self.children.len() {
+        if self.wave_done || self.collected.len() < self.children.len() {
             return Vec::new();
         }
+        self.wave_done = true;
         let mut groups: Vec<Sample> = vec![Sample { entries: vec![own], weight: 1 }];
         groups.extend(self.collected.values().cloned());
         let merged = merge_samples(rng, self.subset_size, &groups);
@@ -412,7 +470,7 @@ mod tests {
     }
 
     #[test]
-    fn epochs_advance_and_stale_collects_are_dropped() {
+    fn epochs_advance_and_behind_collects_are_restamped() {
         let tree = ControlTree::from_parents(vec![None, Some(NodeId(0)), Some(NodeId(0))]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let mut root = RanSubAgent::new(NodeId(0), &tree, 5);
@@ -421,22 +479,19 @@ mod tests {
         assert!(out.is_empty(), "root with unreported children must wait");
         assert_eq!(root.epoch(), 1);
 
-        // A stale (epoch 0) collect is ignored.
-        let stale = root.on_collect(
+        // A behind (epoch 0) collect counts as the child's current report —
+        // late joiners run permanently lagging epoch counters — but one
+        // report alone does not complete a two-child wave.
+        let behind = root.on_collect(
             NodeId(1),
             Sample { entries: vec![summary(1, 1)], weight: 1 },
             0,
             &mut rng,
         );
-        assert!(stale.is_empty());
+        assert!(behind.is_empty());
 
-        // Current-epoch collects from both children complete the wave.
-        let _ = root.on_collect(
-            NodeId(1),
-            Sample { entries: vec![summary(1, 1)], weight: 1 },
-            1,
-            &mut rng,
-        );
+        // The second child's report completes the wave, even though the
+        // first child's was re-stamped from an older epoch.
         let out = root.on_collect(
             NodeId(2),
             Sample { entries: vec![summary(2, 2)], weight: 1 },
@@ -450,6 +505,92 @@ mod tests {
             .count();
         assert_eq!(delivers, 1);
         assert_eq!(dists, 2);
+        assert_eq!(root.epoch(), 1, "behind collects never advance the epoch");
+    }
+
+    #[test]
+    fn child_failure_unblocks_a_waiting_collect_wave() {
+        let tree = ControlTree::from_parents(vec![None, Some(NodeId(0)), Some(NodeId(0))]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut root = RanSubAgent::new(NodeId(0), &tree, 5);
+        assert!(root.begin_epoch(summary(0, 100), &mut rng).is_empty());
+        // Child 1 reports; the wave still waits on child 2.
+        let out = root.on_collect(
+            NodeId(1),
+            Sample { entries: vec![summary(1, 1)], weight: 1 },
+            1,
+            &mut rng,
+        );
+        assert!(out.is_empty());
+        // Child 2 crashes: the wave completes with the survivors.
+        let out = root.on_child_failed(NodeId(2), &mut rng);
+        assert!(
+            out.iter().any(|e| matches!(e, RanSubEmit::Deliver { .. })),
+            "root must deliver once the dead child stops being waited on: {out:?}"
+        );
+        // The dead child gets no distribute; the survivor does.
+        for e in &out {
+            if let RanSubEmit::DistributeToChild { child, .. } = e {
+                assert_eq!(*child, NodeId(1));
+            }
+        }
+        // Removing an unrelated node is a no-op.
+        assert!(root.on_child_failed(NodeId(9), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn completed_wave_is_not_reemitted_after_child_failure() {
+        let tree = ControlTree::from_parents(vec![None, Some(NodeId(0)), Some(NodeId(0))]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut root = RanSubAgent::new(NodeId(0), &tree, 5);
+        root.begin_epoch(summary(0, 100), &mut rng);
+        for c in [1u32, 2] {
+            root.on_collect(
+                NodeId(c),
+                Sample { entries: vec![summary(c, c)], weight: 1 },
+                1,
+                &mut rng,
+            );
+        }
+        // The wave already completed; a late failure must not re-run it.
+        assert!(root.on_child_failed(NodeId(2), &mut rng).is_empty());
+        // The next epoch only waits for the surviving child.
+        assert!(root.begin_epoch(summary(0, 100), &mut rng).is_empty());
+        let out = root.on_collect(
+            NodeId(1),
+            Sample { entries: vec![summary(1, 1)], weight: 1 },
+            2,
+            &mut rng,
+        );
+        assert!(out.iter().any(|e| matches!(e, RanSubEmit::Deliver { .. })));
+    }
+
+    #[test]
+    fn reattached_orphan_counts_from_the_next_epoch() {
+        let tree = ControlTree::from_parents(vec![None, Some(NodeId(0))]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut root = RanSubAgent::new(NodeId(0), &tree, 5);
+        root.add_child(NodeId(7)); // orphan adopted via tree repair
+        root.add_child(NodeId(7)); // idempotent
+        root.begin_epoch(summary(0, 1), &mut rng);
+        let out = root.on_collect(
+            NodeId(1),
+            Sample { entries: vec![summary(1, 1)], weight: 1 },
+            1,
+            &mut rng,
+        );
+        assert!(out.is_empty(), "the wave now waits for the adopted child too");
+        let out = root.on_collect(
+            NodeId(7),
+            Sample { entries: vec![summary(7, 3)], weight: 1 },
+            1,
+            &mut rng,
+        );
+        let dists: Vec<_> = out
+            .iter()
+            .filter(|e| matches!(e, RanSubEmit::DistributeToChild { .. }))
+            .collect();
+        assert_eq!(dists.len(), 2, "both children receive distributes: {out:?}");
     }
 
     #[test]

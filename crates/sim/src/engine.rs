@@ -1,6 +1,6 @@
 //! The simulation driver: a virtual clock plus the pending-event set.
 
-use crate::queue::EventQueue;
+use crate::queue::{EventKey, EventQueue};
 use crate::time::{SimDuration, SimTime};
 
 /// Outcome of a bounded run.
@@ -96,24 +96,53 @@ impl<E> Simulator<E> {
         self.queue.len()
     }
 
-    /// Schedules `event` for delivery at absolute time `at`.
+    /// Schedules `event` for delivery at absolute time `at`, returning a key
+    /// for later [`cancel`](Simulator::cancel) / [`reschedule`](Simulator::reschedule).
     ///
     /// Scheduling in the past is clamped to the current instant rather than
     /// panicking: fluid-model rate changes legitimately produce completion
     /// estimates that land "now".
-    pub fn schedule_at(&mut self, at: SimTime, event: E) -> u64 {
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
         let at = at.max(self.now);
         self.queue.push(at, event)
     }
 
     /// Schedules `event` for delivery `delay` after the current instant.
-    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> u64 {
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventKey {
         self.queue.push(self.now + delay, event)
     }
 
-    /// Delivery time of the next pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
+    /// Cancels a pending event, returning its payload, or `None` if it was
+    /// already delivered or cancelled.
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        self.queue.cancel(key)
+    }
+
+    /// Moves a pending event to the new absolute time `at` (clamped to the
+    /// current instant). Returns `false` if the event is no longer pending.
+    pub fn reschedule(&mut self, key: EventKey, at: SimTime) -> bool {
+        self.queue.reschedule(key, at.max(self.now))
+    }
+
+    /// Returns true if the event behind `key` has not yet been delivered or
+    /// cancelled.
+    pub fn is_pending(&self, key: EventKey) -> bool {
+        self.queue.is_pending(key)
+    }
+
+    /// Delivery time of the next pending event, if any. Takes `&mut self`
+    /// because stale heap tombstones of cancelled events are pruned here.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
         self.queue.peek_time()
+    }
+
+    /// Advances the clock to `t` without processing events (no-op if `t` is
+    /// in the past). Drivers that process events manually via
+    /// [`step`](Simulator::step) use this to clamp the end-of-run clock to
+    /// their time limit, mirroring what [`run_until`](Simulator::run_until)
+    /// does internally on [`RunOutcome::TimeLimit`].
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
     }
 
     /// Pops the next event and advances the clock to it.
@@ -215,6 +244,62 @@ mod tests {
         });
         assert_eq!(outcome, RunOutcome::EventLimit);
         assert_eq!(sim.events_processed(), 100);
+    }
+
+    #[test]
+    fn cancelled_events_are_never_delivered() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.schedule_at(SimTime::from_secs_f64(1.0), 1);
+        let key = sim.schedule_at(SimTime::from_secs_f64(2.0), 2);
+        sim.schedule_at(SimTime::from_secs_f64(3.0), 3);
+        assert_eq!(sim.cancel(key), Some(2));
+        assert_eq!(sim.pending(), 2);
+        let mut seen = Vec::new();
+        let outcome = sim.run(|_, _, ev| {
+            seen.push(ev);
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(seen, vec![1, 3]);
+        assert_eq!(sim.events_processed(), 2, "tombstones are not processed events");
+    }
+
+    #[test]
+    fn queue_of_only_cancelled_events_counts_as_drained() {
+        let mut sim: Simulator<()> = Simulator::new();
+        let key = sim.schedule_at(SimTime::from_secs_f64(1.0), ());
+        sim.cancel(key);
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.run(|_, _, _| Control::Continue), RunOutcome::Drained);
+        assert_eq!(sim.now(), SimTime::ZERO, "no event was processed");
+    }
+
+    #[test]
+    fn reschedule_moves_delivery_and_clamps_to_now() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let key = sim.schedule_at(SimTime::from_secs_f64(10.0), 1);
+        sim.schedule_at(SimTime::from_secs_f64(2.0), 2);
+        assert!(sim.reschedule(key, SimTime::from_secs_f64(1.0)));
+        let mut order = Vec::new();
+        sim.run(|sim, t, ev| {
+            order.push((t.as_secs_f64(), ev));
+            if ev == 2 {
+                // Rescheduling into the past clamps to now.
+                let k = sim.schedule_at(SimTime::from_secs_f64(5.0), 3);
+                assert!(sim.reschedule(k, SimTime::from_secs_f64(0.5)));
+            }
+            Control::Continue
+        });
+        assert_eq!(order, vec![(1.0, 1), (2.0, 2), (2.0, 3)]);
+    }
+
+    #[test]
+    fn advance_to_clamps_upward_only() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.advance_to(SimTime::from_secs_f64(4.0));
+        assert_eq!(sim.now(), SimTime::from_secs_f64(4.0));
+        sim.advance_to(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.now(), SimTime::from_secs_f64(4.0), "never backwards");
     }
 
     #[test]

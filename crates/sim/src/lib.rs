@@ -24,7 +24,7 @@ pub mod rng;
 pub mod time;
 
 pub use engine::{Control, RunOutcome, Simulator};
-pub use queue::EventQueue;
+pub use queue::{EventKey, EventQueue};
 pub use rng::RngFactory;
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
 
@@ -66,6 +66,47 @@ mod proptests {
                     prop_assert!(idx > prev, "FIFO violated at {:?}", t);
                 }
             }
+        }
+
+        /// Under arbitrary interleavings of cancels and reschedules, the queue
+        /// delivers exactly the surviving entries, in time order, at their
+        /// final delivery times.
+        #[test]
+        fn queue_cancel_reschedule_consistent(
+            times in proptest::collection::vec(0u64..10_000, 1..100),
+            cancels in proptest::collection::vec(any::<usize>(), 0..30),
+            move_targets in proptest::collection::vec(any::<usize>(), 0..30),
+            move_times in proptest::collection::vec(0u64..10_000, 0..30),
+        ) {
+            let mut q = EventQueue::new();
+            let keys: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, t)| q.push(SimTime::from_nanos(*t), i))
+                .collect();
+            let mut expect: std::collections::HashMap<usize, u64> =
+                times.iter().copied().enumerate().collect();
+            for (idx, at) in move_targets.iter().zip(move_times.iter()) {
+                let i = idx % keys.len();
+                if q.reschedule(keys[i], SimTime::from_nanos(*at)) {
+                    expect.insert(i, *at);
+                }
+            }
+            for idx in &cancels {
+                let i = idx % keys.len();
+                if q.cancel(keys[i]).is_some() {
+                    expect.remove(&i);
+                }
+            }
+            prop_assert_eq!(q.len(), expect.len());
+            let mut last = SimTime::ZERO;
+            let mut seen = std::collections::HashMap::new();
+            while let Some((t, i)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                seen.insert(i, t.as_nanos());
+            }
+            prop_assert_eq!(seen, expect);
         }
 
         /// The simulator clock never moves backwards and processes every event

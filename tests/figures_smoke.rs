@@ -63,6 +63,64 @@ fn figure_13_to_15_smoke() {
 }
 
 #[test]
+fn figure_16_and_17_smoke() {
+    // Slightly larger swarm so a 25%/50% crash wave leaves a healthy mesh.
+    let mut opts = tiny();
+    opts.nodes = Some(12);
+    let f16 = experiments::fig16(&opts);
+    check(&f16, 4);
+    assert!(f16.series[0].label.contains("no churn"));
+    assert!(f16.series[2].label.contains("25% crash"));
+    let f17 = experiments::fig17(&opts);
+    check(&f17, 2);
+    assert!(f17.series[1].label.contains("flash crowd"));
+}
+
+#[test]
+fn churn_run_completes_for_survivors_and_excludes_crashed_nodes() {
+    // The acceptance scenario: 25% of the receivers crash mid-transfer.
+    // Surviving Bullet' receivers must still complete, and the crashed nodes
+    // must not block the all-complete stop condition.
+    use bullet_repro::bullet_bench::run_bullet_prime_churn;
+    use bullet_repro::bullet_prime::Config;
+    use bullet_repro::desim::{RngFactory, SimDuration, SimTime};
+    use bullet_repro::dissem_codec::FileSpec;
+    use bullet_repro::netsim::dynamics::crash_wave_schedule;
+    use bullet_repro::netsim::{topology, StopReason};
+
+    let nodes = 12;
+    let rng = RngFactory::new(20050410);
+    let topo = topology::modelnet_mesh(nodes, 0.01, &rng);
+    let cfg = Config::new(FileSpec::new(512 * 1024, 16 * 1024));
+    let churn = crash_wave_schedule(
+        nodes,
+        0.25,
+        SimTime::from_secs_f64(2.0),
+        SimTime::from_secs_f64(6.0),
+        &rng,
+    );
+    assert_eq!(churn.len(), 3, "25% of 11 receivers rounds to 3 victims");
+    let (run, report, _) =
+        run_bullet_prime_churn(topo, &cfg, &rng, &churn, SimDuration::from_secs(3_600));
+    assert_eq!(
+        report.reason,
+        StopReason::AllComplete,
+        "crashed nodes must be excluded from the stop condition: {report:?}"
+    );
+    assert_eq!(report.departed.iter().filter(|&&d| d).count(), 3);
+    assert_eq!(run.unfinished, 0, "every surviving receiver completes");
+    assert_eq!(run.times.len(), nodes - 1 - 3);
+    for (i, departed) in report.departed.iter().enumerate() {
+        if *departed {
+            assert!(
+                report.completion_secs[i].is_none(),
+                "node {i} crashed mid-transfer and must not be counted complete"
+            );
+        }
+    }
+}
+
+#[test]
 fn reduced_and_full_scale_share_code_paths() {
     // `--full` only changes workload parameters, not which series are produced.
     let mut full = tiny();
