@@ -19,7 +19,7 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo doc --no-deps -D warnings (first-party crates)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p desim -p netsim -p overlay -p dissem-codec -p shotgun \
-    -p bullet-prime -p baselines -p bullet-bench -p bullet-repro
+    -p bullet-prime -p baselines -p bullet-bench -p bullet-lab -p bullet-repro
 
 # The figure harness must stay runnable end to end at tiny scale. These tests
 # are part of the plain suite already (none are #[ignore]d — keep it that
@@ -28,10 +28,35 @@ echo "==> figure smoke gate (tests/figures_smoke.rs)"
 cargo test -q --test figures_smoke
 
 # Perf trajectory: a fixed-seed, dynamics-heavy Figure-5-style run. The JSON
-# records events-processed (deterministic scheduler-efficiency proxy) and
-# wall-clock; compare against the previous PR's BENCH_events.json before
-# merging scheduler or network-model changes.
-echo "==> perf record (BENCH_events.json)"
+# records events-processed (a deterministic scheduler-efficiency proxy); the
+# committed value is the baseline and a >10% increase fails CI, so scheduler
+# or network-model regressions cannot land silently.
+echo "==> perf record + regression gate (BENCH_events.json)"
+# Baseline = the *committed* record, so re-running ci.sh after a failure does
+# not silently compare the regressed value against itself. Fall back to the
+# working-tree file outside a git checkout.
+prev_events=$( (git show HEAD:BENCH_events.json 2>/dev/null || cat BENCH_events.json 2>/dev/null) \
+    | grep -o '"events_processed": *[0-9]*' | grep -o '[0-9]*$' || true)
 ./target/release/bench_events --out BENCH_events.json
+new_events=$(grep -o '"events_processed": *[0-9]*' BENCH_events.json | grep -o '[0-9]*$')
+if [ -n "$prev_events" ]; then
+    awk -v prev="$prev_events" -v cur="$new_events" 'BEGIN {
+        if (cur > prev * 1.10) {
+            printf "FAIL: events-processed regressed %d -> %d (more than 10%%)\n", prev, cur
+            exit 1
+        }
+        printf "events-processed %d -> %d (within the 10%% gate)\n", prev, cur
+    }'
+else
+    echo "no committed BENCH_events.json baseline; recorded $new_events"
+fi
+
+# Parallel-sweep trajectory: `lab bench` runs the same fig05 sweep at 1 and 4
+# worker threads, *asserts* the two outputs are byte-identical (the
+# determinism-under-parallelism guarantee), and records wall-clock per thread
+# count in BENCH_sweep.json.
+echo "==> sweep record (BENCH_sweep.json)"
+./target/release/lab bench fig05 --threads 1,4 --seed-count 2 --mb 2 \
+    --time-limit 3600 --out BENCH_sweep.json
 
 echo "==> CI green"

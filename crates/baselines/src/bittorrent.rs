@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use desim::SimDuration;
 use dissem_codec::{BlockBitmap, BlockId, FileSpec};
-use netsim::{BlockReceipt, Ctx, NodeId, Protocol, WireSize};
+use netsim::{BlockReceipt, Ctx, NodeId, ProbeStats, Protocol, WireSize};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -169,6 +169,7 @@ pub struct BitTorrentNode {
     completed_at: Option<f64>,
     arrival_times: Vec<f64>,
     duplicates: u64,
+    useful_bytes: u64,
 }
 
 impl BitTorrentNode {
@@ -199,6 +200,7 @@ impl BitTorrentNode {
             completed_at: None,
             arrival_times: Vec::new(),
             duplicates: 0,
+            useful_bytes: 0,
         }
     }
 
@@ -553,6 +555,7 @@ impl Protocol<BtMsg> for BitTorrentNode {
         } else {
             self.have.insert(block);
             self.arrival_times.push(ctx.now().as_secs_f64());
+            self.useful_bytes += receipt.bytes;
             let piece = self.piece_of(block);
             let missing = &mut self.piece_missing[piece as usize];
             *missing = missing.saturating_sub(1);
@@ -618,6 +621,18 @@ impl Protocol<BtMsg> for BitTorrentNode {
 
     fn is_complete(&self) -> bool {
         self.is_seed() || self.download_done()
+    }
+
+    fn probe_stats(&self) -> ProbeStats {
+        // The BitTorrent mesh is symmetric: every neighbour is both a
+        // potential sender and a potential receiver.
+        ProbeStats {
+            useful_bytes: self.useful_bytes,
+            useful_blocks: self.arrival_times.len() as u64,
+            duplicate_blocks: self.duplicates,
+            senders: self.neighbours.len(),
+            receivers: self.neighbours.len(),
+        }
     }
 }
 

@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use desim::SimDuration;
 use dissem_codec::{BlockBitmap, BlockId, FileSpec};
-use netsim::{BlockReceipt, Ctx, NodeId, Protocol, Runner, Topology, WireSize};
+use netsim::{BlockReceipt, Ctx, NodeId, ProbeStats, Protocol, Runner, Topology, WireSize};
 use rand::seq::SliceRandom;
 
 /// Number of stripes (and stripe trees).
@@ -155,6 +155,7 @@ pub struct SplitStreamNode {
     completed_at: Option<f64>,
     arrival_times: Vec<f64>,
     duplicates: u64,
+    useful_bytes: u64,
 }
 
 impl SplitStreamNode {
@@ -183,6 +184,7 @@ impl SplitStreamNode {
             completed_at: None,
             arrival_times: Vec::new(),
             duplicates: 0,
+            useful_bytes: 0,
         }
     }
 
@@ -290,6 +292,7 @@ impl Protocol<SsMsg> for SplitStreamNode {
         }
         self.have.insert(block);
         self.arrival_times.push(ctx.now().as_secs_f64());
+        self.useful_bytes += receipt.bytes;
         if self.download_done() && self.completed_at.is_none() {
             self.completed_at = Some(ctx.now().as_secs_f64());
         }
@@ -323,6 +326,18 @@ impl Protocol<SsMsg> for SplitStreamNode {
 
     fn is_complete(&self) -> bool {
         self.is_source() || self.download_done()
+    }
+
+    fn probe_stats(&self) -> ProbeStats {
+        ProbeStats {
+            useful_bytes: self.useful_bytes,
+            useful_blocks: self.arrival_times.len() as u64,
+            duplicate_blocks: self.duplicates,
+            // One parent per stripe tree (none for the source); children
+            // across every stripe this node forwards on.
+            senders: if self.is_source() { 0 } else { self.forest.stripes() },
+            receivers: self.forest.fanout(self.id),
+        }
     }
 }
 

@@ -7,13 +7,15 @@
 //!   SplitStream over a topology and change schedule;
 //! * [`bounds`] — the analytic reference curves of Fig 4;
 //! * [`experiments`] — one function per figure (4–15 from the paper, plus
-//!   16/17: crash-churn and flash-crowd scenarios beyond the paper).
+//!   16/17: crash-churn and flash-crowd scenarios, and 5ts: the probe-driven
+//!   bandwidth-over-time view of the dynamic scenario — all beyond the
+//!   paper).
 //!
-//! Binaries: `fig04` … `fig17` regenerate the corresponding figure (reduced
-//! scale by default, `--full` for the paper's workload), `lt_overhead`
-//! measures the rateless-code reception overhead quoted in §2.2, and
-//! `bench_events` emits the fixed-seed scheduler-efficiency record
-//! (`BENCH_events.json`) CI tracks across PRs.
+//! The `figNN` binaries live in the `bullet_lab` crate as one-line wrappers
+//! over its scenario registry (equivalent to `lab run <name>`); this crate
+//! keeps `lt_overhead` (the rateless-code reception overhead quoted in
+//! §2.2), `diagnose`, and `bench_events`, which emits the fixed-seed
+//! scheduler-efficiency record (`BENCH_events.json`) that ci.sh gates on.
 //! Criterion micro-benchmarks for the core data structures live in
 //! `benches/`.
 
@@ -24,7 +26,8 @@ pub mod opts;
 pub mod systems;
 
 pub use cdf::{improvement_at, Figure, Series};
-pub use opts::{emit, CommonOpts};
+pub use opts::{emit, figure_main, CommonOpts};
 pub use systems::{
-    run_bullet_prime_churn, run_bullet_prime_with, run_system, SystemKind, SystemRun,
+    run_bullet_prime_churn, run_bullet_prime_timeseries, run_bullet_prime_with, run_system,
+    SystemKind, SystemRun,
 };

@@ -24,6 +24,8 @@ pub struct CommonOpts {
     pub json: Option<String>,
     /// Virtual-time limit in seconds.
     pub time_limit: f64,
+    /// Probe sampling tick in virtual seconds (time-series scenarios only).
+    pub tick: Option<f64>,
 }
 
 impl Default for CommonOpts {
@@ -37,6 +39,7 @@ impl Default for CommonOpts {
             raw: false,
             json: None,
             time_limit: 7200.0,
+            tick: None,
         }
     }
 }
@@ -60,6 +63,13 @@ impl CommonOpts {
                 "--block-kb" => opts.block_kb = Some(parse_num(&value_for("--block-kb")?)?),
                 "--seed" => opts.seed = parse_num(&value_for("--seed")?)?,
                 "--time-limit" => opts.time_limit = parse_num(&value_for("--time-limit")?)?,
+                "--tick" => {
+                    let tick: f64 = parse_num(&value_for("--tick")?)?;
+                    if tick.is_nan() || tick <= 0.0 {
+                        return Err(format!("--tick must be positive, got {tick}\n{USAGE}"));
+                    }
+                    opts.tick = Some(tick);
+                }
                 "--json" => opts.json = Some(value_for("--json")?),
                 "--full" => opts.full = true,
                 "--raw" => opts.raw = true,
@@ -100,10 +110,19 @@ impl CommonOpts {
 }
 
 const USAGE: &str = "usage: figNN [--nodes N] [--mb M] [--block-kb K] [--seed S] \
-[--time-limit SECS] [--full] [--raw] [--json PATH]";
+[--time-limit SECS] [--tick SECS] [--full] [--raw] [--json PATH]";
 
 fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("could not parse '{s}'\n{USAGE}"))
+}
+
+/// The whole of a figure binary: parse the shared options from the process
+/// arguments, build the figure, emit it. Every `figNN` binary is a one-line
+/// wrapper around this (via the `bullet_lab` scenario registry), so the
+/// argument surface and output handling cannot drift between figures.
+pub fn figure_main(figure: impl FnOnce(&CommonOpts) -> crate::cdf::Figure) {
+    let opts = CommonOpts::from_env();
+    emit(&figure(&opts), &opts);
 }
 
 /// Writes a figure to stdout and optionally to a JSON file, honouring the
@@ -157,5 +176,14 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--nodes"]).is_err());
         assert!(parse(&["--nodes", "abc"]).is_err());
+    }
+
+    #[test]
+    fn tick_must_be_positive() {
+        assert_eq!(parse(&["--tick", "2.5"]).unwrap().tick, Some(2.5));
+        // Zero, negative and NaN ticks are usage errors, not runner panics.
+        assert!(parse(&["--tick", "0"]).is_err());
+        assert!(parse(&["--tick", "-1"]).is_err());
+        assert!(parse(&["--tick", "NaN"]).is_err());
     }
 }

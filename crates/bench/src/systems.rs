@@ -129,6 +129,26 @@ pub fn run_bullet_prime_churn(
     (collect_survivor_times(&report), report, runner.into_nodes())
 }
 
+/// Runs Bullet′ with a run-time stats probe sampling every `tick`, returning
+/// the timing summary and the full report — whose
+/// [`timeseries`](netsim::RunReport::timeseries) carries per-node goodput /
+/// duplicate-ratio / peer-set-size samples over virtual time (the `fig05ts`
+/// bandwidth-over-time scenario).
+pub fn run_bullet_prime_timeseries(
+    topo: Topology,
+    cfg: &Config,
+    rng: &RngFactory,
+    schedule: &ChangeSchedule,
+    limit: SimDuration,
+    tick: SimDuration,
+) -> (SystemRun, netsim::RunReport, Vec<BulletPrimeNode>) {
+    let mut runner = bullet_prime::build_runner(topo, cfg, rng);
+    apply_schedule(&mut runner, schedule);
+    runner.record_timeseries(tick);
+    let report = runner.run(limit);
+    (collect_times(&report), report, runner.into_nodes())
+}
+
 /// Runs Bullet′ with an explicit configuration and returns both the timing
 /// summary and the protocol nodes (for metric extraction, e.g. Fig 13).
 pub fn run_bullet_prime_with(

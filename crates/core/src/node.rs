@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use desim::SimTime;
 use dissem_codec::{BlockBitmap, BlockId, DiffTracker};
-use netsim::{BlockReceipt, Ctx, NodeId, Protocol};
+use netsim::{BlockReceipt, Ctx, NodeId, ProbeStats, Protocol};
 use overlay::{ControlTree, NodeSummary, RanSubAgent, RanSubEmit, Sample};
 use rand::rngs::StdRng;
 
@@ -755,6 +755,16 @@ impl Protocol<Msg> for BulletPrimeNode {
         match self.role {
             Role::Source => true,
             Role::Receiver => self.is_download_complete(),
+        }
+    }
+
+    fn probe_stats(&self) -> ProbeStats {
+        ProbeStats {
+            useful_bytes: self.metrics.useful_bytes,
+            useful_blocks: self.metrics.useful_blocks() as u64,
+            duplicate_blocks: self.metrics.duplicate_blocks,
+            senders: self.senders.len(),
+            receivers: self.receivers.len(),
         }
     }
 }

@@ -1,0 +1,6 @@
+//! Regenerates the Figure 4 scenario — a thin wrapper over
+//! `lab run fig04`. Run with `--help` for options.
+
+fn main() {
+    bullet_lab::figure_binary_main("fig04");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the probe-driven bandwidth-over-time scenario — a thin
+//! wrapper over `lab run fig05ts`. Run with `--help` for options.
+
+fn main() {
+    bullet_lab::figure_binary_main("fig05ts");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the Figure 12 scenario — a thin wrapper over
+//! `lab run fig12`. Run with `--help` for options.
+
+fn main() {
+    bullet_lab::figure_binary_main("fig12");
+}

@@ -1,0 +1,6 @@
+//! The scenario-lab CLI: list, run, sweep and benchmark the registered
+//! experiment scenarios. Run `lab --help` for usage.
+
+fn main() {
+    std::process::exit(bullet_lab::lab_main(std::env::args().skip(1)));
+}

@@ -1,0 +1,392 @@
+//! The `lab` command-line interface.
+//!
+//! ```text
+//! lab list                         # every registered scenario, one per line
+//! lab run <scenario> [fig opts]    # one run, same options as the figNN binaries
+//! lab sweep <scenario> [--threads N] [--seeds A,B,..] [--seed-count K]
+//!                      [--json PATH] [fig opts]
+//! lab bench <scenario> [--threads N,M,..] [--seed-count K] [--out PATH]
+//!                      [fig opts]   # sweep at each thread count, assert
+//!                                   # byte-identical output, record wall-clock
+//! ```
+//!
+//! `[fig opts]` are the shared figure options (`--nodes`, `--mb`, `--seed`,
+//! …) parsed by [`CommonOpts`]; lab-specific flags are peeled off first.
+
+use std::time::Instant;
+
+use bullet_bench::{emit, CommonOpts};
+
+use crate::executor::run_sweep;
+use crate::registry::Registry;
+
+const USAGE: &str = "usage: lab <list|run|sweep|bench> [scenario] [options]
+  lab list
+  lab run <scenario> [figure options; see any figNN --help]
+  lab sweep <scenario> [--threads N] [--seeds A,B,..] [--seed-count K] [--json PATH] [figure options]
+  lab bench <scenario> [--threads N,M,..] [--seed-count K] [--out PATH] [figure options]";
+
+/// Entry point of the `lab` binary: parses `args` (without `argv[0]`) and
+/// runs the requested subcommand. Returns the process exit code.
+pub fn lab_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
+    match dispatch(args) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("{msg}");
+            2
+        }
+    }
+}
+
+fn dispatch<I: IntoIterator<Item = String>>(args: I) -> Result<(), String> {
+    let mut args: Vec<String> = args.into_iter().collect();
+    if args.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    let command = args.remove(0);
+    let registry = Registry::standard();
+    match command.as_str() {
+        "list" => {
+            list(&registry);
+            Ok(())
+        }
+        "run" => {
+            let (name, rest) = take_scenario(args)?;
+            let scenario = resolve(&registry, &name)?;
+            let opts = CommonOpts::parse(rest)?;
+            emit(&scenario.run(&opts), &opts);
+            Ok(())
+        }
+        "sweep" => sweep(&registry, args),
+        "bench" => bench(&registry, args),
+        "--help" | "-h" | "help" => Err(USAGE.to_string()),
+        other => Err(format!("unknown command {other}\n{USAGE}")),
+    }
+}
+
+fn take_scenario(mut args: Vec<String>) -> Result<(String, Vec<String>), String> {
+    if args.is_empty() || args[0].starts_with('-') {
+        return Err(format!("expected a scenario name\n{USAGE}"));
+    }
+    let name = args.remove(0);
+    Ok((name, args))
+}
+
+fn resolve<'r>(
+    registry: &'r Registry,
+    name: &str,
+) -> Result<&'r crate::scenario::Scenario, String> {
+    registry.get(name).ok_or_else(|| {
+        format!(
+            "unknown scenario '{name}'; available: {}",
+            registry.names().join(", ")
+        )
+    })
+}
+
+fn list(registry: &Registry) {
+    use std::io::Write;
+    // `lab list | head` closes our stdout mid-write; ignore the error
+    // instead of panicking like `println!` would.
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let header = format!(
+        "{:<8} {:<22} {:<18} {:<18} {:<14} title",
+        "name", "systems", "topology", "dynamics", "sweep"
+    );
+    let _ = writeln!(out, "{header}");
+    for sc in registry.iter() {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<22} {:<18} {:<18} {:<14} {}",
+            sc.name,
+            sc.system.tag(),
+            sc.topology.tag(),
+            sc.dynamics.tag(),
+            format!("{}pt x {}seed", sc.sweep.points.len(), sc.sweep.seeds.count),
+            sc.title,
+        );
+    }
+}
+
+/// The `lab bench` record written to `--out` (BENCH_sweep.json in CI):
+/// wall-clock per thread count for one sweep. The record only exists when
+/// the byte-identity comparison passed — a violation aborts with an error
+/// before anything is written.
+#[derive(Debug, serde::Serialize)]
+struct BenchRecord {
+    scenario: String,
+    seeds: usize,
+    cells: usize,
+    runs: Vec<BenchRun>,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct BenchRun {
+    threads: usize,
+    wall_clock_secs: f64,
+}
+
+/// Lab-specific flags peeled off before [`CommonOpts`] sees the rest.
+#[derive(Debug, Default)]
+struct SweepArgs {
+    threads: Vec<usize>,
+    seeds: Option<Vec<u64>>,
+    seed_count: Option<usize>,
+    json: Option<String>,
+    out: Option<String>,
+    rest: Vec<String>,
+}
+
+fn parse_sweep_args(args: Vec<String>) -> Result<SweepArgs, String> {
+    let mut out = SweepArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--threads" => {
+                out.threads = parse_list(&value_for("--threads")?)?;
+                if out.threads.contains(&0) {
+                    return Err(format!("--threads values must be positive\n{USAGE}"));
+                }
+            }
+            "--seeds" => out.seeds = Some(parse_list(&value_for("--seeds")?)?),
+            "--seed-count" => {
+                out.seed_count = Some(
+                    value_for("--seed-count")?
+                        .parse()
+                        .map_err(|_| format!("bad --seed-count\n{USAGE}"))?,
+                );
+            }
+            "--json" => out.json = Some(value_for("--json")?),
+            "--out" => out.out = Some(value_for("--out")?),
+            other => out.rest.push(other.to_string()),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str) -> Result<Vec<T>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("could not parse '{p}'\n{USAGE}")))
+        .collect()
+}
+
+/// The seed plan a sweep actually uses: explicit `--seeds` wins, then
+/// `--seed-count` over the scenario's base seed (or `--seed`), then the
+/// scenario's default plan re-based onto `--seed` if one was given.
+fn effective_seeds(
+    scenario: &crate::scenario::Scenario,
+    sweep_args: &SweepArgs,
+    opts: &CommonOpts,
+    explicit_seed: bool,
+) -> Vec<u64> {
+    if let Some(seeds) = &sweep_args.seeds {
+        return seeds.clone();
+    }
+    let mut plan = scenario.sweep.seeds;
+    if explicit_seed {
+        plan.base = opts.seed;
+    }
+    if let Some(count) = sweep_args.seed_count {
+        plan.count = count;
+    }
+    plan.seeds()
+}
+
+fn sweep(registry: &Registry, args: Vec<String>) -> Result<(), String> {
+    let (name, rest) = take_scenario(args)?;
+    let scenario = resolve(registry, &name)?;
+    let sweep_args = parse_sweep_args(rest)?;
+    if sweep_args.out.is_some() {
+        return Err(format!("sweep writes its report with --json, not --out\n{USAGE}"));
+    }
+    let explicit_seed = sweep_args.rest.iter().any(|a| a == "--seed");
+    let opts = CommonOpts::parse(sweep_args.rest.clone())?;
+    let threads = match sweep_args.threads.as_slice() {
+        [] => 1,
+        [n] => *n,
+        _ => return Err(format!("sweep takes a single --threads value\n{USAGE}")),
+    };
+    let seeds = effective_seeds(scenario, &sweep_args, &opts, explicit_seed);
+
+    let started = Instant::now();
+    let report = run_sweep(scenario, &opts, &seeds, threads);
+    let wall = started.elapsed().as_secs_f64();
+
+    // Human summary to stdout; the deterministic artefact goes to --json.
+    println!(
+        "sweep {}: {} cells ({} points x {} seeds) on {} thread(s)",
+        report.scenario,
+        report.cells.len(),
+        scenario.sweep.points.len(),
+        seeds.len(),
+        threads
+    );
+    for cell in &report.cells {
+        let fig = &cell.figure;
+        let slowest = fig
+            .series
+            .iter()
+            .map(|s| s.max_x())
+            .fold(f64::NAN, f64::max);
+        println!(
+            "  [{} seed {}] {} series, slowest {:.1}s — {}",
+            cell.point,
+            cell.seed,
+            fig.series.len(),
+            slowest,
+            fig.id
+        );
+    }
+    eprintln!("wall_clock_secs: {wall:.3}");
+    if let Some(path) = &sweep_args.json {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("failed to write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `lab bench`: the CI entry point. Runs the same sweep at each requested
+/// thread count, *asserts* the outputs are byte-identical (the determinism
+/// guarantee the executor makes), and writes a JSON record of the wall-clock
+/// per thread count.
+fn bench(registry: &Registry, args: Vec<String>) -> Result<(), String> {
+    let (name, rest) = take_scenario(args)?;
+    let scenario = resolve(registry, &name)?;
+    let sweep_args = parse_sweep_args(rest)?;
+    if sweep_args.json.is_some() {
+        return Err(format!("bench writes its record with --out, not --json\n{USAGE}"));
+    }
+    let explicit_seed = sweep_args.rest.iter().any(|a| a == "--seed");
+    let opts = CommonOpts::parse(sweep_args.rest.clone())?;
+    let thread_counts = if sweep_args.threads.is_empty() {
+        vec![1, 4]
+    } else {
+        sweep_args.threads.clone()
+    };
+    let seeds = effective_seeds(scenario, &sweep_args, &opts, explicit_seed);
+
+    let mut reference: Option<String> = None;
+    let mut record = BenchRecord {
+        scenario: name.clone(),
+        seeds: seeds.len(),
+        cells: 0,
+        runs: Vec::new(),
+    };
+    for &threads in &thread_counts {
+        let started = Instant::now();
+        let report = run_sweep(scenario, &opts, &seeds, threads);
+        let wall = started.elapsed().as_secs_f64();
+        let json = report.to_json();
+        match &reference {
+            None => reference = Some(json),
+            Some(expected) => {
+                if *expected != json {
+                    return Err(format!(
+                        "DETERMINISM VIOLATION: {threads}-thread sweep of {name} differs from \
+                         {}-thread sweep",
+                        thread_counts[0]
+                    ));
+                }
+            }
+        }
+        record.cells = report.cells.len();
+        record.runs.push(BenchRun { threads, wall_clock_secs: (wall * 1000.0).round() / 1000.0 });
+        eprintln!("threads {threads}: {wall:.3}s wall clock");
+    }
+
+    let json = serde_json::to_string_pretty(&record)
+        .expect("bench records are always serialisable");
+    println!("{json}");
+    if let Some(path) = &sweep_args.out {
+        std::fs::write(path, &json).map_err(|e| format!("failed to write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// The whole of a `figNN` binary: resolve `name` in the standard registry
+/// and behave exactly like `lab run <name>` (options from the process
+/// arguments). Exits the process on unknown options.
+pub fn figure_binary_main(name: &str) {
+    let registry = Registry::standard();
+    let scenario = registry
+        .get(name)
+        .unwrap_or_else(|| unreachable!("figure binaries are generated from registry names"));
+    bullet_bench::figure_main(|opts| scenario.run(opts));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SeedPlan;
+
+    #[test]
+    fn sweep_args_split_lab_flags_from_figure_flags() {
+        let args = vec![
+            "--threads".to_string(),
+            "4".to_string(),
+            "--nodes".to_string(),
+            "8".to_string(),
+            "--seeds".to_string(),
+            "1,2,3".to_string(),
+        ];
+        let parsed = parse_sweep_args(args).unwrap();
+        assert_eq!(parsed.threads, vec![4]);
+        assert_eq!(parsed.seeds, Some(vec![1, 2, 3]));
+        assert_eq!(parsed.rest, vec!["--nodes", "8"]);
+        let opts = CommonOpts::parse(parsed.rest).unwrap();
+        assert_eq!(opts.nodes, Some(8));
+    }
+
+    #[test]
+    fn effective_seeds_priority_order() {
+        let registry = Registry::standard();
+        let sc = registry.get("fig13").unwrap();
+        let opts = CommonOpts { seed: 42, ..CommonOpts::default() };
+
+        // Explicit list wins outright.
+        let mut args = SweepArgs { seeds: Some(vec![9, 8]), ..Default::default() };
+        assert_eq!(effective_seeds(sc, &args, &opts, true), vec![9, 8]);
+
+        // Otherwise the plan is re-based on --seed and resized by --seed-count.
+        args.seeds = None;
+        args.seed_count = Some(2);
+        assert_eq!(effective_seeds(sc, &args, &opts, true), vec![42, 43]);
+
+        // Without --seed the scenario's base applies.
+        let plan = SeedPlan::default();
+        args.seed_count = None;
+        assert_eq!(effective_seeds(sc, &args, &opts, false), plan.seeds());
+    }
+
+    #[test]
+    fn zero_thread_counts_are_usage_errors_not_panics() {
+        for cmd in ["sweep", "bench"] {
+            let err = dispatch(vec![
+                cmd.to_string(),
+                "fig13".to_string(),
+                "--threads".to_string(),
+                "0".to_string(),
+            ])
+            .unwrap_err();
+            assert!(err.contains("positive"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_helpful_error() {
+        let code_err = dispatch(vec!["run".to_string(), "nope".to_string()]).unwrap_err();
+        assert!(code_err.contains("unknown scenario"));
+        assert!(code_err.contains("fig04"));
+    }
+
+    #[test]
+    fn bench_rejects_missing_scenario() {
+        assert!(dispatch(vec!["bench".to_string()]).is_err());
+    }
+}

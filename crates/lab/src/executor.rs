@@ -1,0 +1,172 @@
+//! The parallel sweep executor.
+//!
+//! A sweep is the cartesian product of a scenario's parameter points and its
+//! seed plan. Every cell is an independent deterministic simulation (each
+//! builds its own `RngFactory` from the cell seed), so cells can execute on
+//! any thread in any order — the executor hands cells to a worker pool
+//! through a shared atomic cursor (idle workers steal the next unclaimed
+//! cell) and merges results **by cell index**. The merged [`SweepReport`] is
+//! therefore byte-identical for any `--threads` value, which
+//! `tests/lab_smoke.rs` asserts and `lab bench` re-checks on every CI run.
+//!
+//! No thread pool crate, channels or scoped-thread helpers from outside the
+//! standard library are used (the build environment is offline):
+//! `std::thread::scope` plus one `AtomicUsize` and one `Mutex` around the
+//! result table is the entire machinery.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bullet_bench::{CommonOpts, Figure};
+use serde::Serialize;
+
+use crate::scenario::Scenario;
+
+/// One executed sweep cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellReport {
+    /// Label of the parameter point the cell ran.
+    pub point: String,
+    /// Experiment seed of the cell.
+    pub seed: u64,
+    /// The resulting figure.
+    pub figure: Figure,
+}
+
+/// The merged result of a sweep, in deterministic cell order
+/// (parameter-point major, seed minor).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// One entry per (point, seed) cell.
+    pub cells: Vec<CellReport>,
+}
+
+impl SweepReport {
+    /// Canonical JSON rendering (the byte-identity unit of the determinism
+    /// guarantee).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep reports are always serialisable")
+    }
+}
+
+/// Runs `scenario`'s sweep (its parameter points × `seeds`) on `threads`
+/// workers and merges the per-cell figures by cell index.
+///
+/// `base` supplies the options every cell starts from; each cell applies its
+/// parameter point's overrides and its seed. With `threads == 1` the cells
+/// run serially on the calling thread; the output is identical either way.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+pub fn run_sweep(
+    scenario: &Scenario,
+    base: &CommonOpts,
+    seeds: &[u64],
+    threads: usize,
+) -> SweepReport {
+    assert!(threads > 0, "need at least one worker");
+    // Deterministic cell enumeration: point-major, seed-minor.
+    let cells: Vec<(usize, u64)> = scenario
+        .sweep
+        .points
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| seeds.iter().map(move |&s| (pi, s)))
+        .collect();
+
+    let mut results: Vec<Option<CellReport>> = Vec::new();
+    results.resize_with(cells.len(), || None);
+
+    let run_cell = |&(pi, seed): &(usize, u64)| -> CellReport {
+        let point = &scenario.sweep.points[pi];
+        let opts = scenario.cell_opts(base, point, seed);
+        CellReport {
+            point: point.label.to_string(),
+            seed,
+            figure: scenario.run(&opts),
+        }
+    };
+
+    if threads == 1 || cells.len() <= 1 {
+        for (i, cell) in cells.iter().enumerate() {
+            results[i] = Some(run_cell(cell));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let table = Mutex::new(&mut results);
+        let workers = threads.min(cells.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Work stealing: claim the next unexecuted cell.
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let report = run_cell(cell);
+                    table.lock().expect("no worker panicked holding the lock")[i] = Some(report);
+                });
+            }
+        });
+    }
+
+    SweepReport {
+        scenario: scenario.name.to_string(),
+        cells: results
+            .into_iter()
+            .map(|c| c.expect("every claimed cell stores a result"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn tiny() -> CommonOpts {
+        CommonOpts {
+            nodes: Some(6),
+            file_mb: Some(0.125),
+            time_limit: 1800.0,
+            ..CommonOpts::default()
+        }
+    }
+
+    #[test]
+    fn sweep_enumerates_points_major_seeds_minor() {
+        let reg = Registry::standard();
+        let sc = reg.get("fig13").unwrap();
+        let report = run_sweep(sc, &tiny(), &[1, 2], 1);
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].seed, 1);
+        assert_eq!(report.cells[1].seed, 2);
+        assert!(report.cells.iter().all(|c| c.point == "default"));
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let reg = Registry::standard();
+        let sc = reg.get("fig13").unwrap();
+        let serial = run_sweep(sc, &tiny(), &[10, 11, 12], 1).to_json();
+        let parallel = run_sweep(sc, &tiny(), &[10, 11, 12], 3).to_json();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn thread_surplus_is_harmless() {
+        let reg = Registry::standard();
+        let sc = reg.get("fig13").unwrap();
+        let report = run_sweep(sc, &tiny(), &[5], 8);
+        assert_eq!(report.cells.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_is_rejected() {
+        let reg = Registry::standard();
+        let sc = reg.get("fig13").unwrap();
+        run_sweep(sc, &tiny(), &[1], 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! `bullet-lab` — the scenario lab: every experiment of the evaluation grid
+//! as a named, sweepable, parallel-executable scenario.
+//!
+//! The paper's evaluation (§4) is a grid of *scenario × parameter × seed*
+//! cells. This crate turns that grid into data and machinery:
+//!
+//! * [`scenario`] — the declarative [`Scenario`] model: name, system set,
+//!   topology, dynamics, default parameter sweep and seed plan;
+//! * [`registry`] — the standard [`Registry`] of scenarios (Figures 4–15 of
+//!   the paper plus the beyond-the-paper crash-wave, flash-crowd and
+//!   probe-driven time-series scenarios);
+//! * [`executor`] — the parallel sweep executor: a work-stealing
+//!   `std::thread` pool over (point, seed) cells whose merged output is
+//!   **byte-identical for any thread count**, because every cell is an
+//!   independent deterministic simulation and results merge by cell index;
+//! * [`cli`] — the `lab` binary (`list` / `run` / `sweep` / `bench`) and the
+//!   one-line `figNN` wrapper entry point.
+//!
+//! The experiment bodies themselves stay in `bullet_bench::experiments`;
+//! run-time observation (goodput-over-time and friends) comes from
+//! `netsim::probe` via the `fig05ts` scenario.
+
+pub mod cli;
+pub mod executor;
+pub mod registry;
+pub mod scenario;
+
+pub use cli::{figure_binary_main, lab_main};
+pub use executor::{run_sweep, CellReport, SweepReport};
+pub use registry::Registry;
+pub use scenario::{
+    DynamicsKind, ParamPoint, Scenario, SeedPlan, SweepSpec, SystemSet, TopologyKind,
+};

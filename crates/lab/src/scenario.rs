@@ -1,0 +1,274 @@
+//! The declarative scenario model.
+//!
+//! A [`Scenario`] names one cell family of the paper's evaluation grid: which
+//! systems run, on which topology, under which dynamics, plus the default
+//! parameter sweep and seed plan. The executable part stays a plain function
+//! over [`CommonOpts`] (the experiment bodies live in
+//! `bullet_bench::experiments`, where the figure tests exercise them
+//! directly); everything the lab needs to enumerate, filter and sweep
+//! scenarios is data.
+
+use bullet_bench::{CommonOpts, Figure};
+
+/// Which dissemination systems a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemSet {
+    /// Bullet′, original Bullet, BitTorrent and SplitStream side by side.
+    AllFour,
+    /// Bullet′ with its default configuration only.
+    BulletPrime,
+    /// Several Bullet′ configurations against each other (strategy /
+    /// peer-set / outstanding studies).
+    BulletPrimeVariants,
+    /// The Shotgun software-update tool vs parallel rsync.
+    Shotgun,
+}
+
+impl SystemSet {
+    /// Short human-readable tag used by `lab list`.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SystemSet::AllFour => "all-four",
+            SystemSet::BulletPrime => "bullet-prime",
+            SystemSet::BulletPrimeVariants => "bullet-prime-variants",
+            SystemSet::Shotgun => "shotgun",
+        }
+    }
+}
+
+/// Which emulated topology a scenario uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// The standard lossy ModelNet full mesh.
+    ModelNetMesh,
+    /// 800 Kbps access links, no losses.
+    ConstrainedAccess,
+    /// 10 Mbps / 100 ms high bandwidth-delay-product clique.
+    HighBdpClique,
+    /// The Fig 12 cascade topology (victim behind dedicated links).
+    Cascade,
+    /// PlanetLab-like wide-area site bandwidths.
+    PlanetLabLike,
+}
+
+impl TopologyKind {
+    /// Short human-readable tag used by `lab list`.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TopologyKind::ModelNetMesh => "modelnet-mesh",
+            TopologyKind::ConstrainedAccess => "constrained-access",
+            TopologyKind::HighBdpClique => "high-bdp-clique",
+            TopologyKind::Cascade => "cascade",
+            TopologyKind::PlanetLabLike => "planetlab-like",
+        }
+    }
+}
+
+/// Which dynamics/churn schedule a scenario applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicsKind {
+    /// No scripted changes (losses may still apply).
+    Static,
+    /// The §4.1 correlated bandwidth-decrease schedule.
+    BandwidthChanges,
+    /// The Fig 12 cascading link degradations towards a victim.
+    CascadingDegrade,
+    /// A crash wave over a fraction of the receivers.
+    CrashWave,
+    /// A flash-crowd join wave.
+    FlashCrowd,
+}
+
+impl DynamicsKind {
+    /// Short human-readable tag used by `lab list`.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DynamicsKind::Static => "static",
+            DynamicsKind::BandwidthChanges => "bandwidth-changes",
+            DynamicsKind::CascadingDegrade => "cascading-degrade",
+            DynamicsKind::CrashWave => "crash-wave",
+            DynamicsKind::FlashCrowd => "flash-crowd",
+        }
+    }
+}
+
+/// One point of a parameter sweep: named overrides applied on top of the
+/// sweep's base options. `None` fields leave the base value untouched.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamPoint {
+    /// Label identifying the point in reports ("default", "80-nodes", …).
+    pub label: &'static str,
+    /// Override for the node count.
+    pub nodes: Option<usize>,
+    /// Override for the file size (MiB).
+    pub file_mb: Option<f64>,
+    /// Override for the block size (KiB).
+    pub block_kb: Option<u32>,
+    /// Override for the virtual-time limit (seconds).
+    pub time_limit: Option<f64>,
+}
+
+impl ParamPoint {
+    /// The identity point: base options as-is.
+    pub fn default_point() -> Self {
+        ParamPoint { label: "default", ..Default::default() }
+    }
+
+    /// Applies the overrides to a copy of `base`.
+    pub fn apply(&self, base: &CommonOpts) -> CommonOpts {
+        let mut opts = base.clone();
+        if let Some(n) = self.nodes {
+            opts.nodes = Some(n);
+        }
+        if let Some(mb) = self.file_mb {
+            opts.file_mb = Some(mb);
+        }
+        if let Some(kb) = self.block_kb {
+            opts.block_kb = Some(kb);
+        }
+        if let Some(t) = self.time_limit {
+            opts.time_limit = t;
+        }
+        opts
+    }
+}
+
+/// The seed plan of a sweep: `count` consecutive seeds from `base`.
+///
+/// Consecutive seeds are fine because every run derives its actual RNG
+/// streams by hashing the seed with per-purpose labels (see
+/// `desim::RngFactory`), so adjacent experiment seeds share no streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedPlan {
+    /// First experiment seed.
+    pub base: u64,
+    /// Number of seeds.
+    pub count: usize,
+}
+
+impl SeedPlan {
+    /// Materialises the seeds in order.
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.count as u64).map(|i| self.base.wrapping_add(i)).collect()
+    }
+}
+
+impl Default for SeedPlan {
+    fn default() -> Self {
+        // The workspace's fixed experiment seed, 4 repetitions.
+        SeedPlan { base: 20050410, count: 4 }
+    }
+}
+
+/// A scenario's default sweep: parameter points × seed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// The parameter points (at least one).
+    pub points: Vec<ParamPoint>,
+    /// The seed plan.
+    pub seeds: SeedPlan,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec { points: vec![ParamPoint::default_point()], seeds: SeedPlan::default() }
+    }
+}
+
+/// A named, runnable experiment scenario.
+pub struct Scenario {
+    /// Unique registry name (`fig04` … `fig17`, `fig05ts`, …).
+    pub name: &'static str,
+    /// One-line description shown by `lab list`.
+    pub title: &'static str,
+    /// Which systems run.
+    pub system: SystemSet,
+    /// Which topology they run on.
+    pub topology: TopologyKind,
+    /// Which dynamics apply.
+    pub dynamics: DynamicsKind,
+    /// Default parameter sweep and seed plan for `lab sweep`.
+    pub sweep: SweepSpec,
+    /// The experiment body.
+    run: fn(&CommonOpts) -> Figure,
+}
+
+impl Scenario {
+    /// Creates a scenario with the default sweep.
+    pub fn new(
+        name: &'static str,
+        title: &'static str,
+        system: SystemSet,
+        topology: TopologyKind,
+        dynamics: DynamicsKind,
+        run: fn(&CommonOpts) -> Figure,
+    ) -> Self {
+        Scenario { name, title, system, topology, dynamics, sweep: SweepSpec::default(), run }
+    }
+
+    /// Runs the scenario once with the given options.
+    pub fn run(&self, opts: &CommonOpts) -> Figure {
+        (self.run)(opts)
+    }
+
+    /// The options of one sweep cell: `point` overrides applied to `base`,
+    /// then the cell's seed.
+    pub fn cell_opts(&self, base: &CommonOpts, point: &ParamPoint, seed: u64) -> CommonOpts {
+        let mut opts = point.apply(base);
+        opts.seed = seed;
+        opts
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("system", &self.system)
+            .field("topology", &self.topology)
+            .field("dynamics", &self.dynamics)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_point_overrides_only_what_it_names() {
+        let base = CommonOpts { nodes: Some(10), time_limit: 600.0, ..CommonOpts::default() };
+        let point = ParamPoint { label: "big", nodes: Some(40), ..Default::default() };
+        let opts = point.apply(&base);
+        assert_eq!(opts.nodes, Some(40));
+        assert_eq!(opts.time_limit, 600.0);
+        assert_eq!(opts.file_mb, None);
+        // The identity point changes nothing.
+        let same = ParamPoint::default_point().apply(&base);
+        assert_eq!(same.nodes, base.nodes);
+    }
+
+    #[test]
+    fn seed_plan_yields_consecutive_seeds() {
+        let plan = SeedPlan { base: 7, count: 3 };
+        assert_eq!(plan.seeds(), vec![7, 8, 9]);
+        assert_eq!(SeedPlan::default().seeds().len(), 4);
+    }
+
+    #[test]
+    fn cell_opts_applies_point_then_seed() {
+        let sc = Scenario::new(
+            "t",
+            "test",
+            SystemSet::BulletPrime,
+            TopologyKind::ModelNetMesh,
+            DynamicsKind::Static,
+            |_| Figure::new("t", "test"),
+        );
+        let base = CommonOpts::default();
+        let point = ParamPoint { label: "p", nodes: Some(12), ..Default::default() };
+        let opts = sc.cell_opts(&base, &point, 99);
+        assert_eq!(opts.nodes, Some(12));
+        assert_eq!(opts.seed, 99);
+    }
+}

@@ -319,6 +319,78 @@ mod tests {
     }
 
     #[test]
+    fn crash_wave_edge_fractions_and_node_sets() {
+        let rng = RngFactory::new(3);
+        let start = SimTime::from_secs_f64(5.0);
+        let end = SimTime::from_secs_f64(9.0);
+
+        // 0%: nobody crashes, whatever the window.
+        assert!(crash_wave_schedule(20, 0.0, start, end, &rng).is_empty());
+
+        // 100%: every receiver crashes exactly once; the source survives;
+        // the wave spans the whole window (first victim at start, last at
+        // end).
+        let all = crash_wave_schedule(20, 1.0, start, end, &rng);
+        assert_eq!(all.len(), 19);
+        let mut victims: Vec<u32> = all.iter().map(|(_, ev)| ev.node().0).collect();
+        victims.sort_unstable();
+        assert_eq!(victims, (1..20).collect::<Vec<u32>>());
+        assert_eq!(all.first().unwrap().0, start);
+        assert_eq!(all.last().unwrap().0, end);
+        for w in all.windows(2) {
+            assert!(w[0].0 <= w[1].0, "activation order");
+        }
+
+        // Empty / source-only node sets: nothing to crash, even at 100%.
+        assert!(crash_wave_schedule(0, 1.0, start, end, &rng).is_empty());
+        assert!(crash_wave_schedule(1, 1.0, start, end, &rng).is_empty());
+
+        // A single victim crashes at the window start, not somewhere
+        // undefined inside it.
+        let one = crash_wave_schedule(9, 0.125, start, end, &rng);
+        assert_eq!(one.len(), 1, "12.5% of 8 receivers is one victim");
+        assert_eq!(one[0].0, start);
+    }
+
+    #[test]
+    fn crash_wave_at_t_zero_is_valid() {
+        // A zero-width window at t = 0: every victim crashes at the origin,
+        // which the runner treats as "crashed before doing anything".
+        let rng = RngFactory::new(8);
+        let wave = crash_wave_schedule(10, 0.5, SimTime::ZERO, SimTime::ZERO, &rng);
+        assert_eq!(wave.len(), 5, "50% of 9 receivers rounds to 5");
+        assert!(wave.iter().all(|(t, _)| *t == SimTime::ZERO));
+        assert!(wave.iter().all(|(_, ev)| matches!(ev, NodeEvent::Crash(n) if n.0 != 0)));
+    }
+
+    #[test]
+    fn flash_crowd_edge_groups() {
+        let start = SimTime::from_secs_f64(2.0);
+        let end = SimTime::from_secs_f64(6.0);
+
+        // Everyone present from the start: nobody joins late.
+        assert!(flash_crowd_schedule(10, 10, start, end).is_empty());
+        // `initial > n` (a core group larger than the experiment): joiner
+        // range is empty rather than inverted.
+        assert!(flash_crowd_schedule(5, 8, start, end).is_empty());
+
+        // A single late joiner arrives at the window start.
+        let one = flash_crowd_schedule(10, 9, start, end);
+        assert_eq!(one, vec![(start, NodeEvent::Join(NodeId(9)))]);
+
+        // Zero-width window at t = 0: everyone "joins" at the origin.
+        let at_zero = flash_crowd_schedule(6, 2, SimTime::ZERO, SimTime::ZERO);
+        assert_eq!(at_zero.len(), 4);
+        assert!(at_zero.iter().all(|(t, _)| *t == SimTime::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "source must be present")]
+    fn flash_crowd_requires_a_source() {
+        flash_crowd_schedule(5, 0, SimTime::ZERO, SimTime::ZERO);
+    }
+
+    #[test]
     fn flash_crowd_joins_everyone_after_the_core_group() {
         let sched = flash_crowd_schedule(
             10,

@@ -15,10 +15,13 @@
 //! * [`protocol`] — the [`Protocol`] trait implemented by every dissemination
 //!   system in this workspace, and the command-buffer [`Ctx`];
 //! * [`runner`] — the experiment driver;
-//! * [`dynamics`] — scripted bandwidth-change scenarios.
+//! * [`dynamics`] — scripted bandwidth-change scenarios;
+//! * [`probe`] — run-time observers sampled on a virtual-time tick, feeding
+//!   the bandwidth-over-time analyses.
 
 pub mod dynamics;
 pub mod network;
+pub mod probe;
 pub mod protocol;
 pub mod runner;
 pub mod tcp;
@@ -27,6 +30,7 @@ pub mod units;
 
 pub use dynamics::{BandwidthChange, ChangeSchedule, LinkChangeBatch, NodeEvent, NodeSchedule};
 pub use network::{BlockReceipt, ConnUpdate, Network, NodeTraffic};
+pub use probe::{NodeSample, Probe, ProbeStats, StatsProbe, TimeSample, TimeSeries};
 pub use protocol::{Command, Ctx, Protocol, WireSize};
 pub use runner::{RunReport, Runner, StopReason};
 pub use topology::{NodeId, NodeSpec, PathSpec, Topology};
@@ -39,7 +43,7 @@ mod lifecycle_tests {
 
     /// A minimal instrumented protocol: records every hook invocation so the
     /// tests can assert exactly what the runner delivered.
-    struct Probe {
+    struct Recorder {
         id: NodeId,
         init_at: Option<f64>,
         shutdowns: usize,
@@ -64,9 +68,9 @@ mod lifecycle_tests {
         }
     }
 
-    impl Probe {
+    impl Recorder {
         fn new(id: NodeId) -> Self {
-            Probe {
+            Recorder {
                 id,
                 init_at: None,
                 shutdowns: 0,
@@ -81,7 +85,7 @@ mod lifecycle_tests {
         }
     }
 
-    impl Protocol<PMsg> for Probe {
+    impl Protocol<PMsg> for Recorder {
         fn on_init(&mut self, ctx: &mut Ctx<'_, PMsg>) {
             self.init_at = Some(ctx.now().as_secs_f64());
             for &peer in &self.greet {
@@ -121,12 +125,12 @@ mod lifecycle_tests {
         }
     }
 
-    fn probe_runner(n: usize, tweak: impl Fn(&mut Probe)) -> Runner<PMsg, Probe> {
+    fn probe_runner(n: usize, tweak: impl Fn(&mut Recorder)) -> Runner<PMsg, Recorder> {
         let rng = RngFactory::new(77);
         let topo = topology::constrained_access(n);
-        let nodes: Vec<Probe> = (0..n as u32)
+        let nodes: Vec<Recorder> = (0..n as u32)
             .map(|i| {
-                let mut p = Probe::new(NodeId(i));
+                let mut p = Recorder::new(NodeId(i));
                 tweak(&mut p);
                 p
             })
@@ -495,5 +499,179 @@ mod runner_tests {
         assert_eq!(report.reason, StopReason::AllComplete);
         assert_eq!(runner.network().traffic(NodeId(1)).data_bytes_in, 128 * 1024);
         assert_eq!(runner.network().traffic(NodeId(0)).data_bytes_out, 128 * 1024);
+    }
+}
+
+#[cfg(test)]
+mod probe_tests {
+    use super::*;
+    use desim::{RngFactory, SimDuration, SimTime};
+    use probe::ProbeStats;
+
+    /// A protocol that "downloads" a fixed number of bytes per second via a
+    /// timer, so probe goodput has a known closed form.
+    struct Ticker {
+        bytes: u64,
+        per_tick: u64,
+        ticks_left: u32,
+        duplicates: u64,
+        /// Guards the timer chain: `run_until` re-dispatches `on_init` on a
+        /// staged continuation, which must not arm a second chain.
+        started: bool,
+    }
+
+    #[derive(Debug)]
+    enum NoMsg {}
+
+    impl WireSize for NoMsg {
+        fn wire_size(&self) -> usize {
+            0
+        }
+    }
+
+    impl Protocol<NoMsg> for Ticker {
+        fn on_init(&mut self, ctx: &mut Ctx<'_, NoMsg>) {
+            if self.ticks_left > 0 && !self.started {
+                self.started = true;
+                ctx.set_timer(SimDuration::from_secs(1), 0, 0);
+            }
+        }
+        fn on_control(&mut self, _ctx: &mut Ctx<'_, NoMsg>, _from: NodeId, _msg: NoMsg) {}
+        fn on_block_received(&mut self, _c: &mut Ctx<'_, NoMsg>, _f: NodeId, _r: BlockReceipt) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, NoMsg>, _kind: u32, _data: u64) {
+            self.bytes += self.per_tick;
+            self.duplicates += 1;
+            self.ticks_left -= 1;
+            if self.ticks_left > 0 {
+                ctx.set_timer(SimDuration::from_secs(1), 0, 0);
+            }
+        }
+        fn probe_stats(&self) -> ProbeStats {
+            ProbeStats {
+                useful_bytes: self.bytes,
+                useful_blocks: self.bytes / self.per_tick.max(1),
+                duplicate_blocks: self.duplicates,
+                senders: 2,
+                receivers: 3,
+            }
+        }
+    }
+
+    fn ticker_runner(n: usize, per_tick: u64, ticks: u32) -> Runner<NoMsg, Ticker> {
+        let rng = RngFactory::new(5);
+        let topo = topology::constrained_access(n);
+        let nodes: Vec<Ticker> = (0..n)
+            .map(|_| Ticker {
+                bytes: 0,
+                per_tick,
+                ticks_left: ticks,
+                duplicates: 0,
+                started: false,
+            })
+            .collect();
+        Runner::new(Network::new(topo), nodes, &rng)
+    }
+
+    #[test]
+    fn timeseries_samples_at_t0_and_every_tick() {
+        let mut runner = ticker_runner(2, 1000, 10);
+        runner.record_timeseries(SimDuration::from_secs(2));
+        let report = runner.run_until(SimTime::from_secs_f64(100.0));
+        let series = report.timeseries.expect("probe installed");
+        assert_eq!(series.interval_secs, 2.0);
+        // Protocol timers stop at t = 10; samples at 0,2,4,6,8,10 all fire
+        // before the queue holds nothing but the next probe tick.
+        let times: Vec<f64> = series.samples.iter().map(|s| s.time_secs).collect();
+        assert_eq!(times, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert_eq!(report.reason, StopReason::Drained, "probe ticks alone must not keep the run alive");
+    }
+
+    #[test]
+    fn goodput_is_differenced_between_ticks() {
+        let mut runner = ticker_runner(2, 1000, 10);
+        runner.record_timeseries(SimDuration::from_secs(2));
+        let report = runner.run_until(SimTime::from_secs_f64(100.0));
+        let series = report.timeseries.unwrap();
+        // 1000 bytes/s of "useful" data = 8000 bps. A sample observes state
+        // *as of* its instant: a protocol event landing exactly on a tick is
+        // counted in the next interval (the tick was enqueued first), so the
+        // first interval (0, 2] sees only the t = 1 timer: 4000 bps.
+        for s in &series.samples[2..] {
+            for node in &s.nodes {
+                assert!((node.goodput_bps - 8000.0).abs() < 1e-6, "at {}: {}", s.time_secs, node.goodput_bps);
+                assert_eq!(node.senders, 2);
+                assert_eq!(node.receivers, 3);
+                assert!(node.active);
+            }
+        }
+        for node in &series.samples[1].nodes {
+            assert!((node.goodput_bps - 4000.0).abs() < 1e-6);
+        }
+        // The t = 0 sample has no elapsed interval: goodput reads 0.
+        assert!(series.samples[0].nodes.iter().all(|n| n.goodput_bps == 0.0));
+    }
+
+    #[test]
+    fn probes_observe_departures() {
+        let mut runner = ticker_runner(3, 500, 30);
+        runner.record_timeseries(SimDuration::from_secs(1));
+        runner.schedule_node_event(SimTime::from_secs_f64(4.5), NodeEvent::Crash(NodeId(2)));
+        let report = runner.run_until(SimTime::from_secs_f64(20.0));
+        let series = report.timeseries.unwrap();
+        let at = |t: f64| series.samples.iter().find(|s| s.time_secs == t).unwrap();
+        assert!(at(4.0).nodes[2].active);
+        assert!(!at(5.0).nodes[2].active);
+        assert!(at(5.0).nodes[1].active);
+    }
+
+    #[test]
+    fn staged_run_until_continues_a_single_tick_chain() {
+        // Regression: a second `run_until` on the same runner must continue
+        // the existing probe-tick chain, not start a duplicate one (which
+        // would double-sample instants and keep the drain check from ever
+        // seeing "only the next tick left").
+        let mut runner = ticker_runner(2, 1000, 10);
+        runner.record_timeseries(SimDuration::from_secs(2));
+        let first = runner.run_until(SimTime::from_secs_f64(5.0));
+        assert_eq!(first.reason, StopReason::TimeLimit);
+        let head: Vec<f64> = first
+            .timeseries
+            .unwrap()
+            .samples
+            .iter()
+            .map(|s| s.time_secs)
+            .collect();
+        assert_eq!(head, vec![0.0, 2.0, 4.0]);
+
+        let second = runner.run_until(SimTime::from_secs_f64(100.0));
+        assert_eq!(
+            second.reason,
+            StopReason::Drained,
+            "a duplicated tick chain would keep the queue alive to the limit"
+        );
+        let tail: Vec<f64> = second
+            .timeseries
+            .unwrap()
+            .samples
+            .iter()
+            .map(|s| s.time_secs)
+            .collect();
+        assert_eq!(tail, vec![6.0, 8.0, 10.0], "no re-sampled or duplicate instants");
+    }
+
+    #[test]
+    fn runs_without_probes_report_no_series_and_identical_events() {
+        let mut plain = ticker_runner(2, 100, 5);
+        let plain_report = plain.run_until(SimTime::from_secs_f64(50.0));
+        assert!(plain_report.timeseries.is_none());
+
+        // Installing a probe adds tick events but must not change virtual
+        // outcomes (completions, departures) — only the observation.
+        let mut probed = ticker_runner(2, 100, 5);
+        probed.record_timeseries(SimDuration::from_secs(1));
+        let probed_report = probed.run_until(SimTime::from_secs_f64(50.0));
+        assert_eq!(plain_report.completion_secs, probed_report.completion_secs);
+        assert_eq!(plain_report.departed, probed_report.departed);
+        assert!(probed_report.events > plain_report.events);
     }
 }

@@ -13,6 +13,7 @@ use dissem_codec::BlockId;
 use rand::rngs::StdRng;
 
 use crate::network::{BlockReceipt, Network};
+use crate::probe::ProbeStats;
 use crate::topology::NodeId;
 
 /// Size, in bytes, a control message occupies on the wire. Implemented by
@@ -62,6 +63,13 @@ pub trait Protocol<M: WireSize>: Sized {
     /// may stop the experiment once every node reports completion.
     fn is_complete(&self) -> bool {
         false
+    }
+
+    /// Cumulative counters exposed to run-time probes (see [`crate::probe`]).
+    /// The default reports zeros, so probing a protocol that does not track
+    /// these is harmless rather than an error.
+    fn probe_stats(&self) -> ProbeStats {
+        ProbeStats::default()
     }
 }
 

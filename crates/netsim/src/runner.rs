@@ -26,6 +26,14 @@
 //! additionally gets a [`Protocol::on_shutdown`] callback *before* teardown,
 //! so it can send farewell control messages (data blocks queued during
 //! shutdown are discarded along with its connections).
+//!
+//! ## Run-time probes
+//!
+//! [`Runner::install_probe`] / [`Runner::record_timeseries`] attach
+//! observers that sample every node on a configurable virtual-time tick (see
+//! [`crate::probe`]). Tick events interleave deterministically with protocol
+//! events, a queue holding nothing but the next tick counts as drained, and
+//! the resulting [`TimeSeries`] is carried on [`RunReport::timeseries`].
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -35,6 +43,7 @@ use rand::rngs::StdRng;
 
 use crate::dynamics::{LinkChangeBatch, NodeEvent};
 use crate::network::{CompletedBlock, ConnUpdate, Network};
+use crate::probe::{Probe, StatsProbe, TimeSeries};
 use crate::protocol::{Command, Ctx, Protocol, WireSize};
 use crate::topology::NodeId;
 
@@ -53,6 +62,8 @@ enum NetEvent<M> {
     LinkChange { index: usize },
     /// A scheduled node-lifecycle event takes effect.
     Lifecycle { event: NodeEvent },
+    /// The periodic probe sampling instant (see [`crate::probe`]).
+    ProbeTick,
 }
 
 /// Why the run ended.
@@ -82,6 +93,9 @@ pub struct RunReport {
     pub reason: StopReason,
     /// Per-node flag: true if the node left or crashed during the run.
     pub departed: Vec<bool>,
+    /// Per-node measurements over virtual time, if a series-building probe
+    /// was installed (see [`Runner::record_timeseries`]).
+    pub timeseries: Option<TimeSeries>,
 }
 
 impl RunReport {
@@ -128,6 +142,15 @@ pub struct Runner<M: WireSize, P: Protocol<M>> {
     completion_events: HashMap<(NodeId, NodeId), EventKey>,
     /// Stop once this many events have been processed.
     max_events: u64,
+    /// Installed run-time probes, all sampled on the same tick.
+    probes: Vec<Box<dyn Probe<M, P>>>,
+    /// Virtual-time sampling interval for the probes.
+    probe_interval: Option<SimDuration>,
+    /// Whether a `ProbeTick` event is currently pending in the queue.
+    probe_tick_pending: bool,
+    /// Whether the tick chain has been started (a staged re-`run_until`
+    /// must continue the existing chain, not start a second one).
+    probes_started: bool,
 }
 
 impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
@@ -158,7 +181,28 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
             departed: vec![false; n],
             completion_events: HashMap::new(),
             max_events: u64::MAX,
+            probes: Vec::new(),
+            probe_interval: None,
+            probe_tick_pending: false,
+            probes_started: false,
         }
+    }
+
+    /// Installs a run-time probe, sampled every `interval` of virtual time
+    /// (together with any previously installed probes; the most recent
+    /// interval wins). The first sample is taken at t = 0 when the run
+    /// starts.
+    pub fn install_probe(&mut self, interval: SimDuration, probe: Box<dyn Probe<M, P>>) {
+        assert!(!interval.is_zero(), "probe interval must be positive");
+        self.probe_interval = Some(interval);
+        self.probes.push(probe);
+    }
+
+    /// Convenience: installs the built-in [`StatsProbe`], whose series
+    /// (instantaneous goodput, duplicate ratio, peer-set sizes per node)
+    /// lands on [`RunReport::timeseries`].
+    pub fn record_timeseries(&mut self, interval: SimDuration) {
+        self.install_probe(interval, Box::new(StatsProbe::new()));
     }
 
     /// Marks `node` as exempt from the all-complete stop condition.
@@ -241,12 +285,30 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
         }
         self.refresh_completion();
 
+        // Probes take their first sample at t = 0 and tick from there. On a
+        // staged continuation (`run_until` called again) the chain already
+        // exists — starting another would double-sample every instant and
+        // defeat the only-probe-ticks-left drain check below.
+        if let Some(interval) = self.probe_interval {
+            if !self.probes_started {
+                self.probes_started = true;
+                self.sample_probes();
+                self.sim.schedule_in(interval, NetEvent::ProbeTick);
+                self.probe_tick_pending = true;
+            }
+        }
+
         let reason = loop {
             if self.all_complete() {
                 break StopReason::AllComplete;
             }
             if self.sim.events_processed() >= self.max_events {
                 break StopReason::EventLimit;
+            }
+            // A queue holding nothing but the next probe tick is drained:
+            // observation alone must not keep the experiment alive.
+            if self.probe_tick_pending && self.sim.pending() == 1 {
+                break StopReason::Drained;
             }
             match self.sim.peek_time() {
                 None => break StopReason::Drained,
@@ -262,6 +324,13 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
             self.handle(ev);
         };
 
+        // The runner, not the probe, knows the tick it sampled on.
+        let timeseries = self.probes.iter_mut().find_map(|p| p.take_series()).map(|mut ts| {
+            if let Some(interval) = self.probe_interval {
+                ts.interval_secs = interval.as_secs_f64();
+            }
+            ts
+        });
         RunReport {
             completion_secs: self
                 .completion
@@ -272,6 +341,15 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
             events: self.sim.events_processed(),
             reason,
             departed: self.departed.clone(),
+            timeseries,
+        }
+    }
+
+    /// Feeds the current state to every installed probe.
+    fn sample_probes(&mut self) {
+        let now = self.sim.now();
+        for probe in &mut self.probes {
+            probe.sample(now, &self.nodes, &self.net, &self.active);
         }
     }
 
@@ -451,6 +529,14 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
                     }
                 }
             },
+            NetEvent::ProbeTick => {
+                self.probe_tick_pending = false;
+                self.sample_probes();
+                if let Some(interval) = self.probe_interval {
+                    self.sim.schedule_in(interval, NetEvent::ProbeTick);
+                    self.probe_tick_pending = true;
+                }
+            }
         }
     }
 }

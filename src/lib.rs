@@ -13,13 +13,16 @@
 //! * [`overlay`] — the control tree and RanSub;
 //! * [`dissem_codec`] — blocks, bitmaps, diffs and LT rateless codes;
 //! * [`desim`] — the deterministic discrete-event engine;
-//! * [`bullet_bench`] — the experiment harness regenerating Figures 4–15.
+//! * [`bullet_bench`] — the experiment harness regenerating Figures 4–15;
+//! * [`bullet_lab`] — the scenario lab: registry, parallel sweep executor
+//!   and the `lab` CLI.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the measured reproduction of every figure.
 
 pub use baselines;
 pub use bullet_bench;
+pub use bullet_lab;
 pub use bullet_prime;
 pub use desim;
 pub use dissem_codec;

@@ -38,6 +38,24 @@ where
     }
 }
 
+/// Tuples of strategies are strategies over tuples, exactly as in the real
+/// crate — elements generate left to right.
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
 /// Strategy returned by [`any`].
 pub struct Any<T>(PhantomData<fn() -> T>);
 
