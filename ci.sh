@@ -3,6 +3,11 @@
 # lint, smoke and perf-trajectory gates. Run from the repository root: ./ci.sh
 set -eu
 
+# Formatting gate (cheap, so it runs first). The one-time whole-tree
+# reformat landed with the Protocol API v2 PR; from here on drift fails CI.
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release (all targets)"
 cargo build --release --all-targets
 
@@ -14,8 +19,6 @@ cargo clippy --all-targets -- -D warnings
 
 # Documentation gate for the first-party crates (vendor/ shims are exempt,
 # like every other lint): intra-doc links and rustdoc warnings stay clean.
-# (A `cargo fmt --check` gate is deliberately NOT enabled yet: the seed tree
-# predates rustfmt and a whole-tree reformat belongs in its own PR.)
 echo "==> cargo doc --no-deps -D warnings (first-party crates)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p desim -p netsim -p overlay -p dissem-codec -p shotgun \
@@ -28,17 +31,31 @@ echo "==> figure smoke gate (tests/figures_smoke.rs)"
 cargo test -q --test figures_smoke
 
 # Perf trajectory: a fixed-seed, dynamics-heavy Figure-5-style run. The JSON
-# records events-processed (a deterministic scheduler-efficiency proxy); the
-# committed value is the baseline and a >10% increase fails CI, so scheduler
-# or network-model regressions cannot land silently.
+# records events-processed (a deterministic scheduler-efficiency proxy), the
+# heap-allocation count of the run, and the wall-clock seconds of the machine
+# that last ran CI. Events are GATED (a >10% increase fails CI, so scheduler
+# or network-model regressions cannot land silently); wall-clock is PRINTED
+# only — it is machine-dependent, but committing it leaves future perf PRs a
+# real time trajectory to compare deltas against, not just event counts.
 echo "==> perf record + regression gate (BENCH_events.json)"
 # Baseline = the *committed* record, so re-running ci.sh after a failure does
 # not silently compare the regressed value against itself. Fall back to the
 # working-tree file outside a git checkout.
-prev_events=$( (git show HEAD:BENCH_events.json 2>/dev/null || cat BENCH_events.json 2>/dev/null) \
+committed=$(git show HEAD:BENCH_events.json 2>/dev/null || cat BENCH_events.json 2>/dev/null || true)
+prev_events=$(printf '%s' "$committed" \
     | grep -o '"events_processed": *[0-9]*' | grep -o '[0-9]*$' || true)
+prev_wall=$(printf '%s' "$committed" \
+    | grep -o '"wall_clock_secs": *[0-9.]*' | grep -o '[0-9.]*$' || true)
 ./target/release/bench_events --out BENCH_events.json
 new_events=$(grep -o '"events_processed": *[0-9]*' BENCH_events.json | grep -o '[0-9]*$')
+new_wall=$(grep -o '"wall_clock_secs": *[0-9.]*' BENCH_events.json | grep -o '[0-9.]*$')
+if [ -n "$prev_wall" ]; then
+    awk -v prev="$prev_wall" -v cur="$new_wall" 'BEGIN {
+        printf "wall-clock %.3fs -> %.3fs (%+.1f%%, informational only)\n", prev, cur, (cur - prev) / prev * 100
+    }'
+else
+    echo "wall-clock ${new_wall}s (no committed baseline to compare)"
+fi
 if [ -n "$prev_events" ]; then
     awk -v prev="$prev_events" -v cur="$new_events" 'BEGIN {
         if (cur > prev * 1.10) {

@@ -13,17 +13,40 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use desim::SimDuration;
 use dissem_codec::{BlockBitmap, BlockId, FileSpec};
-use netsim::{BlockReceipt, Ctx, NodeId, ProbeStats, Protocol, WireSize};
+use netsim::{BlockReceipt, Ctx, NodeId, ProbeStats, Protocol, TimerToken, WireSize};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-/// Timer kind: recompute the choke set.
-const TIMER_CHOKE: u32 = 1;
-/// Timer kind: rotate the optimistic unchoke.
-const TIMER_OPTIMISTIC: u32 = 2;
-/// Timer kind: housekeeping (request refresh).
-const TIMER_KEEPALIVE: u32 = 3;
+/// BitTorrent's timer vocabulary (see [`netsim::TimerToken`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BtTimer {
+    /// Recompute the choke set.
+    Choke,
+    /// Rotate the optimistic unchoke.
+    Optimistic,
+    /// Housekeeping: request refresh, tracker re-announce.
+    Keepalive,
+}
+
+impl TimerToken for BtTimer {
+    fn encode(&self) -> u64 {
+        match self {
+            BtTimer::Choke => 0,
+            BtTimer::Optimistic => 1,
+            BtTimer::Keepalive => 2,
+        }
+    }
+
+    fn decode(bits: u64) -> Self {
+        match bits {
+            0 => BtTimer::Choke,
+            1 => BtTimer::Optimistic,
+            2 => BtTimer::Keepalive,
+            other => panic!("not a BitTorrent timer token: {other}"),
+        }
+    }
+}
 
 /// Hard-coded BitTorrent constants (the point of the baseline).
 #[derive(Debug, Clone)]
@@ -109,7 +132,10 @@ impl WireSize for BtMsg {
     fn wire_size(&self) -> usize {
         const HDR: usize = 9;
         match self {
-            BtMsg::TrackerRequest | BtMsg::Interested | BtMsg::NotInterested | BtMsg::Choke
+            BtMsg::TrackerRequest
+            | BtMsg::Interested
+            | BtMsg::NotInterested
+            | BtMsg::Choke
             | BtMsg::Unchoke => HDR,
             BtMsg::TrackerResponse { peers } => HDR + 6 * peers.len(),
             BtMsg::Handshake { bitfield } | BtMsg::HandshakeAck { bitfield } => {
@@ -187,7 +213,11 @@ impl BitTorrentNode {
                 })
                 .collect()
         };
-        let have = if id == NodeId(0) { BlockBitmap::full(n) } else { BlockBitmap::new(n) };
+        let have = if id == NodeId(0) {
+            BlockBitmap::full(n)
+        } else {
+            BlockBitmap::new(n)
+        };
         BitTorrentNode {
             id,
             cfg,
@@ -248,7 +278,10 @@ impl BitTorrentNode {
     }
 
     fn piece_rarity(&self, piece: u32) -> usize {
-        self.neighbours.values().filter(|n| n.has_pieces.contains(&piece)).count()
+        self.neighbours
+            .values()
+            .filter(|n| n.has_pieces.contains(&piece))
+            .count()
     }
 
     /// Blocks of `piece` that we are missing and that are not in flight.
@@ -263,7 +296,7 @@ impl BitTorrentNode {
 
     /// Issues rarest-first requests to every neighbour that has unchoked us,
     /// keeping the hard-coded number of requests outstanding per peer.
-    fn issue_requests(&mut self, ctx: &mut Ctx<'_, BtMsg>) {
+    fn issue_requests(&mut self, ctx: &mut Ctx<'_, Self>) {
         if self.download_done() {
             return;
         }
@@ -273,7 +306,7 @@ impl BitTorrentNode {
         }
     }
 
-    fn issue_requests_to(&mut self, ctx: &mut Ctx<'_, BtMsg>, peer: NodeId) {
+    fn issue_requests_to(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId) {
         if self.download_done() {
             return;
         }
@@ -299,9 +332,10 @@ impl BitTorrentNode {
             let piece = entry.3;
             // Strict priority: finish partially downloaded pieces first so they
             // become shareable, then go rarest-first among untouched pieces.
-            let total = self.cfg.piece_blocks.min(
-                self.cfg.file.num_blocks() - piece * self.cfg.piece_blocks,
-            );
+            let total = self
+                .cfg
+                .piece_blocks
+                .min(self.cfg.file.num_blocks() - piece * self.cfg.piece_blocks);
             let missing = self.piece_missing[piece as usize];
             entry.0 = missing == total; // false (=first) when partially done
             entry.1 = self.piece_rarity(piece);
@@ -333,7 +367,7 @@ impl BitTorrentNode {
     /// Recomputes the choke set: the top uploaders (for a downloader) or top
     /// downloaders (for the seed) get the regular slots; everyone else is
     /// choked except the optimistic unchoke.
-    fn recompute_chokes(&mut self, ctx: &mut Ctx<'_, BtMsg>) {
+    fn recompute_chokes(&mut self, ctx: &mut Ctx<'_, Self>) {
         let mut ranked: Vec<(u64, u64, NodeId)> = {
             let rng: &mut StdRng = ctx.rng();
             self.neighbours
@@ -359,11 +393,21 @@ impl BitTorrentNode {
             .collect();
         let peers: Vec<NodeId> = self.neighbours.keys().copied().collect();
         for peer in peers {
-            let n = self.neighbours.get_mut(&peer).expect("iterating existing keys");
+            let n = self
+                .neighbours
+                .get_mut(&peer)
+                .expect("iterating existing keys");
             let should_choke = !unchoked.contains(&peer);
             if n.am_choking != should_choke {
                 n.am_choking = should_choke;
-                ctx.send(peer, if should_choke { BtMsg::Choke } else { BtMsg::Unchoke });
+                ctx.send(
+                    peer,
+                    if should_choke {
+                        BtMsg::Choke
+                    } else {
+                        BtMsg::Unchoke
+                    },
+                );
             }
             // Reset the tit-for-tat window.
             n.bytes_from = 0;
@@ -371,7 +415,7 @@ impl BitTorrentNode {
         }
     }
 
-    fn rotate_optimistic(&mut self, ctx: &mut Ctx<'_, BtMsg>) {
+    fn rotate_optimistic(&mut self, ctx: &mut Ctx<'_, Self>) {
         let choked: Vec<NodeId> = self
             .neighbours
             .iter()
@@ -383,7 +427,10 @@ impl BitTorrentNode {
             choked.choose(rng).copied()
         };
         if let Some(peer) = self.optimistic {
-            let n = self.neighbours.get_mut(&peer).expect("chosen from existing");
+            let n = self
+                .neighbours
+                .get_mut(&peer)
+                .expect("chosen from existing");
             if n.am_choking {
                 n.am_choking = false;
                 ctx.send(peer, BtMsg::Unchoke);
@@ -392,7 +439,7 @@ impl BitTorrentNode {
     }
 
     /// Unchokes `peer` immediately if we still have a free regular slot.
-    fn greedy_unchoke(&mut self, ctx: &mut Ctx<'_, BtMsg>, peer: NodeId) {
+    fn greedy_unchoke(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId) {
         let unchoked = self.neighbours.values().filter(|n| !n.am_choking).count();
         if unchoked >= self.cfg.upload_slots {
             return;
@@ -405,7 +452,7 @@ impl BitTorrentNode {
         }
     }
 
-    fn connect_to(&mut self, ctx: &mut Ctx<'_, BtMsg>, peer: NodeId) {
+    fn connect_to(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId) {
         if peer == self.id
             || self.neighbours.contains_key(&peer)
             || self.neighbours.len() >= self.cfg.max_connections
@@ -413,10 +460,15 @@ impl BitTorrentNode {
             return;
         }
         self.neighbours.insert(peer, Neighbour::new());
-        ctx.send(peer, BtMsg::Handshake { bitfield: self.bitfield() });
+        ctx.send(
+            peer,
+            BtMsg::Handshake {
+                bitfield: self.bitfield(),
+            },
+        );
     }
 
-    fn note_peer_pieces(&mut self, ctx: &mut Ctx<'_, BtMsg>, peer: NodeId, pieces: &[u32]) {
+    fn note_peer_pieces(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId, pieces: &[u32]) {
         let mut becomes_interesting = false;
         let missing: Vec<bool> = pieces
             .iter()
@@ -440,8 +492,11 @@ impl BitTorrentNode {
     }
 }
 
-impl Protocol<BtMsg> for BitTorrentNode {
-    fn on_init(&mut self, ctx: &mut Ctx<'_, BtMsg>) {
+impl Protocol for BitTorrentNode {
+    type Msg = BtMsg;
+    type Timer = BtTimer;
+
+    fn on_init(&mut self, ctx: &mut Ctx<'_, Self>) {
         if self.is_seed() {
             self.swarm.push(self.id);
         } else {
@@ -450,12 +505,12 @@ impl Protocol<BtMsg> for BitTorrentNode {
         // The first choke evaluation happens soon after start-up (real clients
         // unchoke interested peers as soon as slots are free); subsequent ones
         // follow the standard 10 s / 30 s cadence.
-        ctx.set_timer(SimDuration::from_secs(1), TIMER_CHOKE, 0);
-        ctx.set_timer(SimDuration::from_secs(5), TIMER_OPTIMISTIC, 0);
-        ctx.set_timer(SimDuration::from_secs(2), TIMER_KEEPALIVE, 0);
+        ctx.set_timer(SimDuration::from_secs(1), BtTimer::Choke);
+        ctx.set_timer(SimDuration::from_secs(5), BtTimer::Optimistic);
+        ctx.set_timer(SimDuration::from_secs(2), BtTimer::Keepalive);
     }
 
-    fn on_control(&mut self, ctx: &mut Ctx<'_, BtMsg>, from: NodeId, msg: BtMsg) {
+    fn on_control(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: BtMsg) {
         match msg {
             BtMsg::TrackerRequest => {
                 // Only the tracker (node 0) handles announces.
@@ -487,7 +542,12 @@ impl Protocol<BtMsg> for BitTorrentNode {
                     self.neighbours.insert(from, Neighbour::new());
                 }
                 if self.neighbours.contains_key(&from) {
-                    ctx.send(from, BtMsg::HandshakeAck { bitfield: self.bitfield() });
+                    ctx.send(
+                        from,
+                        BtMsg::HandshakeAck {
+                            bitfield: self.bitfield(),
+                        },
+                    );
                     self.note_peer_pieces(ctx, from, &bitfield);
                     self.greedy_unchoke(ctx, from);
                 }
@@ -542,7 +602,7 @@ impl Protocol<BtMsg> for BitTorrentNode {
         }
     }
 
-    fn on_block_received(&mut self, ctx: &mut Ctx<'_, BtMsg>, from: NodeId, receipt: BlockReceipt) {
+    fn on_block_received(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, receipt: BlockReceipt) {
         let block = receipt.block;
         let duplicate = self.have.contains(block);
         self.in_flight.remove(&block);
@@ -560,11 +620,9 @@ impl Protocol<BtMsg> for BitTorrentNode {
             let missing = &mut self.piece_missing[piece as usize];
             *missing = missing.saturating_sub(1);
             if *missing == 0 {
-                // A completed piece may be announced and shared onward.
-                let peers: Vec<NodeId> = self.neighbours.keys().copied().collect();
-                for peer in peers {
-                    ctx.send(peer, BtMsg::Have { piece });
-                }
+                // A completed piece may be announced and shared onward: the
+                // classic `Have` flood, one identical message per neighbour.
+                ctx.send_to_many(self.neighbours.keys().copied(), &BtMsg::Have { piece });
             }
             if self.download_done() && self.completed_at.is_none() {
                 self.completed_at = Some(ctx.now().as_secs_f64());
@@ -573,14 +631,14 @@ impl Protocol<BtMsg> for BitTorrentNode {
         self.issue_requests_to(ctx, from);
     }
 
-    fn on_block_sent(&mut self, _ctx: &mut Ctx<'_, BtMsg>, to: NodeId, block: BlockId) {
+    fn on_block_sent(&mut self, _ctx: &mut Ctx<'_, Self>, to: NodeId, block: BlockId) {
         let bytes = u64::from(self.cfg.file.block_size(block));
         if let Some(n) = self.neighbours.get_mut(&to) {
             n.bytes_to += bytes;
         }
     }
 
-    fn on_peer_failed(&mut self, ctx: &mut Ctx<'_, BtMsg>, peer: NodeId) {
+    fn on_peer_failed(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId) {
         // Connection reset: forget the neighbour and free its request slots
         // so the blocks become requestable from the survivors.
         if let Some(n) = self.neighbours.remove(&peer) {
@@ -596,26 +654,25 @@ impl Protocol<BtMsg> for BitTorrentNode {
         self.issue_requests(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, BtMsg>, kind: u32, _data: u64) {
-        match kind {
-            TIMER_CHOKE => {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: BtTimer) {
+        match timer {
+            BtTimer::Choke => {
                 self.recompute_chokes(ctx);
-                ctx.set_timer(self.cfg.choke_interval, TIMER_CHOKE, 0);
+                ctx.set_timer(self.cfg.choke_interval, BtTimer::Choke);
             }
-            TIMER_OPTIMISTIC => {
+            BtTimer::Optimistic => {
                 self.rotate_optimistic(ctx);
-                ctx.set_timer(self.cfg.optimistic_interval, TIMER_OPTIMISTIC, 0);
+                ctx.set_timer(self.cfg.optimistic_interval, BtTimer::Optimistic);
             }
-            TIMER_KEEPALIVE => {
+            BtTimer::Keepalive => {
                 // Refresh requests (lost opportunities due to choke changes) and
                 // re-announce to the tracker if we are starved of neighbours.
                 self.issue_requests(ctx);
                 if !self.is_seed() && self.neighbours.len() < self.cfg.max_connections / 2 {
                     ctx.send(NodeId(0), BtMsg::TrackerRequest);
                 }
-                ctx.set_timer(SimDuration::from_secs(2), TIMER_KEEPALIVE, 0);
+                ctx.set_timer(SimDuration::from_secs(2), BtTimer::Keepalive);
             }
-            _ => {}
         }
     }
 
@@ -654,9 +711,13 @@ mod tests {
 
     #[test]
     fn wire_sizes_are_reasonable() {
-        let bf = BtMsg::Handshake { bitfield: (0..64).collect() };
+        let bf = BtMsg::Handshake {
+            bitfield: (0..64).collect(),
+        };
         assert_eq!(bf.wire_size(), 9 + 4 + 32);
-        let req = BtMsg::Request { blocks: vec![BlockId(1), BlockId(2)] };
+        let req = BtMsg::Request {
+            blocks: vec![BlockId(1), BlockId(2)],
+        };
         assert_eq!(req.wire_size(), 9 + 8);
     }
 

@@ -43,7 +43,9 @@ pub fn bullet_config(file: FileSpec) -> Config {
     cfg.peer_policy = PeerSetPolicy::Fixed(BULLET_PEERS);
     cfg.outstanding_policy = OutstandingPolicy::Fixed(BULLET_OUTSTANDING);
     cfg.request_strategy = RequestStrategy::Random;
-    cfg.transfer_mode = TransferMode::Encoded { epsilon: ASSUMED_ENCODING_OVERHEAD };
+    cfg.transfer_mode = TransferMode::Encoded {
+        epsilon: ASSUMED_ENCODING_OVERHEAD,
+    };
     // Original Bullet exchanged availability summaries periodically (every
     // RanSub epoch) rather than with Bullet's self-clocking incremental
     // diffs, so receivers often act on stale information.
@@ -57,7 +59,11 @@ pub fn bullet_config(file: FileSpec) -> Config {
 /// Node 0 is the source. The control tree uses the same fan-out as Bullet′ so
 /// differences in the measurements come from the protocol policies, not the
 /// control topology.
-pub fn build_nodes(topo: &Topology, file: FileSpec, rng: &desim::RngFactory) -> Vec<BulletPrimeNode> {
+pub fn build_nodes(
+    topo: &Topology,
+    file: FileSpec,
+    rng: &desim::RngFactory,
+) -> Vec<BulletPrimeNode> {
     let cfg = bullet_config(file);
     let tree = ControlTree::random(topo.len(), bullet_prime::builder::CONTROL_TREE_DEGREE, rng);
     (0..topo.len() as u32)
@@ -70,7 +76,7 @@ pub fn build_runner(
     topo: Topology,
     file: FileSpec,
     rng: &desim::RngFactory,
-) -> netsim::Runner<bullet_prime::Msg, BulletPrimeNode> {
+) -> netsim::Runner<BulletPrimeNode> {
     let nodes = build_nodes(&topo, file, rng);
     let mut runner = netsim::Runner::new(netsim::Network::new(topo), nodes, rng);
     runner.exempt_from_completion(NodeId(0));

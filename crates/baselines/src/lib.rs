@@ -15,9 +15,9 @@ pub mod bittorrent;
 pub mod bullet_orig;
 pub mod splitstream;
 
-pub use bittorrent::{BitTorrentConfig, BitTorrentNode, BtMsg};
+pub use bittorrent::{BitTorrentConfig, BitTorrentNode, BtMsg, BtTimer};
 pub use bullet_orig::bullet_config;
-pub use splitstream::{SplitStreamNode, SsMsg, StripeForest};
+pub use splitstream::{SplitStreamNode, SsMsg, SsTimer, StripeForest};
 
 #[cfg(test)]
 mod end_to_end {
@@ -32,8 +32,9 @@ mod end_to_end {
         let topo = topology::modelnet_mesh(10, 0.005, &rng);
         let file = FileSpec::new(512 * 1024, 16 * 1024);
         let cfg = BitTorrentConfig::new(file);
-        let nodes: Vec<BitTorrentNode> =
-            (0..10).map(|i| BitTorrentNode::new(NodeId(i), cfg.clone())).collect();
+        let nodes: Vec<BitTorrentNode> = (0..10)
+            .map(|i| BitTorrentNode::new(NodeId(i), cfg.clone()))
+            .collect();
         let mut runner = Runner::new(Network::new(topo), nodes, &rng);
         runner.exempt_from_completion(NodeId(0));
         let report = runner.run(SimDuration::from_secs(3_600));
@@ -45,8 +46,9 @@ mod end_to_end {
         // Leechers must have uploaded to each other: the swarm's total
         // received bytes exceed what the seed alone pushed out.
         let seed_out = runner.network().traffic(NodeId(0)).data_bytes_out;
-        let total_in: u64 =
-            (1..10).map(|i| runner.network().traffic(NodeId(i)).data_bytes_in).sum();
+        let total_in: u64 = (1..10)
+            .map(|i| runner.network().traffic(NodeId(i)).data_bytes_in)
+            .sum();
         assert!(
             total_in > seed_out,
             "peers should exchange data among themselves (seed {seed_out}, total {total_in})"
@@ -59,8 +61,9 @@ mod end_to_end {
             let rng = RngFactory::new(seed);
             let topo = topology::modelnet_mesh(8, 0.01, &rng);
             let cfg = BitTorrentConfig::new(FileSpec::new(256 * 1024, 16 * 1024));
-            let nodes: Vec<BitTorrentNode> =
-                (0..8).map(|i| BitTorrentNode::new(NodeId(i), cfg.clone())).collect();
+            let nodes: Vec<BitTorrentNode> = (0..8)
+                .map(|i| BitTorrentNode::new(NodeId(i), cfg.clone()))
+                .collect();
             let mut runner = Runner::new(Network::new(topo), nodes, &rng);
             runner.exempt_from_completion(NodeId(0));
             runner.run(SimDuration::from_secs(3_600)).completion_secs
@@ -78,22 +81,32 @@ mod end_to_end {
         let rng = RngFactory::new(seed);
         let topo = topology::modelnet_mesh(8, 0.01, &rng);
         let cfg = BitTorrentConfig::new(file);
-        let nodes: Vec<BitTorrentNode> =
-            (0..8).map(|i| BitTorrentNode::new(NodeId(i), cfg.clone())).collect();
+        let nodes: Vec<BitTorrentNode> = (0..8)
+            .map(|i| BitTorrentNode::new(NodeId(i), cfg.clone()))
+            .collect();
         let mut bt = Runner::new(Network::new(topo), nodes, &rng);
         bt.exempt_from_completion(NodeId(0));
-        assert_eq!(bt.run(SimDuration::from_secs(3_600)).reason, StopReason::AllComplete);
+        assert_eq!(
+            bt.run(SimDuration::from_secs(3_600)).reason,
+            StopReason::AllComplete
+        );
 
         // Original Bullet.
         let rng = RngFactory::new(seed);
         let topo = topology::modelnet_mesh(8, 0.01, &rng);
         let mut bl = bullet_orig::build_runner(topo, file, &rng);
-        assert_eq!(bl.run(SimDuration::from_secs(3_600)).reason, StopReason::AllComplete);
+        assert_eq!(
+            bl.run(SimDuration::from_secs(3_600)).reason,
+            StopReason::AllComplete
+        );
 
         // SplitStream.
         let rng = RngFactory::new(seed);
         let topo = topology::modelnet_mesh(8, 0.01, &rng);
         let mut ss = splitstream::build_runner(topo, file, &rng);
-        assert_eq!(ss.run(SimDuration::from_secs(3_600)).reason, StopReason::AllComplete);
+        assert_eq!(
+            ss.run(SimDuration::from_secs(3_600)).reason,
+            StopReason::AllComplete
+        );
     }
 }

@@ -13,7 +13,9 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use desim::SimDuration;
 use dissem_codec::{BlockBitmap, BlockId, FileSpec};
-use netsim::{BlockReceipt, Ctx, NodeId, ProbeStats, Protocol, Runner, Topology, WireSize};
+use netsim::{
+    BlockReceipt, Ctx, NodeId, ProbeStats, Protocol, Runner, TimerToken, Topology, WireSize,
+};
 use rand::seq::SliceRandom;
 
 /// Number of stripes (and stripe trees).
@@ -24,8 +26,23 @@ pub const STRIPE_FANOUT: usize = 4;
 pub const ASSUMED_ENCODING_OVERHEAD: f64 = 0.04;
 /// Blocks kept in flight towards each child per stripe.
 const PUSH_WINDOW: usize = 3;
-/// Housekeeping timer kind.
-const TIMER_KEEPALIVE: u32 = 1;
+
+/// SplitStream's timer vocabulary (see [`netsim::TimerToken`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsTimer {
+    /// Housekeeping: drain stalled backlogs, keep the source injecting.
+    Keepalive,
+}
+
+impl TimerToken for SsTimer {
+    fn encode(&self) -> u64 {
+        0
+    }
+
+    fn decode(_bits: u64) -> Self {
+        SsTimer::Keepalive
+    }
+}
 
 /// SplitStream needs no dynamic control traffic in this model; the forest is
 /// computed at start-up. The only message is a completion-irrelevant
@@ -61,11 +78,13 @@ impl StripeForest {
         let mut children = vec![vec![Vec::new(); n]; stripes];
         for (s, tree) in children.iter_mut().enumerate() {
             // Interior candidates for this stripe, excluding the root.
-            let mut interior: Vec<u32> =
-                (1..n as u32).filter(|i| (*i as usize) % stripes == s).collect();
+            let mut interior: Vec<u32> = (1..n as u32)
+                .filter(|i| (*i as usize) % stripes == s)
+                .collect();
             interior.shuffle(&mut rng);
-            let mut leaves: Vec<u32> =
-                (1..n as u32).filter(|i| (*i as usize) % stripes != s).collect();
+            let mut leaves: Vec<u32> = (1..n as u32)
+                .filter(|i| (*i as usize) % stripes != s)
+                .collect();
             leaves.shuffle(&mut rng);
 
             // Chain of attachment points: the root, then interior nodes in
@@ -74,10 +93,10 @@ impl StripeForest {
             let mut slots: HashMap<u32, usize> = HashMap::new();
             slots.insert(0, STRIPE_FANOUT);
             let place = |node: u32,
-                             attach: &mut Vec<u32>,
-                             slots: &mut HashMap<u32, usize>,
-                             tree: &mut Vec<Vec<NodeId>>,
-                             becomes_interior: bool| {
+                         attach: &mut Vec<u32>,
+                         slots: &mut HashMap<u32, usize>,
+                         tree: &mut Vec<Vec<NodeId>>,
+                         becomes_interior: bool| {
                 // Find the first attachment point with a free slot; if the
                 // stripe has too few interior nodes for the population (small
                 // deployments), exceed the deepest attachment point's fanout
@@ -123,7 +142,9 @@ impl StripeForest {
 
     /// Total number of forwarding children over all stripes for `node`.
     pub fn fanout(&self, node: NodeId) -> usize {
-        (0..self.stripes).map(|s| self.children(s, node).len()).sum()
+        (0..self.stripes)
+            .map(|s| self.children(s, node).len())
+            .sum()
     }
 
     /// Removes `node` from every child list (used when it leaves or crashes).
@@ -165,8 +186,7 @@ impl SplitStreamNode {
         let completion_target = file.completion_target(ASSUMED_ENCODING_OVERHEAD);
         // The source injects a slightly longer encoded stream than strictly
         // needed so stragglers are not starved of distinct blocks.
-        let block_space =
-            (f64::from(n) * (1.0 + 2.0 * ASSUMED_ENCODING_OVERHEAD)).ceil() as u32;
+        let block_space = (f64::from(n) * (1.0 + 2.0 * ASSUMED_ENCODING_OVERHEAD)).ceil() as u32;
         let have = if id == NodeId(0) {
             BlockBitmap::full(block_space)
         } else {
@@ -217,7 +237,7 @@ impl SplitStreamNode {
     }
 
     /// Pushes queued blocks towards `child` while its pipe has room.
-    fn drain_child(&mut self, ctx: &mut Ctx<'_, SsMsg>, child: NodeId) {
+    fn drain_child(&mut self, ctx: &mut Ctx<'_, Self>, child: NodeId) {
         let Some(queue) = self.backlog.get_mut(&child) else {
             return;
         };
@@ -237,7 +257,7 @@ impl SplitStreamNode {
     }
 
     /// Enqueues `block` for every child in its stripe tree and pushes what fits.
-    fn forward(&mut self, ctx: &mut Ctx<'_, SsMsg>, block: BlockId) {
+    fn forward(&mut self, ctx: &mut Ctx<'_, Self>, block: BlockId) {
         let stripe = self.forest.stripe_of(block);
         let children: Vec<NodeId> = self.forest.children(stripe, self.id).to_vec();
         for child in children {
@@ -247,7 +267,7 @@ impl SplitStreamNode {
     }
 
     /// Source: keep injecting the encoded stream into the stripe trees.
-    fn source_inject(&mut self, ctx: &mut Ctx<'_, SsMsg>) {
+    fn source_inject(&mut self, ctx: &mut Ctx<'_, Self>) {
         if !self.is_source() {
             return;
         }
@@ -259,10 +279,7 @@ impl SplitStreamNode {
             let children = self.forest.children(stripe, self.id);
             let busiest = children
                 .iter()
-                .map(|c| {
-                    ctx.pending_to(*c)
-                        + self.backlog.get(c).map(VecDeque::len).unwrap_or(0)
-                })
+                .map(|c| ctx.pending_to(*c) + self.backlog.get(c).map(VecDeque::len).unwrap_or(0))
                 .max()
                 .unwrap_or(0);
             if busiest >= PUSH_WINDOW * 2 {
@@ -274,17 +291,20 @@ impl SplitStreamNode {
     }
 }
 
-impl Protocol<SsMsg> for SplitStreamNode {
-    fn on_init(&mut self, ctx: &mut Ctx<'_, SsMsg>) {
+impl Protocol for SplitStreamNode {
+    type Msg = SsMsg;
+    type Timer = SsTimer;
+
+    fn on_init(&mut self, ctx: &mut Ctx<'_, Self>) {
         self.source_inject(ctx);
-        ctx.set_timer(SimDuration::from_secs(1), TIMER_KEEPALIVE, 0);
+        ctx.set_timer(SimDuration::from_secs(1), SsTimer::Keepalive);
     }
 
-    fn on_control(&mut self, _ctx: &mut Ctx<'_, SsMsg>, _from: NodeId, msg: SsMsg) {
+    fn on_control(&mut self, _ctx: &mut Ctx<'_, Self>, _from: NodeId, msg: SsMsg) {
         match msg {}
     }
 
-    fn on_block_received(&mut self, ctx: &mut Ctx<'_, SsMsg>, _from: NodeId, receipt: BlockReceipt) {
+    fn on_block_received(&mut self, ctx: &mut Ctx<'_, Self>, _from: NodeId, receipt: BlockReceipt) {
         let block = receipt.block;
         if self.have.contains(block) {
             self.duplicates += 1;
@@ -300,27 +320,29 @@ impl Protocol<SsMsg> for SplitStreamNode {
         self.forward(ctx, block);
     }
 
-    fn on_block_sent(&mut self, ctx: &mut Ctx<'_, SsMsg>, to: NodeId, _block: BlockId) {
+    fn on_block_sent(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, _block: BlockId) {
         self.drain_child(ctx, to);
         self.source_inject(ctx);
     }
 
-    fn on_peer_failed(&mut self, _ctx: &mut Ctx<'_, SsMsg>, peer: NodeId) {
+    fn on_peer_failed(&mut self, _ctx: &mut Ctx<'_, Self>, peer: NodeId) {
         // Stop forwarding to the dead child; if the peer was our parent in
         // some stripe we simply stop receiving that stripe (no repair).
         self.backlog.remove(&peer);
         self.forest.remove_node(peer);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, SsMsg>, kind: u32, _data: u64) {
-        if kind == TIMER_KEEPALIVE {
-            // Drain any backlog that stalled (e.g. after a bandwidth change).
-            let children: Vec<NodeId> = self.backlog.keys().copied().collect();
-            for child in children {
-                self.drain_child(ctx, child);
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: SsTimer) {
+        match timer {
+            SsTimer::Keepalive => {
+                // Drain any backlog that stalled (e.g. after a bandwidth change).
+                let children: Vec<NodeId> = self.backlog.keys().copied().collect();
+                for child in children {
+                    self.drain_child(ctx, child);
+                }
+                self.source_inject(ctx);
+                ctx.set_timer(SimDuration::from_secs(1), SsTimer::Keepalive);
             }
-            self.source_inject(ctx);
-            ctx.set_timer(SimDuration::from_secs(1), TIMER_KEEPALIVE, 0);
         }
     }
 
@@ -335,14 +357,22 @@ impl Protocol<SsMsg> for SplitStreamNode {
             duplicate_blocks: self.duplicates,
             // One parent per stripe tree (none for the source); children
             // across every stripe this node forwards on.
-            senders: if self.is_source() { 0 } else { self.forest.stripes() },
+            senders: if self.is_source() {
+                0
+            } else {
+                self.forest.stripes()
+            },
             receivers: self.forest.fanout(self.id),
         }
     }
 }
 
 /// Builds the SplitStream node set for a topology.
-pub fn build_nodes(topo: &Topology, file: FileSpec, rng: &desim::RngFactory) -> Vec<SplitStreamNode> {
+pub fn build_nodes(
+    topo: &Topology,
+    file: FileSpec,
+    rng: &desim::RngFactory,
+) -> Vec<SplitStreamNode> {
     let forest = StripeForest::build(topo.len(), DEFAULT_STRIPES, rng);
     (0..topo.len() as u32)
         .map(|i| SplitStreamNode::new(NodeId(i), file, forest.clone()))
@@ -354,7 +384,7 @@ pub fn build_runner(
     topo: Topology,
     file: FileSpec,
     rng: &desim::RngFactory,
-) -> Runner<SsMsg, SplitStreamNode> {
+) -> Runner<SplitStreamNode> {
     let nodes = build_nodes(&topo, file, rng);
     let mut runner = Runner::new(netsim::Network::new(topo), nodes, rng);
     runner.exempt_from_completion(NodeId(0));
@@ -382,7 +412,10 @@ mod tests {
                     stack.push(c);
                 }
             }
-            assert!(seen.iter().all(|&s| s), "stripe {stripe} tree does not span all nodes");
+            assert!(
+                seen.iter().all(|&s| s),
+                "stripe {stripe} tree does not span all nodes"
+            );
         }
     }
 
@@ -408,7 +441,11 @@ mod tests {
         let rng = RngFactory::new(7);
         let forest = StripeForest::build(10, 8, &rng);
         let counts: Vec<usize> = (0..8)
-            .map(|s| (0..800u32).filter(|b| forest.stripe_of(BlockId(*b)) == s).count())
+            .map(|s| {
+                (0..800u32)
+                    .filter(|b| forest.stripe_of(BlockId(*b)) == s)
+                    .count()
+            })
             .collect();
         assert!(counts.iter().all(|&c| c == 100));
     }

@@ -15,22 +15,26 @@ fn bench_fig4_scaled(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_scaled");
     group.sample_size(10);
     for kind in SystemKind::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let rng = RngFactory::new(1);
-                let topo = topology::modelnet_mesh(15, 0.03, &rng);
-                let run = run_system(
-                    kind,
-                    topo,
-                    FileSpec::from_mb_kb(2, 16),
-                    &rng,
-                    &Vec::new(),
-                    SimDuration::from_secs(3600),
-                );
-                assert_eq!(run.unfinished, 0);
-                run.times.iter().sum::<f64>()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let rng = RngFactory::new(1);
+                    let topo = topology::modelnet_mesh(15, 0.03, &rng);
+                    let run = run_system(
+                        kind,
+                        topo,
+                        FileSpec::from_mb_kb(2, 16),
+                        &rng,
+                        &Vec::new(),
+                        SimDuration::from_secs(3600),
+                    );
+                    assert_eq!(run.unfinished, 0);
+                    run.times.iter().sum::<f64>()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -56,7 +56,9 @@ fn bench_bitmap(c: &mut Criterion) {
             bbm.insert(BlockId(i));
         }
     }
-    group.bench_function("difference_count_6400", |b| b.iter(|| a.difference_count(&bbm)));
+    group.bench_function("difference_count_6400", |b| {
+        b.iter(|| a.difference_count(&bbm))
+    });
     group.finish();
 }
 
@@ -92,7 +94,9 @@ fn bench_rsync_delta(c: &mut Criterion) {
         b.iter(|| generate_delta(&old, &new, 4096).ops.len())
     });
     let delta = generate_delta(&old, &new, 4096);
-    group.bench_function("apply_1mb", |b| b.iter(|| apply_delta(&old, &delta).unwrap().len()));
+    group.bench_function("apply_1mb", |b| {
+        b.iter(|| apply_delta(&old, &delta).unwrap().len())
+    });
     group.finish();
 }
 
@@ -102,7 +106,14 @@ fn bench_flow_controller(c: &mut Criterion) {
             let mut ctl = OutstandingController::new(OutstandingPolicy::Dynamic, 3, 50);
             for i in 0..100_000u32 {
                 let wasted = if i % 3 == 0 { -0.01 } else { 0.02 };
-                ctl.on_block_received(BlockId(i % 640), i % 7, wasted, 500_000.0, 16_384.0, ctl.window());
+                ctl.on_block_received(
+                    BlockId(i % 640),
+                    i % 7,
+                    wasted,
+                    500_000.0,
+                    16_384.0,
+                    ctl.window(),
+                );
                 if ctl.wants_mark() {
                     ctl.note_requested(BlockId(i % 640 + 1));
                 }

@@ -1,13 +1,16 @@
 //! Emits a small JSON performance record (`BENCH_events.json`) for a
 //! fixed-seed, dynamics-heavy Figure-5-style run, so successive PRs have a
 //! perf trajectory to compare against: the number of simulator events
-//! processed is a deterministic proxy for scheduler efficiency, and the
-//! wall-clock time tracks real cost on the same machine.
+//! processed is a deterministic proxy for scheduler efficiency, the heap
+//! allocation count is a deterministic proxy for per-event overhead, and the
+//! wall-clock time tracks real cost on the machine that ran CI.
 //!
 //! Usage: `bench_events [--out PATH]` (default `BENCH_events.json` in the
 //! current directory). All workload parameters are fixed on purpose — the
 //! point is comparability across commits, not configurability.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use bullet_bench::systems::paper_dynamic_schedule;
@@ -15,6 +18,33 @@ use bullet_prime::Config;
 use desim::{RngFactory, SimDuration};
 use dissem_codec::FileSpec;
 use netsim::topology;
+
+/// Counts heap allocations so the record can track the cost of the runner's
+/// dispatch path. The workload is deterministic, so the count is stable to
+/// within a few allocations across runs (runtime setup contributes a handful
+/// of environment-dependent ones); it is informational and never gated.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Fixed workload: the reduced Figure 5 shape (synthetic correlated
 /// bandwidth decreases every 20 s on a lossy mesh), which is the most
@@ -49,24 +79,27 @@ fn main() {
     let schedule = paper_dynamic_schedule(NODES, TIME_LIMIT_SECS as f64, &rng);
 
     let started = Instant::now();
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
     let mut runner = bullet_prime::build_runner(topo, &cfg, &rng);
     for (at, batch) in &schedule {
         runner.schedule_link_change(*at, batch.clone());
     }
     let report = runner.run(SimDuration::from_secs(TIME_LIMIT_SECS));
     let wall = started.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
 
-    // The committed record holds only deterministic, machine-independent
-    // fields, so re-running ci.sh on unchanged code leaves it untouched;
-    // wall-clock is printed but never written.
+    // `events_processed`, `run_allocs` and `virtual_end_secs` are
+    // deterministic for a given binary; `wall_clock_secs` is whatever the
+    // machine that last ran CI measured — committed anyway so perf PRs leave
+    // a real time trajectory next to the event counts (compare deltas on one
+    // machine, not absolute values across machines).
     let json = format!(
-        "{{\n  \"benchmark\": \"fig05-style dynamics-heavy run\",\n  \"seed\": {SEED},\n  \"nodes\": {NODES},\n  \"file_bytes\": {FILE_BYTES},\n  \"block_bytes\": {BLOCK_BYTES},\n  \"events_processed\": {},\n  \"virtual_end_secs\": {:.6},\n  \"stop_reason\": \"{:?}\"\n}}\n",
+        "{{\n  \"benchmark\": \"fig05-style dynamics-heavy run\",\n  \"seed\": {SEED},\n  \"nodes\": {NODES},\n  \"file_bytes\": {FILE_BYTES},\n  \"block_bytes\": {BLOCK_BYTES},\n  \"events_processed\": {},\n  \"run_allocs\": {allocs},\n  \"wall_clock_secs\": {wall:.3},\n  \"virtual_end_secs\": {:.6},\n  \"stop_reason\": \"{:?}\"\n}}\n",
         report.events,
         report.end_time.as_secs_f64(),
         report.reason,
     );
     print!("{json}");
-    println!("wall_clock_secs (this machine, not recorded): {wall:.3}");
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("failed to write {out_path}: {e}");
         std::process::exit(1);

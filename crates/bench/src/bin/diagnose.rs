@@ -60,8 +60,7 @@ fn main() {
     for id in by_completion.iter().rev().take(3) {
         let m = runner.node(*id).metrics();
         let gaps = m.inter_arrival_times();
-        let mut biggest: Vec<(usize, f64)> =
-            gaps.iter().copied().enumerate().collect();
+        let mut biggest: Vec<(usize, f64)> = gaps.iter().copied().enumerate().collect();
         biggest.sort_by(|a, b| f64::total_cmp(&b.1, &a.1));
         let last: Vec<String> = m
             .arrival_times
@@ -81,6 +80,11 @@ fn main() {
         "run: {} events, ended at {:.1}s, {} receivers unfinished",
         report.events,
         report.end_time.as_secs_f64(),
-        report.completion_secs.iter().skip(1).filter(|c| c.is_none()).count()
+        report
+            .completion_secs
+            .iter()
+            .skip(1)
+            .filter(|c| c.is_none())
+            .count()
     );
 }

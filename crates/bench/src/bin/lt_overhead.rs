@@ -8,7 +8,10 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let ks = [1_000u32, 3_200, 6_400];
     let block = 64usize;
-    println!("{:>8} {:>12} {:>14} {:>18}", "k", "overhead", "p(degree=1)", "progress@k");
+    println!(
+        "{:>8} {:>12} {:>14} {:>18}",
+        "k", "overhead", "p(degree=1)", "progress@k"
+    );
     for &k in &ks {
         let trials = 5;
         let mut overhead = 0.0;

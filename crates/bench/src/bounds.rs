@@ -34,7 +34,11 @@ pub fn tcp_feasible(topo: &Topology, file: FileSpec, startup_secs: f64) -> Vec<f
             // The best case is a peer whose path bottleneck is our access link;
             // use the median core RTT towards this node for the ramp.
             let rtt = topo.rtt(netsim::NodeId(0), id);
-            let path = TcpPath { bottleneck: down, rtt, loss: 0.0 };
+            let path = TcpPath {
+                bottleneck: down,
+                rtt,
+                loss: 0.0,
+            };
             startup_secs + idle_transfer_time(&path, framed_bytes).as_secs_f64()
         })
         .collect()
@@ -68,7 +72,10 @@ mod tests {
         let phys = physical_limit(&topo, file);
         let tcp = tcp_feasible(&topo, file, 10.0);
         for (p, t) in phys.iter().zip(tcp.iter()) {
-            assert!(t > p, "TCP-feasible ({t}) must exceed the physical limit ({p})");
+            assert!(
+                t > p,
+                "TCP-feasible ({t}) must exceed the physical limit ({p})"
+            );
         }
     }
 }

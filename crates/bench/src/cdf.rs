@@ -29,12 +29,18 @@ impl Series {
             .enumerate()
             .map(|(i, &t)| (t, (i + 1) as f64 / n))
             .collect();
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// Builds a plain x/y series.
     pub fn xy(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// Largest x value (the slowest node for CDFs).
@@ -47,9 +53,8 @@ impl Series {
         if self.points.is_empty() {
             return f64::NAN;
         }
-        let idx = ((self.points.len() as f64 * fraction).ceil() as usize)
-            .clamp(1, self.points.len())
-            - 1;
+        let idx =
+            ((self.points.len() as f64 * fraction).ceil() as usize).clamp(1, self.points.len()) - 1;
         self.points[idx].0
     }
 }
@@ -164,7 +169,10 @@ mod tests {
 
     #[test]
     fn quantiles_pick_expected_elements() {
-        let s = Series::cdf("x", &[10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]);
+        let s = Series::cdf(
+            "x",
+            &[10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
+        );
         assert_eq!(s.quantile(0.5), 50.0);
         assert_eq!(s.quantile(0.9), 90.0);
         assert_eq!(s.quantile(1.0), 100.0);

@@ -17,7 +17,9 @@ use netsim::dynamics::{crash_wave_schedule, flash_crowd_schedule};
 use netsim::{topology, ChangeSchedule, NodeEvent};
 
 use bullet_prime::{Config, OutstandingPolicy, PeerSetPolicy, RequestStrategy};
-use shotgun::{parallel_rsync_times, planetlab_client_bandwidths, simulate_shotgun, RsyncModelParams};
+use shotgun::{
+    parallel_rsync_times, planetlab_client_bandwidths, simulate_shotgun, RsyncModelParams,
+};
 
 use crate::bounds;
 use crate::cdf::{improvement_at, Figure, Series};
@@ -39,11 +41,20 @@ fn overall_comparison(opts: &CommonOpts, dynamic: bool) -> Figure {
     let rng = RngFactory::new(opts.seed);
 
     let (id, title) = if dynamic {
-        ("Figure 5", "download time CDF under synthetic bandwidth changes and random losses")
+        (
+            "Figure 5",
+            "download time CDF under synthetic bandwidth changes and random losses",
+        )
     } else {
-        ("Figure 4", "download time CDF under random network packet losses")
+        (
+            "Figure 4",
+            "download time CDF under random network packet losses",
+        )
     };
-    let mut fig = Figure::new(id, format!("{title} ({nodes} nodes, {} blocks)", file.num_blocks()));
+    let mut fig = Figure::new(
+        id,
+        format!("{title} ({nodes} nodes, {} blocks)", file.num_blocks()),
+    );
 
     if !dynamic {
         let topo = topology::modelnet_mesh(nodes, 0.03, &rng);
@@ -206,10 +217,22 @@ pub fn fig06(opts: &CommonOpts) -> Figure {
         format!("request strategies under random losses ({nodes} nodes)"),
     );
     let strategies = [
-        ("BulletPrime rarest random request strategy", RequestStrategy::RarestRandom),
-        ("BulletPrime random request strategy", RequestStrategy::Random),
-        ("BulletPrime rarest request strategy", RequestStrategy::Rarest),
-        ("BulletPrime first request strategy", RequestStrategy::FirstEncountered),
+        (
+            "BulletPrime rarest random request strategy",
+            RequestStrategy::RarestRandom,
+        ),
+        (
+            "BulletPrime random request strategy",
+            RequestStrategy::Random,
+        ),
+        (
+            "BulletPrime rarest request strategy",
+            RequestStrategy::Rarest,
+        ),
+        (
+            "BulletPrime first request strategy",
+            RequestStrategy::FirstEncountered,
+        ),
     ];
     for (label, strategy) in strategies {
         let topo = topology::modelnet_mesh(nodes, 0.03, &rng);
@@ -255,7 +278,10 @@ fn peer_sizing(
     let topo = mk_topology(&rng, nodes);
     let cfg = Config::new(file);
     let (run, _) = run_bullet_prime_with(topo, &cfg, &rng, schedule, limit(opts));
-    fig.push(Series::cdf("BulletPrime, dyn. #senders,#receivers", &run.times));
+    fig.push(Series::cdf(
+        "BulletPrime, dyn. #senders,#receivers",
+        &run.times,
+    ));
 
     let dynamic = fig.series.last().cloned().expect("just pushed");
     let best_static = fig.series[..fig.series.len() - 1]
@@ -339,7 +365,10 @@ fn outstanding_sizing(
         cfg.peer_policy = peers;
         cfg.outstanding_policy = OutstandingPolicy::Fixed(w);
         let (run, _) = run_bullet_prime_with(topo, &cfg, &rng, schedule, limit(opts));
-        fig.push(Series::cdf(format!("BulletPrime , {w:<4} outst"), &run.times));
+        fig.push(Series::cdf(
+            format!("BulletPrime , {w:<4} outst"),
+            &run.times,
+        ));
     }
     let topo = topo_builder(&rng, nodes);
     let mut cfg = Config::new(file);
@@ -557,7 +586,10 @@ pub fn fig16(opts: &CommonOpts) -> Figure {
         let cfg = Config::new(file);
         let (run, report, _) = run_bullet_prime_churn(topo, &cfg, &rng, &churn, limit(opts));
         let mut series = Series::cdf(
-            format!("BulletPrime, {:.0}% crash ({crashed} nodes)", fraction * 100.0),
+            format!(
+                "BulletPrime, {:.0}% crash ({crashed} nodes)",
+                fraction * 100.0
+            ),
             &run.times,
         );
         if run.unfinished > 0 {
@@ -668,9 +700,21 @@ pub fn fig15(opts: &CommonOpts) -> Figure {
     );
     fig.x_label = "completion time (s)".into();
 
-    let shotgun = simulate_shotgun(nodes, update_bytes, opts.block_bytes_or(100) / 1024, replay_rate, opts.seed);
-    fig.push(Series::cdf("Shotgun (Download Only)", &shotgun.download_only));
-    fig.push(Series::cdf("Shotgun (Download + Update)", &shotgun.download_plus_update));
+    let shotgun = simulate_shotgun(
+        nodes,
+        update_bytes,
+        opts.block_bytes_or(100) / 1024,
+        replay_rate,
+        opts.seed,
+    );
+    fig.push(Series::cdf(
+        "Shotgun (Download Only)",
+        &shotgun.download_only,
+    ));
+    fig.push(Series::cdf(
+        "Shotgun (Download + Update)",
+        &shotgun.download_plus_update,
+    ));
 
     let clients = planetlab_client_bandwidths(nodes, opts.seed);
     for parallelism in [2usize, 4, 8, 16] {
@@ -710,7 +754,10 @@ mod tests {
         let fig = fig04(&tiny());
         assert_eq!(fig.series.len(), 6);
         assert!(fig.series[0].label.contains("Physical"));
-        assert!(fig.series.iter().any(|s| s.label.starts_with("BulletPrime")));
+        assert!(fig
+            .series
+            .iter()
+            .any(|s| s.label.starts_with("BulletPrime")));
         assert!(!fig.notes.is_empty());
         // The physical bound must be the fastest curve.
         let phys = fig.series[0].max_x();
@@ -754,7 +801,11 @@ mod tests {
         assert!(f10.series.last().unwrap().label.contains("dyn"));
         let f12 = fig12(&opts);
         assert!(f12.series.last().unwrap().label.contains("dyn"));
-        assert_eq!(f12.series[0].points.len(), 7, "cascade topology has 7 receivers");
+        assert_eq!(
+            f12.series[0].points.len(),
+            7,
+            "cascade topology has 7 receivers"
+        );
     }
 
     #[test]
@@ -776,6 +827,9 @@ mod tests {
         assert_eq!(fig.series.len(), 6);
         let shotgun = fig.series[1].max_x();
         let rsync2 = fig.series[2].max_x();
-        assert!(shotgun < rsync2, "Shotgun ({shotgun}) should beat 2-way rsync ({rsync2})");
+        assert!(
+            shotgun < rsync2,
+            "Shotgun ({shotgun}) should beat 2-way rsync ({rsync2})"
+        );
     }
 }

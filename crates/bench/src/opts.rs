@@ -55,7 +55,8 @@ impl CommonOpts {
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut value_for = |name: &str| -> Result<String, String> {
-                it.next().ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+                it.next()
+                    .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
             };
             match arg.as_str() {
                 "--nodes" => opts.nodes = Some(parse_num(&value_for("--nodes")?)?),
@@ -93,13 +94,16 @@ impl CommonOpts {
 
     /// Node count to use given a reduced default and the paper's value.
     pub fn nodes_or(&self, reduced: usize, paper: usize) -> usize {
-        self.nodes.unwrap_or(if self.full { paper } else { reduced })
+        self.nodes
+            .unwrap_or(if self.full { paper } else { reduced })
     }
 
     /// File size (bytes) to use given a reduced default and the paper's value
     /// in MiB.
     pub fn file_bytes_or(&self, reduced_mb: f64, paper_mb: f64) -> u64 {
-        let mb = self.file_mb.unwrap_or(if self.full { paper_mb } else { reduced_mb });
+        let mb = self
+            .file_mb
+            .unwrap_or(if self.full { paper_mb } else { reduced_mb });
         (mb * 1024.0 * 1024.0) as u64
     }
 
@@ -113,7 +117,8 @@ const USAGE: &str = "usage: figNN [--nodes N] [--mb M] [--block-kb K] [--seed S]
 [--time-limit SECS] [--tick SECS] [--full] [--raw] [--json PATH]";
 
 fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("could not parse '{s}'\n{USAGE}"))
+    s.parse()
+        .map_err(|_| format!("could not parse '{s}'\n{USAGE}"))
 }
 
 /// The whole of a figure binary: parse the shared options from the process
@@ -164,7 +169,18 @@ mod tests {
 
     #[test]
     fn explicit_values_override_everything() {
-        let o = parse(&["--full", "--nodes", "12", "--mb", "2.5", "--block-kb", "8", "--seed", "9"]).unwrap();
+        let o = parse(&[
+            "--full",
+            "--nodes",
+            "12",
+            "--mb",
+            "2.5",
+            "--block-kb",
+            "8",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
         assert_eq!(o.nodes_or(40, 100), 12);
         assert_eq!(o.file_bytes_or(10.0, 100.0), (2.5 * 1024.0 * 1024.0) as u64);
         assert_eq!(o.block_bytes_or(16), 8192);

@@ -72,13 +72,14 @@ fn collect_times(report: &netsim::RunReport) -> SystemRun {
             })
         })
         .collect();
-    SystemRun { times, unfinished, end_time: end }
+    SystemRun {
+        times,
+        unfinished,
+        end_time: end,
+    }
 }
 
-fn apply_schedule<M: netsim::WireSize, P: netsim::Protocol<M>>(
-    runner: &mut Runner<M, P>,
-    schedule: &ChangeSchedule,
-) {
+fn apply_schedule<P: netsim::Protocol>(runner: &mut Runner<P>, schedule: &ChangeSchedule) {
     for (at, batch) in schedule {
         runner.schedule_link_change(*at, batch.clone());
     }
@@ -103,7 +104,11 @@ fn collect_survivor_times(report: &netsim::RunReport) -> SystemRun {
             })
         })
         .collect();
-    SystemRun { times, unfinished, end_time: end }
+    SystemRun {
+        times,
+        unfinished,
+        end_time: end,
+    }
 }
 
 /// Runs Bullet′ under a node-lifecycle (churn) schedule: nodes named in

@@ -115,13 +115,19 @@ impl BlockBitmap {
     /// Iterates over the ids of present blocks in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, &word)| {
-            BitIter { word, base: wi as u32 * 64 }.filter(move |id| id.0 < self.capacity)
+            BitIter {
+                word,
+                base: wi as u32 * 64,
+            }
+            .filter(move |id| id.0 < self.capacity)
         })
     }
 
     /// Iterates over the ids of *missing* blocks in ascending order.
     pub fn iter_missing(&self) -> impl Iterator<Item = BlockId> + '_ {
-        (0..self.capacity).map(BlockId).filter(move |id| !self.contains(*id))
+        (0..self.capacity)
+            .map(BlockId)
+            .filter(move |id| !self.contains(*id))
     }
 
     /// Returns the blocks present in `self` but not in `other`

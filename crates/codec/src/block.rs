@@ -119,7 +119,10 @@ mod tests {
     fn completion_target_applies_overhead() {
         let spec = FileSpec::from_mb_kb(10, 16);
         assert_eq!(spec.completion_target(0.0), spec.num_blocks());
-        assert_eq!(spec.completion_target(0.04), (f64::from(spec.num_blocks()) * 1.04).ceil() as u32);
+        assert_eq!(
+            spec.completion_target(0.04),
+            (f64::from(spec.num_blocks()) * 1.04).ceil() as u32
+        );
         // Negative overhead is clamped.
         assert_eq!(spec.completion_target(-1.0), spec.num_blocks());
     }

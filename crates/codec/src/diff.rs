@@ -79,7 +79,9 @@ impl DiffTracker {
     /// Number of blocks in `have` that the receiver has not yet been told
     /// about (what the next diff would carry, ignoring the cap).
     pub fn pending_count(&self, have: &BlockBitmap) -> usize {
-        have.iter().filter(|id| !self.advertised.contains(id)).count()
+        have.iter()
+            .filter(|id| !self.advertised.contains(id))
+            .count()
     }
 
     /// Records blocks advertised through some other channel (e.g. the initial
@@ -142,7 +144,9 @@ mod tests {
 
     #[test]
     fn wire_size_scales_with_entries() {
-        let d = Diff { blocks: vec![BlockId(0); 10] };
+        let d = Diff {
+            blocks: vec![BlockId(0); 10],
+        };
         assert_eq!(d.wire_size(), 8 + 40);
     }
 }

@@ -92,7 +92,11 @@ impl LtEncoder {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        EncodedBlock { seq, sources, payload }
+        EncodedBlock {
+            seq,
+            sources,
+            payload,
+        }
     }
 
     /// Produces a degree-1 (systematic) encoded block for a specific source
@@ -266,7 +270,10 @@ pub fn measure_reception_overhead(k: u32, block_size: usize, seed: u64) -> f64 {
             break;
         }
     }
-    assert!(dec.is_complete(), "decoder failed to complete within 3k blocks");
+    assert!(
+        dec.is_complete(),
+        "decoder failed to complete within 3k blocks"
+    );
     dec.received() as f64 / f64::from(k) - 1.0
 }
 
@@ -307,7 +314,9 @@ mod tests {
         // substantially below 1.0 at exactly k received blocks.
         let k = 500u32;
         let block = 64usize;
-        let data: Vec<u8> = (0..k as usize * block).map(|i| (i * 31 % 255) as u8).collect();
+        let data: Vec<u8> = (0..k as usize * block)
+            .map(|i| (i * 31 % 255) as u8)
+            .collect();
         let mut enc = LtEncoder::new(&data, block, 9);
         let mut dec = LtDecoder::new(k, block);
         for _ in 0..k {

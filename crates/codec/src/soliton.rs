@@ -41,7 +41,11 @@ impl RobustSoliton {
         for d in 1..=k {
             let df = f64::from(d);
             // Ideal soliton component.
-            let rho = if d == 1 { 1.0 / kf } else { 1.0 / (df * (df - 1.0)) };
+            let rho = if d == 1 {
+                1.0 / kf
+            } else {
+                1.0 / (df * (df - 1.0))
+            };
             // Robust component.
             let tau = if d < spike {
                 s / (df * kf)
@@ -88,7 +92,10 @@ impl RobustSoliton {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
         let u: f64 = rng.gen();
         // Binary search the CDF for the first entry >= u.
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) => i as u32 + 1,
             Err(i) => (i as u32 + 1).min(self.k()),
         }
@@ -125,7 +132,11 @@ mod tests {
     fn beta_close_to_one_for_large_k() {
         // Reception overhead should be a few percent for file-scale k.
         let dist = RobustSoliton::new(6400, 0.03, 0.05);
-        assert!(dist.beta() > 1.0 && dist.beta() < 1.25, "beta = {}", dist.beta());
+        assert!(
+            dist.beta() > 1.0 && dist.beta() < 1.25,
+            "beta = {}",
+            dist.beta()
+        );
     }
 
     #[test]
@@ -155,7 +166,10 @@ mod tests {
         let analytic: f64 = (1..=200).map(|d| f64::from(d) * dist.pmf(d)).sum();
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
         let n = 50_000;
-        let empirical: f64 = (0..n).map(|_| f64::from(dist.sample(&mut rng))).sum::<f64>() / f64::from(n);
+        let empirical: f64 = (0..n)
+            .map(|_| f64::from(dist.sample(&mut rng)))
+            .sum::<f64>()
+            / f64::from(n);
         assert!(
             (empirical - analytic).abs() / analytic < 0.05,
             "empirical {empirical} vs analytic {analytic}"

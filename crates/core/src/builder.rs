@@ -10,7 +10,6 @@ use netsim::{Network, NodeId, Runner, Topology};
 use overlay::ControlTree;
 
 use crate::config::Config;
-use crate::messages::Msg;
 use crate::node::BulletPrimeNode;
 
 /// Default fan-out of the control tree (the source pushes fresh blocks to
@@ -30,7 +29,11 @@ pub fn build_nodes_with_tree(
     tree: &ControlTree,
     cfg: &Config,
 ) -> Vec<BulletPrimeNode> {
-    assert_eq!(tree.len(), topo.len(), "control tree and topology sizes differ");
+    assert_eq!(
+        tree.len(),
+        topo.len(),
+        "control tree and topology sizes differ"
+    );
     (0..topo.len() as u32)
         .map(|i| BulletPrimeNode::new(NodeId(i), tree, cfg.clone()))
         .collect()
@@ -40,7 +43,7 @@ pub fn build_nodes_with_tree(
 ///
 /// The source (node 0) is exempted from the completion check, so
 /// [`Runner::run`] stops once every *receiver* finishes.
-pub fn build_runner(topo: Topology, cfg: &Config, rng: &RngFactory) -> Runner<Msg, BulletPrimeNode> {
+pub fn build_runner(topo: Topology, cfg: &Config, rng: &RngFactory) -> Runner<BulletPrimeNode> {
     let nodes = build_nodes(&topo, cfg, rng);
     let mut runner = Runner::new(Network::new(topo), nodes, rng);
     runner.exempt_from_completion(NodeId(0));

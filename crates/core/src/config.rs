@@ -159,7 +159,10 @@ impl Config {
             self.min_peers <= self.initial_peers && self.initial_peers <= self.max_peers,
             "initial_peers must lie between min_peers and max_peers"
         );
-        assert!(self.initial_outstanding >= 1, "need at least one outstanding block");
+        assert!(
+            self.initial_outstanding >= 1,
+            "need at least one outstanding block"
+        );
         assert!(self.max_outstanding >= self.initial_outstanding);
         assert!(self.trim_sigma > 0.0);
         assert!(self.source_pipe_blocks >= 1);

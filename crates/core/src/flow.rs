@@ -172,7 +172,11 @@ mod tests {
         // The sender was idle for 0.1 s at 1 MB/s with 16 KB blocks: it could
         // have sent ~6 more blocks; the window must grow.
         c.on_block_received(BlockId(0), 0, -0.1, 1_000_000.0, 16_384.0, 3);
-        assert!(c.window() > 3, "window should grow after idle time, got {}", c.window());
+        assert!(
+            c.window() > 3,
+            "window should grow after idle time, got {}",
+            c.window()
+        );
     }
 
     #[test]
@@ -188,7 +192,11 @@ mod tests {
         // A block that waited 2 s with nothing else in front: strong signal to
         // shrink (the link slowed down).
         c.on_block_received(BlockId(2), 1, 2.0, 100_000.0, 16_384.0, grown);
-        assert!(c.window() < grown, "window should shrink, got {}", c.window());
+        assert!(
+            c.window() < grown,
+            "window should shrink, got {}",
+            c.window()
+        );
     }
 
     #[test]
@@ -253,7 +261,10 @@ mod tests {
             }
         }
         assert!(c.window() >= 1);
-        assert!(c.window() <= 3, "persistent deep queues drive the window down");
+        assert!(
+            c.window() <= 3,
+            "persistent deep queues drive the window down"
+        );
     }
 
     #[test]
@@ -273,6 +284,9 @@ mod tests {
         c.clear_mark();
         let w = c.window();
         c.on_block_received(BlockId(1), 0, -1.0, 1_000_000.0, 16_384.0, w);
-        assert!(c.window() >= w, "adjustments resume after clearing the mark");
+        assert!(
+            c.window() >= w,
+            "adjustments resume after clearing the mark"
+        );
     }
 }

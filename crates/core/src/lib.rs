@@ -37,7 +37,7 @@ pub use config::{Config, OutstandingPolicy, PeerSetPolicy, RequestStrategy, Tran
 pub use flow::OutstandingController;
 pub use messages::Msg;
 pub use metrics::DownloadMetrics;
-pub use node::{BulletPrimeNode, Role};
+pub use node::{BulletPrimeNode, Role, Timer};
 pub use peering::{EpochDecision, PeerManager, ReceiverObservation, SenderObservation};
 pub use request::RequestManager;
 
@@ -95,7 +95,10 @@ mod end_to_end {
         assert_eq!(a.completion_secs, b.completion_secs);
         assert_eq!(a.events, b.events);
         let (c, _) = run(10, 256, 8, |_| {});
-        assert_ne!(a.completion_secs, c.completion_secs, "different seeds should differ");
+        assert_ne!(
+            a.completion_secs, c.completion_secs,
+            "different seeds should differ"
+        );
     }
 
     #[test]
@@ -105,7 +108,10 @@ mod end_to_end {
         });
         assert_eq!(report.reason, StopReason::AllComplete);
         let target = nodes[1].metrics().useful_blocks();
-        assert!(target >= 17, "encoded completion needs (1+eps)*16 = 17 blocks, got {target}");
+        assert!(
+            target >= 17,
+            "encoded completion needs (1+eps)*16 = 17 blocks, got {target}"
+        );
     }
 
     #[test]
@@ -129,8 +135,14 @@ mod end_to_end {
         let mut runner = Runner::new(Network::new(topo), nodes, &rng);
         runner.exempt_from_completion(NodeId(0));
         runner.set_inactive_at_start(NodeId(2));
-        runner.schedule_node_event(desim::SimTime::from_secs_f64(1.0), NodeEvent::Crash(NodeId(1)));
-        runner.schedule_node_event(desim::SimTime::from_secs_f64(5.0), NodeEvent::Join(NodeId(2)));
+        runner.schedule_node_event(
+            desim::SimTime::from_secs_f64(1.0),
+            NodeEvent::Crash(NodeId(1)),
+        );
+        runner.schedule_node_event(
+            desim::SimTime::from_secs_f64(5.0),
+            NodeEvent::Join(NodeId(2)),
+        );
         let report = runner.run(SimDuration::from_secs(3_600));
         assert_eq!(report.reason, StopReason::AllComplete, "{report:?}");
         assert!(
@@ -161,11 +173,20 @@ mod end_to_end {
         let mut runner = Runner::new(Network::new(topo), nodes, &rng);
         runner.exempt_from_completion(NodeId(0));
         runner.set_inactive_at_start(NodeId(1));
-        runner.schedule_node_event(desim::SimTime::from_secs_f64(6.0), NodeEvent::Join(NodeId(1)));
+        runner.schedule_node_event(
+            desim::SimTime::from_secs_f64(6.0),
+            NodeEvent::Join(NodeId(1)),
+        );
         let report = runner.run(SimDuration::from_secs(3_600));
         assert_eq!(report.reason, StopReason::AllComplete, "{report:?}");
-        assert!(report.completion_secs[1].is_some(), "the late parent completes: {report:?}");
-        assert!(report.completion_secs[2].is_some(), "the re-attached child completes: {report:?}");
+        assert!(
+            report.completion_secs[1].is_some(),
+            "the late parent completes: {report:?}"
+        );
+        assert!(
+            report.completion_secs[2].is_some(),
+            "the re-attached child completes: {report:?}"
+        );
     }
 
     #[test]

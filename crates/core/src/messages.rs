@@ -88,8 +88,12 @@ mod tests {
 
     #[test]
     fn wire_sizes_scale_with_payload() {
-        let small = Msg::Diff { blocks: vec![BlockId(0)] };
-        let large = Msg::Diff { blocks: (0..100).map(BlockId).collect() };
+        let small = Msg::Diff {
+            blocks: vec![BlockId(0)],
+        };
+        let large = Msg::Diff {
+            blocks: (0..100).map(BlockId).collect(),
+        };
         assert!(large.wire_size() > small.wire_size());
         assert_eq!(large.wire_size() - small.wire_size(), 99 * 4);
 
@@ -97,7 +101,14 @@ mod tests {
         assert!(empty.wire_size() < small.wire_size());
 
         let sample = Sample {
-            entries: vec![NodeSummary { node: 1, have_count: 2, has_everything: false }; 10],
+            entries: vec![
+                NodeSummary {
+                    node: 1,
+                    have_count: 2,
+                    has_everything: false
+                };
+                10
+            ],
             weight: 10,
         };
         let ransub = Msg::RansubDistribute { sample, epoch: 3 };
@@ -106,7 +117,10 @@ mod tests {
 
     #[test]
     fn block_request_accounts_for_bandwidth_hint() {
-        let a = Msg::BlockRequest { blocks: vec![], incoming_bw: 0 };
+        let a = Msg::BlockRequest {
+            blocks: vec![],
+            incoming_bw: 0,
+        };
         assert_eq!(a.wire_size(), 9 + 12);
     }
 }

@@ -117,7 +117,10 @@ mod tests {
         }
         m.record_arrival(SimTime::from_secs_f64(98.0 + 31.0), 1, false);
         let overage = m.last_blocks_overage(20);
-        assert!(overage > 29.0, "a 31s gap against a ~1.3s mean must show up, got {overage}");
+        assert!(
+            overage > 29.0,
+            "a 31s gap against a ~1.3s mean must show up, got {overage}"
+        );
 
         let mut uniform = DownloadMetrics::default();
         for i in 0..100 {

@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use desim::SimTime;
 use dissem_codec::{BlockBitmap, BlockId, DiffTracker};
-use netsim::{BlockReceipt, Ctx, NodeId, ProbeStats, Protocol};
+use netsim::{BlockReceipt, Ctx, NodeId, ProbeStats, Protocol, TimerToken};
 use overlay::{ControlTree, NodeSummary, RanSubAgent, RanSubEmit, Sample};
 use rand::rngs::StdRng;
 
@@ -24,10 +24,31 @@ use crate::metrics::DownloadMetrics;
 use crate::peering::{PeerManager, ReceiverObservation, SenderObservation};
 use crate::request::RequestManager;
 
-/// Timer kind: start a new RanSub epoch.
-const TIMER_RANSUB: u32 = 1;
-/// Timer kind: housekeeping (stale-request release, request refresh).
-const TIMER_HOUSEKEEPING: u32 = 2;
+/// Bullet′'s timer vocabulary (see [`netsim::TimerToken`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timer {
+    /// Start a new RanSub epoch.
+    RanSub,
+    /// Housekeeping: stale-request release, request refresh, idle-diff flush.
+    Housekeeping,
+}
+
+impl TimerToken for Timer {
+    fn encode(&self) -> u64 {
+        match self {
+            Timer::RanSub => 0,
+            Timer::Housekeeping => 1,
+        }
+    }
+
+    fn decode(bits: u64) -> Self {
+        match bits {
+            0 => Timer::RanSub,
+            1 => Timer::Housekeeping,
+            other => panic!("not a Bullet' timer token: {other}"),
+        }
+    }
+}
 
 /// Whether this node is the origin of the file or a downloader.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,14 +163,21 @@ impl BulletPrimeNode {
     /// Node 0 (the tree root) is the source.
     pub fn new(id: NodeId, tree: &ControlTree, cfg: Config) -> Self {
         cfg.validate();
-        let role = if id == tree.root() { Role::Source } else { Role::Receiver };
+        let role = if id == tree.root() {
+            Role::Source
+        } else {
+            Role::Receiver
+        };
         let block_space = cfg.block_space();
         let have = match role {
             Role::Source => BlockBitmap::full(block_space),
             Role::Receiver => BlockBitmap::new(block_space),
         };
         let source = match role {
-            Role::Source => Some(SourceState { next_block: 0, rr_cursor: 0 }),
+            Role::Source => Some(SourceState {
+                next_block: 0,
+                rr_cursor: 0,
+            }),
             Role::Receiver => None,
         };
         BulletPrimeNode {
@@ -231,7 +259,7 @@ impl BulletPrimeNode {
     // Source push (§3.3.5).
     // ------------------------------------------------------------------
 
-    fn source_push(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn source_push(&mut self, ctx: &mut Ctx<'_, Self>) {
         let Some(src) = self.source.as_mut() else {
             return;
         };
@@ -281,13 +309,21 @@ impl BulletPrimeNode {
         }
     }
 
-    fn emit_ransub(&mut self, ctx: &mut Ctx<'_, Msg>, emits: Vec<RanSubEmit>) {
+    fn emit_ransub(&mut self, ctx: &mut Ctx<'_, Self>, emits: Vec<RanSubEmit>) {
         for emit in emits {
             match emit {
-                RanSubEmit::CollectToParent { parent, sample, epoch } => {
+                RanSubEmit::CollectToParent {
+                    parent,
+                    sample,
+                    epoch,
+                } => {
                     ctx.send(parent, Msg::RansubCollect { sample, epoch });
                 }
-                RanSubEmit::DistributeToChild { child, sample, epoch } => {
+                RanSubEmit::DistributeToChild {
+                    child,
+                    sample,
+                    epoch,
+                } => {
                     ctx.send(child, Msg::RansubDistribute { sample, epoch });
                 }
                 RanSubEmit::Deliver { sample, .. } => {
@@ -300,7 +336,7 @@ impl BulletPrimeNode {
     /// Reacts to the arrival of this epoch's random subset: run the peering
     /// strategy, enact its decisions, and try to fill open sender slots with
     /// candidates from the subset (§3.3.1).
-    fn handle_epoch(&mut self, ctx: &mut Ctx<'_, Msg>, sample: Sample) {
+    fn handle_epoch(&mut self, ctx: &mut Ctx<'_, Self>, sample: Sample) {
         let now = ctx.now();
         let elapsed = (now - self.epoch_started_at).as_secs_f64().max(1e-3);
         self.epoch_started_at = now;
@@ -359,7 +395,12 @@ impl BulletPrimeNode {
             for e in candidates.into_iter().take(decision.sender_slots) {
                 let peer = e.node_id();
                 self.pending_peer_requests.insert(peer);
-                ctx.send(peer, Msg::PeerRequest { have_count: self.have.count() });
+                ctx.send(
+                    peer,
+                    Msg::PeerRequest {
+                        have_count: self.have.count(),
+                    },
+                );
             }
         }
     }
@@ -370,7 +411,7 @@ impl BulletPrimeNode {
 
     /// Removes `child` from both push rotation and RanSub tree links,
     /// emitting whatever the unblocked collect wave produces.
-    fn drop_tree_child(&mut self, ctx: &mut Ctx<'_, Msg>, child: NodeId) {
+    fn drop_tree_child(&mut self, ctx: &mut Ctx<'_, Self>, child: NodeId) {
         let emits = {
             let rng = ctx.rng();
             self.ransub.on_child_failed(child, rng)
@@ -379,7 +420,7 @@ impl BulletPrimeNode {
         self.children.retain(|&c| c != child);
     }
 
-    fn drop_sender(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId, notify: bool) {
+    fn drop_sender(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId, notify: bool) {
         if self.senders.remove(&peer).is_some() {
             self.requester.remove_sender(peer);
             if notify {
@@ -388,7 +429,7 @@ impl BulletPrimeNode {
         }
     }
 
-    fn drop_receiver(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId, notify: bool) {
+    fn drop_receiver(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId, notify: bool) {
         if self.receivers.remove(&peer).is_some() {
             ctx.close_connection(peer);
             if notify {
@@ -397,7 +438,7 @@ impl BulletPrimeNode {
         }
     }
 
-    fn accept_receiver(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId) {
+    fn accept_receiver(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId) {
         let mut state = ReceiverState::new();
         let available: Vec<BlockId> = self.have.iter().collect();
         state.diff.mark_advertised(available.iter().copied());
@@ -405,7 +446,7 @@ impl BulletPrimeNode {
         ctx.send(peer, Msg::PeerAccept { available });
     }
 
-    fn add_sender(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId, available: Vec<BlockId>) {
+    fn add_sender(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId, available: Vec<BlockId>) {
         self.pending_peer_requests.remove(&peer);
         if self.senders.contains_key(&peer) {
             return;
@@ -420,7 +461,7 @@ impl BulletPrimeNode {
     // Requesting (§3.3.2 + §3.3.3).
     // ------------------------------------------------------------------
 
-    fn issue_requests(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId) {
+    fn issue_requests(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId) {
         if self.is_download_complete() {
             return;
         }
@@ -436,7 +477,8 @@ impl BulletPrimeNode {
         let now = ctx.now();
         let blocks = {
             let rng: &mut StdRng = ctx.rng();
-            self.requester.select_requests(peer, want, &self.have, now, rng)
+            self.requester
+                .select_requests(peer, want, &self.have, now, rng)
         };
         if blocks.is_empty() {
             // Nothing left to ask this sender for: request a diff once.
@@ -462,7 +504,7 @@ impl BulletPrimeNode {
     // Diffs (§3.3.4).
     // ------------------------------------------------------------------
 
-    fn send_diff(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId) {
+    fn send_diff(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId) {
         let Some(r) = self.receivers.get_mut(&peer) else {
             return;
         };
@@ -481,7 +523,7 @@ impl BulletPrimeNode {
 
     /// Queue pending availability announcements and flush them to receivers
     /// whose request pipeline from us is empty (self-clocking diffs).
-    fn propagate_availability(&mut self, ctx: &mut Ctx<'_, Msg>, block: BlockId) {
+    fn propagate_availability(&mut self, ctx: &mut Ctx<'_, Self>, block: BlockId) {
         let peers: Vec<NodeId> = self.receivers.keys().copied().collect();
         for peer in peers {
             if let Some(r) = self.receivers.get_mut(&peer) {
@@ -496,11 +538,14 @@ impl BulletPrimeNode {
     }
 }
 
-impl Protocol<Msg> for BulletPrimeNode {
-    fn on_init(&mut self, ctx: &mut Ctx<'_, Msg>) {
+impl Protocol for BulletPrimeNode {
+    type Msg = Msg;
+    type Timer = Timer;
+
+    fn on_init(&mut self, ctx: &mut Ctx<'_, Self>) {
         self.epoch_started_at = ctx.now();
-        ctx.set_timer(self.cfg.ransub_period, TIMER_RANSUB, 0);
-        ctx.set_timer(self.cfg.housekeeping_period, TIMER_HOUSEKEEPING, 0);
+        ctx.set_timer(self.cfg.ransub_period, Timer::RanSub);
+        ctx.set_timer(self.cfg.housekeeping_period, Timer::Housekeeping);
         // A node initialised after t = 0 is a late joiner: its
         // construction-time tree children have long since registered with
         // whoever was present while it was absent (ultimately the root), so
@@ -518,7 +563,11 @@ impl Protocol<Msg> for BulletPrimeNode {
         // never reached us), reattach at the root instead — departed nodes
         // never come back.
         if let Some(parent) = self.ransub.parent() {
-            let target = if ctx.peer_active(parent) { parent } else { self.root };
+            let target = if ctx.peer_active(parent) {
+                parent
+            } else {
+                self.root
+            };
             self.ransub.set_parent(Some(target));
             ctx.send(target, Msg::TreeAttach);
         }
@@ -527,7 +576,7 @@ impl Protocol<Msg> for BulletPrimeNode {
         }
     }
 
-    fn on_control(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+    fn on_control(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Msg) {
         match msg {
             Msg::RansubCollect { sample, epoch } => {
                 let emits = {
@@ -582,7 +631,10 @@ impl Protocol<Msg> for BulletPrimeNode {
             Msg::DiffRequest => {
                 self.send_diff(ctx, from);
             }
-            Msg::BlockRequest { blocks, incoming_bw } => {
+            Msg::BlockRequest {
+                blocks,
+                incoming_bw,
+            } => {
                 if let Some(r) = self.receivers.get_mut(&from) {
                     r.their_incoming_bw = incoming_bw as f64;
                 }
@@ -596,10 +648,11 @@ impl Protocol<Msg> for BulletPrimeNode {
         }
     }
 
-    fn on_block_received(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, receipt: BlockReceipt) {
+    fn on_block_received(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, receipt: BlockReceipt) {
         let block = receipt.block;
         let duplicate = self.have.contains(block);
-        self.metrics.record_arrival(ctx.now(), receipt.bytes, duplicate);
+        self.metrics
+            .record_arrival(ctx.now(), receipt.bytes, duplicate);
         self.requester.on_block_received(block);
 
         if !duplicate {
@@ -623,7 +676,8 @@ impl Protocol<Msg> for BulletPrimeNode {
         if !duplicate {
             self.propagate_availability(ctx, block);
             if self.is_download_complete() {
-                self.metrics.record_completion(ctx.now(), self.senders.len());
+                self.metrics
+                    .record_completion(ctx.now(), self.senders.len());
             }
         }
 
@@ -632,7 +686,7 @@ impl Protocol<Msg> for BulletPrimeNode {
         self.issue_requests(ctx, from);
     }
 
-    fn on_block_sent(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, block: BlockId) {
+    fn on_block_sent(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, block: BlockId) {
         let bytes = self.block_bytes(block);
         if let Some(r) = self.receivers.get_mut(&to) {
             r.bytes_since_epoch += bytes;
@@ -642,7 +696,7 @@ impl Protocol<Msg> for BulletPrimeNode {
         }
     }
 
-    fn on_peer_failed(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId) {
+    fn on_peer_failed(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId) {
         // React immediately instead of waiting for the bandwidth-utility trim
         // at the next RanSub epoch (§3.3.1): the peer is unreachable, so any
         // relationship with it only wastes request slots and pipe space.
@@ -676,7 +730,7 @@ impl Protocol<Msg> for BulletPrimeNode {
         }
     }
 
-    fn on_shutdown(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn on_shutdown(&mut self, ctx: &mut Ctx<'_, Self>) {
         // Graceful goodbye: tell both sides of every peering so they re-peer
         // without waiting for a timeout.
         let peers: BTreeSet<NodeId> = self
@@ -685,14 +739,12 @@ impl Protocol<Msg> for BulletPrimeNode {
             .chain(self.receivers.keys())
             .copied()
             .collect();
-        for peer in peers {
-            ctx.send(peer, Msg::PeerClose);
-        }
+        ctx.send_to_many(peers, &Msg::PeerClose);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, kind: u32, _data: u64) {
-        match kind {
-            TIMER_RANSUB => {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Timer) {
+        match timer {
+            Timer::RanSub => {
                 // Prune children that are gone or have not joined yet, so the
                 // collect wave is never blocked on a silent child; a joiner
                 // re-registers with TreeAttach when it (re)appears.
@@ -712,13 +764,14 @@ impl Protocol<Msg> for BulletPrimeNode {
                     self.ransub.begin_epoch(summary, rng)
                 };
                 self.emit_ransub(ctx, emits);
-                ctx.set_timer(self.cfg.ransub_period, TIMER_RANSUB, 0);
+                ctx.set_timer(self.cfg.ransub_period, Timer::RanSub);
             }
-            TIMER_HOUSEKEEPING => {
+            Timer::Housekeeping => {
                 // Release requests stuck behind a stalled sender so the blocks
                 // become requestable elsewhere.
-                let released =
-                    self.requester.release_stale(ctx.now(), self.cfg.request_timeout);
+                let released = self
+                    .requester
+                    .release_stale(ctx.now(), self.cfg.request_timeout);
                 let stalled: BTreeSet<NodeId> = released.iter().map(|(p, _)| *p).collect();
                 for peer in stalled {
                     if let Some(s) = self.senders.get_mut(&peer) {
@@ -745,9 +798,8 @@ impl Protocol<Msg> for BulletPrimeNode {
                 if self.role == Role::Source {
                     self.source_push(ctx);
                 }
-                ctx.set_timer(self.cfg.housekeeping_period, TIMER_HOUSEKEEPING, 0);
+                ctx.set_timer(self.cfg.housekeeping_period, Timer::Housekeeping);
             }
-            _ => {}
         }
     }
 

@@ -72,7 +72,13 @@ pub struct PeerManager {
 
 impl PeerManager {
     /// Creates a manager with the given policy and bounds.
-    pub fn new(policy: PeerSetPolicy, initial: usize, min: usize, max: usize, trim_sigma: f64) -> Self {
+    pub fn new(
+        policy: PeerSetPolicy,
+        initial: usize,
+        min: usize,
+        max: usize,
+        trim_sigma: f64,
+    ) -> Self {
         let start = match policy {
             PeerSetPolicy::Dynamic => initial,
             PeerSetPolicy::Fixed(k) => k,
@@ -214,7 +220,11 @@ fn trim_slow_senders(senders: &[SenderObservation], sigma: f64, min: usize) -> V
     let threshold = mean - sigma * std;
     // Sort slowest-first so the budget of allowed drops goes to the worst.
     let mut sorted: Vec<&SenderObservation> = senders.iter().collect();
-    sorted.sort_by(|a, b| a.bandwidth.partial_cmp(&b.bandwidth).expect("finite bandwidths"));
+    sorted.sort_by(|a, b| {
+        a.bandwidth
+            .partial_cmp(&b.bandwidth)
+            .expect("finite bandwidths")
+    });
     let mut allowed = senders.len() - min;
     let mut drops = Vec::new();
     for s in sorted {
@@ -281,11 +291,18 @@ mod tests {
     use super::*;
 
     fn sender(i: u32, bw: f64) -> SenderObservation {
-        SenderObservation { peer: NodeId(i), bandwidth: bw }
+        SenderObservation {
+            peer: NodeId(i),
+            bandwidth: bw,
+        }
     }
 
     fn receiver(i: u32, bw: f64, total: f64) -> ReceiverObservation {
-        ReceiverObservation { peer: NodeId(i), bandwidth: bw, their_total_incoming: total }
+        ReceiverObservation {
+            peer: NodeId(i),
+            bandwidth: bw,
+            their_total_incoming: total,
+        }
     }
 
     fn dynamic_manager() -> PeerManager {
@@ -306,7 +323,9 @@ mod tests {
         let mut m = dynamic_manager();
         // We are at the target with no history: "try to add a new peer by default".
         let senders: Vec<_> = (0..10).map(|i| sender(i, 100_000.0)).collect();
-        let receivers: Vec<_> = (0..10).map(|i| receiver(100 + i, 100_000.0, 500_000.0)).collect();
+        let receivers: Vec<_> = (0..10)
+            .map(|i| receiver(100 + i, 100_000.0, 500_000.0))
+            .collect();
         let d = m.on_epoch(&senders, &receivers);
         assert_eq!(m.max_senders(), 11);
         assert_eq!(m.max_receivers(), 11);
@@ -350,7 +369,9 @@ mod tests {
         // Drive the target upward for many epochs.
         for epoch in 0..40usize {
             let n = m.max_senders();
-            let senders: Vec<_> = (0..n as u32).map(|i| sender(i, 1_000.0 * (epoch + 1) as f64)).collect();
+            let senders: Vec<_> = (0..n as u32)
+                .map(|i| sender(i, 1_000.0 * (epoch + 1) as f64))
+                .collect();
             m.on_epoch(&senders, &[]);
         }
         assert!(m.max_senders() <= 25);
@@ -383,7 +404,10 @@ mod tests {
         let mut m = dynamic_manager();
         let senders: Vec<_> = (0..10).map(|i| sender(i, 150_000.0)).collect();
         let d = m.on_epoch(&senders, &[]);
-        assert!(d.drop_senders.is_empty(), "identical bandwidths must not be trimmed");
+        assert!(
+            d.drop_senders.is_empty(),
+            "identical bandwidths must not be trimmed"
+        );
     }
 
     #[test]

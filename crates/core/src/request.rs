@@ -173,7 +173,8 @@ impl RequestManager {
             return Vec::new();
         };
         // Compact: drop blocks we already have or that left the set.
-        av.order.retain(|b| av.set.contains(b) && !have.contains(*b));
+        av.order
+            .retain(|b| av.set.contains(b) && !have.contains(*b));
 
         let candidates: Vec<BlockId> = av
             .order
@@ -190,8 +191,10 @@ impl RequestManager {
                 candidates.into_iter().take(count).collect::<Vec<_>>()
             }
             RequestStrategy::Random => {
-                let mut keyed: Vec<(u64, BlockId)> =
-                    candidates.into_iter().map(|b| (rng.gen::<u64>(), b)).collect();
+                let mut keyed: Vec<(u64, BlockId)> = candidates
+                    .into_iter()
+                    .map(|b| (rng.gen::<u64>(), b))
+                    .collect();
                 keyed.sort_unstable_by_key(|(k, _)| *k);
                 keyed.into_iter().take(count).map(|(_, b)| b).collect()
             }
@@ -214,7 +217,13 @@ impl RequestManager {
         };
 
         for &b in &chosen {
-            self.in_flight.insert(b, InFlight { to: peer, since: now });
+            self.in_flight.insert(
+                b,
+                InFlight {
+                    to: peer,
+                    since: now,
+                },
+            );
         }
         chosen
     }
@@ -300,7 +309,10 @@ mod tests {
             rm.select_requests(NodeId(1), 1, &have, SimTime::ZERO, &mut r)[0]
         };
         let picks: std::collections::HashSet<u32> = (0..20).map(|s| pick(s).0).collect();
-        assert!(picks.len() > 3, "random tie-break should spread choices, got {picks:?}");
+        assert!(
+            picks.len() > 3,
+            "random tie-break should spread choices, got {picks:?}"
+        );
     }
 
     #[test]
@@ -314,7 +326,11 @@ mod tests {
         let a = rm.select_requests(NodeId(1), 2, &have, SimTime::ZERO, &mut rng());
         let b = rm.select_requests(NodeId(2), 3, &have, SimTime::ZERO, &mut rng());
         assert_eq!(a, ids(&[0, 1]));
-        assert_eq!(b, ids(&[2]), "blocks outstanding to peer 1 must not be re-requested");
+        assert_eq!(
+            b,
+            ids(&[2]),
+            "blocks outstanding to peer 1 must not be re-requested"
+        );
         assert_eq!(rm.outstanding_to(NodeId(1)), 2);
         assert_eq!(rm.outstanding_to(NodeId(2)), 1);
         assert_eq!(rm.outstanding_total(), 3);

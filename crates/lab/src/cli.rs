@@ -143,7 +143,8 @@ fn parse_sweep_args(args: Vec<String>) -> Result<SweepArgs, String> {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         let mut value_for = |name: &str| -> Result<String, String> {
-            it.next().ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
         };
         match arg.as_str() {
             "--threads" => {
@@ -170,7 +171,11 @@ fn parse_sweep_args(args: Vec<String>) -> Result<SweepArgs, String> {
 
 fn parse_list<T: std::str::FromStr>(s: &str) -> Result<Vec<T>, String> {
     s.split(',')
-        .map(|p| p.trim().parse().map_err(|_| format!("could not parse '{p}'\n{USAGE}")))
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| format!("could not parse '{p}'\n{USAGE}"))
+        })
         .collect()
 }
 
@@ -201,7 +206,9 @@ fn sweep(registry: &Registry, args: Vec<String>) -> Result<(), String> {
     let scenario = resolve(registry, &name)?;
     let sweep_args = parse_sweep_args(rest)?;
     if sweep_args.out.is_some() {
-        return Err(format!("sweep writes its report with --json, not --out\n{USAGE}"));
+        return Err(format!(
+            "sweep writes its report with --json, not --out\n{USAGE}"
+        ));
     }
     let explicit_seed = sweep_args.rest.iter().any(|a| a == "--seed");
     let opts = CommonOpts::parse(sweep_args.rest.clone())?;
@@ -259,7 +266,9 @@ fn bench(registry: &Registry, args: Vec<String>) -> Result<(), String> {
     let scenario = resolve(registry, &name)?;
     let sweep_args = parse_sweep_args(rest)?;
     if sweep_args.json.is_some() {
-        return Err(format!("bench writes its record with --out, not --json\n{USAGE}"));
+        return Err(format!(
+            "bench writes its record with --out, not --json\n{USAGE}"
+        ));
     }
     let explicit_seed = sweep_args.rest.iter().any(|a| a == "--seed");
     let opts = CommonOpts::parse(sweep_args.rest.clone())?;
@@ -295,12 +304,15 @@ fn bench(registry: &Registry, args: Vec<String>) -> Result<(), String> {
             }
         }
         record.cells = report.cells.len();
-        record.runs.push(BenchRun { threads, wall_clock_secs: (wall * 1000.0).round() / 1000.0 });
+        record.runs.push(BenchRun {
+            threads,
+            wall_clock_secs: (wall * 1000.0).round() / 1000.0,
+        });
         eprintln!("threads {threads}: {wall:.3}s wall clock");
     }
 
-    let json = serde_json::to_string_pretty(&record)
-        .expect("bench records are always serialisable");
+    let json =
+        serde_json::to_string_pretty(&record).expect("bench records are always serialisable");
     println!("{json}");
     if let Some(path) = &sweep_args.out {
         std::fs::write(path, &json).map_err(|e| format!("failed to write {path}: {e}"))?;
@@ -347,10 +359,16 @@ mod tests {
     fn effective_seeds_priority_order() {
         let registry = Registry::standard();
         let sc = registry.get("fig13").unwrap();
-        let opts = CommonOpts { seed: 42, ..CommonOpts::default() };
+        let opts = CommonOpts {
+            seed: 42,
+            ..CommonOpts::default()
+        };
 
         // Explicit list wins outright.
-        let mut args = SweepArgs { seeds: Some(vec![9, 8]), ..Default::default() };
+        let mut args = SweepArgs {
+            seeds: Some(vec![9, 8]),
+            ..Default::default()
+        };
         assert_eq!(effective_seeds(sc, &args, &opts, true), vec![9, 8]);
 
         // Otherwise the plan is re-based on --seed and resized by --seed-count.

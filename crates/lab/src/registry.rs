@@ -150,9 +150,21 @@ impl Registry {
             if sc.name == "fig04" || sc.name == "fig05" {
                 sc.sweep = SweepSpec {
                     points: vec![
-                        ParamPoint { label: "20-nodes", nodes: Some(20), ..Default::default() },
-                        ParamPoint { label: "40-nodes", nodes: Some(40), ..Default::default() },
-                        ParamPoint { label: "60-nodes", nodes: Some(60), ..Default::default() },
+                        ParamPoint {
+                            label: "20-nodes",
+                            nodes: Some(20),
+                            ..Default::default()
+                        },
+                        ParamPoint {
+                            label: "40-nodes",
+                            nodes: Some(40),
+                            ..Default::default()
+                        },
+                        ParamPoint {
+                            label: "60-nodes",
+                            nodes: Some(60),
+                            ..Default::default()
+                        },
                     ],
                     ..SweepSpec::default()
                 };

@@ -111,7 +111,10 @@ pub struct ParamPoint {
 impl ParamPoint {
     /// The identity point: base options as-is.
     pub fn default_point() -> Self {
-        ParamPoint { label: "default", ..Default::default() }
+        ParamPoint {
+            label: "default",
+            ..Default::default()
+        }
     }
 
     /// Applies the overrides to a copy of `base`.
@@ -149,14 +152,19 @@ pub struct SeedPlan {
 impl SeedPlan {
     /// Materialises the seeds in order.
     pub fn seeds(&self) -> Vec<u64> {
-        (0..self.count as u64).map(|i| self.base.wrapping_add(i)).collect()
+        (0..self.count as u64)
+            .map(|i| self.base.wrapping_add(i))
+            .collect()
     }
 }
 
 impl Default for SeedPlan {
     fn default() -> Self {
         // The workspace's fixed experiment seed, 4 repetitions.
-        SeedPlan { base: 20050410, count: 4 }
+        SeedPlan {
+            base: 20050410,
+            count: 4,
+        }
     }
 }
 
@@ -171,7 +179,10 @@ pub struct SweepSpec {
 
 impl Default for SweepSpec {
     fn default() -> Self {
-        SweepSpec { points: vec![ParamPoint::default_point()], seeds: SeedPlan::default() }
+        SweepSpec {
+            points: vec![ParamPoint::default_point()],
+            seeds: SeedPlan::default(),
+        }
     }
 }
 
@@ -203,7 +214,15 @@ impl Scenario {
         dynamics: DynamicsKind,
         run: fn(&CommonOpts) -> Figure,
     ) -> Self {
-        Scenario { name, title, system, topology, dynamics, sweep: SweepSpec::default(), run }
+        Scenario {
+            name,
+            title,
+            system,
+            topology,
+            dynamics,
+            sweep: SweepSpec::default(),
+            run,
+        }
     }
 
     /// Runs the scenario once with the given options.
@@ -237,8 +256,16 @@ mod tests {
 
     #[test]
     fn param_point_overrides_only_what_it_names() {
-        let base = CommonOpts { nodes: Some(10), time_limit: 600.0, ..CommonOpts::default() };
-        let point = ParamPoint { label: "big", nodes: Some(40), ..Default::default() };
+        let base = CommonOpts {
+            nodes: Some(10),
+            time_limit: 600.0,
+            ..CommonOpts::default()
+        };
+        let point = ParamPoint {
+            label: "big",
+            nodes: Some(40),
+            ..Default::default()
+        };
         let opts = point.apply(&base);
         assert_eq!(opts.nodes, Some(40));
         assert_eq!(opts.time_limit, 600.0);
@@ -266,7 +293,11 @@ mod tests {
             |_| Figure::new("t", "test"),
         );
         let base = CommonOpts::default();
-        let point = ParamPoint { label: "p", nodes: Some(12), ..Default::default() };
+        let point = ParamPoint {
+            label: "p",
+            nodes: Some(12),
+            ..Default::default()
+        };
         let opts = sc.cell_opts(&base, &point, 99);
         assert_eq!(opts.nodes, Some(12));
         assert_eq!(opts.seed, 99);

@@ -1,0 +1,286 @@
+//! A reusable trait-level conformance harness for [`Protocol`]
+//! implementations.
+//!
+//! Every dissemination system in the workspace implements the same trait, and
+//! the trait carries behavioural obligations the compiler cannot check: the
+//! runner calls [`Protocol::on_init`] exactly once per participating node, a
+//! timer re-armed from its own handler keeps firing, every survivor hears
+//! about a departed peer through [`Protocol::on_peer_failed`], and control
+//! messages sent from [`Protocol::on_shutdown`] still reach their
+//! destinations. This module packages those checks so each system asserts
+//! them with one call instead of re-growing its own lifecycle tests (see the
+//! workspace-level `tests/protocol_conformance.rs`, which instantiates the
+//! harness against all four systems).
+//!
+//! The harness works by wrapping every node in an [`Instrumented`] adapter —
+//! a delegating [`Protocol`] implementation that counts hook invocations and
+//! forwards to the wrapped instance via [`Ctx::retarget`] — and then driving
+//! a scripted churn scenario (one crash, one graceful leave) through the real
+//! [`Runner`]. Because the adapter shares the inner protocol's message and
+//! timer types, the instrumented run is behaviourally identical to a bare
+//! one.
+
+use desim::{RngFactory, SimTime};
+
+use crate::dynamics::NodeEvent;
+use crate::network::{BlockReceipt, Network};
+use crate::probe::ProbeStats;
+use crate::protocol::{Ctx, Protocol};
+use crate::runner::{RunReport, Runner};
+use crate::topology::NodeId;
+
+use dissem_codec::BlockId;
+
+/// Per-node record of every trait hook the runner invoked.
+#[derive(Debug, Clone, Default)]
+pub struct HookStats {
+    /// Number of [`Protocol::on_init`] calls.
+    pub inits: u32,
+    /// Number of [`Protocol::on_timer`] calls.
+    pub timer_fires: u32,
+    /// Number of [`Protocol::on_shutdown`] calls.
+    pub shutdowns: u32,
+    /// Peers reported through [`Protocol::on_peer_failed`], in order.
+    pub failed_peers: Vec<NodeId>,
+    /// `(virtual seconds, sender)` of every delivered control message.
+    pub ctrl_received: Vec<(f64, NodeId)>,
+    /// Control messages recorded *during* [`Protocol::on_shutdown`].
+    pub farewell_msgs: usize,
+}
+
+/// A delegating wrapper that records which hooks the runner invoked.
+///
+/// `Instrumented<P>` implements [`Protocol`] with `P`'s own message and
+/// timer types, so it can stand in for `P` anywhere — handlers forward to
+/// the inner instance through [`Ctx::retarget`] and record into the same
+/// command buffer.
+#[derive(Debug)]
+pub struct Instrumented<P: Protocol> {
+    inner: P,
+    stats: HookStats,
+}
+
+impl<P: Protocol> Instrumented<P> {
+    /// Wraps `inner`.
+    pub fn new(inner: P) -> Self {
+        Instrumented {
+            inner,
+            stats: HookStats::default(),
+        }
+    }
+
+    /// The hook record so far.
+    pub fn stats(&self) -> &HookStats {
+        &self.stats
+    }
+
+    /// Unwraps the inner protocol instance.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Protocol> Protocol for Instrumented<P> {
+    type Msg = P::Msg;
+    type Timer = P::Timer;
+
+    fn on_init(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.stats.inits += 1;
+        self.inner.on_init(&mut ctx.retarget());
+    }
+
+    fn on_control(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Self::Msg) {
+        self.stats
+            .ctrl_received
+            .push((ctx.now().as_secs_f64(), from));
+        self.inner.on_control(&mut ctx.retarget(), from, msg);
+    }
+
+    fn on_block_received(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, receipt: BlockReceipt) {
+        self.inner
+            .on_block_received(&mut ctx.retarget(), from, receipt);
+    }
+
+    fn on_block_sent(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, block: BlockId) {
+        self.inner.on_block_sent(&mut ctx.retarget(), to, block);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Self::Timer) {
+        self.stats.timer_fires += 1;
+        self.inner.on_timer(&mut ctx.retarget(), timer);
+    }
+
+    fn on_peer_failed(&mut self, ctx: &mut Ctx<'_, Self>, peer: NodeId) {
+        self.stats.failed_peers.push(peer);
+        self.inner.on_peer_failed(&mut ctx.retarget(), peer);
+    }
+
+    fn on_shutdown(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.stats.shutdowns += 1;
+        let before = ctx.commands_recorded();
+        self.inner.on_shutdown(&mut ctx.retarget());
+        let after = ctx.commands_recorded();
+        self.stats.farewell_msgs += (before..after).filter(|&i| ctx.command_is_send(i)).count();
+    }
+
+    fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+
+    fn probe_stats(&self) -> ProbeStats {
+        self.inner.probe_stats()
+    }
+}
+
+/// The scripted churn scenario [`check_lifecycle`] drives: one crash and one
+/// later graceful leave, distinct nodes, both before the run can end.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Node that crashes (no goodbye).
+    pub crash: NodeId,
+    /// Crash instant.
+    pub crash_at: SimTime,
+    /// Node that leaves gracefully (gets [`Protocol::on_shutdown`]).
+    pub leave: NodeId,
+    /// Leave instant (must be after `crash_at`).
+    pub leave_at: SimTime,
+    /// Virtual-time limit for the run.
+    pub limit: SimTime,
+}
+
+/// Everything the harness observed, for system-specific follow-up asserts.
+#[derive(Debug)]
+pub struct Outcome<P> {
+    /// Per-node hook records, indexed by node id.
+    pub stats: Vec<HookStats>,
+    /// The runner's report.
+    pub report: RunReport,
+    /// The unwrapped protocol instances.
+    pub nodes: Vec<P>,
+    /// Whether a farewell control message sent from the leaver's
+    /// [`Protocol::on_shutdown`] was delivered to a survivor.
+    pub farewell_transmitted: bool,
+}
+
+/// Runs `nodes` through the [`Scenario`] and asserts the trait-level
+/// lifecycle invariants every [`Protocol`] implementation must uphold:
+///
+/// 1. **`on_init` exactly once** per node that participates from t = 0;
+/// 2. **re-armed timers keep firing** — every survivor records at least two
+///    [`Protocol::on_timer`] deliveries;
+/// 3. **`on_peer_failed` reaches every survivor**, for the crash and the
+///    graceful leave alike, and never names the survivor itself;
+/// 4. **`on_shutdown` fires exactly once** on the leaver, never on the
+///    crasher or a survivor, and control messages it records are still
+///    transmitted (asserted whenever the implementation sends any).
+///
+/// Node 0 is exempted from the completion stop-condition (every system in
+/// the workspace uses node 0 as its source/seed). Panics with `label`-tagged
+/// messages on violation; returns the observations for follow-up asserts.
+pub fn check_lifecycle<P: Protocol>(
+    label: &str,
+    net: Network,
+    nodes: Vec<P>,
+    rng: &RngFactory,
+    scenario: Scenario,
+) -> Outcome<P> {
+    assert!(
+        scenario.crash_at < scenario.leave_at,
+        "{label}: scenario expects the crash before the leave"
+    );
+    assert_ne!(
+        scenario.crash, scenario.leave,
+        "{label}: distinct churn victims required"
+    );
+    let n = nodes.len();
+    let wrapped: Vec<Instrumented<P>> = nodes.into_iter().map(Instrumented::new).collect();
+    let mut runner = Runner::new(net, wrapped, rng);
+    runner.exempt_from_completion(NodeId(0));
+    runner.schedule_node_event(scenario.crash_at, NodeEvent::Crash(scenario.crash));
+    runner.schedule_node_event(scenario.leave_at, NodeEvent::Leave(scenario.leave));
+    let report = runner.run_until(scenario.limit);
+    assert!(
+        report.end_time >= scenario.leave_at,
+        "{label}: the run ended at {:?}, before the scripted leave at {:?} — \
+         use a larger workload or earlier churn instants",
+        report.end_time,
+        scenario.leave_at
+    );
+
+    let (stats, nodes): (Vec<HookStats>, Vec<P>) = runner
+        .into_nodes()
+        .into_iter()
+        .map(|w| (w.stats().clone(), w.into_inner()))
+        .unzip();
+
+    let is_survivor = |i: usize| i != scenario.crash.index() && i != scenario.leave.index();
+    for (i, s) in stats.iter().enumerate() {
+        assert_eq!(
+            s.inits, 1,
+            "{label}: node {i} saw {} on_init calls; the runner initialises \
+             each participant exactly once",
+            s.inits
+        );
+        if is_survivor(i) {
+            assert!(
+                s.timer_fires >= 2,
+                "{label}: node {i} saw only {} timer deliveries; a timer \
+                 re-armed from its handler must keep firing",
+                s.timer_fires
+            );
+            for &victim in &[scenario.crash, scenario.leave] {
+                assert!(
+                    s.failed_peers.contains(&victim),
+                    "{label}: survivor {i} was never told about the departure \
+                     of {victim:?} (saw {:?})",
+                    s.failed_peers
+                );
+            }
+            assert!(
+                !s.failed_peers.contains(&NodeId(i as u32)),
+                "{label}: node {i} was notified of its own failure"
+            );
+            assert_eq!(s.shutdowns, 0, "{label}: survivor {i} received on_shutdown");
+        }
+    }
+    assert_eq!(
+        stats[scenario.leave.index()].shutdowns,
+        1,
+        "{label}: the graceful leaver must get exactly one on_shutdown"
+    );
+    assert_eq!(
+        stats[scenario.crash.index()].shutdowns,
+        0,
+        "{label}: a crash must not trigger on_shutdown"
+    );
+
+    // Farewell transmission: if the leaver recorded control messages during
+    // on_shutdown, at least one survivor must have heard from it at or after
+    // the leave instant.
+    let leave_secs = scenario.leave_at.as_secs_f64();
+    let farewell_transmitted = stats
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| is_survivor(i))
+        .any(|(_, s)| {
+            s.ctrl_received
+                .iter()
+                .any(|&(t, from)| from == scenario.leave && t >= leave_secs)
+        });
+    if stats[scenario.leave.index()].farewell_msgs > 0 {
+        assert!(
+            farewell_transmitted,
+            "{label}: the leaver sent {} farewell message(s) from on_shutdown \
+             but no survivor ever received one",
+            stats[scenario.leave.index()].farewell_msgs
+        );
+    }
+    assert_eq!(stats.len(), n);
+
+    Outcome {
+        stats,
+        report,
+        nodes,
+        farewell_transmitted,
+    }
+}

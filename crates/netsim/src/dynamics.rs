@@ -147,7 +147,10 @@ pub fn crash_wave_schedule(
     end: SimTime,
     rng: &RngFactory,
 ) -> NodeSchedule {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     assert!(end >= start, "crash window must not be inverted");
     let mut rng = rng.stream("dynamics.crash_wave");
     let mut receivers: Vec<u32> = (1..n as u32).collect();
@@ -360,7 +363,9 @@ mod tests {
         let wave = crash_wave_schedule(10, 0.5, SimTime::ZERO, SimTime::ZERO, &rng);
         assert_eq!(wave.len(), 5, "50% of 9 receivers rounds to 5");
         assert!(wave.iter().all(|(t, _)| *t == SimTime::ZERO));
-        assert!(wave.iter().all(|(_, ev)| matches!(ev, NodeEvent::Crash(n) if n.0 != 0)));
+        assert!(wave
+            .iter()
+            .all(|(_, ev)| matches!(ev, NodeEvent::Crash(n) if n.0 != 0)));
     }
 
     #[test]

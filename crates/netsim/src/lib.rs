@@ -13,12 +13,18 @@
 //!   links and the sender-side `in_front`/`wasted` measurements Bullet′'s
 //!   flow controller uses;
 //! * [`protocol`] — the [`Protocol`] trait implemented by every dissemination
-//!   system in this workspace, and the command-buffer [`Ctx`];
-//! * [`runner`] — the experiment driver;
+//!   system in this workspace (message and timer types are *associated
+//!   types*, so downstream signatures are `Runner<P>`, `Ctx<'_, P>`,
+//!   `Probe<P>`), and the command-buffer [`Ctx`];
+//! * [`runner`] — the experiment driver (allocation-free dispatch over a
+//!   reusable command buffer);
+//! * [`conformance`] — a reusable trait-level conformance harness any
+//!   protocol implementation can be run through;
 //! * [`dynamics`] — scripted bandwidth-change scenarios;
 //! * [`probe`] — run-time observers sampled on a virtual-time tick, feeding
 //!   the bandwidth-over-time analyses.
 
+pub mod conformance;
 pub mod dynamics;
 pub mod network;
 pub mod probe;
@@ -31,7 +37,7 @@ pub mod units;
 pub use dynamics::{BandwidthChange, ChangeSchedule, LinkChangeBatch, NodeEvent, NodeSchedule};
 pub use network::{BlockReceipt, ConnUpdate, Network, NodeTraffic};
 pub use probe::{NodeSample, Probe, ProbeStats, StatsProbe, TimeSample, TimeSeries};
-pub use protocol::{Command, Ctx, Protocol, WireSize};
+pub use protocol::{Command, Ctx, Protocol, TimerToken, WireSize};
 pub use runner::{RunReport, Runner, StopReason};
 pub use topology::{NodeId, NodeSpec, PathSpec, Topology};
 pub use units::{gbps, kbps, mbps, to_mbps, BytesPerSec};
@@ -46,6 +52,7 @@ mod lifecycle_tests {
     struct Recorder {
         id: NodeId,
         init_at: Option<f64>,
+        inits: u32,
         shutdowns: usize,
         failed_peers: Vec<NodeId>,
         timer_fires: u32,
@@ -73,6 +80,7 @@ mod lifecycle_tests {
             Recorder {
                 id,
                 init_at: None,
+                inits: 0,
                 shutdowns: 0,
                 failed_peers: Vec::new(),
                 timer_fires: 0,
@@ -85,35 +93,40 @@ mod lifecycle_tests {
         }
     }
 
-    impl Protocol<PMsg> for Recorder {
-        fn on_init(&mut self, ctx: &mut Ctx<'_, PMsg>) {
+    impl Protocol for Recorder {
+        type Msg = PMsg;
+        type Timer = ();
+
+        fn on_init(&mut self, ctx: &mut Ctx<'_, Self>) {
             self.init_at = Some(ctx.now().as_secs_f64());
+            self.inits += 1;
             for &peer in &self.greet {
                 ctx.send(peer, PMsg);
             }
             if self.recurring_timer {
-                ctx.set_timer(SimDuration::from_secs(1), 1, 0);
+                ctx.set_timer(SimDuration::from_secs(1), ());
             }
         }
 
-        fn on_control(&mut self, _ctx: &mut Ctx<'_, PMsg>, from: NodeId, _msg: PMsg) {
+        fn on_control(&mut self, _ctx: &mut Ctx<'_, Self>, from: NodeId, _msg: PMsg) {
             self.ctrl_received.push(from);
         }
 
-        fn on_block_received(&mut self, _ctx: &mut Ctx<'_, PMsg>, _from: NodeId, _r: BlockReceipt) {}
+        fn on_block_received(&mut self, _ctx: &mut Ctx<'_, Self>, _from: NodeId, _r: BlockReceipt) {
+        }
 
-        fn on_timer(&mut self, ctx: &mut Ctx<'_, PMsg>, _kind: u32, _data: u64) {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, _timer: ()) {
             self.timer_fires += 1;
             if self.recurring_timer {
-                ctx.set_timer(SimDuration::from_secs(1), 1, 0);
+                ctx.set_timer(SimDuration::from_secs(1), ());
             }
         }
 
-        fn on_peer_failed(&mut self, _ctx: &mut Ctx<'_, PMsg>, peer: NodeId) {
+        fn on_peer_failed(&mut self, _ctx: &mut Ctx<'_, Self>, peer: NodeId) {
             self.failed_peers.push(peer);
         }
 
-        fn on_shutdown(&mut self, ctx: &mut Ctx<'_, PMsg>) {
+        fn on_shutdown(&mut self, ctx: &mut Ctx<'_, Self>) {
             self.shutdowns += 1;
             if let Some(peer) = self.farewell_to {
                 ctx.send(peer, PMsg);
@@ -125,7 +138,7 @@ mod lifecycle_tests {
         }
     }
 
-    fn probe_runner(n: usize, tweak: impl Fn(&mut Recorder)) -> Runner<PMsg, Recorder> {
+    fn probe_runner(n: usize, tweak: impl Fn(&mut Recorder)) -> Runner<Recorder> {
         let rng = RngFactory::new(77);
         let topo = topology::constrained_access(n);
         let nodes: Vec<Recorder> = (0..n as u32)
@@ -150,7 +163,10 @@ mod lifecycle_tests {
         assert_eq!(report.reason, StopReason::Drained);
         assert_eq!(report.departed, vec![false, true, false]);
         let nodes = runner.into_nodes();
-        assert_eq!(nodes[1].shutdowns, 1, "the leaver gets exactly one on_shutdown");
+        assert_eq!(
+            nodes[1].shutdowns, 1,
+            "the leaver gets exactly one on_shutdown"
+        );
         assert_eq!(nodes[0].failed_peers, vec![NodeId(1)]);
         assert_eq!(nodes[2].failed_peers, vec![NodeId(1)]);
         assert_eq!(nodes[1].failed_peers, Vec::<NodeId>::new());
@@ -190,12 +206,39 @@ mod lifecycle_tests {
         let report = runner.run_until(SimTime::from_secs_f64(8.0));
         assert_eq!(report.reason, StopReason::TimeLimit);
         let nodes = runner.into_nodes();
-        assert_eq!(nodes[2].init_at, Some(5.0), "joiner initialises at the join instant");
+        assert_eq!(
+            nodes[2].init_at,
+            Some(5.0),
+            "joiner initialises at the join instant"
+        );
         assert!(
             nodes[2].ctrl_received.is_empty(),
             "messages sent before the join never arrive"
         );
         assert_eq!(nodes[0].init_at, Some(0.0));
+    }
+
+    #[test]
+    fn staged_run_until_does_not_reinitialise() {
+        // Regression for the Protocol contract: on_init is delivered exactly
+        // once per participant, even when run_until is called again on the
+        // same runner (a staged continuation). A joiner is initialised at its
+        // join instant — once — regardless of which stage it joins in.
+        let mut runner = probe_runner(3, |p| p.recurring_timer = true);
+        runner.set_inactive_at_start(NodeId(2));
+        runner.schedule_node_event(SimTime::from_secs_f64(4.0), NodeEvent::Join(NodeId(2)));
+        let first = runner.run_until(SimTime::from_secs_f64(2.0));
+        assert_eq!(first.reason, StopReason::TimeLimit);
+        let second = runner.run_until(SimTime::from_secs_f64(6.0));
+        assert_eq!(second.reason, StopReason::TimeLimit);
+        let nodes = runner.into_nodes();
+        assert_eq!(nodes[0].inits, 1, "staged continuation must not re-init");
+        assert_eq!(nodes[1].inits, 1);
+        assert_eq!(
+            nodes[2].inits, 1,
+            "the joiner is initialised exactly once, at the join"
+        );
+        assert_eq!(nodes[2].init_at, Some(4.0));
     }
 
     #[test]
@@ -313,7 +356,7 @@ mod runner_tests {
             self.id == NodeId(0)
         }
 
-        fn fill_pipe(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId) {
+        fn fill_pipe(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId) {
             let idx = to.index();
             // `ctx.pending_to` reflects network state before this handler's
             // commands are applied, so track what this call queues separately.
@@ -329,8 +372,11 @@ mod runner_tests {
         }
     }
 
-    impl Protocol<Msg> for Flood {
-        fn on_init(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    impl Protocol for Flood {
+        type Msg = Msg;
+        type Timer = ();
+
+        fn on_init(&mut self, ctx: &mut Ctx<'_, Self>) {
             if self.is_source() {
                 for i in 1..ctx.num_nodes() as u32 {
                     // Queue the initial window towards each receiver.
@@ -348,20 +394,18 @@ mod runner_tests {
             }
         }
 
-        fn on_control(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: Msg) {}
+        fn on_control(&mut self, _ctx: &mut Ctx<'_, Self>, _from: NodeId, _msg: Msg) {}
 
-        fn on_block_received(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, r: BlockReceipt) {
+        fn on_block_received(&mut self, _ctx: &mut Ctx<'_, Self>, _from: NodeId, r: BlockReceipt) {
             self.have.insert(r.block);
             self.receipts += 1;
         }
 
-        fn on_block_sent(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, _block: BlockId) {
+        fn on_block_sent(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, _block: BlockId) {
             if self.is_source() {
                 self.fill_pipe(ctx, to);
             }
         }
-
-        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _kind: u32, _data: u64) {}
 
         fn is_complete(&self) -> bool {
             self.have.is_full()
@@ -392,7 +436,10 @@ mod runner_tests {
         // 256 KB to three receivers over a shared 800 Kbps uplink cannot finish
         // faster than the uplink allows: 3 * 256 KB / 100 KB/s ≈ 7.9 s.
         let slowest = report.finished_times().last().copied().unwrap();
-        assert!(slowest > 7.0, "slowest receiver finished impossibly fast: {slowest}");
+        assert!(
+            slowest > 7.0,
+            "slowest receiver finished impossibly fast: {slowest}"
+        );
         assert!(slowest < 200.0, "flood took unreasonably long: {slowest}");
     }
 
@@ -421,8 +468,9 @@ mod runner_tests {
         let rng = RngFactory::new(11);
         let topo = topology::constrained_access(4);
         let spec = FileSpec::new(256 * 1024, 16 * 1024);
-        let nodes: Vec<Flood> =
-            (0..4).map(|i| Flood::new(NodeId(i as u32), 4, spec, 4)).collect();
+        let nodes: Vec<Flood> = (0..4)
+            .map(|i| Flood::new(NodeId(i as u32), 4, spec, 4))
+            .collect();
         let mut runner = Runner::new(Network::new(topo), nodes, &rng);
         runner.schedule_node_event(
             desim::SimTime::from_secs_f64(2.0),
@@ -434,10 +482,71 @@ mod runner_tests {
             StopReason::AllComplete,
             "the crashed node must not block the all-complete stop: {report:?}"
         );
-        assert!(report.completion_secs[2].is_none(), "a crashed node never completes");
+        assert!(
+            report.completion_secs[2].is_none(),
+            "a crashed node never completes"
+        );
         assert_eq!(report.departed, vec![false, false, true, false]);
         assert!(report.completion_secs[1].is_some());
         assert!(report.completion_secs[3].is_some());
+    }
+
+    #[test]
+    fn blocks_queued_to_inactive_peers_are_discarded() {
+        // Regression for the `Ctx::queue_block` path: the source floods every
+        // receiver without checking liveness, and node 2 never joins. The
+        // runner must discard the QueueBlock commands addressed to it — no
+        // bytes may reach it, no connection may sit waiting to drain — while
+        // the active receiver completes normally.
+        let rng = RngFactory::new(11);
+        let topo = topology::constrained_access(3);
+        let spec = FileSpec::new(64 * 1024, 16 * 1024);
+        let nodes: Vec<Flood> = (0..3)
+            .map(|i| Flood::new(NodeId(i as u32), 3, spec, 4))
+            .collect();
+        let mut runner = Runner::new(Network::new(topo), nodes, &rng);
+        runner.set_inactive_at_start(NodeId(2));
+        let report = runner.run(SimDuration::from_secs(3_000));
+        // Node 2 never joins, so the run drains instead of completing.
+        assert_eq!(report.reason, StopReason::Drained);
+        assert!(
+            report.completion_secs[1].is_some(),
+            "active receiver finishes"
+        );
+        assert_eq!(
+            runner.network().traffic(NodeId(2)).data_bytes_in,
+            0,
+            "no data may reach the inactive node"
+        );
+        assert_eq!(
+            runner.network().pending_blocks(NodeId(0), NodeId(2)),
+            0,
+            "discarded blocks must not linger in a queue towards the inactive node"
+        );
+        assert_eq!(runner.node(NodeId(2)).receipts, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "no self-transfers")]
+    fn queueing_a_block_to_self_is_rejected() {
+        // Mirror of the `Ctx::send` self-messaging guard: a protocol that
+        // queues a block towards itself is a bug, caught at record time.
+        struct SelfSender;
+        impl Protocol for SelfSender {
+            type Msg = Msg;
+            type Timer = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, Self>) {
+                let me = ctx.node_id();
+                ctx.queue_block(me, BlockId(0), 1024);
+            }
+            fn on_control(&mut self, _c: &mut Ctx<'_, Self>, _f: NodeId, _m: Msg) {}
+            fn on_block_received(&mut self, _c: &mut Ctx<'_, Self>, _f: NodeId, _r: BlockReceipt) {}
+        }
+        let rng = RngFactory::new(1);
+        let topo = topology::constrained_access(2);
+        let mut runner = Runner::new(Network::new(topo), vec![SelfSender, SelfSender], &rng);
+        runner.run(SimDuration::from_secs(1));
     }
 
     #[test]
@@ -445,7 +554,9 @@ mod runner_tests {
         let rng = RngFactory::new(11);
         let topo = topology::constrained_access(3);
         let spec = FileSpec::new(10 * 1024 * 1024, 16 * 1024);
-        let nodes: Vec<Flood> = (0..3).map(|i| Flood::new(NodeId(i as u32), 3, spec, 2)).collect();
+        let nodes: Vec<Flood> = (0..3)
+            .map(|i| Flood::new(NodeId(i as u32), 3, spec, 2))
+            .collect();
         let mut runner = Runner::new(Network::new(topo), nodes, &rng);
         let report = runner.run(SimDuration::from_secs(5));
         assert_eq!(report.reason, StopReason::TimeLimit);
@@ -465,8 +576,9 @@ mod runner_tests {
 
         let run_with = |degrade: bool| -> f64 {
             let topo = topology::constrained_access(2);
-            let nodes: Vec<Flood> =
-                (0..2).map(|i| Flood::new(NodeId(i as u32), 2, spec, 4)).collect();
+            let nodes: Vec<Flood> = (0..2)
+                .map(|i| Flood::new(NodeId(i as u32), 2, spec, 4))
+                .collect();
             let mut runner = Runner::new(Network::new(topo), nodes, &rng);
             if degrade {
                 runner.schedule_link_change(
@@ -477,7 +589,11 @@ mod runner_tests {
                 );
             }
             let report = runner.run(SimDuration::from_secs(10_000));
-            report.finished_times().last().copied().expect("receiver finished")
+            report
+                .finished_times()
+                .last()
+                .copied()
+                .expect("receiver finished")
         };
 
         let clean = run_with(false);
@@ -493,12 +609,20 @@ mod runner_tests {
         let rng = RngFactory::new(2);
         let topo = topology::constrained_access(2);
         let spec = FileSpec::new(128 * 1024, 16 * 1024);
-        let nodes: Vec<Flood> = (0..2).map(|i| Flood::new(NodeId(i as u32), 2, spec, 4)).collect();
+        let nodes: Vec<Flood> = (0..2)
+            .map(|i| Flood::new(NodeId(i as u32), 2, spec, 4))
+            .collect();
         let mut runner = Runner::new(Network::new(topo), nodes, &rng);
         let report = runner.run(SimDuration::from_secs(1_000));
         assert_eq!(report.reason, StopReason::AllComplete);
-        assert_eq!(runner.network().traffic(NodeId(1)).data_bytes_in, 128 * 1024);
-        assert_eq!(runner.network().traffic(NodeId(0)).data_bytes_out, 128 * 1024);
+        assert_eq!(
+            runner.network().traffic(NodeId(1)).data_bytes_in,
+            128 * 1024
+        );
+        assert_eq!(
+            runner.network().traffic(NodeId(0)).data_bytes_out,
+            128 * 1024
+        );
     }
 }
 
@@ -515,9 +639,6 @@ mod probe_tests {
         per_tick: u64,
         ticks_left: u32,
         duplicates: u64,
-        /// Guards the timer chain: `run_until` re-dispatches `on_init` on a
-        /// staged continuation, which must not arm a second chain.
-        started: bool,
     }
 
     #[derive(Debug)]
@@ -529,21 +650,25 @@ mod probe_tests {
         }
     }
 
-    impl Protocol<NoMsg> for Ticker {
-        fn on_init(&mut self, ctx: &mut Ctx<'_, NoMsg>) {
-            if self.ticks_left > 0 && !self.started {
-                self.started = true;
-                ctx.set_timer(SimDuration::from_secs(1), 0, 0);
+    impl Protocol for Ticker {
+        type Msg = NoMsg;
+        type Timer = ();
+
+        // No started-guard needed: the runner delivers on_init exactly once,
+        // even across staged run_until continuations (see the staged test).
+        fn on_init(&mut self, ctx: &mut Ctx<'_, Self>) {
+            if self.ticks_left > 0 {
+                ctx.set_timer(SimDuration::from_secs(1), ());
             }
         }
-        fn on_control(&mut self, _ctx: &mut Ctx<'_, NoMsg>, _from: NodeId, _msg: NoMsg) {}
-        fn on_block_received(&mut self, _c: &mut Ctx<'_, NoMsg>, _f: NodeId, _r: BlockReceipt) {}
-        fn on_timer(&mut self, ctx: &mut Ctx<'_, NoMsg>, _kind: u32, _data: u64) {
+        fn on_control(&mut self, _ctx: &mut Ctx<'_, Self>, _from: NodeId, _msg: NoMsg) {}
+        fn on_block_received(&mut self, _c: &mut Ctx<'_, Self>, _f: NodeId, _r: BlockReceipt) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, _timer: ()) {
             self.bytes += self.per_tick;
             self.duplicates += 1;
             self.ticks_left -= 1;
             if self.ticks_left > 0 {
-                ctx.set_timer(SimDuration::from_secs(1), 0, 0);
+                ctx.set_timer(SimDuration::from_secs(1), ());
             }
         }
         fn probe_stats(&self) -> ProbeStats {
@@ -557,7 +682,7 @@ mod probe_tests {
         }
     }
 
-    fn ticker_runner(n: usize, per_tick: u64, ticks: u32) -> Runner<NoMsg, Ticker> {
+    fn ticker_runner(n: usize, per_tick: u64, ticks: u32) -> Runner<Ticker> {
         let rng = RngFactory::new(5);
         let topo = topology::constrained_access(n);
         let nodes: Vec<Ticker> = (0..n)
@@ -566,7 +691,6 @@ mod probe_tests {
                 per_tick,
                 ticks_left: ticks,
                 duplicates: 0,
-                started: false,
             })
             .collect();
         Runner::new(Network::new(topo), nodes, &rng)
@@ -583,7 +707,11 @@ mod probe_tests {
         // before the queue holds nothing but the next probe tick.
         let times: Vec<f64> = series.samples.iter().map(|s| s.time_secs).collect();
         assert_eq!(times, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
-        assert_eq!(report.reason, StopReason::Drained, "probe ticks alone must not keep the run alive");
+        assert_eq!(
+            report.reason,
+            StopReason::Drained,
+            "probe ticks alone must not keep the run alive"
+        );
     }
 
     #[test]
@@ -598,7 +726,12 @@ mod probe_tests {
         // first interval (0, 2] sees only the t = 1 timer: 4000 bps.
         for s in &series.samples[2..] {
             for node in &s.nodes {
-                assert!((node.goodput_bps - 8000.0).abs() < 1e-6, "at {}: {}", s.time_secs, node.goodput_bps);
+                assert!(
+                    (node.goodput_bps - 8000.0).abs() < 1e-6,
+                    "at {}: {}",
+                    s.time_secs,
+                    node.goodput_bps
+                );
                 assert_eq!(node.senders, 2);
                 assert_eq!(node.receivers, 3);
                 assert!(node.active);
@@ -656,7 +789,11 @@ mod probe_tests {
             .iter()
             .map(|s| s.time_secs)
             .collect();
-        assert_eq!(tail, vec![6.0, 8.0, 10.0], "no re-sampled or duplicate instants");
+        assert_eq!(
+            tail,
+            vec![6.0, 8.0, 10.0],
+            "no re-sampled or duplicate instants"
+        );
     }
 
     #[test]

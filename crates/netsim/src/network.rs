@@ -162,7 +162,10 @@ impl Connection {
 
     /// Bytes queued or in flight on this connection.
     pub fn pending_bytes(&self) -> u64 {
-        let inflight = self.inflight.map(|f| f.bytes_left.ceil() as u64).unwrap_or(0);
+        let inflight = self
+            .inflight
+            .map(|f| f.bytes_left.ceil() as u64)
+            .unwrap_or(0);
         inflight + self.queue.iter().map(|q| q.bytes).sum::<u64>()
     }
 
@@ -254,7 +257,8 @@ impl Network {
 
     /// Number of blocks queued + in flight from `from` to `to`.
     pub fn pending_blocks(&self, from: NodeId, to: NodeId) -> usize {
-        self.connection(from, to).map_or(0, Connection::pending_blocks)
+        self.connection(from, to)
+            .map_or(0, Connection::pending_blocks)
     }
 
     fn tcp_path(&self, from: NodeId, to: NodeId) -> TcpPath {
@@ -277,7 +281,12 @@ impl Network {
     ) -> SimDuration {
         let prop = self.topo.one_way_delay(from, to);
         let path = self.topo.path(from, to);
-        let access = self.topo.node(from).up.min(self.topo.node(to).down).max(1.0);
+        let access = self
+            .topo
+            .node(from)
+            .up
+            .min(self.topo.node(to).down)
+            .max(1.0);
         let serialisation = SimDuration::from_secs_f64(bytes as f64 / access.min(path.bw.max(1.0)));
         // A lost control packet waits for a TCP retransmission: roughly one
         // RTT plus a minimum RTO floor.
@@ -498,10 +507,8 @@ impl Network {
     /// active.
     fn reprice_connection(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Option<ConnUpdate> {
         let path = self.tcp_path(from, to);
-        let up_share =
-            self.topo.node(from).up / f64::from(self.out_active[from.index()].max(1));
-        let down_share =
-            self.topo.node(to).down / f64::from(self.in_active[to.index()].max(1));
+        let up_share = self.topo.node(from).up / f64::from(self.out_active[from.index()].max(1));
+        let down_share = self.topo.node(to).down / f64::from(self.in_active[to.index()].max(1));
         let conn = self.conns.get_mut(&(from, to))?;
         let fl = conn.inflight.as_mut()?;
 
@@ -510,9 +517,17 @@ impl Network {
         fl.bytes_left = (fl.bytes_left - elapsed * conn.rate).max(0.0);
         conn.last_progress = now;
 
-        conn.rate = path.cap(conn.bytes_acked).min(up_share).min(down_share).max(1.0);
+        conn.rate = path
+            .cap(conn.bytes_acked)
+            .min(up_share)
+            .min(down_share)
+            .max(1.0);
         let finish = now + SimDuration::from_secs_f64(fl.bytes_left / conn.rate);
-        Some(ConnUpdate::Schedule { from, to, at: finish })
+        Some(ConnUpdate::Schedule {
+            from,
+            to,
+            at: finish,
+        })
     }
 }
 
@@ -558,7 +573,10 @@ mod tests {
         // than the raw 1-second serialisation at 2 Mbps (250 KB / 250 KB/s).
         let at = sched_at(&r, NodeId(0), NodeId(1));
         let finish = at.as_secs_f64();
-        assert!(finish > 1.0, "finish {finish} should exceed the raw serialisation time");
+        assert!(
+            finish > 1.0,
+            "finish {finish} should exceed the raw serialisation time"
+        );
         assert!(finish < 10.0, "finish {finish} unreasonably late");
         let (done, _) = net
             .on_block_done(at, NodeId(0), NodeId(1))
@@ -566,14 +584,19 @@ mod tests {
         assert_eq!(done.block, BlockId(0));
         assert_eq!(done.bytes, 250_000);
         assert_eq!(done.in_front, 0);
-        assert!(done.wasted <= 0.0, "first block on an idle connection has idle-gap wasted time");
+        assert!(
+            done.wasted <= 0.0,
+            "first block on an idle connection has idle-gap wasted time"
+        );
     }
 
     #[test]
     fn completion_without_inflight_is_rejected() {
         let mut net = Network::new(two_node_topo(2.0, 6.0));
         // No connection at all.
-        assert!(net.on_block_done(SimTime::ZERO, NodeId(0), NodeId(1)).is_none());
+        assert!(net
+            .on_block_done(SimTime::ZERO, NodeId(0), NodeId(1))
+            .is_none());
         let r = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(0), 16_384);
         // Queueing a second block on an active connection produces no update:
         // the live completion event is untouched.
@@ -606,7 +629,10 @@ mod tests {
         let (b1, r2) = net.on_block_done(at1, NodeId(0), NodeId(1)).unwrap();
         assert_eq!(b1.block, BlockId(1));
         assert_eq!(b1.in_front, 1);
-        assert!(b1.wasted > 0.0, "queued block should report positive waiting time");
+        assert!(
+            b1.wasted > 0.0,
+            "queued block should report positive waiting time"
+        );
         let at2 = sched_at(&r2, NodeId(0), NodeId(1));
         let (b2, _) = net.on_block_done(at2, NodeId(0), NodeId(1)).unwrap();
         assert_eq!(b2.in_front, 2);
@@ -638,7 +664,10 @@ mod tests {
         let later = SimTime::from_secs_f64(1.0);
         let rs = net.close_connection(later, NodeId(0), NodeId(2));
         assert!(
-            rs.contains(&ConnUpdate::Cancel { from: NodeId(0), to: NodeId(2) }),
+            rs.contains(&ConnUpdate::Cancel {
+                from: NodeId(0),
+                to: NodeId(2)
+            }),
             "closing an active connection cancels its completion event: {rs:?}"
         );
         // ... and re-prices the survivor.
@@ -663,7 +692,11 @@ mod tests {
             .iter()
             .filter(|u| matches!(u, ConnUpdate::Cancel { .. }))
             .collect();
-        assert_eq!(cancels.len(), 3, "all three connections touching node 1: {updates:?}");
+        assert_eq!(
+            cancels.len(),
+            3,
+            "all three connections touching node 1: {updates:?}"
+        );
         assert_eq!(net.pending_blocks(NodeId(1), NodeId(0)), 0);
         assert_eq!(net.pending_blocks(NodeId(1), NodeId(2)), 0);
         assert_eq!(net.pending_blocks(NodeId(3), NodeId(1)), 0);

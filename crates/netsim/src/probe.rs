@@ -27,7 +27,7 @@
 use desim::SimTime;
 
 use crate::network::Network;
-use crate::protocol::{Protocol, WireSize};
+use crate::protocol::Protocol;
 
 /// Cumulative per-node counters exposed to run-time probes.
 ///
@@ -96,11 +96,7 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// `(time, mean f(node))` over the active nodes of each sample, skipping
     /// node indices below `skip` (typically 1 to exclude the source).
-    pub fn mean_over_active(
-        &self,
-        skip: usize,
-        f: impl Fn(&NodeSample) -> f64,
-    ) -> Vec<(f64, f64)> {
+    pub fn mean_over_active(&self, skip: usize, f: impl Fn(&NodeSample) -> f64) -> Vec<(f64, f64)> {
         self.samples
             .iter()
             .map(|s| {
@@ -150,7 +146,7 @@ impl TimeSeries {
 ///
 /// `nodes` is every protocol instance (indexed by node id), `active` the
 /// participation flags; probes must not assume every node is participating.
-pub trait Probe<M: WireSize, P: Protocol<M>> {
+pub trait Probe<P: Protocol> {
     /// Takes one sample at virtual time `now`.
     fn sample(&mut self, now: SimTime, nodes: &[P], net: &Network, active: &[bool]);
 
@@ -179,7 +175,7 @@ impl StatsProbe {
     }
 }
 
-impl<M: WireSize, P: Protocol<M>> Probe<M, P> for StatsProbe {
+impl<P: Protocol> Probe<P> for StatsProbe {
     fn sample(&mut self, now: SimTime, nodes: &[P], _net: &Network, active: &[bool]) {
         let t = now.as_secs_f64();
         if self.prev_bytes.is_empty() {
@@ -205,7 +201,10 @@ impl<M: WireSize, P: Protocol<M>> Probe<M, P> for StatsProbe {
             });
         }
         self.prev_time = t;
-        self.samples.push(TimeSample { time_secs: t, nodes: out });
+        self.samples.push(TimeSample {
+            time_secs: t,
+            nodes: out,
+        });
     }
 
     fn take_series(&mut self) -> Option<TimeSeries> {
@@ -224,7 +223,11 @@ mod tests {
     #[test]
     fn duplicate_ratio_handles_zero_totals() {
         assert_eq!(ProbeStats::default().duplicate_ratio(), 0.0);
-        let s = ProbeStats { useful_blocks: 3, duplicate_blocks: 1, ..Default::default() };
+        let s = ProbeStats {
+            useful_blocks: 3,
+            duplicate_blocks: 1,
+            ..Default::default()
+        };
         assert!((s.duplicate_ratio() - 0.25).abs() < 1e-12);
     }
 
@@ -236,11 +239,35 @@ mod tests {
                 time_secs: 1.0,
                 nodes: vec![
                     // Source (skipped) with an absurd value that must not leak in.
-                    NodeSample { goodput_bps: 1e12, duplicate_ratio: 0.0, senders: 0, receivers: 9, active: true },
-                    NodeSample { goodput_bps: 100.0, duplicate_ratio: 0.0, senders: 1, receivers: 1, active: true },
-                    NodeSample { goodput_bps: 300.0, duplicate_ratio: 0.0, senders: 2, receivers: 2, active: true },
+                    NodeSample {
+                        goodput_bps: 1e12,
+                        duplicate_ratio: 0.0,
+                        senders: 0,
+                        receivers: 9,
+                        active: true,
+                    },
+                    NodeSample {
+                        goodput_bps: 100.0,
+                        duplicate_ratio: 0.0,
+                        senders: 1,
+                        receivers: 1,
+                        active: true,
+                    },
+                    NodeSample {
+                        goodput_bps: 300.0,
+                        duplicate_ratio: 0.0,
+                        senders: 2,
+                        receivers: 2,
+                        active: true,
+                    },
                     // Crashed node: excluded.
-                    NodeSample { goodput_bps: 777.0, duplicate_ratio: 0.0, senders: 0, receivers: 0, active: false },
+                    NodeSample {
+                        goodput_bps: 777.0,
+                        duplicate_ratio: 0.0,
+                        senders: 0,
+                        receivers: 0,
+                        active: false,
+                    },
                 ],
             }],
         };

@@ -6,7 +6,94 @@
 //! (send a control message, queue a block, arm a timer, close a peering)
 //! that the runner applies after the handler returns. This keeps protocol
 //! code free of borrow gymnastics and makes every action attributable to the
-//! event that caused it.
+//! event that caused it. The command buffer itself is owned by the runner and
+//! lent to each [`Ctx`], so steady-state dispatch allocates nothing.
+//!
+//! ## Associated types (API v2)
+//!
+//! A protocol declares its control-message type and its timer vocabulary as
+//! associated types, so downstream signatures mention only the protocol:
+//! `Runner<P>`, `Ctx<'_, P>`, `Probe<P>`. Timers are real enums — the runner
+//! stores them as compact `u64` tokens via [`TimerToken`] and hands the
+//! decoded value back to [`Protocol::on_timer`], so a handler `match`es on
+//! `Self::Timer` instead of decoding `(kind, data)` pairs against a constant
+//! table.
+//!
+//! ## Example implementor
+//!
+//! A complete minimal protocol: every node pings a fixed buddy once a second
+//! and counts the pings it receives.
+//!
+//! ```
+//! use desim::SimDuration;
+//! use netsim::{BlockReceipt, Ctx, NodeId, Protocol, TimerToken, WireSize};
+//!
+//! struct Ping;
+//!
+//! impl WireSize for Ping {
+//!     fn wire_size(&self) -> usize {
+//!         8
+//!     }
+//! }
+//!
+//! #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+//! enum Timer {
+//!     Beat,
+//! }
+//!
+//! impl TimerToken for Timer {
+//!     fn encode(&self) -> u64 {
+//!         0
+//!     }
+//!     fn decode(_bits: u64) -> Self {
+//!         Timer::Beat
+//!     }
+//! }
+//!
+//! struct Pinger {
+//!     buddy: NodeId,
+//!     received: u32,
+//! }
+//!
+//! impl Protocol for Pinger {
+//!     type Msg = Ping;
+//!     type Timer = Timer;
+//!
+//!     fn on_init(&mut self, ctx: &mut Ctx<'_, Self>) {
+//!         ctx.set_timer(SimDuration::from_secs(1), Timer::Beat);
+//!     }
+//!
+//!     fn on_control(&mut self, _ctx: &mut Ctx<'_, Self>, _from: NodeId, _msg: Ping) {
+//!         self.received += 1;
+//!     }
+//!
+//!     fn on_block_received(&mut self, _c: &mut Ctx<'_, Self>, _f: NodeId, _r: BlockReceipt) {}
+//!
+//!     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Timer) {
+//!         match timer {
+//!             Timer::Beat => {
+//!                 if ctx.peer_active(self.buddy) {
+//!                     ctx.send(self.buddy, Ping);
+//!                 }
+//!                 ctx.set_timer(SimDuration::from_secs(1), Timer::Beat);
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! # // Drive it, so the example exercises the real runner.
+//! # use desim::{RngFactory, SimTime};
+//! # use netsim::{topology, Network, Runner};
+//! # let rng = RngFactory::new(1);
+//! # let topo = topology::constrained_access(2);
+//! # let nodes = vec![
+//! #     Pinger { buddy: NodeId(1), received: 0 },
+//! #     Pinger { buddy: NodeId(0), received: 0 },
+//! # ];
+//! # let mut runner = Runner::new(Network::new(topo), nodes, &rng);
+//! # runner.run_until(SimTime::from_secs_f64(5.5));
+//! # assert!(runner.node(NodeId(0)).received >= 4);
+//! ```
 
 use desim::{SimDuration, SimTime};
 use dissem_codec::BlockId;
@@ -24,40 +111,83 @@ pub trait WireSize {
     fn wire_size(&self) -> usize;
 }
 
+/// A protocol timer vocabulary, stored by the runner as a compact `u64`.
+///
+/// Implementors are small enums (`enum Timer { Choke, Optimistic, ... }`);
+/// variants may carry payload as long as it packs into the 64 bits.
+/// `decode(encode(&t))` must reproduce `t`; `decode` may panic on bit
+/// patterns `encode` never produces (they indicate a bug, not input).
+pub trait TimerToken: Sized {
+    /// Packs the timer into the runner's event representation.
+    fn encode(&self) -> u64;
+    /// Unpacks a timer previously produced by [`TimerToken::encode`].
+    fn decode(bits: u64) -> Self;
+}
+
+/// For protocols without timers (`type Timer = ()`).
+impl TimerToken for () {
+    fn encode(&self) -> u64 {
+        0
+    }
+    fn decode(_bits: u64) -> Self {}
+}
+
+/// Raw payload timers, useful in tests and prototypes.
+impl TimerToken for u64 {
+    fn encode(&self) -> u64 {
+        *self
+    }
+    fn decode(bits: u64) -> Self {
+        bits
+    }
+}
+
 /// A protocol instance running on one emulated node.
 ///
-/// `M` is the protocol's control-message type. Data blocks do not travel
-/// inside `M`; they are queued through [`Ctx::queue_block`] and delivered via
-/// [`Protocol::on_block_received`].
-pub trait Protocol<M: WireSize>: Sized {
-    /// Called once at simulation start.
-    fn on_init(&mut self, ctx: &mut Ctx<'_, M>);
+/// [`Protocol::Msg`] is the protocol's control-message type. Data blocks do
+/// not travel inside messages; they are queued through [`Ctx::queue_block`]
+/// and delivered via [`Protocol::on_block_received`]. [`Protocol::Timer`] is
+/// the protocol's timer vocabulary (see [`TimerToken`]).
+///
+/// See the [module documentation](self) for a complete example implementor.
+pub trait Protocol: Sized {
+    /// Control messages this protocol exchanges.
+    type Msg: WireSize;
+    /// Timers this protocol arms through [`Ctx::set_timer`].
+    type Timer: TimerToken;
+
+    /// Called exactly once, when the node starts participating: at
+    /// simulation start for nodes present from t = 0, or at the join instant
+    /// for a node that joins mid-run. A staged continuation (calling
+    /// `run_until` again on the same runner) does not re-initialise.
+    fn on_init(&mut self, ctx: &mut Ctx<'_, Self>);
 
     /// Called when a control message from `from` arrives.
-    fn on_control(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
+    fn on_control(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Self::Msg);
 
     /// Called when a data block from `from` has fully arrived.
-    fn on_block_received(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, receipt: BlockReceipt);
+    fn on_block_received(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, receipt: BlockReceipt);
 
     /// Called when a block this node queued towards `to` has finished
     /// serialising onto the wire (the send-side analogue of
     /// [`Protocol::on_block_received`]). Default: ignored.
-    fn on_block_sent(&mut self, _ctx: &mut Ctx<'_, M>, _to: NodeId, _block: BlockId) {}
+    fn on_block_sent(&mut self, _ctx: &mut Ctx<'_, Self>, _to: NodeId, _block: BlockId) {}
 
     /// Called when a timer armed through [`Ctx::set_timer`] fires.
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, kind: u32, data: u64);
+    /// Default: ignored (for protocols that never arm one).
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _timer: Self::Timer) {}
 
     /// Called when another node leaves or crashes (the emulator's stand-in
     /// for a connection-reset / failure-detector signal). The peer is already
     /// unreachable: its connections are torn down and messages to it are
     /// lost. Default: ignored.
-    fn on_peer_failed(&mut self, _ctx: &mut Ctx<'_, M>, _peer: NodeId) {}
+    fn on_peer_failed(&mut self, _ctx: &mut Ctx<'_, Self>, _peer: NodeId) {}
 
     /// Called on this node when it is about to leave gracefully, *before* its
     /// connections are torn down: control messages sent here still go out,
     /// but data blocks queued here are discarded with the connections.
     /// Default: ignored.
-    fn on_shutdown(&mut self, _ctx: &mut Ctx<'_, M>) {}
+    fn on_shutdown(&mut self, _ctx: &mut Ctx<'_, Self>) {}
 
     /// Reports whether this node considers its download complete. The runner
     /// may stop the experiment once every node reports completion.
@@ -74,7 +204,8 @@ pub trait Protocol<M: WireSize>: Sized {
 }
 
 /// An action recorded by a protocol handler, applied by the runner once the
-/// handler returns.
+/// handler returns. Parameterized by the message type only: timers are
+/// already encoded (see [`TimerToken`]), so one buffer serves every hook.
 #[derive(Debug)]
 pub enum Command<M> {
     /// Send control message `msg` to `to`.
@@ -98,19 +229,20 @@ pub enum Command<M> {
         /// Peer whose connection should be dropped.
         to: NodeId,
     },
-    /// Arm a timer that fires after `delay` with the given `kind` and `data`.
+    /// Arm a timer that fires after `delay`.
     SetTimer {
         /// Delay until the timer fires.
         delay: SimDuration,
-        /// Protocol-defined timer class.
-        kind: u32,
-        /// Protocol-defined payload.
-        data: u64,
+        /// The protocol's timer, encoded via [`TimerToken::encode`].
+        token: u64,
     },
 }
 
 /// Per-event view of the world handed to protocol handlers.
-pub struct Ctx<'a, M> {
+///
+/// The command buffer is borrowed from the runner and reused across events,
+/// so recording commands does not allocate once the buffer has warmed up.
+pub struct Ctx<'a, P: Protocol> {
     /// This node's identity.
     node: NodeId,
     /// Current virtual time.
@@ -121,11 +253,11 @@ pub struct Ctx<'a, M> {
     active: &'a [bool],
     /// This node's private RNG stream.
     rng: &'a mut StdRng,
-    /// Commands recorded by the handler.
-    commands: Vec<Command<M>>,
+    /// Commands recorded by the handler (the runner's scratch buffer).
+    commands: &'a mut Vec<Command<P::Msg>>,
 }
 
-impl<'a, M> Ctx<'a, M> {
+impl<'a, P: Protocol> Ctx<'a, P> {
     /// Creates a context (used by the runner).
     pub(crate) fn new(
         node: NodeId,
@@ -133,6 +265,7 @@ impl<'a, M> Ctx<'a, M> {
         net: &'a Network,
         active: &'a [bool],
         rng: &'a mut StdRng,
+        commands: &'a mut Vec<Command<P::Msg>>,
     ) -> Self {
         Ctx {
             node,
@@ -140,13 +273,39 @@ impl<'a, M> Ctx<'a, M> {
             net,
             active,
             rng,
-            commands: Vec::new(),
+            commands,
         }
     }
 
-    /// Consumes the context, returning the recorded commands.
-    pub(crate) fn into_commands(self) -> Vec<Command<M>> {
-        self.commands
+    /// Number of commands recorded so far (used by [`crate::conformance`] to
+    /// observe what a delegated handler emitted).
+    pub(crate) fn commands_recorded(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the command at `index` sends a control message.
+    pub(crate) fn command_is_send(&self, index: usize) -> bool {
+        matches!(self.commands.get(index), Some(Command::SendControl { .. }))
+    }
+
+    /// Reborrows this context for a protocol `Q` that shares `P`'s message
+    /// and timer types. This is what makes *delegating wrappers* possible —
+    /// e.g. an instrumentation layer `Wrapper<P>` whose hooks forward to an
+    /// inner `P` (see [`crate::conformance`]): the inner protocol's handlers
+    /// take `Ctx<'_, P>`, the wrapper's take `Ctx<'_, Wrapper<P>>`, and both
+    /// record into the same buffer.
+    pub fn retarget<Q>(&mut self) -> Ctx<'_, Q>
+    where
+        Q: Protocol<Msg = P::Msg, Timer = P::Timer>,
+    {
+        Ctx {
+            node: self.node,
+            now: self.now,
+            net: self.net,
+            active: self.active,
+            rng: &mut *self.rng,
+            commands: &mut *self.commands,
+        }
     }
 
     /// This node's identity.
@@ -196,13 +355,30 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Sends a control message.
-    pub fn send(&mut self, to: NodeId, msg: M) {
+    pub fn send(&mut self, to: NodeId, msg: P::Msg) {
         debug_assert!(to != self.node, "no self-messaging");
         self.commands.push(Command::SendControl { to, msg });
     }
 
+    /// Sends the same control message to every peer in `to`, in iteration
+    /// order — the fan-out pattern of RanSub distribute waves, BitTorrent
+    /// `Have` floods and farewell broadcasts. Equivalent to calling
+    /// [`Ctx::send`] in a loop (one clone of `msg` per recipient), without
+    /// the collect-into-a-`Vec`-first dance handlers otherwise need to
+    /// appease the borrow checker.
+    pub fn send_to_many<I>(&mut self, to: I, msg: &P::Msg)
+    where
+        I: IntoIterator<Item = NodeId>,
+        P::Msg: Clone,
+    {
+        for peer in to {
+            self.send(peer, msg.clone());
+        }
+    }
+
     /// Queues a data block for transmission to `to`.
     pub fn queue_block(&mut self, to: NodeId, block: BlockId, bytes: u64) {
+        debug_assert!(to != self.node, "no self-transfers");
         self.commands.push(Command::QueueBlock { to, block, bytes });
     }
 
@@ -211,13 +387,17 @@ impl<'a, M> Ctx<'a, M> {
         self.commands.push(Command::CloseConnection { to });
     }
 
-    /// Arms a timer.
-    pub fn set_timer(&mut self, delay: SimDuration, kind: u32, data: u64) {
-        self.commands.push(Command::SetTimer { delay, kind, data });
+    /// Arms a timer; it fires back through [`Protocol::on_timer`] after
+    /// `delay`, carrying `timer`.
+    pub fn set_timer(&mut self, delay: SimDuration, timer: P::Timer) {
+        self.commands.push(Command::SetTimer {
+            delay,
+            token: timer.encode(),
+        });
     }
 }
 
-impl<M> std::fmt::Debug for Ctx<'_, M> {
+impl<P: Protocol> std::fmt::Debug for Ctx<'_, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Ctx")
             .field("node", &self.node)

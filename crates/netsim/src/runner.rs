@@ -6,6 +6,16 @@
 //! stops when every node reports completion, when the event queue drains, or
 //! when the configured time or event limit is reached.
 //!
+//! ## Allocation-free dispatch
+//!
+//! The runner owns a single scratch command buffer that it lends to every
+//! [`Ctx`] it constructs; handlers record into it and the runner drains it in
+//! place. Dispatching one of the run's ~10⁵–10⁶ events therefore performs no
+//! per-event allocation once the buffer has grown to the protocol's peak
+//! fan-out. Timers travel through the queue as `u64` tokens (see
+//! [`crate::protocol::TimerToken`]) and are decoded back into the protocol's
+//! timer enum at delivery.
+//!
 //! ## Completion events
 //!
 //! Each active connection holds exactly **one** live `BlockDone` event in the
@@ -44,10 +54,12 @@ use rand::rngs::StdRng;
 use crate::dynamics::{LinkChangeBatch, NodeEvent};
 use crate::network::{CompletedBlock, ConnUpdate, Network};
 use crate::probe::{Probe, StatsProbe, TimeSeries};
-use crate::protocol::{Command, Ctx, Protocol, WireSize};
+use crate::protocol::{Command, Ctx, Protocol, TimerToken, WireSize};
 use crate::topology::NodeId;
 
-/// Internal event vocabulary of the runner.
+/// Internal event vocabulary of the runner, parameterized by the protocol's
+/// message type. Timers are carried as encoded tokens so the event stays one
+/// word regardless of the protocol's timer enum.
 #[derive(Debug)]
 enum NetEvent<M> {
     /// A control message arrives at `to`.
@@ -56,8 +68,8 @@ enum NetEvent<M> {
     BlockDone { from: NodeId, to: NodeId },
     /// A fully serialised block arrives at the receiver.
     BlockArrive { done: CompletedBlock },
-    /// A protocol timer fires at `node`.
-    Timer { node: NodeId, kind: u32, data: u64 },
+    /// A protocol timer fires at `node` (token encoded via `TimerToken`).
+    Timer { node: NodeId, token: u64 },
     /// A scheduled link-change batch takes effect.
     LinkChange { index: usize },
     /// A scheduled node-lifecycle event takes effect.
@@ -124,8 +136,8 @@ impl RunReport {
 
 /// Drives one experiment: a network, a protocol instance per node, and a
 /// schedule of link changes and node-lifecycle events.
-pub struct Runner<M: WireSize, P: Protocol<M>> {
-    sim: Simulator<NetEvent<M>>,
+pub struct Runner<P: Protocol> {
+    sim: Simulator<NetEvent<P::Msg>>,
     net: Network,
     nodes: Vec<P>,
     rngs: Vec<StdRng>,
@@ -142,8 +154,10 @@ pub struct Runner<M: WireSize, P: Protocol<M>> {
     completion_events: HashMap<(NodeId, NodeId), EventKey>,
     /// Stop once this many events have been processed.
     max_events: u64,
+    /// Reusable command buffer lent to each dispatch's [`Ctx`].
+    scratch: Vec<Command<P::Msg>>,
     /// Installed run-time probes, all sampled on the same tick.
-    probes: Vec<Box<dyn Probe<M, P>>>,
+    probes: Vec<Box<dyn Probe<P>>>,
     /// Virtual-time sampling interval for the probes.
     probe_interval: Option<SimDuration>,
     /// Whether a `ProbeTick` event is currently pending in the queue.
@@ -151,9 +165,12 @@ pub struct Runner<M: WireSize, P: Protocol<M>> {
     /// Whether the tick chain has been started (a staged re-`run_until`
     /// must continue the existing chain, not start a second one).
     probes_started: bool,
+    /// Whether start-of-run initialisation ran (a staged re-`run_until` must
+    /// not deliver a second `on_init` — the trait promises exactly one).
+    inits_done: bool,
 }
 
-impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
+impl<P: Protocol> Runner<P> {
     /// Creates a runner over `net` with one protocol instance per node.
     ///
     /// # Panics
@@ -181,10 +198,12 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
             departed: vec![false; n],
             completion_events: HashMap::new(),
             max_events: u64::MAX,
+            scratch: Vec::new(),
             probes: Vec::new(),
             probe_interval: None,
             probe_tick_pending: false,
             probes_started: false,
+            inits_done: false,
         }
     }
 
@@ -192,7 +211,7 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
     /// (together with any previously installed probes; the most recent
     /// interval wins). The first sample is taken at t = 0 when the run
     /// starts.
-    pub fn install_probe(&mut self, interval: SimDuration, probe: Box<dyn Probe<M, P>>) {
+    pub fn install_probe(&mut self, interval: SimDuration, probe: Box<dyn Probe<P>>) {
         assert!(!interval.is_zero(), "probe interval must be positive");
         self.probe_interval = Some(interval);
         self.probes.push(probe);
@@ -277,10 +296,15 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
 
     /// Runs the experiment until the absolute virtual instant `limit`.
     pub fn run_until(&mut self, limit: SimTime) -> RunReport {
-        // Initialise every node that starts as a participant.
-        for i in 0..self.nodes.len() {
-            if self.active[i] {
-                self.dispatch(NodeId(i as u32), |node, ctx| node.on_init(ctx));
+        // Initialise every node that starts as a participant — exactly once:
+        // the Protocol contract promises a single on_init per participant, so
+        // a staged continuation must not re-deliver it.
+        if !self.inits_done {
+            self.inits_done = true;
+            for i in 0..self.nodes.len() {
+                if self.active[i] {
+                    self.dispatch(NodeId(i as u32), |node, ctx| node.on_init(ctx));
+                }
             }
         }
         self.refresh_completion();
@@ -325,12 +349,16 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
         };
 
         // The runner, not the probe, knows the tick it sampled on.
-        let timeseries = self.probes.iter_mut().find_map(|p| p.take_series()).map(|mut ts| {
-            if let Some(interval) = self.probe_interval {
-                ts.interval_secs = interval.as_secs_f64();
-            }
-            ts
-        });
+        let timeseries = self
+            .probes
+            .iter_mut()
+            .find_map(|p| p.take_series())
+            .map(|mut ts| {
+                if let Some(interval) = self.probe_interval {
+                    ts.interval_secs = interval.as_secs_f64();
+                }
+                ts
+            });
         RunReport {
             completion_secs: self
                 .completion
@@ -369,29 +397,45 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
         }
     }
 
-    /// Runs `f` against one node with a fresh [`Ctx`], then applies the
-    /// commands the handler recorded. No-op for inactive nodes.
+    /// Runs `f` against one node with a fresh [`Ctx`] borrowing the shared
+    /// scratch buffer, then applies the commands the handler recorded.
+    /// No-op for inactive nodes.
     fn dispatch<F>(&mut self, node: NodeId, f: F)
     where
-        F: FnOnce(&mut P, &mut Ctx<'_, M>),
+        F: FnOnce(&mut P, &mut Ctx<'_, P>),
     {
         let idx = node.index();
         if !self.active[idx] {
             return;
         }
-        let mut ctx = Ctx::new(node, self.sim.now(), &self.net, &self.active, &mut self.rngs[idx]);
+        // Lend the runner's scratch buffer to the context. `take` leaves an
+        // empty (non-allocating) Vec behind, so the rare re-entrant dispatch
+        // would still be correct — just not allocation-free.
+        let mut commands = std::mem::take(&mut self.scratch);
+        debug_assert!(commands.is_empty(), "scratch buffer leaked commands");
+        let mut ctx = Ctx::new(
+            node,
+            self.sim.now(),
+            &self.net,
+            &self.active,
+            &mut self.rngs[idx],
+            &mut commands,
+        );
         f(&mut self.nodes[idx], &mut ctx);
-        let commands = ctx.into_commands();
-        self.apply_commands(node, commands);
+        self.apply_commands(node, &mut commands);
+        // Hand the (now drained) buffer back, keeping its capacity.
+        self.scratch = commands;
         // Completion may have changed for this node.
         if self.completion[idx].is_none() && self.nodes[idx].is_complete() {
             self.completion[idx] = Some(self.sim.now());
         }
     }
 
-    fn apply_commands(&mut self, from: NodeId, commands: Vec<Command<M>>) {
+    /// Drains `commands`, translating each into network activity. The buffer
+    /// is left empty but keeps its capacity for the next dispatch.
+    fn apply_commands(&mut self, from: NodeId, commands: &mut Vec<Command<P::Msg>>) {
         let now = self.sim.now();
-        for cmd in commands {
+        for cmd in commands.drain(..) {
             match cmd {
                 Command::SendControl { to, msg } => {
                     let size = msg.wire_size();
@@ -414,9 +458,9 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
                     let updates = self.net.close_connection(now, from, to);
                     self.apply_conn_updates(updates);
                 }
-                Command::SetTimer { delay, kind, data } => {
+                Command::SetTimer { delay, token } => {
                     self.sim
-                        .schedule_in(delay, NetEvent::Timer { node: from, kind, data });
+                        .schedule_in(delay, NetEvent::Timer { node: from, token });
                 }
             }
         }
@@ -466,7 +510,7 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
         }
     }
 
-    fn handle(&mut self, ev: NetEvent<M>) {
+    fn handle(&mut self, ev: NetEvent<P::Msg>) {
         let now = self.sim.now();
         match ev {
             NetEvent::Control { from, to, msg } => {
@@ -501,8 +545,8 @@ impl<M: WireSize, P: Protocol<M>> Runner<M, P> {
                     node.on_block_received(ctx, done.from, receipt)
                 });
             }
-            NetEvent::Timer { node, kind, data } => {
-                self.dispatch(node, |n, ctx| n.on_timer(ctx, kind, data));
+            NetEvent::Timer { node, token } => {
+                self.dispatch(node, |n, ctx| n.on_timer(ctx, P::Timer::decode(token)));
             }
             NetEvent::LinkChange { index } => {
                 let batch = std::mem::take(&mut self.link_changes[index]);

@@ -168,6 +168,9 @@ mod tests {
 
     #[test]
     fn control_penalty_grows_with_loss() {
-        assert!(path(1.0, 10, 0.03).control_delay_penalty() > path(1.0, 10, 0.0).control_delay_penalty());
+        assert!(
+            path(1.0, 10, 0.03).control_delay_penalty()
+                > path(1.0, 10, 0.0).control_delay_penalty()
+        );
     }
 }

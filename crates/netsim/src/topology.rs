@@ -145,7 +145,11 @@ pub fn modelnet_mesh(n: usize, max_loss: f64, rng: &RngFactory) -> Topology {
         let mut row = Vec::with_capacity(n);
         for b in 0..n {
             if a == b {
-                row.push(PathSpec { bw: mbps(2.0), delay: SimDuration::ZERO, loss: 0.0 });
+                row.push(PathSpec {
+                    bw: mbps(2.0),
+                    delay: SimDuration::ZERO,
+                    loss: 0.0,
+                });
                 continue;
             }
             row.push(PathSpec {
@@ -293,7 +297,11 @@ pub fn planetlab_like(n: usize, rng: &RngFactory) -> Topology {
         let mut row = Vec::with_capacity(n);
         for b in 0..n {
             if a == b {
-                row.push(PathSpec { bw: mbps(100.0), delay: SimDuration::ZERO, loss: 0.0 });
+                row.push(PathSpec {
+                    bw: mbps(100.0),
+                    delay: SimDuration::ZERO,
+                    loss: 0.0,
+                });
                 continue;
             }
             row.push(PathSpec {
@@ -338,7 +346,10 @@ mod tests {
             }
         }
         assert!(max_loss > 0.0, "some link should have loss");
-        assert!(max_delay > SimDuration::from_millis(100), "delays should span the range");
+        assert!(
+            max_delay > SimDuration::from_millis(100),
+            "delays should span the range"
+        );
     }
 
     #[test]
@@ -380,15 +391,26 @@ mod tests {
         let t = planetlab_like(41, &RngFactory::new(3));
         let ups: std::collections::BTreeSet<u64> =
             t.node_ids().map(|id| t.node(id).up as u64).collect();
-        assert!(ups.len() > 1, "access bandwidths should differ across sites");
+        assert!(
+            ups.len() > 1,
+            "access bandwidths should differ across sites"
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least two nodes")]
     fn single_node_topology_rejected() {
         Topology::new(
-            vec![NodeSpec { up: 1.0, down: 1.0, access_delay: SimDuration::ZERO }],
-            vec![vec![PathSpec { bw: 1.0, delay: SimDuration::ZERO, loss: 0.0 }]],
+            vec![NodeSpec {
+                up: 1.0,
+                down: 1.0,
+                access_delay: SimDuration::ZERO,
+            }],
+            vec![vec![PathSpec {
+                bw: 1.0,
+                delay: SimDuration::ZERO,
+                loss: 0.0,
+            }]],
         );
     }
 }

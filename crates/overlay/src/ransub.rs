@@ -61,7 +61,10 @@ pub struct Sample {
 impl Sample {
     /// An empty sample representing zero nodes.
     pub fn empty() -> Self {
-        Sample { entries: Vec::new(), weight: 0 }
+        Sample {
+            entries: Vec::new(),
+            weight: 0,
+        }
     }
 
     /// Wire size of the sample in bytes.
@@ -75,11 +78,7 @@ impl Sample {
 /// Each input sample is an (approximately) uniform sample of a disjoint
 /// population of `weight` nodes; the merge draws entries so that every node
 /// in the union remains equally likely to appear, then deduplicates.
-pub fn merge_samples<R: Rng + ?Sized>(
-    rng: &mut R,
-    target: usize,
-    groups: &[Sample],
-) -> Sample {
+pub fn merge_samples<R: Rng + ?Sized>(rng: &mut R, target: usize, groups: &[Sample]) -> Sample {
     let total_weight: u32 = groups.iter().map(|g| g.weight).sum();
     // Expand each entry with a selection weight proportional to the
     // population it stands in for, then run a weighted shuffle.
@@ -114,7 +113,10 @@ pub fn merge_samples<R: Rng + ?Sized>(
             entries.push(e);
         }
     }
-    Sample { entries, weight: total_weight }
+    Sample {
+        entries,
+        weight: total_weight,
+    }
 }
 
 /// Messages the agent asks the embedding protocol to emit.
@@ -285,13 +287,19 @@ impl RanSubAgent {
         rng: &mut R,
     ) -> Vec<RanSubEmit> {
         let mut out = Vec::new();
-        out.push(RanSubEmit::Deliver { sample: sample.clone(), epoch });
+        out.push(RanSubEmit::Deliver {
+            sample: sample.clone(),
+            epoch,
+        });
         for &child in &self.children {
             // Re-mix the incoming subset with what the *other* children (and
             // we ourselves) reported, so each child sees a different subset.
             let mut groups: Vec<Sample> = vec![sample.clone()];
             if let Some(own) = self.own {
-                groups.push(Sample { entries: vec![own], weight: 1 });
+                groups.push(Sample {
+                    entries: vec![own],
+                    weight: 1,
+                });
             }
             for (&c, s) in &self.collected {
                 if c != child {
@@ -299,7 +307,11 @@ impl RanSubAgent {
                 }
             }
             let mixed = merge_samples(rng, self.subset_size, &groups);
-            out.push(RanSubEmit::DistributeToChild { child, sample: mixed, epoch });
+            out.push(RanSubEmit::DistributeToChild {
+                child,
+                sample: mixed,
+                epoch,
+            });
         }
         out
     }
@@ -314,7 +326,10 @@ impl RanSubAgent {
             return Vec::new();
         }
         self.wave_done = true;
-        let mut groups: Vec<Sample> = vec![Sample { entries: vec![own], weight: 1 }];
+        let mut groups: Vec<Sample> = vec![Sample {
+            entries: vec![own],
+            weight: 1,
+        }];
         groups.extend(self.collected.values().cloned());
         let merged = merge_samples(rng, self.subset_size, &groups);
 
@@ -339,14 +354,24 @@ mod tests {
     use rand::SeedableRng;
 
     fn summary(node: u32, have: u32) -> NodeSummary {
-        NodeSummary { node, have_count: have, has_everything: false }
+        NodeSummary {
+            node,
+            have_count: have,
+            has_everything: false,
+        }
     }
 
     #[test]
     fn merge_respects_target_and_dedups() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let a = Sample { entries: (0..10).map(|i| summary(i, 0)).collect(), weight: 10 };
-        let b = Sample { entries: (5..15).map(|i| summary(i, 0)).collect(), weight: 10 };
+        let a = Sample {
+            entries: (0..10).map(|i| summary(i, 0)).collect(),
+            weight: 10,
+        };
+        let b = Sample {
+            entries: (5..15).map(|i| summary(i, 0)).collect(),
+            weight: 10,
+        };
         let merged = merge_samples(&mut rng, 8, &[a, b]);
         assert_eq!(merged.entries.len(), 8);
         assert_eq!(merged.weight, 20);
@@ -359,8 +384,14 @@ mod tests {
         // Two groups of very different sizes must be represented roughly in
         // proportion to their populations.
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let big = Sample { entries: (0..30).map(|i| summary(i, 0)).collect(), weight: 90 };
-        let small = Sample { entries: (100..110).map(|i| summary(i, 0)).collect(), weight: 10 };
+        let big = Sample {
+            entries: (0..30).map(|i| summary(i, 0)).collect(),
+            weight: 90,
+        };
+        let small = Sample {
+            entries: (100..110).map(|i| summary(i, 0)).collect(),
+            weight: 10,
+        };
         let mut from_big = 0usize;
         let trials = 400;
         for _ in 0..trials {
@@ -379,8 +410,9 @@ mod tests {
     fn run_epoch(tree: &ControlTree, subset: usize, seed: u64) -> Vec<Option<Sample>> {
         let n = tree.len();
         let factory = RngFactory::new(seed);
-        let mut rngs: Vec<_> =
-            (0..n).map(|i| factory.stream_indexed("ransub", i as u64)).collect();
+        let mut rngs: Vec<_> = (0..n)
+            .map(|i| factory.stream_indexed("ransub", i as u64))
+            .collect();
         let mut agents: Vec<RanSubAgent> = (0..n as u32)
             .map(|i| RanSubAgent::new(NodeId(i), tree, subset))
             .collect();
@@ -394,14 +426,22 @@ mod tests {
         }
         while let Some(msg) = queue.pop() {
             match msg {
-                RanSubEmit::CollectToParent { parent, sample, epoch } => {
+                RanSubEmit::CollectToParent {
+                    parent,
+                    sample,
+                    epoch,
+                } => {
                     // Sender is implicit; find it by scanning children lists.
                     let sender = find_sender(tree, parent, &sample);
                     let p = parent.index();
                     let emitted = agents[p].on_collect(sender, sample, epoch, &mut rngs[p]);
                     annotate(&mut queue, p, emitted, &mut delivered);
                 }
-                RanSubEmit::DistributeToChild { child, sample, epoch } => {
+                RanSubEmit::DistributeToChild {
+                    child,
+                    sample,
+                    epoch,
+                } => {
                     let c = child.index();
                     let emitted = agents[c].on_distribute(sample, epoch, &mut rngs[c]);
                     annotate(&mut queue, c, emitted, &mut delivered);
@@ -431,7 +471,11 @@ mod tests {
         /// needs a stand-in that picks the child whose subtree contains the
         /// sample's first entry.
         fn find_sender(tree: &ControlTree, parent: NodeId, sample: &Sample) -> NodeId {
-            let first = sample.entries.first().expect("samples are never empty").node;
+            let first = sample
+                .entries
+                .first()
+                .expect("samples are never empty")
+                .node;
             for &c in tree.children(parent) {
                 if subtree_contains(tree, c, first) {
                     return c;
@@ -444,7 +488,9 @@ mod tests {
             if root.0 == target {
                 return true;
             }
-            tree.children(root).iter().any(|&c| subtree_contains(tree, c, target))
+            tree.children(root)
+                .iter()
+                .any(|&c| subtree_contains(tree, c, target))
         }
     }
 
@@ -453,7 +499,9 @@ mod tests {
         let tree = ControlTree::random(30, 3, &RngFactory::new(4));
         let delivered = run_epoch(&tree, 8, 9);
         for (i, d) in delivered.iter().enumerate() {
-            let d = d.as_ref().unwrap_or_else(|| panic!("node {i} got no subset"));
+            let d = d
+                .as_ref()
+                .unwrap_or_else(|| panic!("node {i} got no subset"));
             assert!(!d.entries.is_empty());
             assert!(d.entries.len() <= 8);
             // The sample must only reference real nodes.
@@ -466,7 +514,10 @@ mod tests {
             .iter()
             .map(|d| d.as_ref().unwrap().entries.iter().map(|e| e.node).collect())
             .collect();
-        assert!(distinct.len() > 1, "re-mixing should diversify per-node subsets");
+        assert!(
+            distinct.len() > 1,
+            "re-mixing should diversify per-node subsets"
+        );
     }
 
     #[test]
@@ -484,7 +535,10 @@ mod tests {
         // report alone does not complete a two-child wave.
         let behind = root.on_collect(
             NodeId(1),
-            Sample { entries: vec![summary(1, 1)], weight: 1 },
+            Sample {
+                entries: vec![summary(1, 1)],
+                weight: 1,
+            },
             0,
             &mut rng,
         );
@@ -494,11 +548,17 @@ mod tests {
         // first child's was re-stamped from an older epoch.
         let out = root.on_collect(
             NodeId(2),
-            Sample { entries: vec![summary(2, 2)], weight: 1 },
+            Sample {
+                entries: vec![summary(2, 2)],
+                weight: 1,
+            },
             1,
             &mut rng,
         );
-        let delivers = out.iter().filter(|e| matches!(e, RanSubEmit::Deliver { .. })).count();
+        let delivers = out
+            .iter()
+            .filter(|e| matches!(e, RanSubEmit::Deliver { .. }))
+            .count();
         let dists = out
             .iter()
             .filter(|e| matches!(e, RanSubEmit::DistributeToChild { .. }))
@@ -517,7 +577,10 @@ mod tests {
         // Child 1 reports; the wave still waits on child 2.
         let out = root.on_collect(
             NodeId(1),
-            Sample { entries: vec![summary(1, 1)], weight: 1 },
+            Sample {
+                entries: vec![summary(1, 1)],
+                weight: 1,
+            },
             1,
             &mut rng,
         );
@@ -547,7 +610,10 @@ mod tests {
         for c in [1u32, 2] {
             root.on_collect(
                 NodeId(c),
-                Sample { entries: vec![summary(c, c)], weight: 1 },
+                Sample {
+                    entries: vec![summary(c, c)],
+                    weight: 1,
+                },
                 1,
                 &mut rng,
             );
@@ -558,7 +624,10 @@ mod tests {
         assert!(root.begin_epoch(summary(0, 100), &mut rng).is_empty());
         let out = root.on_collect(
             NodeId(1),
-            Sample { entries: vec![summary(1, 1)], weight: 1 },
+            Sample {
+                entries: vec![summary(1, 1)],
+                weight: 1,
+            },
             2,
             &mut rng,
         );
@@ -575,14 +644,23 @@ mod tests {
         root.begin_epoch(summary(0, 1), &mut rng);
         let out = root.on_collect(
             NodeId(1),
-            Sample { entries: vec![summary(1, 1)], weight: 1 },
+            Sample {
+                entries: vec![summary(1, 1)],
+                weight: 1,
+            },
             1,
             &mut rng,
         );
-        assert!(out.is_empty(), "the wave now waits for the adopted child too");
+        assert!(
+            out.is_empty(),
+            "the wave now waits for the adopted child too"
+        );
         let out = root.on_collect(
             NodeId(7),
-            Sample { entries: vec![summary(7, 3)], weight: 1 },
+            Sample {
+                entries: vec![summary(7, 3)],
+                weight: 1,
+            },
             1,
             &mut rng,
         );
@@ -601,7 +679,11 @@ mod tests {
         let out = leaf.begin_epoch(summary(1, 7), &mut rng);
         assert_eq!(out.len(), 1);
         match &out[0] {
-            RanSubEmit::CollectToParent { parent, sample, epoch } => {
+            RanSubEmit::CollectToParent {
+                parent,
+                sample,
+                epoch,
+            } => {
                 assert_eq!(*parent, NodeId(0));
                 assert_eq!(*epoch, 1);
                 assert_eq!(sample.entries, vec![summary(1, 7)]);

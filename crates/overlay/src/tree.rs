@@ -75,7 +75,10 @@ impl ControlTree {
             let p = p.unwrap_or_else(|| panic!("node {i} has no parent"));
             children[p.index()].push(NodeId(i as u32));
         }
-        let tree = ControlTree { parent: parents, children };
+        let tree = ControlTree {
+            parent: parents,
+            children,
+        };
         // Validate connectivity.
         let mut seen = vec![false; n];
         let mut stack = vec![NodeId(0)];
@@ -85,7 +88,10 @@ impl ControlTree {
             }
             stack.extend(tree.children(x).iter().copied());
         }
-        assert!(seen.iter().all(|&s| s), "control tree does not reach every node");
+        assert!(
+            seen.iter().all(|&s| s),
+            "control tree does not reach every node"
+        );
         tree
     }
 
@@ -141,7 +147,10 @@ impl ControlTree {
 
     /// Maximum depth over all nodes.
     pub fn height(&self) -> usize {
-        (0..self.len() as u32).map(|i| self.depth(NodeId(i))).max().unwrap_or(0)
+        (0..self.len() as u32)
+            .map(|i| self.depth(NodeId(i)))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -204,6 +213,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not reach every node")]
     fn disconnected_tree_rejected() {
-        ControlTree::from_parents(vec![None, Some(NodeId(0)), Some(NodeId(3)), Some(NodeId(2))]);
+        ControlTree::from_parents(vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(3)),
+            Some(NodeId(2)),
+        ]);
     }
 }

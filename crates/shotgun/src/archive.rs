@@ -47,14 +47,21 @@ impl UpdateArchive {
                 continue; // Unchanged.
             }
             let delta = generate_delta(old_bytes, new_bytes, block_size);
-            entries.push(ArchiveEntry { path: path.clone(), delta });
+            entries.push(ArchiveEntry {
+                path: path.clone(),
+                delta,
+            });
         }
         let deletions = old
             .keys()
             .filter(|p| !new.contains_key(*p))
             .cloned()
             .collect();
-        UpdateArchive { version, entries, deletions }
+        UpdateArchive {
+            version,
+            entries,
+            deletions,
+        }
     }
 
     /// Applies the archive to `image`, upgrading it in place. Returns `false`
@@ -141,12 +148,19 @@ impl UpdateArchive {
             for _ in 0..n_ops {
                 let tag = r.take(1)?[0];
                 match tag {
-                    0 => ops.push(DeltaOp::CopyBlock { index: r.read_u32()? }),
-                    1 => ops.push(DeltaOp::Literal { bytes: r.read_bytes()?.to_vec() }),
+                    0 => ops.push(DeltaOp::CopyBlock {
+                        index: r.read_u32()?,
+                    }),
+                    1 => ops.push(DeltaOp::Literal {
+                        bytes: r.read_bytes()?.to_vec(),
+                    }),
                     other => return Err(format!("unknown op tag {other}")),
                 }
             }
-            entries.push(ArchiveEntry { path, delta: Delta { block_size, ops } });
+            entries.push(ArchiveEntry {
+                path,
+                delta: Delta { block_size, ops },
+            });
         }
         let n_del = r.read_u32()? as usize;
         let mut deletions = Vec::with_capacity(n_del.min(1 << 20));
@@ -156,7 +170,11 @@ impl UpdateArchive {
                     .map_err(|_| "non-utf8 path".to_string())?,
             );
         }
-        Ok(UpdateArchive { version, entries, deletions })
+        Ok(UpdateArchive {
+            version,
+            entries,
+            deletions,
+        })
     }
 }
 
@@ -185,7 +203,9 @@ impl<'a> Reader<'a> {
     }
 
     fn read_u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn read_bytes(&mut self) -> Result<&'a [u8], String> {
@@ -220,7 +240,10 @@ mod tests {
                 }
             }
         }
-        new.insert("bin/new_tool".into(), (0..5000).map(|_| rng.gen()).collect());
+        new.insert(
+            "bin/new_tool".into(),
+            (0..5000).map(|_| rng.gen()).collect(),
+        );
         let first = old.keys().next().cloned();
         if let Some(k) = first {
             new.remove(&k);
@@ -295,7 +318,10 @@ mod tests {
             version: 3,
             entries: vec![ArchiveEntry {
                 path: "bin/broken".into(),
-                delta: Delta { block_size: 4096, ops: vec![DeltaOp::CopyBlock { index: 7 }] },
+                delta: Delta {
+                    block_size: 4096,
+                    ops: vec![DeltaOp::CopyBlock { index: 7 }],
+                },
             }],
             deletions: vec![],
         };

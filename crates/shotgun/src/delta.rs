@@ -53,7 +53,12 @@ impl Signature {
             weak_index.entry(weak).or_default().push(i as u32);
             strong.push(strong_hash(chunk));
         }
-        Signature { block_size, file_len: old.len(), weak_index, strong }
+        Signature {
+            block_size,
+            file_len: old.len(),
+            weak_index,
+            strong,
+        }
     }
 
     /// Number of whole blocks summarised.
@@ -64,7 +69,10 @@ impl Signature {
     fn lookup(&self, weak: u32, window: &[u8]) -> Option<u32> {
         let candidates = self.weak_index.get(&weak)?;
         let h = strong_hash(window);
-        candidates.iter().copied().find(|&i| self.strong[i as usize] == h)
+        candidates
+            .iter()
+            .copied()
+            .find(|&i| self.strong[i as usize] == h)
     }
 }
 
@@ -107,7 +115,10 @@ impl Delta {
 
     /// Number of copy instructions.
     pub fn copied_blocks(&self) -> usize {
-        self.ops.iter().filter(|op| matches!(op, DeltaOp::CopyBlock { .. })).count()
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::CopyBlock { .. }))
+            .count()
     }
 
     /// Approximate encoded size of the delta on the wire: literals plus a
@@ -131,12 +142,13 @@ pub fn generate_delta_from_signature(sig: &Signature, new: &[u8]) -> Delta {
     let mut literal: Vec<u8> = Vec::new();
     let mut pos = 0usize;
 
-    let flush =
-        |literal: &mut Vec<u8>, ops: &mut Vec<DeltaOp>| {
-            if !literal.is_empty() {
-                ops.push(DeltaOp::Literal { bytes: std::mem::take(literal) });
-            }
-        };
+    let flush = |literal: &mut Vec<u8>, ops: &mut Vec<DeltaOp>| {
+        if !literal.is_empty() {
+            ops.push(DeltaOp::Literal {
+                bytes: std::mem::take(literal),
+            });
+        }
+    };
 
     if sig.num_blocks() > 0 {
         let mut rc: Option<RollingChecksum> = None;
@@ -167,7 +179,10 @@ pub fn generate_delta_from_signature(sig: &Signature, new: &[u8]) -> Delta {
     // Tail (and the whole file when the old file had no whole blocks).
     literal.extend_from_slice(&new[pos..]);
     flush(&mut literal, &mut ops);
-    Delta { block_size: block_size as u32, ops }
+    Delta {
+        block_size: block_size as u32,
+        ops,
+    }
 }
 
 /// Applies `delta` to `old`, producing the new file.

@@ -129,7 +129,10 @@ pub fn simulate_shotgun(
         download_only.push(t);
         download_plus_update.push(t + replay);
     }
-    ShotgunResult { download_only, download_plus_update }
+    ShotgunResult {
+        download_only,
+        download_plus_update,
+    }
 }
 
 /// Per-client bottleneck download bandwidth for the rsync model, derived from
@@ -212,10 +215,17 @@ mod tests {
         let replay_rate = mbps(1.6);
         let shotgun = simulate_shotgun(15, update, 64, replay_rate, 9);
         let expected_replay = update as f64 / replay_rate;
-        for (d, t) in shotgun.download_only.iter().zip(&shotgun.download_plus_update) {
+        for (d, t) in shotgun
+            .download_only
+            .iter()
+            .zip(&shotgun.download_plus_update)
+        {
             assert!((t - d - expected_replay).abs() < 1e-9);
         }
-        assert!(expected_replay > 15.0, "the modelled replay cost is substantial");
+        assert!(
+            expected_replay > 15.0,
+            "the modelled replay cost is substantial"
+        );
     }
 
     #[test]

@@ -228,7 +228,13 @@ mod tests {
         for i in 0..10 {
             sim.schedule_at(SimTime::from_nanos(i), i as u32);
         }
-        let outcome = sim.run(|_, _, ev| if ev == 3 { Control::Stop } else { Control::Continue });
+        let outcome = sim.run(|_, _, ev| {
+            if ev == 3 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
         assert_eq!(outcome, RunOutcome::Stopped);
         assert_eq!(sim.events_processed(), 4);
     }
@@ -261,7 +267,11 @@ mod tests {
         });
         assert_eq!(outcome, RunOutcome::Drained);
         assert_eq!(seen, vec![1, 3]);
-        assert_eq!(sim.events_processed(), 2, "tombstones are not processed events");
+        assert_eq!(
+            sim.events_processed(),
+            2,
+            "tombstones are not processed events"
+        );
     }
 
     #[test]

@@ -133,7 +133,11 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         entry.seq = seq;
         entry.at = at;
-        self.heap.push(HeapEntry { at, seq, key: key.0 });
+        self.heap.push(HeapEntry {
+            at,
+            seq,
+            key: key.0,
+        });
         true
     }
 

@@ -67,8 +67,16 @@ mod tests {
     #[test]
     fn same_label_same_sequence() {
         let f = RngFactory::new(42);
-        let a: Vec<u32> = f.stream("loss").sample_iter(rand::distributions::Standard).take(16).collect();
-        let b: Vec<u32> = f.stream("loss").sample_iter(rand::distributions::Standard).take(16).collect();
+        let a: Vec<u32> = f
+            .stream("loss")
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
+        let b: Vec<u32> = f
+            .stream("loss")
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -28,8 +28,14 @@ fn main() {
         }),
     ];
 
-    println!("Bullet' under static vs dynamic network conditions ({} receivers)", nodes - 1);
-    println!("{:<50} {:>12} {:>12}", "configuration", "static net", "dynamic net");
+    println!(
+        "Bullet' under static vs dynamic network conditions ({} receivers)",
+        nodes - 1
+    );
+    println!(
+        "{:<50} {:>12} {:>12}",
+        "configuration", "static net", "dynamic net"
+    );
     for (label, tweak) in variants {
         let mut medians = Vec::new();
         for dynamic in [false, true] {

@@ -15,7 +15,10 @@ fn main() {
     let file = FileSpec::from_mb_kb(8, 16);
     let seed = 42;
 
-    println!("Flash crowd: {} receivers fetching an 8 MiB file (seed {seed})", nodes - 1);
+    println!(
+        "Flash crowd: {} receivers fetching an 8 MiB file (seed {seed})",
+        nodes - 1
+    );
     println!(
         "{:<14} {:>10} {:>10} {:>10} {:>10}",
         "system", "p10 (s)", "median", "p90", "slowest"
@@ -23,7 +26,14 @@ fn main() {
     for kind in SystemKind::all() {
         let rng = RngFactory::new(seed);
         let topo = topology::modelnet_mesh(nodes, 0.03, &rng);
-        let run = run_system(kind, topo, file, &rng, &Vec::new(), SimDuration::from_secs(3600));
+        let run = run_system(
+            kind,
+            topo,
+            file,
+            &rng,
+            &Vec::new(),
+            SimDuration::from_secs(3600),
+        );
         let cdf = Series::cdf(kind.label(), &run.times);
         println!(
             "{:<14} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",

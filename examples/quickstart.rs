@@ -24,7 +24,10 @@ fn main() {
     let report = runner.run(SimDuration::from_secs(3600));
 
     println!("Bullet' quickstart: 10 MiB to 19 receivers (seed {seed})");
-    println!("{:>6} {:>12} {:>9} {:>11}", "node", "done (s)", "senders", "dup bytes");
+    println!(
+        "{:>6} {:>12} {:>9} {:>11}",
+        "node", "done (s)", "senders", "dup bytes"
+    );
     for i in 1..20u32 {
         let node = runner.node(NodeId(i));
         let m = node.metrics();

@@ -6,8 +6,8 @@
 //! Run with `cargo run --release --example software_update`.
 
 use bullet_repro::shotgun::{
-    parallel_rsync_times, planetlab_client_bandwidths, simulate_shotgun, FileSet,
-    RsyncModelParams, UpdateArchive,
+    parallel_rsync_times, planetlab_client_bandwidths, simulate_shotgun, FileSet, RsyncModelParams,
+    UpdateArchive,
 };
 use rand::{Rng, SeedableRng};
 
@@ -36,7 +36,10 @@ fn main() {
             }
         }
     }
-    v2.insert("deploy/new_tool".into(), (0..3 * 1024 * 1024).map(|_| rng.gen()).collect());
+    v2.insert(
+        "deploy/new_tool".into(),
+        (0..3 * 1024 * 1024).map(|_| rng.gen()).collect(),
+    );
 
     // 2. Build and verify the update archive.
     let archive = UpdateArchive::build(&v1, &v2, 2, 4096);

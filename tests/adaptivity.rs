@@ -33,13 +33,27 @@ fn median_with(
 fn dynamic_peering_tracks_the_best_static_choice_on_constrained_access() {
     let seed = 31;
     let file = FileSpec::from_mb_kb(2, 16);
-    let small = median_with(topology::constrained_access(24), seed, &Vec::new(), file, |c| {
-        c.peer_policy = PeerSetPolicy::Fixed(6)
-    });
-    let large = median_with(topology::constrained_access(24), seed, &Vec::new(), file, |c| {
-        c.peer_policy = PeerSetPolicy::Fixed(14)
-    });
-    let dynamic = median_with(topology::constrained_access(24), seed, &Vec::new(), file, |_| {});
+    let small = median_with(
+        topology::constrained_access(24),
+        seed,
+        &Vec::new(),
+        file,
+        |c| c.peer_policy = PeerSetPolicy::Fixed(6),
+    );
+    let large = median_with(
+        topology::constrained_access(24),
+        seed,
+        &Vec::new(),
+        file,
+        |c| c.peer_policy = PeerSetPolicy::Fixed(14),
+    );
+    let dynamic = median_with(
+        topology::constrained_access(24),
+        seed,
+        &Vec::new(),
+        file,
+        |_| {},
+    );
     let best = small.min(large);
     assert!(
         dynamic <= best * 1.35,
@@ -88,15 +102,24 @@ fn dynamic_outstanding_limits_damage_from_cascading_slowdowns() {
     // victim finishes" situation.
     let schedule = {
         let senders: Vec<NodeId> = (1..fast as u32).map(NodeId).collect();
-        dynamics::cascading_degrade_schedule(&senders, NodeId(fast as u32), SimDuration::from_secs(2))
+        dynamics::cascading_degrade_schedule(
+            &senders,
+            NodeId(fast as u32),
+            SimDuration::from_secs(2),
+        )
     };
     let victim_time = |tweak: fn(&mut Config)| {
         let rng = RngFactory::new(seed);
         let mut cfg = Config::new(file);
         cfg.peer_policy = PeerSetPolicy::Fixed(6);
         tweak(&mut cfg);
-        let (run, _) =
-            run_bullet_prime_with(topology::cascade_topology(fast), &cfg, &rng, &schedule, LIMIT);
+        let (run, _) = run_bullet_prime_with(
+            topology::cascade_topology(fast),
+            &cfg,
+            &rng,
+            &schedule,
+            LIMIT,
+        );
         assert_eq!(run.unfinished, 0);
         // The victim is the last node and by construction the slowest.
         run.times.iter().cloned().fold(0.0f64, f64::max)

@@ -20,8 +20,14 @@ fn bullet_prime_beats_the_physical_floor_but_not_by_magic() {
     let (run, _) = run_bullet_prime_with(topo, &cfg, &rng, &Vec::new(), LIMIT);
     assert_eq!(run.unfinished, 0);
     for &t in &run.times {
-        assert!(t >= floor, "a receiver finished faster ({t:.1}s) than its access link allows ({floor:.1}s)");
-        assert!(t < 40.0 * floor, "a receiver took implausibly long: {t:.1}s");
+        assert!(
+            t >= floor,
+            "a receiver finished faster ({t:.1}s) than its access link allows ({floor:.1}s)"
+        );
+        assert!(
+            t < 40.0 * floor,
+            "a receiver took implausibly long: {t:.1}s"
+        );
     }
 }
 
@@ -45,7 +51,15 @@ fn cross_system_runs_share_no_state() {
     let solo = {
         let rng = RngFactory::new(9);
         let topo = topology::modelnet_mesh(8, 0.01, &rng);
-        run_system(SystemKind::BulletPrime, topo, file, &rng, &Vec::new(), LIMIT).times
+        run_system(
+            SystemKind::BulletPrime,
+            topo,
+            file,
+            &rng,
+            &Vec::new(),
+            LIMIT,
+        )
+        .times
     };
     let _noise = {
         let rng = RngFactory::new(9);
@@ -55,7 +69,15 @@ fn cross_system_runs_share_no_state() {
     let again = {
         let rng = RngFactory::new(9);
         let topo = topology::modelnet_mesh(8, 0.01, &rng);
-        run_system(SystemKind::BulletPrime, topo, file, &rng, &Vec::new(), LIMIT).times
+        run_system(
+            SystemKind::BulletPrime,
+            topo,
+            file,
+            &rng,
+            &Vec::new(),
+            LIMIT,
+        )
+        .times
     };
     assert_eq!(solo, again);
 }

@@ -17,7 +17,12 @@ fn tiny() -> CommonOpts {
 fn check(fig: &Figure, expected_series: usize) {
     assert_eq!(fig.series.len(), expected_series, "{}", fig.id);
     for s in &fig.series {
-        assert!(!s.points.is_empty(), "{}: series {} is empty", fig.id, s.label);
+        assert!(
+            !s.points.is_empty(),
+            "{}: series {} is empty",
+            fig.id,
+            s.label
+        );
         assert!(s.max_x().is_finite());
     }
     let text = fig.render_text(false);

@@ -21,12 +21,14 @@ fn registry_lists_every_scenario() {
     let reg = Registry::standard();
     let names = reg.names();
     let expected = [
-        "fig04", "fig05", "fig05ts", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-        "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        "fig04", "fig05", "fig05ts", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+        "fig13", "fig14", "fig15", "fig16", "fig17",
     ];
     assert_eq!(names.len(), expected.len());
     for name in expected {
-        let sc = reg.get(name).unwrap_or_else(|| panic!("{name} not registered"));
+        let sc = reg
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} not registered"));
         assert_eq!(sc.name, name);
         assert!(!sc.title.is_empty());
         assert!(!sc.sweep.points.is_empty());

@@ -5,8 +5,8 @@
 
 use bullet_repro::netsim::mbps;
 use bullet_repro::shotgun::{
-    parallel_rsync_times, planetlab_client_bandwidths, simulate_shotgun, FileSet,
-    RsyncModelParams, UpdateArchive,
+    parallel_rsync_times, planetlab_client_bandwidths, simulate_shotgun, FileSet, RsyncModelParams,
+    UpdateArchive,
 };
 use rand::{Rng, SeedableRng};
 

@@ -26,7 +26,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 20 }
+        Criterion {
+            default_sample_size: 20,
+        }
     }
 }
 
@@ -70,12 +72,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -123,12 +129,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a benchmark parameterised by `input`.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
@@ -141,7 +142,10 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         f(&mut bencher);
         let mut samples = bencher.samples;
         if samples.is_empty() {

@@ -16,7 +16,10 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { min: r.start, max_exclusive: r.end }
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
     }
 }
 
@@ -24,13 +27,19 @@ impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
         let (lo, hi) = r.into_inner();
         assert!(lo <= hi, "empty size range");
-        SizeRange { min: lo, max_exclusive: hi + 1 }
+        SizeRange {
+            min: lo,
+            max_exclusive: hi + 1,
+        }
     }
 }
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { min: n, max_exclusive: n + 1 }
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
     }
 }
 
@@ -43,7 +52,10 @@ pub struct VecStrategy<S> {
 /// Generates vectors whose elements come from `element` and whose length is
 /// drawn uniformly from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 impl<S: Strategy> Strategy for VecStrategy<S> {

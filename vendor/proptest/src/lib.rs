@@ -60,8 +60,7 @@ pub fn rng_for_case(test_name: &str, case: u32) -> TestRng {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, ProptestConfig, Strategy,
     };
 }
 

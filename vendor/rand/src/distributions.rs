@@ -65,7 +65,11 @@ pub struct DistIter<D, R, T> {
 
 impl<D, R, T> DistIter<D, R, T> {
     pub(crate) fn new(distr: D, rng: R) -> Self {
-        DistIter { distr, rng, _marker: PhantomData }
+        DistIter {
+            distr,
+            rng,
+            _marker: PhantomData,
+        }
     }
 }
 

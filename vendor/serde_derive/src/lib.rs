@@ -16,11 +16,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::NamedStruct(fields) => {
             let entries = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
-                    )
-                })
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
                 .collect::<Vec<_>>()
                 .join(", ");
             format!("::serde::Value::Object(vec![{entries}])")
@@ -136,18 +132,21 @@ fn parse_type(input: TokenStream) -> ParsedType {
 
     match kind.as_str() {
         "struct" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                ParsedType { name, shape: Shape::NamedStruct(parse_named_fields(g.stream())) }
-            }
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                ParsedType { name, shape: Shape::TupleStruct(count_tuple_fields(g.stream())) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => ParsedType {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => ParsedType {
+                name,
+                shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+            },
             _ => panic!("serde_derive: unit structs are not supported for `{name}`"),
         },
         "enum" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                ParsedType { name, shape: Shape::Enum(parse_variants(g.stream())) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => ParsedType {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())),
+            },
             _ => panic!("serde_derive: malformed enum `{name}`"),
         },
         other => panic!("serde_derive: cannot derive for `{other}` items"),

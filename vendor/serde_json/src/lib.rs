@@ -41,19 +41,33 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
         Value::Float(x) => write_float(out, *x),
         Value::Str(s) => write_escaped(out, s),
         Value::Array(items) => {
-            write_seq(out, indent, depth, '[', ']', items.iter(), |out, item, depth| {
-                write_value(out, item, indent, depth)
-            });
+            write_seq(
+                out,
+                indent,
+                depth,
+                '[',
+                ']',
+                items.iter(),
+                |out, item, depth| write_value(out, item, indent, depth),
+            );
         }
         Value::Object(entries) => {
-            write_seq(out, indent, depth, '{', '}', entries.iter(), |out, (k, val), depth| {
-                write_escaped(out, k);
-                out.push(':');
-                if indent.is_some() {
-                    out.push(' ');
-                }
-                write_value(out, val, indent, depth);
-            });
+            write_seq(
+                out,
+                indent,
+                depth,
+                '{',
+                '}',
+                entries.iter(),
+                |out, (k, val), depth| {
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, val, indent, depth);
+                },
+            );
         }
     }
 }
