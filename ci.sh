@@ -14,6 +14,13 @@ cargo build --release --all-targets
 echo "==> cargo test -q (workspace unit + integration suites)"
 cargo test -q
 
+# Documented snippets must compile forever: every rustdoc example in every
+# workspace member (vendor shims included) runs as a test. `cargo test -q`
+# above already covers the default members; the explicit --doc --workspace
+# pass gives the gate a name and catches members outside default-members.
+echo "==> cargo test --doc --workspace"
+cargo test --doc --workspace -q
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -42,19 +49,32 @@ echo "==> perf record + regression gate (BENCH_events.json)"
 # not silently compare the regressed value against itself. Fall back to the
 # working-tree file outside a git checkout.
 committed=$(git show HEAD:BENCH_events.json 2>/dev/null || cat BENCH_events.json 2>/dev/null || true)
+# Every field is read optional-with-warning: a baseline written before a
+# field existed (e.g. run_allocs/wall_clock_secs predate the Protocol API v2
+# record) must never wedge CI — re-baselining in the same commit is routine.
 prev_events=$(printf '%s' "$committed" \
     | grep -o '"events_processed": *[0-9]*' | grep -o '[0-9]*$' || true)
 prev_wall=$(printf '%s' "$committed" \
     | grep -o '"wall_clock_secs": *[0-9.]*' | grep -o '[0-9.]*$' || true)
+prev_allocs=$(printf '%s' "$committed" \
+    | grep -o '"run_allocs": *[0-9]*' | grep -o '[0-9]*$' || true)
 ./target/release/bench_events --out BENCH_events.json
 new_events=$(grep -o '"events_processed": *[0-9]*' BENCH_events.json | grep -o '[0-9]*$')
 new_wall=$(grep -o '"wall_clock_secs": *[0-9.]*' BENCH_events.json | grep -o '[0-9.]*$')
-if [ -n "$prev_wall" ]; then
+new_allocs=$(grep -o '"run_allocs": *[0-9]*' BENCH_events.json | grep -o '[0-9]*$' || true)
+if [ -n "$prev_wall" ] && [ -n "$new_wall" ]; then
     awk -v prev="$prev_wall" -v cur="$new_wall" 'BEGIN {
         printf "wall-clock %.3fs -> %.3fs (%+.1f%%, informational only)\n", prev, cur, (cur - prev) / prev * 100
     }'
 else
-    echo "wall-clock ${new_wall}s (no committed baseline to compare)"
+    echo "WARN: wall_clock_secs missing from the committed baseline (predates the field?); skipping comparison (now ${new_wall:-unrecorded}s)"
+fi
+if [ -n "$prev_allocs" ] && [ -n "$new_allocs" ]; then
+    awk -v prev="$prev_allocs" -v cur="$new_allocs" 'BEGIN {
+        printf "run-allocs %d -> %d (%+.1f%%, informational only)\n", prev, cur, (cur - prev) / prev * 100
+    }'
+else
+    echo "WARN: run_allocs missing from the committed baseline (predates the field?); skipping comparison (now ${new_allocs:-unrecorded})"
 fi
 if [ -n "$prev_events" ]; then
     awk -v prev="$prev_events" -v cur="$new_events" 'BEGIN {
@@ -65,7 +85,7 @@ if [ -n "$prev_events" ]; then
         printf "events-processed %d -> %d (within the 10%% gate)\n", prev, cur
     }'
 else
-    echo "no committed BENCH_events.json baseline; recorded $new_events"
+    echo "WARN: no committed BENCH_events.json baseline; recorded $new_events without gating"
 fi
 
 # Parallel-sweep trajectory: `lab bench` runs the same fig05 sweep at 1 and 4

@@ -7,9 +7,11 @@
 //!   SplitStream over a topology and change schedule;
 //! * [`bounds`] — the analytic reference curves of Fig 4;
 //! * [`experiments`] — one function per figure (4–15 from the paper, plus
-//!   16/17: crash-churn and flash-crowd scenarios, and 5ts: the probe-driven
-//!   bandwidth-over-time view of the dynamic scenario — all beyond the
-//!   paper).
+//!   the beyond-the-paper scenarios: 16/17 crash-churn and flash-crowd, 5ts
+//!   the probe-driven bandwidth-over-time view of the dynamic scenario, 18
+//!   two meshes sharing one core bottleneck, 19 cross traffic vs Bullet′
+//!   adaptivity). `docs/EXPERIMENTS.md` is the book mapping every scenario
+//!   to its paper section, sweep and expected result.
 //!
 //! The `figNN` binaries live in the `bullet_lab` crate as one-line wrappers
 //! over its scenario registry (equivalent to `lab run <name>`); this crate
@@ -28,6 +30,6 @@ pub mod systems;
 pub use cdf::{improvement_at, Figure, Series};
 pub use opts::{emit, figure_main, CommonOpts};
 pub use systems::{
-    run_bullet_prime_churn, run_bullet_prime_timeseries, run_bullet_prime_with, run_system,
-    SystemKind, SystemRun,
+    run_bullet_prime_churn, run_bullet_prime_cross, run_bullet_prime_timeseries,
+    run_bullet_prime_with, run_concurrent_meshes, run_system, SystemKind, SystemRun,
 };

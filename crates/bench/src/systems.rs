@@ -8,7 +8,9 @@ use baselines::{bittorrent, bullet_orig, splitstream, BitTorrentConfig, BitTorre
 use bullet_prime::{BulletPrimeNode, Config};
 use desim::{RngFactory, SimDuration, SimTime};
 use dissem_codec::FileSpec;
-use netsim::{ChangeSchedule, Network, NodeEvent, NodeId, NodeSchedule, Runner, Topology};
+use netsim::{
+    ChangeSchedule, CrossSchedule, Network, NodeEvent, NodeId, NodeSchedule, Runner, Topology,
+};
 
 /// The systems compared in Figs 4, 5 and 14.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +151,66 @@ pub fn run_bullet_prime_timeseries(
 ) -> (SystemRun, netsim::RunReport, Vec<BulletPrimeNode>) {
     let mut runner = bullet_prime::build_runner(topo, cfg, rng);
     apply_schedule(&mut runner, schedule);
+    runner.record_timeseries(tick);
+    let report = runner.run(limit);
+    (collect_times(&report), report, runner.into_nodes())
+}
+
+/// Runs several **concurrent, independent Bullet′ meshes** on one topology
+/// (see [`bullet_prime::build_group_runner`]): `group_sizes` partitions the
+/// node ids into contiguous meshes, each with its own source (the group's
+/// first id). Returns one [`SystemRun`] per mesh — its receivers' completion
+/// times — so shared-bottleneck scenarios can compare the meshes directly.
+pub fn run_concurrent_meshes(
+    topo: Topology,
+    cfg: &Config,
+    rng: &RngFactory,
+    group_sizes: &[usize],
+    limit: SimDuration,
+) -> Vec<SystemRun> {
+    let mut runner = bullet_prime::build_group_runner(topo, cfg, rng, group_sizes);
+    let report = runner.run(limit);
+    let end = report.end_time.as_secs_f64();
+    let mut out = Vec::with_capacity(group_sizes.len());
+    let mut base = 0usize;
+    for &size in group_sizes {
+        let mut unfinished = 0;
+        let times: Vec<f64> = report.completion_secs[base..base + size]
+            .iter()
+            .skip(1) // Each group's first node is its source.
+            .map(|c| {
+                c.unwrap_or_else(|| {
+                    unfinished += 1;
+                    end
+                })
+            })
+            .collect();
+        out.push(SystemRun {
+            times,
+            unfinished,
+            end_time: end,
+        });
+        base += size;
+    }
+    out
+}
+
+/// Runs Bullet′ under a cross-traffic schedule with a run-time stats probe
+/// sampling every `tick` (the fig19 bandwidth-over-time scenario). Returns
+/// the timing summary and the full report carrying the
+/// [`timeseries`](netsim::RunReport::timeseries).
+pub fn run_bullet_prime_cross(
+    topo: Topology,
+    cfg: &Config,
+    rng: &RngFactory,
+    cross: &CrossSchedule,
+    limit: SimDuration,
+    tick: SimDuration,
+) -> (SystemRun, netsim::RunReport, Vec<BulletPrimeNode>) {
+    let mut runner = bullet_prime::build_runner(topo, cfg, rng);
+    for &(at, change) in cross {
+        runner.schedule_cross_traffic(at, change);
+    }
     runner.record_timeseries(tick);
     let report = runner.run(limit);
     (collect_times(&report), report, runner.into_nodes())

@@ -50,6 +50,48 @@ pub fn build_runner(topo: Topology, cfg: &Config, rng: &RngFactory) -> Runner<Bu
     runner
 }
 
+/// Builds a [`Runner`] hosting **several concurrent, independent Bullet′
+/// meshes** on one topology: `group_sizes` partitions the node ids into
+/// contiguous groups, each with its own control tree, RanSub overlay and
+/// source (the group's first id). The meshes never exchange control or data
+/// traffic — they only contend for the emulated links, which is exactly what
+/// the shared-bottleneck scenarios (`fig18`) measure. Every group's source is
+/// exempted from the completion check.
+///
+/// # Panics
+///
+/// Panics if the group sizes do not sum to the topology size or any group
+/// has fewer than two nodes.
+pub fn build_group_runner(
+    topo: Topology,
+    cfg: &Config,
+    rng: &RngFactory,
+    group_sizes: &[usize],
+) -> Runner<BulletPrimeNode> {
+    assert_eq!(
+        group_sizes.iter().sum::<usize>(),
+        topo.len(),
+        "group sizes must partition the topology"
+    );
+    let mut nodes = Vec::with_capacity(topo.len());
+    let mut sources = Vec::with_capacity(group_sizes.len());
+    let mut base = 0u32;
+    for &size in group_sizes {
+        assert!(size >= 2, "every mesh needs a source and a receiver");
+        let tree = ControlTree::random_rooted(NodeId(base), size, CONTROL_TREE_DEGREE, rng);
+        sources.push(tree.root());
+        for i in 0..size as u32 {
+            nodes.push(BulletPrimeNode::new(NodeId(base + i), &tree, cfg.clone()));
+        }
+        base += size as u32;
+    }
+    let mut runner = Runner::new(Network::new(topo), nodes, rng);
+    for source in sources {
+        runner.exempt_from_completion(source);
+    }
+    runner
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +109,34 @@ mod tests {
         let sources = nodes.iter().filter(|n| n.role() == Role::Source).count();
         assert_eq!(sources, 1);
         assert_eq!(nodes[0].role(), Role::Source);
+    }
+
+    #[test]
+    fn group_runner_partitions_into_independent_meshes() {
+        let rng = RngFactory::new(5);
+        let topo = topology::constrained_access(10);
+        let cfg = Config::new(FileSpec::new(128 * 1024, 16 * 1024));
+        let runner = build_group_runner(topo, &cfg, &rng, &[6, 4]);
+        let nodes = runner.nodes();
+        assert_eq!(nodes.len(), 10);
+        // Exactly the first node of each group is a source.
+        for (i, node) in nodes.iter().enumerate() {
+            let expected = if i == 0 || i == 6 {
+                Role::Source
+            } else {
+                Role::Receiver
+            };
+            assert_eq!(node.role(), expected, "node {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition the topology")]
+    fn group_sizes_must_cover_the_topology() {
+        let rng = RngFactory::new(5);
+        let topo = topology::constrained_access(10);
+        let cfg = Config::new(FileSpec::new(64 * 1024, 16 * 1024));
+        let _ = build_group_runner(topo, &cfg, &rng, &[6, 5]);
     }
 
     #[test]

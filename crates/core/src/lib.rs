@@ -32,7 +32,7 @@ pub mod node;
 pub mod peering;
 pub mod request;
 
-pub use builder::{build_nodes, build_nodes_with_tree, build_runner};
+pub use builder::{build_group_runner, build_nodes, build_nodes_with_tree, build_runner};
 pub use config::{Config, OutstandingPolicy, PeerSetPolicy, RequestStrategy, TransferMode};
 pub use flow::OutstandingController;
 pub use messages::Msg;

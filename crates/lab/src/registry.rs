@@ -15,7 +15,8 @@ pub struct Registry {
 
 impl Registry {
     /// Builds the standard registry: Figures 4–15 of the paper plus the
-    /// beyond-the-paper scenarios (16: crash wave, 17: flash crowd, 5ts:
+    /// beyond-the-paper scenarios (16: crash wave, 17: flash crowd, 18:
+    /// shared core bottleneck, 19: cross-traffic square wave, 5ts:
     /// probe-driven bandwidth-over-time).
     pub fn standard() -> Self {
         use DynamicsKind as D;
@@ -142,6 +143,22 @@ impl Registry {
                 D::FlashCrowd,
                 experiments::fig17,
             ),
+            Scenario::new(
+                "fig18",
+                "two concurrent meshes sharing one 2 Mbps core bottleneck",
+                S::BulletPrime,
+                T::SharedCore,
+                D::Static,
+                experiments::fig18,
+            ),
+            Scenario::new(
+                "fig19",
+                "cross-traffic square wave vs Bullet' adaptivity (goodput over time)",
+                S::BulletPrime,
+                T::SharedCore,
+                D::CrossTraffic,
+                experiments::fig19,
+            ),
         ];
 
         // Default parameter sweeps where one knob is the interesting axis:
@@ -221,11 +238,11 @@ mod tests {
         let names = reg.names();
         for expected in [
             "fig04", "fig05", "fig05ts", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(reg.len(), 15);
+        assert_eq!(reg.len(), 17);
         assert!(reg.get("fig99").is_none());
     }
 

@@ -49,6 +49,8 @@ pub enum TopologyKind {
     Cascade,
     /// PlanetLab-like wide-area site bandwidths.
     PlanetLabLike,
+    /// Every core path rides one shared bottleneck link (fig18/fig19).
+    SharedCore,
 }
 
 impl TopologyKind {
@@ -60,6 +62,7 @@ impl TopologyKind {
             TopologyKind::HighBdpClique => "high-bdp-clique",
             TopologyKind::Cascade => "cascade",
             TopologyKind::PlanetLabLike => "planetlab-like",
+            TopologyKind::SharedCore => "shared-core",
         }
     }
 }
@@ -77,6 +80,8 @@ pub enum DynamicsKind {
     CrashWave,
     /// A flash-crowd join wave.
     FlashCrowd,
+    /// A background cross-traffic square wave on the shared core link.
+    CrossTraffic,
 }
 
 impl DynamicsKind {
@@ -88,6 +93,7 @@ impl DynamicsKind {
             DynamicsKind::CascadingDegrade => "cascading-degrade",
             DynamicsKind::CrashWave => "crash-wave",
             DynamicsKind::FlashCrowd => "flash-crowd",
+            DynamicsKind::CrossTraffic => "cross-traffic",
         }
     }
 }

@@ -21,6 +21,8 @@
 //! * [`flash_crowd_schedule`] — only a core group is present at t = 0 and
 //!   the remaining receivers join in a wave over a window.
 
+use std::collections::HashSet;
+
 use desim::{RngFactory, SimDuration, SimTime};
 use rand::seq::SliceRandom;
 
@@ -45,14 +47,27 @@ pub struct LinkChangeBatch {
 
 impl LinkChangeBatch {
     /// Applies the batch to `topo` and returns the affected ordered pairs so
-    /// the caller can re-price live connections.
+    /// the caller can re-price live connections. Changes act on the **core
+    /// link** carrying each pair: on the paper's dedicated-link meshes that
+    /// is exactly the pair's private link; on a shared-core topology a change
+    /// through any mapped pair re-sizes the shared link itself. A `Scale` is
+    /// applied **at most once per underlying link per batch** — a batch that
+    /// halves ten pairs riding one shared link halves that link once, it does
+    /// not cut it to 1/1024th.
     pub fn apply(&self, topo: &mut Topology) -> Vec<(NodeId, NodeId)> {
         let mut pairs = Vec::with_capacity(self.changes.len());
+        let mut scaled: std::collections::HashSet<crate::topology::LinkId> = HashSet::new();
         for &(from, to, change) in &self.changes {
-            let path = topo.path_mut(from, to);
-            path.bw = match change {
-                BandwidthChange::Scale(f) => (path.bw * f).max(1.0),
-                BandwidthChange::Set(v) => v.max(1.0),
+            match change {
+                BandwidthChange::Scale(f) => {
+                    let link = topo.core_link(from, to);
+                    if scaled.insert(link) {
+                        topo.scale_core_bw(from, to, f);
+                    }
+                }
+                BandwidthChange::Set(v) => {
+                    topo.set_core_bw(from, to, v);
+                }
             };
             pairs.push((from, to));
         }
@@ -107,6 +122,55 @@ pub fn correlated_decrease_schedule(
             }
         }
         schedule.push((t, batch));
+        t += period;
+    }
+    schedule
+}
+
+/// A scheduled change of the background (cross-traffic) load on a core link:
+/// from the activation instant on, an unresponsive CBR-like stream occupies
+/// `rate` bytes/second of the core link carrying `via.0 → via.1` (use
+/// `rate = 0` to switch it off). The fluid model subtracts the occupancy from
+/// the link's usable capacity, so overlay flows crossing the link are
+/// squeezed — and win the capacity back the moment the wave ends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossTraffic {
+    /// Names the core link by an ordered pair mapped onto it. On a
+    /// shared-core topology any mapped pair names the same link.
+    pub via: (NodeId, NodeId),
+    /// Occupied bandwidth in bytes/second.
+    pub rate: BytesPerSec,
+}
+
+/// A scheduled cross-traffic scenario: occupancy changes with their
+/// activation times.
+pub type CrossSchedule = Vec<(SimTime, CrossTraffic)>;
+
+/// A square wave of cross traffic on the core link carrying `via`: starting
+/// from an idle link, the background stream switches **on** (occupying
+/// `rate`) at `period`, off at `2 × period`, on again at `3 × period`, …,
+/// for every boundary within `horizon`. The fig19 scenario drives Bullet′
+/// against exactly this pattern.
+pub fn cross_traffic_square_wave(
+    via: (NodeId, NodeId),
+    rate: BytesPerSec,
+    period: SimDuration,
+    horizon: SimDuration,
+) -> CrossSchedule {
+    assert!(!period.is_zero(), "the square wave needs a positive period");
+    let mut schedule = Vec::new();
+    let mut t = SimTime::ZERO + period;
+    let end = SimTime::ZERO + horizon;
+    let mut on = true;
+    while t <= end {
+        schedule.push((
+            t,
+            CrossTraffic {
+                via,
+                rate: if on { rate } else { 0.0 },
+            },
+        ));
+        on = !on;
         t += period;
     }
     schedule
@@ -277,6 +341,27 @@ mod tests {
     }
 
     #[test]
+    fn batch_scales_a_shared_link_once() {
+        // Ten pairs of one batch riding one shared core link: the link is
+        // halved once, not ten times (successive *batches* still compound).
+        let mut topo = crate::topology::shared_core_mesh(6, mbps(2.0), 0.0, &RngFactory::new(1));
+        let batch = LinkChangeBatch {
+            changes: (1..6)
+                .flat_map(|v| {
+                    [
+                        (NodeId(0), NodeId(v), BandwidthChange::Scale(0.5)),
+                        (NodeId(v), NodeId(0), BandwidthChange::Scale(0.5)),
+                    ]
+                })
+                .collect(),
+        };
+        batch.apply(&mut topo);
+        assert_eq!(topo.path(NodeId(0), NodeId(1)).bw, mbps(1.0));
+        batch.apply(&mut topo);
+        assert_eq!(topo.path(NodeId(2), NodeId(0)).bw, mbps(0.5));
+    }
+
+    #[test]
     fn cumulative_scaling_compounds() {
         let mut topo = constrained_access(3);
         let batch = LinkChangeBatch {
@@ -285,6 +370,32 @@ mod tests {
         batch.apply(&mut topo);
         batch.apply(&mut topo);
         assert_eq!(topo.path(NodeId(0), NodeId(1)).bw, mbps(10.0) * 0.25);
+    }
+
+    #[test]
+    fn square_wave_alternates_on_and_off() {
+        let via = (NodeId(0), NodeId(1));
+        let wave = cross_traffic_square_wave(
+            via,
+            1000.0,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(100),
+        );
+        assert_eq!(wave.len(), 5, "boundaries at 20, 40, 60, 80, 100 s");
+        for (i, (t, ct)) in wave.iter().enumerate() {
+            assert_eq!(t.as_secs_f64(), 20.0 * (i + 1) as f64);
+            assert_eq!(ct.via, via);
+            let expected = if i % 2 == 0 { 1000.0 } else { 0.0 };
+            assert_eq!(ct.rate, expected, "boundary {i} toggles the wave");
+        }
+        // A horizon shorter than one period produces no boundary at all.
+        assert!(cross_traffic_square_wave(
+            via,
+            1000.0,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(19)
+        )
+        .is_empty());
     }
 
     #[test]

@@ -6,12 +6,15 @@
 //! of the [`desim`] event engine:
 //!
 //! * [`topology`] — the emulated topologies (full-mesh ModelNet configuration,
-//!   constrained-access, high-BDP clique, cascading-slowdown, PlanetLab-like);
-//! * [`tcp`] — the per-connection TCP throughput model (Mathis loss limit +
-//!   slow start);
-//! * [`network`] — per-connection block queues with fair sharing of access
-//!   links and the sender-side `in_front`/`wasted` measurements Bullet′'s
-//!   flow controller uses;
+//!   constrained-access, high-BDP clique, cascading-slowdown, PlanetLab-like,
+//!   shared-core bottleneck) and their explicit directed link graph
+//!   ([`LinkId`]);
+//! * [`tcp`] — the per-flow TCP ceilings (Mathis loss limit + slow start);
+//! * [`network`] — the global **max-min fair fluid model**: per-connection
+//!   block queues whose rates are assigned by progressive filling over the
+//!   link graph, with incremental (connected-component) repricing, plus the
+//!   sender-side `in_front`/`wasted` measurements Bullet′'s flow controller
+//!   uses (see `docs/NETWORK_MODEL.md`);
 //! * [`protocol`] — the [`Protocol`] trait implemented by every dissemination
 //!   system in this workspace (message and timer types are *associated
 //!   types*, so downstream signatures are `Runner<P>`, `Ctx<'_, P>`,
@@ -20,7 +23,8 @@
 //!   reusable command buffer);
 //! * [`conformance`] — a reusable trait-level conformance harness any
 //!   protocol implementation can be run through;
-//! * [`dynamics`] — scripted bandwidth-change scenarios;
+//! * [`dynamics`] — scripted bandwidth-change, cross-traffic and churn
+//!   scenarios;
 //! * [`probe`] — run-time observers sampled on a virtual-time tick, feeding
 //!   the bandwidth-over-time analyses.
 
@@ -34,12 +38,15 @@ pub mod tcp;
 pub mod topology;
 pub mod units;
 
-pub use dynamics::{BandwidthChange, ChangeSchedule, LinkChangeBatch, NodeEvent, NodeSchedule};
+pub use dynamics::{
+    BandwidthChange, ChangeSchedule, CrossSchedule, CrossTraffic, LinkChangeBatch, NodeEvent,
+    NodeSchedule,
+};
 pub use network::{BlockReceipt, ConnUpdate, Network, NodeTraffic};
 pub use probe::{NodeSample, Probe, ProbeStats, StatsProbe, TimeSample, TimeSeries};
 pub use protocol::{Command, Ctx, Protocol, TimerToken, WireSize};
 pub use runner::{RunReport, Runner, StopReason};
-pub use topology::{NodeId, NodeSpec, PathSpec, Topology};
+pub use topology::{LinkId, NodeId, NodeSpec, PathSpec, Topology};
 pub use units::{gbps, kbps, mbps, to_mbps, BytesPerSec};
 
 #[cfg(test)]

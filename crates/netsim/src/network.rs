@@ -1,41 +1,80 @@
-//! The fluid connection model.
+//! The fluid connection model: global max-min fair sharing over the
+//! topology's link graph.
 //!
 //! Every ordered pair of peers that exchanges data owns a [`Connection`]: a
-//! FIFO of queued blocks served at the connection's current rate. The rate is
-//! the minimum of
+//! FIFO of queued blocks served at the connection's current rate. A
+//! connection with a block in flight is an active **flow** crossing three
+//! directed links — the sender's uplink, a core link (possibly shared with
+//! other pairs), and the receiver's downlink (see
+//! [`crate::topology::Topology::links_on_path`]). Rates are assigned by
+//! **progressive filling**: one common water level rises across all flows of
+//! a component; a flow freezes when a link on its path saturates or when it
+//! hits its own TCP ceiling (Mathis loss limit and slow start, see
+//! [`crate::tcp`]). The result is the unique global max-min fair allocation,
+//! the fluid equivalent of many long-lived TCP flows sharing a network —
+//! `docs/NETWORK_MODEL.md` develops the model in full, with a worked example.
 //!
-//! * the TCP ceiling of the core path (loss & window limited, see
-//!   [`crate::tcp`]), and
-//! * the sender's uplink and the receiver's downlink capacity divided evenly
-//!   among their currently *active* connections (an active connection is one
-//!   with a block in flight).
+//! ## Incremental repricing
 //!
-//! Rates are re-evaluated whenever a connection becomes active or idle at
-//! either endpoint, when a scenario rewrites link characteristics, and when a
-//! block completes (the slow-start window has grown). Each active connection
-//! has exactly **one** live completion event in the driver's queue; the
-//! [`Network`] returns [`ConnUpdate`] records telling the caller (the
-//! [`crate::runner::Runner`]) to move that event ([`ConnUpdate::Schedule`])
-//! or drop it ([`ConnUpdate::Cancel`]) through the cancellable
-//! [`desim::EventQueue`]. Earlier revisions instead abandoned stale heap
-//! entries and filtered them with a per-connection generation counter on pop;
-//! the cancellable queue removes that protocol and the stale-event flood that
-//! came with it.
+//! Rates must be re-assigned whenever the flow set or the constraints change:
+//! a flow starts or stops, a block completes (the slow-start ceiling moved),
+//! a scenario rewrites link capacities, or cross traffic changes a link's
+//! occupancy. A change can only affect flows connected to it through shared
+//! links, so the model re-solves exactly the **connected component** of the
+//! flow–link graph containing the changed links and leaves every other
+//! component untouched; a from-scratch solve decomposes per component, so the
+//! incremental result is identical (the `fairness_oracle` property test
+//! enforces this). Only flows whose rate actually changed get a new
+//! completion estimate.
+//!
+//! Each active connection has exactly **one** live completion event in the
+//! driver's queue; the [`Network`] returns [`ConnUpdate`] records telling the
+//! caller (the [`crate::runner::Runner`]) to move that event
+//! ([`ConnUpdate::Schedule`]) or drop it ([`ConnUpdate::Cancel`]) through the
+//! cancellable [`desim::EventQueue`].
 //!
 //! The connection also records the two sender-side measurements Bullet′'s
 //! flow controller consumes (§3.3.3): `in_front`, the number of blocks queued
 //! ahead when a block was enqueued, and `wasted`, the idle gap (negative) or
 //! queue-wait time (positive) associated with the block.
+//!
+//! ## Example
+//!
+//! Two flows from one sender share its access uplink; the fluid model
+//! halves their rates and re-prices both completion events:
+//!
+//! ```
+//! use desim::SimTime;
+//! use dissem_codec::BlockId;
+//! use netsim::{topology, Network, NodeId};
+//!
+//! let mut net = Network::new(topology::constrained_access(3));
+//! let t0 = SimTime::ZERO;
+//! net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 100_000);
+//! let alone = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+//! let updates = net.queue_block(t0, NodeId(0), NodeId(2), BlockId(1), 100_000);
+//! assert_eq!(updates.len(), 2, "both flows re-priced");
+//! let shared = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+//! assert!(shared < alone);
+//! ```
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 use desim::{SimDuration, SimTime};
 use dissem_codec::BlockId;
 use rand::Rng;
 
-use crate::tcp::TcpPath;
-use crate::topology::{NodeId, Topology};
+use crate::topology::{LinkId, NodeId, Topology};
 use crate::units::BytesPerSec;
+
+/// A connection never stalls completely: TCP retransmits eventually, so the
+/// fluid model floors every rate at one byte per second.
+const MIN_RATE: BytesPerSec = 1.0;
+
+/// Relative rate-change threshold below which a flow keeps its old rate and
+/// its live completion event: re-scheduling on every last-ulp wiggle of the
+/// solver would flood the event queue without changing any outcome.
+const RATE_EPSILON: f64 = 1e-9;
 
 /// Information handed to the receiving protocol when a block arrives.
 #[derive(Debug, Clone, Copy)]
@@ -130,6 +169,15 @@ pub struct Connection {
     inflight: Option<InFlight>,
     /// Current service rate in bytes/second (meaningful while active).
     rate: BytesPerSec,
+    /// The flow's own TCP ceiling as of the last solve that included it
+    /// (the fast path of [`Network::on_block_done`] compares against it).
+    last_cap: f64,
+    /// The links this flow registered on when it became active (`None` while
+    /// idle). Deregistration and the solver use *these*, never a fresh
+    /// `links_on_path` lookup, so a topology remap while the flow is in
+    /// flight cannot desynchronise the per-link tables: the flow keeps its
+    /// registered path until it next goes idle.
+    registered: Option<[LinkId; 3]>,
     /// Last instant at which `bytes_left` was brought up to date.
     last_progress: SimTime,
     /// Total bytes whose transmission has completed (drives slow start).
@@ -143,7 +191,9 @@ impl Connection {
         Connection {
             queue: VecDeque::new(),
             inflight: None,
-            rate: 1.0,
+            rate: MIN_RATE,
+            last_cap: f64::INFINITY,
+            registered: None,
             last_progress: now,
             bytes_acked: 0,
             idle_since: now,
@@ -199,28 +249,74 @@ pub struct NodeTraffic {
     pub blocks_out: u64,
 }
 
-/// The emulated network: topology + live connection state + traffic counters.
+/// The emulated network: topology + live connection state + traffic counters
+/// + the max-min fair rate assignment over the link graph.
 #[derive(Debug)]
 pub struct Network {
     topo: Topology,
     conns: HashMap<(NodeId, NodeId), Connection>,
-    out_active: Vec<u32>,
-    in_active: Vec<u32>,
-    active_by_node: Vec<HashSet<(NodeId, NodeId)>>,
+    /// Flows (connections with a block in flight) crossing each link, indexed
+    /// by [`LinkId`]. Ordered sets keep every solve deterministic.
+    link_flows: Vec<BTreeSet<(NodeId, NodeId)>>,
+    /// Sum of the current rates of the flows registered on each link —
+    /// maintained incrementally so the admission/removal fast paths can test
+    /// saturation without a solve.
+    link_usage: Vec<f64>,
+    /// Background (cross-traffic) occupancy per link, in bytes/second.
+    cross: Vec<BytesPerSec>,
     traffic: Vec<NodeTraffic>,
+    /// Scratch set for flow-dedup during component discovery (reused across
+    /// solves; cleared, never shrunk).
+    seen_flows: HashSet<(NodeId, NodeId)>,
+    /// Scratch per-link visit marks for component discovery, versioned by
+    /// `mark_stamp` so the vector never needs clearing.
+    link_mark: Vec<u64>,
+    /// Component-local index of each marked link (valid while its mark
+    /// carries the current stamp).
+    link_local: Vec<u32>,
+    mark_stamp: u64,
+    /// Reusable solver buffers (cleared per solve, capacity kept), so
+    /// steady-state repricing does not allocate.
+    scratch: SolverScratch,
+}
+
+/// The solver's working buffers, reused across solves.
+#[derive(Debug, Default)]
+struct SolverScratch {
+    /// Links of the component under solve, in discovery order (= local ids).
+    comp_links: Vec<LinkId>,
+    /// Flows of the component, in discovery order.
+    flows: Vec<(NodeId, NodeId)>,
+    /// Component-local link ids of each flow's path.
+    flow_links: Vec<[usize; 3]>,
+    /// Each flow's own TCP ceiling.
+    caps: Vec<f64>,
+    /// Per-local-link solver state.
+    links: Vec<LinkState>,
+    /// Per-local-link flow adjacency (indices into `flows`).
+    link_members: Vec<Vec<usize>>,
+    /// Solver outputs.
+    rates: Vec<f64>,
+    frozen: Vec<bool>,
 }
 
 impl Network {
     /// Wraps a topology with empty connection state.
     pub fn new(topo: Topology) -> Self {
         let n = topo.len();
+        let links = topo.num_links();
         Network {
             topo,
             conns: HashMap::new(),
-            out_active: vec![0; n],
-            in_active: vec![0; n],
-            active_by_node: vec![HashSet::new(); n],
+            link_flows: vec![BTreeSet::new(); links],
+            link_usage: vec![0.0; links],
+            cross: vec![0.0; links],
             traffic: vec![NodeTraffic::default(); n],
+            seen_flows: HashSet::new(),
+            link_mark: vec![0; links],
+            link_local: vec![0; links],
+            mark_stamp: 0,
+            scratch: SolverScratch::default(),
         }
     }
 
@@ -230,7 +326,8 @@ impl Network {
     }
 
     /// Mutable topology access, used by dynamic-bandwidth scenarios. Callers
-    /// must follow up with [`Network::reprice_paths`] for affected pairs.
+    /// must follow up with [`Network::reprice_paths`] for affected pairs (or
+    /// [`Network::reprice_all`] after wholesale rewrites).
     pub fn topology_mut(&mut self) -> &mut Topology {
         &mut self.topo
     }
@@ -261,17 +358,47 @@ impl Network {
             .map_or(0, Connection::pending_blocks)
     }
 
-    fn tcp_path(&self, from: NodeId, to: NodeId) -> TcpPath {
-        let p = self.topo.path(from, to);
-        TcpPath {
-            bottleneck: p.bw,
-            rtt: self.topo.rtt(from, to),
-            loss: p.loss,
+    /// Background cross-traffic occupancy of `link`, in bytes/second.
+    pub fn cross_traffic(&self, link: LinkId) -> BytesPerSec {
+        self.cross[link.index()]
+    }
+
+    /// Sets the background cross-traffic occupancy of the core link carrying
+    /// `via.0 → via.1` to `rate` bytes/second and re-prices the flows the
+    /// change can affect. Cross traffic is unresponsive (CBR-like): it takes
+    /// `rate` off the link's usable capacity regardless of contention.
+    pub fn set_cross_traffic(
+        &mut self,
+        now: SimTime,
+        via: (NodeId, NodeId),
+        rate: BytesPerSec,
+    ) -> Vec<ConnUpdate> {
+        self.sync_link_tables();
+        let link = self.topo.core_link(via.0, via.1);
+        self.cross[link.index()] = rate.max(0.0);
+        self.resolve(now, &[link], None)
+    }
+
+    /// Keeps the per-link tables sized to the topology, which can gain links
+    /// through [`Topology::share_core`] after the network was built. Flows
+    /// already in flight across a remap keep their *registered* links until
+    /// they next go idle (see [`Connection::registered`]), so a late remap
+    /// changes routing for future activations without corrupting state.
+    fn sync_link_tables(&mut self) {
+        let links = self.topo.num_links();
+        if self.link_flows.len() < links {
+            self.link_flows.resize_with(links, BTreeSet::new);
+            self.link_usage.resize(links, 0.0);
+            self.cross.resize(links, 0.0);
+            self.link_mark.resize(links, 0);
+            self.link_local.resize(links, 0);
         }
     }
 
     /// Delivery delay for a `bytes`-sized control message from `from` to
     /// `to`, including an occasional loss-induced retransmission penalty.
+    /// Control traffic is tiny next to the data flows, so it is priced off
+    /// raw link capacities rather than fed through the fluid solver.
     pub fn control_delay<R: Rng + ?Sized>(
         &mut self,
         rng: &mut R,
@@ -396,15 +523,38 @@ impl Network {
 
         let has_more = !self.conns[&(from, to)].queue.is_empty();
         let updates = if has_more {
+            // The connection stays active; the only solver input that moved
+            // is this flow's own ceiling (slow start grew). If the ceiling
+            // value is unchanged (a mature, Mathis-limited flow) or was not
+            // binding anyway (link-limited flow, monotone ceiling growth),
+            // the global allocation is untouched — schedule the fresh
+            // in-flight block at the current rate without a solve.
             self.start_next(now, from, to);
-            // The connection stays active; only its own slow-start ceiling
-            // moved, so re-price just this connection.
-            self.reprice_connection(now, from, to).into_iter().collect()
+            let new_cap = self.flow_cap(from, to, self.conns[&(from, to)].bytes_acked);
+            let conn = self.conns.get_mut(&(from, to)).expect("connection exists");
+            let cap_unchanged = new_cap == conn.last_cap;
+            let cap_not_binding =
+                new_cap >= conn.last_cap && conn.rate < conn.last_cap * (1.0 - RATE_EPSILON);
+            if cap_unchanged || cap_not_binding {
+                conn.last_cap = new_cap;
+                let fl = conn.inflight.as_ref().expect("just started");
+                let finish = now + SimDuration::from_secs_f64(fl.bytes_left / conn.rate);
+                vec![ConnUpdate::Schedule {
+                    from,
+                    to,
+                    at: finish,
+                }]
+            } else {
+                // The ceiling moved while binding — re-solve the component,
+                // which can ripple to every flow sharing a link with this one.
+                let links = self.topo.links_on_path(from, to);
+                self.resolve(now, &links, Some((from, to)))
+            }
         } else {
             let conn = self.conns.get_mut(&(from, to)).expect("connection exists");
             conn.idle_since = now;
             // The fired event was the connection's only live one, so there is
-            // nothing to cancel; the endpoints' shares changed, though.
+            // nothing to cancel; the freed capacity re-prices the neighbours.
             self.mark_idle(now, from, to)
         };
         Some((completed, updates))
@@ -418,7 +568,7 @@ impl Network {
 
     /// Closes the `from → to` connection, dropping queued and in-flight
     /// blocks. Returns a cancellation for this connection's completion event
-    /// (if one was live) plus updates for the peers whose shares changed.
+    /// (if one was live) plus updates for the flows whose shares changed.
     pub fn close_connection(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
         let Some(conn) = self.conns.get_mut(&(from, to)) else {
             return Vec::new();
@@ -454,87 +604,368 @@ impl Network {
         updates
     }
 
-    /// Re-prices connections between the given ordered pairs (used after a
-    /// scenario rewrites link characteristics).
+    /// Re-prices the flows affected by capacity changes on the core links
+    /// carrying the given ordered pairs (used after a scenario rewrites link
+    /// characteristics).
     pub fn reprice_paths(&mut self, now: SimTime, pairs: &[(NodeId, NodeId)]) -> Vec<ConnUpdate> {
-        let mut out = Vec::new();
-        for &(a, b) in pairs {
-            if let Some(r) = self.reprice_connection(now, a, b) {
-                out.push(r);
-            }
-        }
-        out
-    }
-
-    fn mark_active(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
-        self.out_active[from.index()] += 1;
-        self.in_active[to.index()] += 1;
-        self.active_by_node[from.index()].insert((from, to));
-        self.active_by_node[to.index()].insert((from, to));
-        self.reprice_endpoints(now, from, to)
-    }
-
-    fn mark_idle(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
-        debug_assert!(self.out_active[from.index()] > 0);
-        debug_assert!(self.in_active[to.index()] > 0);
-        self.out_active[from.index()] -= 1;
-        self.in_active[to.index()] -= 1;
-        self.active_by_node[from.index()].remove(&(from, to));
-        self.active_by_node[to.index()].remove(&(from, to));
-        self.reprice_endpoints(now, from, to)
-    }
-
-    /// Re-prices every active connection that touches either endpoint.
-    fn reprice_endpoints(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
-        let mut keys: Vec<(NodeId, NodeId)> = self.active_by_node[from.index()]
+        self.sync_link_tables();
+        let mut links: Vec<LinkId> = pairs
             .iter()
-            .chain(self.active_by_node[to.index()].iter())
-            .copied()
+            .map(|&(a, b)| self.topo.core_link(a, b))
             .collect();
-        keys.sort_unstable_by_key(|(a, b)| (a.0, b.0));
-        keys.dedup();
-        let mut out = Vec::with_capacity(keys.len());
-        for (a, b) in keys {
-            if let Some(r) = self.reprice_connection(now, a, b) {
-                out.push(r);
-            }
-        }
-        out
+        links.sort_unstable();
+        links.dedup();
+        self.resolve(now, &links, None)
     }
 
-    /// Brings the in-flight block of `from → to` up to date and recomputes its
-    /// service rate; returns the new completion estimate if the connection is
-    /// active.
-    fn reprice_connection(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Option<ConnUpdate> {
-        let path = self.tcp_path(from, to);
-        let up_share = self.topo.node(from).up / f64::from(self.out_active[from.index()].max(1));
-        let down_share = self.topo.node(to).down / f64::from(self.in_active[to.index()].max(1));
-        let conn = self.conns.get_mut(&(from, to))?;
-        let fl = conn.inflight.as_mut()?;
+    /// Re-solves the whole allocation from scratch, returning updates for
+    /// every flow whose rate changed. With correct incremental repricing this
+    /// is a no-op (the `fairness_oracle` property test asserts exactly that);
+    /// it exists for callers that rewrite the topology wholesale.
+    pub fn reprice_all(&mut self, now: SimTime) -> Vec<ConnUpdate> {
+        self.sync_link_tables();
+        let links: Vec<LinkId> = (0..self.link_flows.len() as u32)
+            .map(LinkId)
+            .filter(|l| !self.link_flows[l.index()].is_empty())
+            .collect();
+        self.resolve(now, &links, None)
+    }
 
-        // Account for progress made at the previous rate.
-        let elapsed = (now - conn.last_progress).as_secs_f64();
-        fl.bytes_left = (fl.bytes_left - elapsed * conn.rate).max(0.0);
-        conn.last_progress = now;
+    /// Usable capacity of `link`: loss-discounted, minus cross traffic.
+    fn usable(&self, link: LinkId) -> f64 {
+        (self.topo.link_capacity(link) - self.cross[link.index()]).max(MIN_RATE)
+    }
 
-        conn.rate = path
-            .cap(conn.bytes_acked)
-            .min(up_share)
-            .min(down_share)
-            .max(1.0);
-        let finish = now + SimDuration::from_secs_f64(fl.bytes_left / conn.rate);
-        Some(ConnUpdate::Schedule {
-            from,
-            to,
-            at: finish,
-        })
+    /// Registers `from → to` as an active flow and re-prices what its
+    /// arrival can affect.
+    ///
+    /// **Admission fast path:** if the flow's own ceiling fits inside the
+    /// residual slack of every link on its path, it is admitted at the
+    /// ceiling without a solve — the previous allocation plus the new
+    /// ceiling-capped flow is feasible, no previously unsaturated link
+    /// saturates, and every flow keeps its max-min certificate (its own
+    /// ceiling, or a saturated link the newcomer does not relieve), so the
+    /// extended allocation *is* the new max-min optimum. This is the common
+    /// case in a dissemination mesh (fresh slow-start flows on underloaded
+    /// links) and keeps steady-state activation O(1).
+    fn mark_active(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
+        self.sync_link_tables();
+        let links = self.topo.links_on_path(from, to);
+        for l in links {
+            self.link_flows[l.index()].insert((from, to));
+        }
+        let acked = self.conns[&(from, to)].bytes_acked;
+        let cap = self.flow_cap(from, to, acked);
+        let fits = links
+            .iter()
+            .all(|&l| self.link_usage[l.index()] + cap <= self.usable(l) * (1.0 - RATE_EPSILON));
+        let conn = self.conns.get_mut(&(from, to)).expect("connection exists");
+        debug_assert!(conn.registered.is_none(), "double activation");
+        conn.registered = Some(links);
+        if fits {
+            conn.rate = cap.max(MIN_RATE);
+            conn.last_cap = cap;
+        }
+        // The usage invariant — `link_usage` is the rate sum of the
+        // *registered* flows — must hold before the solver runs, because the
+        // solver accounts rate changes as deltas against it.
+        for l in links {
+            self.link_usage[l.index()] += conn.rate;
+        }
+        if fits {
+            let fl = conn.inflight.as_ref().expect("just started");
+            let finish = now + SimDuration::from_secs_f64(fl.bytes_left / conn.rate);
+            return vec![ConnUpdate::Schedule {
+                from,
+                to,
+                at: finish,
+            }];
+        }
+        self.resolve(now, &links, Some((from, to)))
+    }
+
+    /// Deregisters `from → to` (using the links it registered on, so a
+    /// topology remap mid-flight cannot desynchronise the tables) and
+    /// re-prices what its departure can affect.
+    ///
+    /// **Removal fast path:** if the departing flow was pinned at its own
+    /// ceiling and none of its links was saturated, no surviving flow's
+    /// bottleneck certificate involved those links — removal only adds slack
+    /// to links that were not binding anyone, so the remaining allocation is
+    /// still the max-min optimum and no solve is needed.
+    fn mark_idle(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
+        let conn = self.conns.get_mut(&(from, to)).expect("connection exists");
+        let links = conn.registered.take().expect("idle flow was registered");
+        let rate = conn.rate;
+        let ceiling_capped = rate >= conn.last_cap * (1.0 - RATE_EPSILON);
+        for l in links {
+            let removed = self.link_flows[l.index()].remove(&(from, to));
+            debug_assert!(removed, "idle flow was not registered on its links");
+            self.link_usage[l.index()] = (self.link_usage[l.index()] - rate).max(0.0);
+        }
+        let all_unsaturated = links.iter().all(|&l| {
+            // Usage *before* this removal, against the current capacity.
+            self.link_usage[l.index()] + rate <= self.usable(l) * (1.0 - RATE_EPSILON)
+        });
+        if ceiling_capped && all_unsaturated {
+            return Vec::new();
+        }
+        self.resolve(now, &links, None)
+    }
+
+    /// The per-flow TCP ceiling of `from → to`: the Mathis loss limit and the
+    /// slow-start window limit (the shared links themselves are constraints
+    /// of the solver, not of the individual flow).
+    fn flow_cap(&self, from: NodeId, to: NodeId, bytes_acked: u64) -> f64 {
+        let path = crate::tcp::TcpPath {
+            bottleneck: f64::INFINITY,
+            rtt: self.topo.rtt(from, to),
+            loss: self.topo.path(from, to).loss,
+        };
+        path.mathis_cap().min(path.slow_start_cap(bytes_acked))
+    }
+
+    /// Re-solves the max-min allocation of every connected component of the
+    /// flow–link graph reachable from `seed_links`, and converts the rate
+    /// changes into completion-event updates. `force` names a flow that must
+    /// receive a `Schedule` even if its rate is unchanged (a freshly started
+    /// in-flight block has no live event yet).
+    fn resolve(
+        &mut self,
+        now: SimTime,
+        seed_links: &[LinkId],
+        force: Option<(NodeId, NodeId)>,
+    ) -> Vec<ConnUpdate> {
+        // ---- Component discovery: BFS over the flow–link bipartite graph.
+        self.mark_stamp += 1;
+        let stamp = self.mark_stamp;
+        self.seen_flows.clear();
+        let mut s = std::mem::take(&mut self.scratch);
+        s.comp_links.clear();
+        s.flows.clear();
+        for &l in seed_links {
+            if self.link_mark[l.index()] != stamp {
+                self.link_mark[l.index()] = stamp;
+                self.link_local[l.index()] = s.comp_links.len() as u32;
+                s.comp_links.push(l);
+            }
+        }
+        let mut qi = 0;
+        while qi < s.comp_links.len() {
+            let l = s.comp_links[qi];
+            qi += 1;
+            for &flow in &self.link_flows[l.index()] {
+                if self.seen_flows.insert(flow) {
+                    s.flows.push(flow);
+                    let regs = self.conns[&flow]
+                        .registered
+                        .expect("active flow is registered");
+                    for nl in regs {
+                        if self.link_mark[nl.index()] != stamp {
+                            self.link_mark[nl.index()] = stamp;
+                            self.link_local[nl.index()] = s.comp_links.len() as u32;
+                            s.comp_links.push(nl);
+                        }
+                    }
+                }
+            }
+        }
+        if s.flows.is_empty() {
+            self.scratch = s;
+            return Vec::new();
+        }
+
+        // ---- Solver inputs: local link states, adjacency, per-flow caps.
+        s.links.clear();
+        if s.link_members.len() < s.comp_links.len() {
+            s.link_members.resize_with(s.comp_links.len(), Vec::new);
+        }
+        for (li, &l) in s.comp_links.iter().enumerate() {
+            s.links.push(LinkState {
+                capacity: self.usable(l),
+                unfrozen: 0,
+                frozen_usage: 0.0,
+            });
+            s.link_members[li].clear();
+        }
+        s.flow_links.clear();
+        s.caps.clear();
+        for (i, &(from, to)) in s.flows.iter().enumerate() {
+            let conn = &self.conns[&(from, to)];
+            let ls = conn
+                .registered
+                .expect("active flow is registered")
+                .map(|l| self.link_local[l.index()] as usize);
+            for &li in &ls {
+                s.links[li].unfrozen += 1;
+                s.link_members[li].push(i);
+            }
+            s.flow_links.push(ls);
+            s.caps.push(self.flow_cap(from, to, conn.bytes_acked));
+        }
+        max_min_rates(
+            &s.caps,
+            &s.flow_links,
+            &mut s.links,
+            &s.link_members,
+            &mut s.rates,
+            &mut s.frozen,
+        );
+
+        // ---- Apply: account progress and emit updates for changed flows.
+        let mut out = Vec::new();
+        for (i, &(from, to)) in s.flows.iter().enumerate() {
+            let new_rate = s.rates[i].max(MIN_RATE);
+            let conn = self.conns.get_mut(&(from, to)).expect("active flow");
+            conn.last_cap = s.caps[i];
+            let changed = (new_rate - conn.rate).abs() > conn.rate * RATE_EPSILON;
+            if changed || force == Some((from, to)) {
+                let fl = conn.inflight.as_mut().expect("active flow has inflight");
+                let elapsed = (now - conn.last_progress).as_secs_f64();
+                fl.bytes_left = (fl.bytes_left - elapsed * conn.rate).max(0.0);
+                conn.last_progress = now;
+                let old_rate = conn.rate;
+                conn.rate = new_rate;
+                for l in conn.registered.expect("active flow is registered") {
+                    self.link_usage[l.index()] =
+                        (self.link_usage[l.index()] + new_rate - old_rate).max(0.0);
+                }
+                let finish = now + SimDuration::from_secs_f64(fl.bytes_left / conn.rate);
+                out.push(ConnUpdate::Schedule {
+                    from,
+                    to,
+                    at: finish,
+                });
+            }
+        }
+        self.scratch = s;
+        out
+    }
+}
+
+/// Working state of one link during progressive filling.
+#[derive(Debug)]
+struct LinkState {
+    /// Usable capacity (loss-discounted, minus cross traffic).
+    capacity: f64,
+    /// Number of not-yet-frozen flows crossing the link.
+    unfrozen: u32,
+    /// Capacity consumed by flows already frozen on this link.
+    frozen_usage: f64,
+}
+
+impl LinkState {
+    /// The water level at which this link saturates given its current frozen
+    /// usage: `frozen_usage + unfrozen * level == capacity`.
+    fn saturation_level(&self) -> f64 {
+        debug_assert!(self.unfrozen > 0);
+        (self.capacity - self.frozen_usage) / f64::from(self.unfrozen)
+    }
+}
+
+/// Progressive filling: raises one common water level over all flows;
+/// a flow freezes at its own ceiling (`caps`) or at the level where a link
+/// on its path saturates. Writes the max-min fair rate of each flow into
+/// `rates` (reused caller buffers; `link_members` lists each link's flows).
+///
+/// Deterministic by construction — plain `f64` comparisons over inputs whose
+/// order the caller fixed — and O(rounds × (flows + links)) with at least one
+/// flow frozen per round.
+fn max_min_rates(
+    caps: &[f64],
+    flow_links: &[[usize; 3]],
+    links: &mut [LinkState],
+    link_members: &[Vec<usize>],
+    rates: &mut Vec<f64>,
+    frozen: &mut Vec<bool>,
+) {
+    let n = caps.len();
+    rates.clear();
+    rates.resize(n, 0.0);
+    frozen.clear();
+    frozen.resize(n, false);
+    let mut remaining = n;
+    let mut level = 0.0f64;
+
+    // Freezing helper as a closure is blocked by borrow rules; a macro keeps
+    // the link bookkeeping in one place instead.
+    macro_rules! freeze {
+        ($i:expr, $rate:expr) => {{
+            let i = $i;
+            let r = $rate;
+            rates[i] = r;
+            frozen[i] = true;
+            remaining -= 1;
+            for &li in &flow_links[i] {
+                links[li].unfrozen -= 1;
+                links[li].frozen_usage += r;
+            }
+        }};
+    }
+
+    while remaining > 0 {
+        // The next stopping point: the lowest flow ceiling or link
+        // saturation level at or above the current water level.
+        let mut next = f64::INFINITY;
+        for i in 0..n {
+            if !frozen[i] {
+                next = next.min(caps[i]);
+            }
+        }
+        for l in links.iter() {
+            if l.unfrozen > 0 {
+                next = next.min(l.saturation_level());
+            }
+        }
+        level = next.max(level);
+
+        let mut any = false;
+        // Flows that hit their own ceiling freeze at the ceiling.
+        for i in 0..n {
+            if !frozen[i] && caps[i] <= level {
+                freeze!(i, caps[i]);
+                any = true;
+            }
+        }
+        // Links that saturate at (or, through floating-point drift, just
+        // below) the level freeze their remaining flows at the level. One
+        // saturation can lower another link's level, so sweep to fixpoint.
+        loop {
+            let mut hit = false;
+            for li in 0..links.len() {
+                if links[li].unfrozen == 0 {
+                    continue;
+                }
+                if links[li].saturation_level() <= level * (1.0 + 1e-12) {
+                    for &i in &link_members[li] {
+                        if !frozen[i] {
+                            freeze!(i, level);
+                        }
+                    }
+                    hit = true;
+                    any = true;
+                }
+            }
+            if !hit {
+                break;
+            }
+        }
+        if !any {
+            // Unreachable by construction (the level was chosen as an
+            // achieved minimum), but guarantees termination outright.
+            for i in 0..n {
+                if !frozen[i] {
+                    freeze!(i, level);
+                }
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::{constrained_access, NodeSpec, PathSpec};
+    use crate::topology::{constrained_access, shared_core_mesh, NodeSpec, PathSpec};
     use crate::units::mbps;
     use desim::RngFactory;
 
@@ -655,6 +1086,171 @@ mod tests {
     }
 
     #[test]
+    fn flows_contend_on_a_shared_core_link() {
+        // Two disjoint sender/receiver pairs whose only common constraint is
+        // the shared 2 Mbps core: under the old per-path model they would
+        // not contend at all.
+        let rng = RngFactory::new(1);
+        let mut net = Network::new(shared_core_mesh(4, mbps(2.0), 0.0, &rng));
+        let t0 = SimTime::ZERO;
+        let big = 5_000_000;
+        // Mature flow 0 → 1 past slow start by completing one large block.
+        let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), big);
+        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(1), big);
+        let at = sched_at(&r, NodeId(0), NodeId(1));
+        net.on_block_done(at, NodeId(0), NodeId(1)).unwrap();
+        let alone = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+        assert!(
+            (alone - mbps(2.0)).abs() < 1.0,
+            "a lone mature flow fills the shared core ({alone})"
+        );
+        let updates = net.queue_block(at, NodeId(2), NodeId(3), BlockId(2), big);
+        // The established flow is re-priced by the newcomer's arrival.
+        let _ = sched_at(&updates, NodeId(2), NodeId(3));
+        let shared = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+        assert!(
+            shared < alone,
+            "a disjoint pair crossing the same core link must steal share \
+             (alone {alone}, shared {shared})"
+        );
+    }
+
+    #[test]
+    fn capped_flows_release_share_to_their_competitors() {
+        // Max-min, not equal split: a flow held below the fair share by its
+        // own ceiling (here: slow start on a fresh connection over a long
+        // path) leaves the rest of the link to its competitor.
+        let node = NodeSpec {
+            up: 100_000.0,
+            down: 100_000.0,
+            access_delay: SimDuration::from_millis(2),
+        };
+        let path = PathSpec {
+            bw: mbps(10.0),
+            delay: SimDuration::from_millis(100),
+            loss: 0.0,
+        };
+        let mut net = Network::new(Topology::new(vec![node; 3], vec![vec![path; 3]; 3]));
+        let t0 = SimTime::ZERO;
+        // Flow A: matured by completing a 100 KB block.
+        let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 100_000);
+        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(1), 400_000);
+        let at = sched_at(&r, NodeId(0), NodeId(1));
+        net.on_block_done(at, NodeId(0), NodeId(1)).unwrap();
+        // Flow B: brand new at the same sender, window-limited over the
+        // ~208 ms RTT (slow-start cap ≈ 21 KB/s, well below the 50 KB/s
+        // fair share of the 100 KB/s uplink).
+        net.queue_block(at, NodeId(0), NodeId(2), BlockId(2), 400_000);
+        let a = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+        let b = net.connection(NodeId(0), NodeId(2)).unwrap().current_rate();
+        let uplink = 100_000.0;
+        assert!(
+            b < uplink / 2.0,
+            "the slow-starting flow must sit below the fair share (b {b})"
+        );
+        assert!(
+            a > uplink / 2.0 + 1.0,
+            "the uncapped flow must claim the capped flow's leftover ({a})"
+        );
+        assert!(
+            a + b <= uplink * (1.0 + 1e-6),
+            "conservation on the uplink ({a} + {b})"
+        );
+    }
+
+    #[test]
+    fn cross_traffic_takes_core_capacity_and_returns_it() {
+        let rng = RngFactory::new(2);
+        let mut net = Network::new(shared_core_mesh(3, mbps(2.0), 0.0, &rng));
+        let t0 = SimTime::ZERO;
+        // Mature the flow past slow start by completing one large block.
+        let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 5_000_000);
+        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(1), 50_000_000);
+        let t1 = sched_at(&r, NodeId(0), NodeId(1));
+        net.on_block_done(t1, NodeId(0), NodeId(1)).unwrap();
+        let clean = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+
+        // A CBR stream occupying half the core.
+        let updates = net.set_cross_traffic(t1, (NodeId(0), NodeId(1)), mbps(1.0));
+        assert_eq!(updates.len(), 1, "the flow is re-priced: {updates:?}");
+        let squeezed = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+        assert!(
+            squeezed < clean * 0.6,
+            "cross traffic must take its share (clean {clean}, squeezed {squeezed})"
+        );
+        let link = net.topology().core_link(NodeId(0), NodeId(1));
+        assert_eq!(net.cross_traffic(link), mbps(1.0));
+
+        // Switching it off restores the rate.
+        net.set_cross_traffic(t1, (NodeId(0), NodeId(1)), 0.0);
+        let restored = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+        assert!((restored - clean).abs() < clean * 1e-6);
+    }
+
+    #[test]
+    fn share_core_mid_run_with_active_flows_is_safe() {
+        // Regression: remapping pairs onto a shared link while a flow is in
+        // flight must not desynchronise the per-link registration (debug
+        // builds used to hit the mark_idle debug_assert; release builds left
+        // a stale entry distorting every later solve). The in-flight flow
+        // keeps its registered (old, dedicated) link until it goes idle;
+        // new activations ride the shared link.
+        let mut net = Network::new(constrained_access(4));
+        let t0 = SimTime::ZERO;
+        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 200_000);
+        // Remap both pairs onto one shared 2 Mbps link mid-flight.
+        net.topology_mut().share_core(
+            &[(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))],
+            mbps(2.0),
+            0.0,
+        );
+        // Completing the in-flight block (connection goes idle) must not
+        // panic or corrupt state.
+        let t1 = SimTime::from_secs_f64(10.0);
+        net.on_block_done(t1, NodeId(0), NodeId(1))
+            .expect("in flight");
+        // Fresh activations are registered consistently on the new link and
+        // a from-scratch solve agrees with the incremental state.
+        net.queue_block(t1, NodeId(0), NodeId(1), BlockId(1), 200_000);
+        net.queue_block(t1, NodeId(2), NodeId(3), BlockId(2), 200_000);
+        let before: Vec<f64> = [(0u32, 1u32), (2, 3)]
+            .iter()
+            .map(|&(a, b)| net.connection(NodeId(a), NodeId(b)).unwrap().current_rate())
+            .collect();
+        net.reprice_all(t1);
+        let after: Vec<f64> = [(0u32, 1u32), (2, 3)]
+            .iter()
+            .map(|&(a, b)| net.connection(NodeId(a), NodeId(b)).unwrap().current_rate())
+            .collect();
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((a - b).abs() <= b * 1e-6, "incremental drift: {b} vs {a}");
+        }
+    }
+
+    #[test]
+    fn repricing_is_scoped_to_the_connected_component() {
+        // Flows 0→1 and 2→3 share no link (dedicated cores, distinct access
+        // links): starting/stopping one must not emit updates for the other.
+        let mut net = Network::new(constrained_access(4));
+        let t0 = SimTime::ZERO;
+        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 1_000_000);
+        let updates = net.queue_block(t0, NodeId(2), NodeId(3), BlockId(1), 1_000_000);
+        assert_eq!(
+            updates.len(),
+            1,
+            "only the new flow's component is touched: {updates:?}"
+        );
+        let _ = sched_at(&updates, NodeId(2), NodeId(3));
+        let updates = net.close_connection(SimTime::from_secs_f64(1.0), NodeId(2), NodeId(3));
+        assert!(
+            !updates
+                .iter()
+                .any(|u| matches!(u, ConnUpdate::Schedule { from, .. } if *from == NodeId(0))),
+            "the disconnected flow must not be re-priced: {updates:?}"
+        );
+    }
+
+    #[test]
     fn closing_a_connection_cancels_and_restores_shares() {
         let mut net = Network::new(constrained_access(3));
         let t0 = SimTime::ZERO;
@@ -712,7 +1308,8 @@ mod tests {
         let original_finish = sched_at(&r, NodeId(0), NodeId(1));
         // Halve the core bandwidth at t = 1s.
         let t1 = SimTime::from_secs_f64(1.0);
-        net.topology_mut().path_mut(NodeId(0), NodeId(1)).bw = mbps(1.0);
+        net.topology_mut()
+            .set_core_bw(NodeId(0), NodeId(1), mbps(1.0));
         let rs = net.reprice_paths(t1, &[(NodeId(0), NodeId(1))]);
         assert_eq!(rs.len(), 1);
         assert!(
@@ -744,5 +1341,69 @@ mod tests {
     fn self_connection_rejected() {
         let mut net = Network::new(two_node_topo(2.0, 6.0));
         net.queue_block(SimTime::ZERO, NodeId(0), NodeId(0), BlockId(0), 10);
+    }
+
+    #[test]
+    fn progressive_filling_matches_hand_solved_example() {
+        // The worked 3-flow example of docs/NETWORK_MODEL.md: links L1 (cap
+        // 10, flows A+B), L2 (cap 6, flows B+C); C capped at 2.
+        // Level 2: C freezes at its cap. Level 4: L2 saturates (2 + 4 = 6),
+        // B freezes at 4. Level 6: L1 saturates (4 + 6 = 10), A freezes at 6.
+        let caps = [f64::INFINITY, f64::INFINITY, 2.0];
+        // Give every flow three link slots (the solver's path shape) by
+        // padding with per-flow private links of ample capacity.
+        let flow_links = [[0, 2, 3], [0, 1, 4], [1, 2, 5]];
+        let mut links = vec![
+            LinkState {
+                capacity: 10.0,
+                unfrozen: 2,
+                frozen_usage: 0.0,
+            },
+            LinkState {
+                capacity: 6.0,
+                unfrozen: 2,
+                frozen_usage: 0.0,
+            },
+            LinkState {
+                capacity: 100.0,
+                unfrozen: 2,
+                frozen_usage: 0.0,
+            },
+            LinkState {
+                capacity: 100.0,
+                unfrozen: 1,
+                frozen_usage: 0.0,
+            },
+            LinkState {
+                capacity: 100.0,
+                unfrozen: 1,
+                frozen_usage: 0.0,
+            },
+            LinkState {
+                capacity: 100.0,
+                unfrozen: 1,
+                frozen_usage: 0.0,
+            },
+        ];
+        let link_members: Vec<Vec<usize>> = (0..links.len())
+            .map(|li| {
+                (0..flow_links.len())
+                    .filter(|&i| flow_links[i].contains(&li))
+                    .collect()
+            })
+            .collect();
+        let mut rates = Vec::new();
+        let mut frozen = Vec::new();
+        max_min_rates(
+            &caps,
+            &flow_links,
+            &mut links,
+            &link_members,
+            &mut rates,
+            &mut frozen,
+        );
+        assert!((rates[0] - 6.0).abs() < 1e-9, "A: {rates:?}");
+        assert!((rates[1] - 4.0).abs() < 1e-9, "B: {rates:?}");
+        assert!((rates[2] - 2.0).abs() < 1e-9, "C: {rates:?}");
     }
 }

@@ -51,7 +51,7 @@ use std::collections::HashMap;
 use desim::{EventKey, RngFactory, SimDuration, SimTime, Simulator};
 use rand::rngs::StdRng;
 
-use crate::dynamics::{LinkChangeBatch, NodeEvent};
+use crate::dynamics::{CrossTraffic, LinkChangeBatch, NodeEvent};
 use crate::network::{CompletedBlock, ConnUpdate, Network};
 use crate::probe::{Probe, StatsProbe, TimeSeries};
 use crate::protocol::{Command, Ctx, Protocol, TimerToken, WireSize};
@@ -72,6 +72,8 @@ enum NetEvent<M> {
     Timer { node: NodeId, token: u64 },
     /// A scheduled link-change batch takes effect.
     LinkChange { index: usize },
+    /// A scheduled cross-traffic occupancy change takes effect.
+    CrossChange { change: CrossTraffic },
     /// A scheduled node-lifecycle event takes effect.
     Lifecycle { event: NodeEvent },
     /// The periodic probe sampling instant (see [`crate::probe`]).
@@ -253,6 +255,12 @@ impl<P: Protocol> Runner<P> {
         let index = self.link_changes.len();
         self.link_changes.push(batch);
         self.sim.schedule_at(at, NetEvent::LinkChange { index });
+    }
+
+    /// Schedules a cross-traffic occupancy change (see
+    /// [`crate::dynamics::CrossTraffic`]) to take effect at `at`.
+    pub fn schedule_cross_traffic(&mut self, at: SimTime, change: CrossTraffic) {
+        self.sim.schedule_at(at, NetEvent::CrossChange { change });
     }
 
     /// Schedules a node-lifecycle event (join, graceful leave, crash) to take
@@ -552,6 +560,10 @@ impl<P: Protocol> Runner<P> {
                 let batch = std::mem::take(&mut self.link_changes[index]);
                 let pairs = batch.apply(self.net.topology_mut());
                 let updates = self.net.reprice_paths(now, &pairs);
+                self.apply_conn_updates(updates);
+            }
+            NetEvent::CrossChange { change } => {
+                let updates = self.net.set_cross_traffic(now, change.via, change.rate);
                 self.apply_conn_updates(updates);
             }
             NetEvent::Lifecycle { event } => match event {

@@ -1,11 +1,31 @@
-//! Emulated topologies.
+//! Emulated topologies and their link graph.
 //!
 //! The paper runs every controlled experiment on a **fully interconnected
-//! mesh**: each pair of overlay participants is joined by a dedicated core
-//! link with its own bandwidth, propagation delay and loss rate, and each
-//! node additionally has inbound and outbound access links. This module
-//! describes such topologies and provides generators for every configuration
-//! the evaluation uses (§4.1, §4.4, §4.5, §4.7).
+//! mesh**: each pair of overlay participants is joined by a core link with
+//! its own bandwidth, propagation delay and loss rate, and each node
+//! additionally has inbound and outbound access links. This module describes
+//! such topologies and provides generators for every configuration the
+//! evaluation uses (§4.1, §4.4, §4.5, §4.7).
+//!
+//! ## The link graph
+//!
+//! Beyond the per-pair path table, a topology exposes an explicit set of
+//! **directed links** ([`LinkId`]), the capacity constraints of the global
+//! max-min fluid model (see [`crate::network`] and `docs/NETWORK_MODEL.md`):
+//!
+//! * one **access uplink** and one **access downlink** per node, with the
+//!   capacities of its [`NodeSpec`];
+//! * a set of **core links**. By default every ordered pair owns a dedicated
+//!   core link (the paper's ModelNet meshes), but pairs can be remapped onto
+//!   a **shared** core link with [`Topology::share_core`] — the substrate of
+//!   the shared-bottleneck and cross-traffic scenarios (`fig18`/`fig19`).
+//!
+//! The path from `a` to `b` traverses exactly three links: `a`'s uplink, the
+//! core link `link_of(a → b)`, and `b`'s downlink
+//! ([`Topology::links_on_path`]). A core link's usable capacity is discounted
+//! by its loss rate ([`Topology::link_capacity`]): a fraction `loss` of every
+//! transmitted byte is retransmission overhead that the fluid model charges
+//! as lost capacity.
 
 use desim::{RngFactory, SimDuration};
 use rand::Rng;
@@ -51,17 +71,56 @@ pub struct PathSpec {
     pub loss: f64,
 }
 
+/// Identifier of a directed link in a topology's link graph: the unit of
+/// capacity sharing in the global max-min fluid model.
+///
+/// Link ids are dense: for an `n`-node topology, ids `0..n` are the access
+/// uplinks, `n..2n` the access downlinks, and `2n..` the core links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Numeric index into per-link tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A directed core link: the capacity every path mapped onto it shares.
+#[derive(Debug, Clone)]
+struct CoreLink {
+    /// Raw capacity in bytes/second.
+    capacity: BytesPerSec,
+    /// Packet loss probability, in `[0, 1)`; discounts the usable capacity.
+    loss: f64,
+    /// Ordered pairs whose core path rides this link (kept in sync with
+    /// `Topology::link_of` so capacity changes can mirror into the per-pair
+    /// `PathSpec` view).
+    pairs: Vec<(u32, u32)>,
+}
+
+/// Sentinel for the unused diagonal of the pair → core-link table.
+const NO_LINK: u32 = u32::MAX;
+
 /// A complete emulated topology: per-node access links plus a directional
-/// core path for every ordered pair.
+/// core path for every ordered pair, backed by an explicit link graph.
 #[derive(Debug, Clone)]
 pub struct Topology {
     nodes: Vec<NodeSpec>,
     /// `core[a][b]` is the path from `a` to `b`. The diagonal is unused.
     core: Vec<Vec<PathSpec>>,
+    /// The core links; by construction every off-diagonal pair starts with a
+    /// dedicated one ([`Topology::share_core`] remaps pairs onto shared ones).
+    core_links: Vec<CoreLink>,
+    /// `link_of[a][b]` is the index (into `core_links`) of the core link the
+    /// `a → b` path rides. The diagonal holds [`NO_LINK`].
+    link_of: Vec<Vec<u32>>,
 }
 
 impl Topology {
-    /// Builds a topology from explicit node and path tables.
+    /// Builds a topology from explicit node and path tables. Every ordered
+    /// pair gets a dedicated core link whose capacity and loss mirror its
+    /// [`PathSpec`].
     ///
     /// # Panics
     ///
@@ -73,7 +132,27 @@ impl Topology {
         for row in &core {
             assert_eq!(row.len(), n, "core matrix must be n x n");
         }
-        Topology { nodes, core }
+        let mut core_links = Vec::with_capacity(n * n - n);
+        let mut link_of = vec![vec![NO_LINK; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                link_of[a][b] = core_links.len() as u32;
+                core_links.push(CoreLink {
+                    capacity: core[a][b].bw,
+                    loss: core[a][b].loss,
+                    pairs: vec![(a as u32, b as u32)],
+                });
+            }
+        }
+        Topology {
+            nodes,
+            core,
+            core_links,
+            link_of,
+        }
     }
 
     /// Number of hosts.
@@ -102,9 +181,142 @@ impl Topology {
         &self.core[a.index()][b.index()]
     }
 
-    /// Mutable core path spec (used by dynamic-bandwidth scenarios).
-    pub fn path_mut(&mut self, a: NodeId, b: NodeId) -> &mut PathSpec {
-        &mut self.core[a.index()][b.index()]
+    /// Sets the capacity of the core link carrying `a → b` to `bw`
+    /// (bytes/second, floored at 1). On a shared link this affects **every**
+    /// pair mapped onto it; all affected `PathSpec.bw` mirrors are updated.
+    /// Returns the changed link so callers can re-price flows on it.
+    pub fn set_core_bw(&mut self, a: NodeId, b: NodeId, bw: BytesPerSec) -> LinkId {
+        let j = self.core_link_index(a, b);
+        let bw = bw.max(1.0);
+        self.core_links[j].capacity = bw;
+        for &(x, y) in &self.core_links[j].pairs {
+            self.core[x as usize][y as usize].bw = bw;
+        }
+        self.core_link_id(j)
+    }
+
+    /// Multiplies the capacity of the core link carrying `a → b` by `factor`
+    /// (result floored at 1 byte/second). See [`Topology::set_core_bw`] for
+    /// shared-link semantics.
+    pub fn scale_core_bw(&mut self, a: NodeId, b: NodeId, factor: f64) -> LinkId {
+        let j = self.core_link_index(a, b);
+        let bw = (self.core_links[j].capacity * factor).max(1.0);
+        self.set_core_bw(a, b, bw)
+    }
+
+    /// Remaps the given ordered pairs onto one **shared** core link of the
+    /// given capacity and loss rate, creating it. The pairs' `PathSpec`
+    /// bandwidth/loss mirrors are rewritten to match (delays are kept).
+    /// Returns the new link's id.
+    ///
+    /// Normally called while assembling a topology, but remapping through
+    /// [`crate::Network::topology_mut`] mid-run is safe too: flows already in
+    /// flight keep the links they registered on until they next go idle, and
+    /// later activations ride the new link.
+    ///
+    /// ```
+    /// use netsim::units::mbps;
+    /// use netsim::{topology, NodeId};
+    ///
+    /// let mut topo = topology::constrained_access(4);
+    /// let shared = topo.share_core(
+    ///     &[(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))],
+    ///     mbps(2.0),
+    ///     0.0,
+    /// );
+    /// // Both pairs now ride — and contend on — the same 2 Mbps link.
+    /// assert_eq!(topo.core_link(NodeId(0), NodeId(1)), shared);
+    /// assert_eq!(topo.core_link(NodeId(2), NodeId(3)), shared);
+    /// assert_eq!(topo.link_capacity(shared), mbps(2.0));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or names a diagonal pair.
+    pub fn share_core(
+        &mut self,
+        pairs: &[(NodeId, NodeId)],
+        capacity: BytesPerSec,
+        loss: f64,
+    ) -> LinkId {
+        assert!(
+            !pairs.is_empty(),
+            "a shared core link needs at least one pair"
+        );
+        let j = self.core_links.len();
+        let mut link = CoreLink {
+            capacity: capacity.max(1.0),
+            loss,
+            pairs: Vec::with_capacity(pairs.len()),
+        };
+        for &(a, b) in pairs {
+            assert!(a != b, "a core link cannot join a node to itself");
+            let old = self.link_of[a.index()][b.index()];
+            if old != NO_LINK {
+                let key = (a.0, b.0);
+                self.core_links[old as usize].pairs.retain(|&p| p != key);
+            }
+            self.link_of[a.index()][b.index()] = j as u32;
+            link.pairs.push((a.0, b.0));
+            let path = &mut self.core[a.index()][b.index()];
+            path.bw = link.capacity;
+            path.loss = loss;
+        }
+        self.core_links.push(link);
+        self.core_link_id(j)
+    }
+
+    /// Total number of directed links: `2n` access links plus the core links.
+    pub fn num_links(&self) -> usize {
+        2 * self.nodes.len() + self.core_links.len()
+    }
+
+    /// The access uplink of `node`.
+    pub fn uplink(&self, node: NodeId) -> LinkId {
+        LinkId(node.0)
+    }
+
+    /// The access downlink of `node`.
+    pub fn downlink(&self, node: NodeId) -> LinkId {
+        LinkId(self.nodes.len() as u32 + node.0)
+    }
+
+    /// The core link the `a → b` path rides.
+    pub fn core_link(&self, a: NodeId, b: NodeId) -> LinkId {
+        self.core_link_id(self.core_link_index(a, b))
+    }
+
+    /// The three links the `a → b` path traverses, in path order: `a`'s
+    /// uplink, the core link, `b`'s downlink.
+    pub fn links_on_path(&self, a: NodeId, b: NodeId) -> [LinkId; 3] {
+        [self.uplink(a), self.core_link(a, b), self.downlink(b)]
+    }
+
+    /// Usable capacity of `link` in bytes/second. Access links carry their
+    /// raw [`NodeSpec`] capacity; a core link's raw capacity is discounted by
+    /// its loss rate (`capacity * (1 - loss)`): lost packets are retransmitted
+    /// and the retransmissions occupy the link.
+    pub fn link_capacity(&self, link: LinkId) -> BytesPerSec {
+        let n = self.nodes.len();
+        let i = link.index();
+        if i < n {
+            self.nodes[i].up
+        } else if i < 2 * n {
+            self.nodes[i - n].down
+        } else {
+            let l = &self.core_links[i - 2 * n];
+            (l.capacity * (1.0 - l.loss)).max(1.0)
+        }
+    }
+
+    fn core_link_index(&self, a: NodeId, b: NodeId) -> usize {
+        let j = self.link_of[a.index()][b.index()];
+        assert!(j != NO_LINK, "no core link joins a node to itself");
+        j as usize
+    }
+
+    fn core_link_id(&self, core_index: usize) -> LinkId {
+        LinkId((2 * self.nodes.len() + core_index) as u32)
     }
 
     /// One-way end-to-end propagation delay from `a` to `b` (access + core +
@@ -316,6 +528,48 @@ pub fn planetlab_like(n: usize, rng: &RngFactory) -> Topology {
     Topology::new(nodes, core)
 }
 
+/// A mesh whose entire core is **one shared bottleneck link**: `n` nodes
+/// with 6 Mbps access links (1 ms delay) whose every ordered pair rides a
+/// single core link of `core` bytes/second with loss rate `loss`; per-pair
+/// propagation delays are uniform in 5–200 ms like the ModelNet mesh. This is
+/// the substrate of the shared-bottleneck (`fig18`) and cross-traffic
+/// (`fig19`) scenarios: all overlay traffic — from however many concurrent
+/// meshes — contends for the one core link.
+pub fn shared_core_mesh(n: usize, core: BytesPerSec, loss: f64, rng: &RngFactory) -> Topology {
+    let mut delay_rng = rng.stream("topology.shared.delay");
+    let nodes = vec![
+        NodeSpec {
+            up: mbps(6.0),
+            down: mbps(6.0),
+            access_delay: SimDuration::from_millis(1),
+        };
+        n
+    ];
+    let mut core_paths = Vec::with_capacity(n);
+    for a in 0..n {
+        let mut row = Vec::with_capacity(n);
+        for b in 0..n {
+            let delay = if a == b {
+                SimDuration::ZERO
+            } else {
+                uniform_delay_ms(&mut delay_rng, 5.0, 200.0)
+            };
+            row.push(PathSpec {
+                bw: core,
+                delay,
+                loss,
+            });
+        }
+        core_paths.push(row);
+    }
+    let mut topo = Topology::new(nodes, core_paths);
+    let pairs: Vec<(NodeId, NodeId)> = (0..n as u32)
+        .flat_map(|a| (0..n as u32).filter_map(move |b| (a != b).then_some((NodeId(a), NodeId(b)))))
+        .collect();
+    topo.share_core(&pairs, core, loss);
+    topo
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +649,87 @@ mod tests {
             ups.len() > 1,
             "access bandwidths should differ across sites"
         );
+    }
+
+    #[test]
+    fn dedicated_links_mirror_path_specs() {
+        let t = constrained_access(3);
+        assert_eq!(t.num_links(), 2 * 3 + 6, "2n access + n(n-1) core links");
+        let a = NodeId(0);
+        let b = NodeId(1);
+        assert_eq!(t.link_capacity(t.uplink(a)), kbps(800.0));
+        assert_eq!(t.link_capacity(t.downlink(b)), kbps(800.0));
+        assert_eq!(t.link_capacity(t.core_link(a, b)), mbps(10.0));
+        // Paths traverse uplink, core, downlink in order; directions are
+        // distinct links.
+        let [up, core, down] = t.links_on_path(a, b);
+        assert_eq!(up, t.uplink(a));
+        assert_eq!(core, t.core_link(a, b));
+        assert_eq!(down, t.downlink(b));
+        assert_ne!(t.core_link(a, b), t.core_link(b, a));
+    }
+
+    #[test]
+    fn set_core_bw_updates_link_and_path_views() {
+        let mut t = constrained_access(3);
+        let link = t.set_core_bw(NodeId(0), NodeId(1), mbps(1.0));
+        assert_eq!(t.path(NodeId(0), NodeId(1)).bw, mbps(1.0));
+        assert_eq!(t.link_capacity(link), mbps(1.0));
+        // Other pairs untouched.
+        assert_eq!(t.path(NodeId(1), NodeId(0)).bw, mbps(10.0));
+        t.scale_core_bw(NodeId(0), NodeId(1), 0.5);
+        assert_eq!(t.path(NodeId(0), NodeId(1)).bw, mbps(0.5));
+    }
+
+    #[test]
+    fn shared_core_joins_pairs_onto_one_link() {
+        let mut t = constrained_access(4);
+        let link = t.share_core(
+            &[(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))],
+            mbps(2.0),
+            0.01,
+        );
+        assert_eq!(t.core_link(NodeId(0), NodeId(1)), link);
+        assert_eq!(t.core_link(NodeId(2), NodeId(3)), link);
+        // Unmapped pairs keep their dedicated links.
+        assert_ne!(t.core_link(NodeId(1), NodeId(0)), link);
+        // The per-pair view mirrors the shared link.
+        assert_eq!(t.path(NodeId(0), NodeId(1)).bw, mbps(2.0));
+        assert_eq!(t.path(NodeId(2), NodeId(3)).loss, 0.01);
+        // Loss discounts the usable capacity.
+        assert!((t.link_capacity(link) - mbps(2.0) * 0.99).abs() < 1e-9);
+        // A capacity change through either pair reaches every mapped pair.
+        t.set_core_bw(NodeId(0), NodeId(1), mbps(1.0));
+        assert_eq!(t.path(NodeId(2), NodeId(3)).bw, mbps(1.0));
+    }
+
+    #[test]
+    fn shared_core_mesh_has_one_core_bottleneck() {
+        let rng = RngFactory::new(4);
+        let t = shared_core_mesh(6, mbps(2.0), 0.0, &rng);
+        let shared = t.core_link(NodeId(0), NodeId(1));
+        for a in t.node_ids() {
+            for b in t.node_ids() {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(t.core_link(a, b), shared);
+            }
+        }
+        assert_eq!(t.link_capacity(shared), mbps(2.0));
+        assert_eq!(t.node(NodeId(3)).up, mbps(6.0));
+        // Delays still vary per pair.
+        assert_ne!(
+            t.path(NodeId(0), NodeId(1)).delay,
+            t.path(NodeId(0), NodeId(2)).delay
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no core link joins a node to itself")]
+    fn diagonal_core_link_rejected() {
+        let t = constrained_access(3);
+        t.core_link(NodeId(1), NodeId(1));
     }
 
     #[test]

@@ -10,9 +10,15 @@ use desim::RngFactory;
 use netsim::NodeId;
 use rand::seq::SliceRandom;
 
-/// An overlay tree over nodes `0..n`, rooted at node 0 (the source).
+/// An overlay tree over a contiguous id range `base..base + n`, rooted at
+/// `base` (the source). Trees built with [`ControlTree::random`] or
+/// [`ControlTree::from_parents`] cover `0..n`; [`ControlTree::random_rooted`]
+/// places the tree anywhere in a larger topology, so several independent
+/// meshes can coexist in one emulation (the shared-bottleneck scenarios).
 #[derive(Debug, Clone)]
 pub struct ControlTree {
+    /// First (root) node id of the member range.
+    base: u32,
     parent: Vec<Option<NodeId>>,
     children: Vec<Vec<NodeId>>,
 }
@@ -29,13 +35,47 @@ impl ControlTree {
     ///
     /// Panics if `n < 2` or `max_degree == 0`.
     pub fn random(n: usize, max_degree: usize, rng: &RngFactory) -> Self {
+        Self::random_over(rng.stream("overlay.tree"), 0, n, max_degree)
+    }
+
+    /// Builds a random tree over the id range `base.0..base.0 + n`, rooted at
+    /// `base`: the multi-mesh variant of [`ControlTree::random`]. Each mesh
+    /// of one emulation gets its own RNG stream (indexed by the base id), so
+    /// concurrent meshes are independently — and reproducibly — shaped.
+    ///
+    /// ```
+    /// use desim::RngFactory;
+    /// use netsim::NodeId;
+    /// use overlay::ControlTree;
+    ///
+    /// // Two meshes of 8 nodes each in one 16-node emulation.
+    /// let rng = RngFactory::new(1);
+    /// let a = ControlTree::random_rooted(NodeId(0), 8, 4, &rng);
+    /// let b = ControlTree::random_rooted(NodeId(8), 8, 4, &rng);
+    /// assert_eq!(a.root(), NodeId(0));
+    /// assert_eq!(b.root(), NodeId(8));
+    /// assert!(b.members().all(|m| !a.contains(m)));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `max_degree == 0`.
+    pub fn random_rooted(base: NodeId, n: usize, max_degree: usize, rng: &RngFactory) -> Self {
+        Self::random_over(
+            rng.stream_indexed("overlay.tree", u64::from(base.0)),
+            base.0,
+            n,
+            max_degree,
+        )
+    }
+
+    fn random_over(mut rng: impl rand::Rng, base: u32, n: usize, max_degree: usize) -> Self {
         assert!(n >= 2, "a control tree needs at least two nodes");
         assert!(max_degree >= 1, "max_degree must be at least 1");
-        let mut rng = rng.stream("overlay.tree");
         let mut parent: Vec<Option<NodeId>> = vec![None; n];
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
 
-        // Join order: receivers in random order.
+        // Join order: receivers in random order (ids relative to the base).
         let mut order: Vec<u32> = (1..n as u32).collect();
         order.shuffle(&mut rng);
 
@@ -47,14 +87,18 @@ impl ControlTree {
                 .as_slice()
                 .choose(&mut rng)
                 .expect("there is always at least one open node");
-            parent[node as usize] = Some(NodeId(pick));
-            children[pick as usize].push(NodeId(node));
+            parent[node as usize] = Some(NodeId(base + pick));
+            children[pick as usize].push(NodeId(base + node));
             if children[pick as usize].len() >= max_degree {
                 open.retain(|&x| x != pick);
             }
             open.push(node);
         }
-        ControlTree { parent, children }
+        ControlTree {
+            base,
+            parent,
+            children,
+        }
     }
 
     /// Builds an explicit tree from a parent table (index 0 must be the root).
@@ -76,6 +120,7 @@ impl ControlTree {
             children[p.index()].push(NodeId(i as u32));
         }
         let tree = ControlTree {
+            base: 0,
             parent: parents,
             children,
         };
@@ -105,24 +150,39 @@ impl ControlTree {
         self.parent.is_empty()
     }
 
-    /// The root (always node 0, the source).
+    /// The root (the first id of the member range; the source).
     pub fn root(&self) -> NodeId {
-        NodeId(0)
+        NodeId(self.base)
+    }
+
+    /// Returns true if `node` lies in this tree's member range.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.0 >= self.base && ((node.0 - self.base) as usize) < self.parent.len()
+    }
+
+    /// Index of `node` into the member tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a member of this tree.
+    fn idx(&self, node: NodeId) -> usize {
+        assert!(self.contains(node), "{node} is not a member of this tree");
+        (node.0 - self.base) as usize
     }
 
     /// Parent of `node` (`None` for the root).
     pub fn parent(&self, node: NodeId) -> Option<NodeId> {
-        self.parent[node.index()]
+        self.parent[self.idx(node)]
     }
 
     /// Children of `node`.
     pub fn children(&self, node: NodeId) -> &[NodeId] {
-        &self.children[node.index()]
+        &self.children[self.idx(node)]
     }
 
     /// Returns true if `node` has no children.
     pub fn is_leaf(&self, node: NodeId) -> bool {
-        self.children[node.index()].is_empty()
+        self.children[self.idx(node)].is_empty()
     }
 
     /// Number of nodes in the subtree rooted at `node` (including itself).
@@ -148,9 +208,14 @@ impl ControlTree {
     /// Maximum depth over all nodes.
     pub fn height(&self) -> usize {
         (0..self.len() as u32)
-            .map(|i| self.depth(NodeId(i)))
+            .map(|i| self.depth(NodeId(self.base + i)))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Iterator over the member node ids, root first.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len() as u32).map(|i| NodeId(self.base + i))
     }
 }
 
@@ -199,6 +264,49 @@ mod tests {
         assert!(tree.is_leaf(NodeId(4)));
         assert!(!tree.is_leaf(NodeId(1)));
         assert_eq!(tree.subtree_size(NodeId(1)), 3);
+    }
+
+    #[test]
+    fn rooted_tree_spans_its_member_range_only() {
+        let rng = RngFactory::new(21);
+        let tree = ControlTree::random_rooted(NodeId(32), 32, 4, &rng);
+        assert_eq!(tree.len(), 32);
+        assert_eq!(tree.root(), NodeId(32));
+        assert!(tree.parent(NodeId(32)).is_none());
+        assert_eq!(tree.subtree_size(tree.root()), 32);
+        for node in tree.members() {
+            assert!(tree.contains(node));
+            assert!(node.0 >= 32 && node.0 < 64);
+            for &c in tree.children(node) {
+                assert!(c.0 >= 32 && c.0 < 64, "children stay in range");
+            }
+            if node != tree.root() {
+                let p = tree.parent(node).expect("non-root has a parent");
+                assert!(p.0 >= 32 && p.0 < 64, "parents stay in range");
+            }
+        }
+        assert!(!tree.contains(NodeId(0)));
+        assert!(!tree.contains(NodeId(64)));
+        // Trees at different bases are shaped independently (distinct RNG
+        // streams), and deterministically per base.
+        let a = ControlTree::random_rooted(NodeId(0), 32, 4, &RngFactory::new(21));
+        let again = ControlTree::random_rooted(NodeId(32), 32, 4, &RngFactory::new(21));
+        assert!(
+            (0..32u32).any(|i| {
+                a.parent(NodeId(i)).map(|p| p.0) != tree.parent(NodeId(32 + i)).map(|p| p.0 - 32)
+            }),
+            "different bases should draw different shapes"
+        );
+        for node in tree.members() {
+            assert_eq!(tree.parent(node), again.parent(node));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member of this tree")]
+    fn out_of_range_lookup_rejected() {
+        let tree = ControlTree::random_rooted(NodeId(10), 4, 2, &RngFactory::new(3));
+        tree.parent(NodeId(2));
     }
 
     #[test]

@@ -82,6 +82,19 @@ fn figure_16_and_17_smoke() {
 }
 
 #[test]
+fn figure_18_and_19_smoke() {
+    let f18 = experiments::fig18(&tiny());
+    check(&f18, 3);
+    assert!(f18.series[0].label.contains("single mesh"));
+    assert!(f18.notes[0].contains("fluid max-min"));
+    let mut opts = tiny();
+    opts.tick = Some(1.0);
+    let f19 = experiments::fig19(&opts);
+    check(&f19, 4);
+    assert!(f19.series[3].label.contains("cross-traffic"));
+}
+
+#[test]
 fn churn_run_completes_for_survivors_and_excludes_crashed_nodes() {
     // The acceptance scenario: 25% of the receivers crash mid-transfer.
     // Surviving Bullet' receivers must still complete, and the crashed nodes

@@ -22,7 +22,7 @@ fn registry_lists_every_scenario() {
     let names = reg.names();
     let expected = [
         "fig04", "fig05", "fig05ts", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
-        "fig13", "fig14", "fig15", "fig16", "fig17",
+        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
     ];
     assert_eq!(names.len(), expected.len());
     for name in expected {
@@ -85,6 +85,36 @@ fn lab_run_fig05ts_produces_a_bandwidth_over_time_series() {
     }
     // Some receiver actually made progress in the observation window.
     assert!(fig.series[0].points.iter().any(|&(_, y)| y > 0.0));
+}
+
+#[test]
+fn lab_run_fig18_and_fig19_are_reachable_through_the_registry() {
+    // The shared-bottleneck and cross-traffic scenarios (what `lab run
+    // fig18` / `lab run fig19` execute) at smoke scale.
+    let reg = Registry::standard();
+    let opts = tiny();
+
+    let f18 = reg.get("fig18").expect("registered").run(&opts);
+    assert_eq!(f18.series.len(), 3, "single mesh + two concurrent meshes");
+    assert!(f18.series[0].label.contains("single mesh"));
+    // The quantitative ~x2 slowdown is pinned (at a controlled scale, where
+    // slow start and random delays do not dominate) by
+    // tests/shared_bottleneck.rs; here every mesh just has to finish.
+    for s in &f18.series {
+        assert!(!s.points.is_empty(), "{} is empty", s.label);
+        assert!(!s.label.contains("unfinished"), "{}", s.label);
+    }
+
+    let mut opts = tiny();
+    opts.tick = Some(1.0);
+    let f19 = reg.get("fig19").expect("registered").run(&opts);
+    assert_eq!(f19.series.len(), 4, "goodput mean/p10/p90 + the wave");
+    assert!(f19.series[3].label.contains("cross-traffic"));
+    assert!(
+        f19.series[3].points.iter().any(|&(_, y)| y > 0.0),
+        "at least one wave boundary lands inside the run"
+    );
+    assert!(f19.series[0].points.iter().any(|&(_, y)| y > 0.0));
 }
 
 #[test]
