@@ -41,9 +41,12 @@ cargo test -q --test figures_smoke
 # records events-processed (a deterministic scheduler-efficiency proxy), the
 # heap-allocation count of the run, and the wall-clock seconds of the machine
 # that last ran CI. Events are GATED (a >10% increase fails CI, so scheduler
-# or network-model regressions cannot land silently); wall-clock is PRINTED
-# only — it is machine-dependent, but committing it leaves future perf PRs a
-# real time trajectory to compare deltas against, not just event counts.
+# or network-model regressions cannot land silently). Wall-clock is also
+# GATED, absolutely: the heap-ordered solver brought the run to ~0.55s, so
+# anything above 0.72s (the old regressed 1.05s minus a generous margin for
+# machine noise) fails CI and 0.60–0.72s warns. The relative delta against
+# the committed baseline stays informational — it compares different
+# machines.
 echo "==> perf record + regression gate (BENCH_events.json)"
 # Baseline = the *committed* record, so re-running ci.sh after a failure does
 # not silently compare the regressed value against itself. Fall back to the
@@ -64,11 +67,22 @@ new_wall=$(grep -o '"wall_clock_secs": *[0-9.]*' BENCH_events.json | grep -o '[0
 new_allocs=$(grep -o '"run_allocs": *[0-9]*' BENCH_events.json | grep -o '[0-9]*$' || true)
 if [ -n "$prev_wall" ] && [ -n "$new_wall" ]; then
     awk -v prev="$prev_wall" -v cur="$new_wall" 'BEGIN {
-        printf "wall-clock %.3fs -> %.3fs (%+.1f%%, informational only)\n", prev, cur, (cur - prev) / prev * 100
+        printf "wall-clock %.3fs -> %.3fs (%+.1f%%, cross-machine delta is informational)\n", prev, cur, (cur - prev) / prev * 100
     }'
 else
     echo "WARN: wall_clock_secs missing from the committed baseline (predates the field?); skipping comparison (now ${new_wall:-unrecorded}s)"
 fi
+awk -v cur="$new_wall" 'BEGIN {
+    if (cur > 0.72) {
+        printf "FAIL: bench_events wall clock %.3fs exceeds the 0.72s ceiling\n", cur
+        exit 1
+    }
+    if (cur > 0.60) {
+        printf "WARN: bench_events wall clock %.3fs above the 0.6s target (ceiling 0.72s)\n", cur
+    } else {
+        printf "bench_events wall clock %.3fs within the 0.6s target\n", cur
+    }
+}'
 if [ -n "$prev_allocs" ] && [ -n "$new_allocs" ]; then
     awk -v prev="$prev_allocs" -v cur="$new_allocs" 'BEGIN {
         printf "run-allocs %d -> %d (%+.1f%%, informational only)\n", prev, cur, (cur - prev) / prev * 100
@@ -89,11 +103,53 @@ else
 fi
 
 # Parallel-sweep trajectory: `lab bench` runs the same fig05 sweep at 1 and 4
-# worker threads, *asserts* the two outputs are byte-identical (the
-# determinism-under-parallelism guarantee), and records wall-clock per thread
-# count in BENCH_sweep.json.
+# worker threads, *asserts* the two canonical renderings are byte-identical
+# (the determinism-under-parallelism guarantee; per-cell wall-clock telemetry
+# is schedule-dependent and excluded), and records wall-clock per thread
+# count AND per cell in BENCH_sweep.json.
 echo "==> sweep record (BENCH_sweep.json)"
 ./target/release/lab bench fig05 --threads 1,4 --seed-count 2 --mb 2 \
     --time-limit 3600 --out BENCH_sweep.json
+
+# Scaling gate: with the longest-first lock-free executor, 4 workers must
+# beat 1 worker by >= 1.5x (target 2x) — but only where the host can
+# physically run 4 workers. On narrower hosts the ratio is recorded as
+# informational; committing BENCH_sweep.json keeps the trajectory visible
+# either way.
+sweep_wall() {
+    # First run-level wall_clock_secs after the matching "threads" line (the
+    # per-cell timings come later inside the cells array).
+    awk -v t="$1" '
+        /"threads":/ { cur = $2 + 0 }
+        /"wall_clock_secs":/ && cur == t && !seen[cur]++ {
+            gsub(/[",]/, "", $2); print $2; exit
+        }
+    ' BENCH_sweep.json
+}
+wall_t1=$(sweep_wall 1 || true)
+wall_t4=$(sweep_wall 4 || true)
+cores=$( (nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1) | head -n1)
+if [ -n "$wall_t1" ] && [ -n "$wall_t4" ]; then
+    if [ "$cores" -ge 4 ]; then
+        awk -v w1="$wall_t1" -v w4="$wall_t4" 'BEGIN {
+            s = w1 / w4
+            if (s < 1.5) {
+                printf "FAIL: 4-thread sweep only %.2fx faster than 1 thread (need >= 1.5x on a %d-core-capable host)\n", s, 4
+                exit 1
+            }
+            if (s < 2.0) {
+                printf "WARN: 4-thread sweep %.2fx faster than 1 thread (target >= 2x)\n", s
+            } else {
+                printf "sweep scaling %.2fx (1 thread %.3fs -> 4 threads %.3fs)\n", s, w1, w4
+            }
+        }'
+    else
+        awk -v w1="$wall_t1" -v w4="$wall_t4" -v c="$cores" 'BEGIN {
+            printf "sweep scaling %.2fx on a %d-core host (1 thread %.3fs -> 4 threads %.3fs; gate needs >= 4 cores)\n", w1 / w4, c, w1, w4
+        }'
+    fi
+else
+    echo "WARN: could not read per-thread wall clocks from BENCH_sweep.json; scaling not checked"
+fi
 
 echo "==> CI green"

@@ -7,7 +7,8 @@
 //!                      [--json PATH] [fig opts]
 //! lab bench <scenario> [--threads N,M,..] [--seed-count K] [--out PATH]
 //!                      [fig opts]   # sweep at each thread count, assert
-//!                                   # byte-identical output, record wall-clock
+//!                                   # byte-identical canonical output,
+//!                                   # record wall-clock per thread and cell
 //! ```
 //!
 //! `[fig opts]` are the shared figure options (`--nodes`, `--mb`, `--seed`,
@@ -110,20 +111,33 @@ fn list(registry: &Registry) {
 }
 
 /// The `lab bench` record written to `--out` (BENCH_sweep.json in CI):
-/// wall-clock per thread count for one sweep. The record only exists when
-/// the byte-identity comparison passed — a violation aborts with an error
-/// before anything is written.
+/// wall-clock per thread count (and per cell within each run) for one sweep.
+/// The record only exists when the canonical byte-identity comparison passed
+/// — a violation aborts with an error before anything is written.
+/// `host_threads` records the parallelism the machine actually offered, so a
+/// flat 1-vs-4-thread curve on a single-core host is readable as a host
+/// limitation rather than an executor bug.
 #[derive(Debug, serde::Serialize)]
 struct BenchRecord {
     scenario: String,
     seeds: usize,
     cells: usize,
+    host_threads: usize,
     runs: Vec<BenchRun>,
 }
 
 #[derive(Debug, serde::Serialize)]
 struct BenchRun {
     threads: usize,
+    wall_clock_secs: f64,
+    cells: Vec<CellTiming>,
+}
+
+/// Wall clock of one sweep cell inside one bench run.
+#[derive(Debug, serde::Serialize)]
+struct CellTiming {
+    point: String,
+    seed: u64,
     wall_clock_secs: f64,
 }
 
@@ -240,11 +254,12 @@ fn sweep(registry: &Registry, args: Vec<String>) -> Result<(), String> {
             .map(|s| s.max_x())
             .fold(f64::NAN, f64::max);
         println!(
-            "  [{} seed {}] {} series, slowest {:.1}s — {}",
+            "  [{} seed {}] {} series, slowest {:.1}s, {:.3}s wall — {}",
             cell.point,
             cell.seed,
             fig.series.len(),
             slowest,
+            cell.wall_clock_secs,
             fig.id
         );
     }
@@ -258,9 +273,10 @@ fn sweep(registry: &Registry, args: Vec<String>) -> Result<(), String> {
 }
 
 /// `lab bench`: the CI entry point. Runs the same sweep at each requested
-/// thread count, *asserts* the outputs are byte-identical (the determinism
-/// guarantee the executor makes), and writes a JSON record of the wall-clock
-/// per thread count.
+/// thread count, *asserts* the canonical renderings are byte-identical (the
+/// determinism guarantee the executor makes; per-cell wall-clock telemetry
+/// is legitimately schedule-dependent and excluded), and writes a JSON
+/// record of the wall-clock per thread count and per cell.
 fn bench(registry: &Registry, args: Vec<String>) -> Result<(), String> {
     let (name, rest) = take_scenario(args)?;
     let scenario = resolve(registry, &name)?;
@@ -284,13 +300,14 @@ fn bench(registry: &Registry, args: Vec<String>) -> Result<(), String> {
         scenario: name.clone(),
         seeds: seeds.len(),
         cells: 0,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         runs: Vec::new(),
     };
     for &threads in &thread_counts {
         let started = Instant::now();
         let report = run_sweep(scenario, &opts, &seeds, threads);
         let wall = started.elapsed().as_secs_f64();
-        let json = report.to_json();
+        let json = report.to_canonical_json();
         match &reference {
             None => reference = Some(json),
             Some(expected) => {
@@ -307,6 +324,15 @@ fn bench(registry: &Registry, args: Vec<String>) -> Result<(), String> {
         record.runs.push(BenchRun {
             threads,
             wall_clock_secs: (wall * 1000.0).round() / 1000.0,
+            cells: report
+                .cells
+                .iter()
+                .map(|c| CellTiming {
+                    point: c.point.clone(),
+                    seed: c.seed,
+                    wall_clock_secs: (c.wall_clock_secs * 1000.0).round() / 1000.0,
+                })
+                .collect(),
         });
         eprintln!("threads {threads}: {wall:.3}s wall clock");
     }

@@ -5,22 +5,37 @@
 //! builds its own `RngFactory` from the cell seed), so cells can execute on
 //! any thread in any order — the executor hands cells to a worker pool
 //! through a shared atomic cursor (idle workers steal the next unclaimed
-//! cell) and merges results **by cell index**. The merged [`SweepReport`] is
-//! therefore byte-identical for any `--threads` value, which
-//! `tests/lab_smoke.rs` asserts and `lab bench` re-checks on every CI run.
+//! cell) and merges results **by cell index**. The canonical JSON rendering
+//! ([`SweepReport::to_canonical_json`]) is therefore byte-identical for any
+//! `--threads` value, which `tests/lab_smoke.rs` asserts and `lab bench`
+//! re-checks on every CI run; the full rendering ([`SweepReport::to_json`])
+//! additionally carries per-cell wall-clock telemetry, which is machine- and
+//! schedule-dependent by nature and excluded from the identity guarantee.
+//!
+//! Cells are claimed in **longest-first order**: the cursor walks a
+//! precomputed permutation that sorts cells by estimated cost (simulated
+//! work grows roughly with swarm-size² × file size), descending. Sweeps such
+//! as fig05's scale the swarm across points, so naive enumeration order ends
+//! with the heaviest cells — a worker that claims one last serialises the
+//! entire tail while the other workers sit idle, which is exactly the
+//! "4 threads ≈ 1 thread" pathology. Longest-first is classic LPT list
+//! scheduling: start the dominant cells immediately and let the cheap ones
+//! fill the remaining capacity.
 //!
 //! No thread pool crate, channels or scoped-thread helpers from outside the
 //! standard library are used (the build environment is offline):
-//! `std::thread::scope` plus one `AtomicUsize` and one `Mutex` around the
-//! result table is the entire machinery.
+//! `std::thread::scope`, one `AtomicUsize` cursor and a pre-split result
+//! table whose disjoint slots are written lock-free (each index is claimed
+//! by exactly one worker) is the entire machinery.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::time::Instant;
 
 use bullet_bench::{CommonOpts, Figure};
 use serde::Serialize;
 
-use crate::scenario::Scenario;
+use crate::scenario::{ParamPoint, Scenario};
 
 /// One executed sweep cell.
 #[derive(Debug, Clone, Serialize)]
@@ -29,6 +44,9 @@ pub struct CellReport {
     pub point: String,
     /// Experiment seed of the cell.
     pub seed: u64,
+    /// Wall-clock seconds the cell's simulation took (telemetry: machine-
+    /// and schedule-dependent, excluded from the byte-identity guarantee).
+    pub wall_clock_secs: f64,
     /// The resulting figure.
     pub figure: Figure,
 }
@@ -43,11 +61,125 @@ pub struct SweepReport {
     pub cells: Vec<CellReport>,
 }
 
+/// Timing-free view of a cell for the canonical rendering.
+struct CanonicalCell<'a> {
+    point: &'a String,
+    seed: u64,
+    figure: &'a Figure,
+}
+
+// The vendored serde_derive subset does not handle lifetime parameters, so
+// the view structs lower themselves to the data model by hand; field order
+// mirrors the derived [`CellReport`]/[`SweepReport`] layout minus the
+// telemetry.
+impl Serialize for CanonicalCell<'_> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("point".to_string(), self.point.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("figure".to_string(), self.figure.to_value()),
+        ])
+    }
+}
+
+/// Timing-free view of a sweep for the canonical rendering.
+struct CanonicalSweep<'a> {
+    scenario: &'a String,
+    cells: Vec<CanonicalCell<'a>>,
+}
+
+impl Serialize for CanonicalSweep<'_> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("scenario".to_string(), self.scenario.to_value()),
+            ("cells".to_string(), self.cells.to_value()),
+        ])
+    }
+}
+
 impl SweepReport {
-    /// Canonical JSON rendering (the byte-identity unit of the determinism
-    /// guarantee).
+    /// Full JSON rendering, including the per-cell wall-clock telemetry.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("sweep reports are always serialisable")
+    }
+
+    /// Canonical JSON rendering — the byte-identity unit of the determinism
+    /// guarantee: identical for any thread count because the wall-clock
+    /// telemetry (the only nondeterministic field) is omitted.
+    pub fn to_canonical_json(&self) -> String {
+        let view = CanonicalSweep {
+            scenario: &self.scenario,
+            cells: self
+                .cells
+                .iter()
+                .map(|c| CanonicalCell {
+                    point: &c.point,
+                    seed: c.seed,
+                    figure: &c.figure,
+                })
+                .collect(),
+        };
+        serde_json::to_string_pretty(&view).expect("sweep reports are always serialisable")
+    }
+}
+
+/// Deterministic cell enumeration of a sweep: point-major, seed-minor.
+fn enumerate_cells(scenario: &Scenario, seeds: &[u64]) -> Vec<(usize, u64)> {
+    scenario
+        .sweep
+        .points
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| seeds.iter().map(move |&s| (pi, s)))
+        .collect()
+}
+
+/// Relative cost estimate of one cell: simulated event volume grows roughly
+/// with the square of the swarm size (every pair is a potential flow) times
+/// the transferred file size. Only the *ordering* of the estimates matters —
+/// they rank cells for longest-first claiming.
+fn estimate_cost(base: &CommonOpts, point: &ParamPoint) -> f64 {
+    let nodes = point.nodes.or(base.nodes).unwrap_or(30) as f64;
+    let mb = point.file_mb.or(base.file_mb).unwrap_or(4.0);
+    nodes * nodes * mb
+}
+
+/// The claim order of the cells: descending estimated cost, original index
+/// ascending among ties — a deterministic permutation of `0..costs.len()`.
+fn schedule_order(costs: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+    order
+}
+
+/// A pre-split result table: the atomic cursor hands every cell index to
+/// exactly one worker, so each slot has a unique writer and no lock is
+/// needed on the hot path; results are only read back after the worker
+/// scope has joined.
+struct SlotTable<T>(Vec<UnsafeCell<Option<T>>>);
+
+// SAFETY: slots are disjoint per writer (the cursor's fetch_add yields each
+// index once) and reads happen only after all writers joined, so no slot is
+// ever aliased mutably.
+unsafe impl<T: Send> Sync for SlotTable<T> {}
+
+impl<T> SlotTable<T> {
+    fn new(n: usize) -> Self {
+        SlotTable((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// Stores `value` in slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the unique writer of slot `i` (here: the worker
+    /// that claimed index `i` from the cursor), with no concurrent reads.
+    unsafe fn put(&self, i: usize, value: T) {
+        *self.0[i].get() = Some(value);
+    }
+
+    fn into_results(self) -> Vec<Option<T>> {
+        self.0.into_iter().map(UnsafeCell::into_inner).collect()
     }
 }
 
@@ -56,7 +188,8 @@ impl SweepReport {
 ///
 /// `base` supplies the options every cell starts from; each cell applies its
 /// parameter point's overrides and its seed. With `threads == 1` the cells
-/// run serially on the calling thread; the output is identical either way.
+/// run serially on the calling thread; the canonical output is identical
+/// either way (only the wall-clock telemetry differs).
 ///
 /// # Panics
 ///
@@ -68,48 +201,54 @@ pub fn run_sweep(
     threads: usize,
 ) -> SweepReport {
     assert!(threads > 0, "need at least one worker");
-    // Deterministic cell enumeration: point-major, seed-minor.
-    let cells: Vec<(usize, u64)> = scenario
-        .sweep
-        .points
+    let cells = enumerate_cells(scenario, seeds);
+    let costs: Vec<f64> = cells
         .iter()
-        .enumerate()
-        .flat_map(|(pi, _)| seeds.iter().map(move |&s| (pi, s)))
+        .map(|&(pi, _)| estimate_cost(base, &scenario.sweep.points[pi]))
         .collect();
-
-    let mut results: Vec<Option<CellReport>> = Vec::new();
-    results.resize_with(cells.len(), || None);
+    let order = schedule_order(&costs);
 
     let run_cell = |&(pi, seed): &(usize, u64)| -> CellReport {
         let point = &scenario.sweep.points[pi];
         let opts = scenario.cell_opts(base, point, seed);
+        let started = Instant::now();
+        let figure = scenario.run(&opts);
         CellReport {
             point: point.label.to_string(),
             seed,
-            figure: scenario.run(&opts),
+            wall_clock_secs: started.elapsed().as_secs_f64(),
+            figure,
         }
     };
 
-    if threads == 1 || cells.len() <= 1 {
-        for (i, cell) in cells.iter().enumerate() {
-            results[i] = Some(run_cell(cell));
+    let results: Vec<Option<CellReport>> = if threads == 1 || cells.len() <= 1 {
+        let mut table: Vec<Option<CellReport>> = Vec::new();
+        table.resize_with(cells.len(), || None);
+        for &i in &order {
+            table[i] = Some(run_cell(&cells[i]));
         }
+        table
     } else {
         let cursor = AtomicUsize::new(0);
-        let table = Mutex::new(&mut results);
+        let table = SlotTable::new(cells.len());
         let workers = threads.min(cells.len());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    // Work stealing: claim the next unexecuted cell.
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else { break };
-                    let report = run_cell(cell);
-                    table.lock().expect("no worker panicked holding the lock")[i] = Some(report);
+                    // Work stealing: claim the next unexecuted cell, heaviest
+                    // first (`order` is a permutation of the cell indices).
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = order.get(k) else { break };
+                    let report = run_cell(&cells[i]);
+                    // SAFETY: `order` is a permutation and `fetch_add` yields
+                    // each `k` once, so this worker is the unique writer of
+                    // slot `i`; reads happen after the scope joins.
+                    unsafe { table.put(i, report) };
                 });
             }
         });
-    }
+        table.into_results()
+    };
 
     SweepReport {
         scenario: scenario.name.to_string(),
@@ -146,12 +285,93 @@ mod tests {
     }
 
     #[test]
-    fn parallel_sweep_is_byte_identical_to_serial() {
+    fn parallel_sweep_is_canonically_identical_to_serial() {
         let reg = Registry::standard();
         let sc = reg.get("fig13").unwrap();
-        let serial = run_sweep(sc, &tiny(), &[10, 11, 12], 1).to_json();
-        let parallel = run_sweep(sc, &tiny(), &[10, 11, 12], 3).to_json();
-        assert_eq!(serial, parallel);
+        let serial = run_sweep(sc, &tiny(), &[10, 11, 12], 1);
+        let parallel = run_sweep(sc, &tiny(), &[10, 11, 12], 3);
+        assert_eq!(serial.to_canonical_json(), parallel.to_canonical_json());
+        // The canonical rendering is timing-free; the full rendering keeps
+        // the telemetry.
+        assert!(!serial.to_canonical_json().contains("wall_clock_secs"));
+        assert!(serial.to_json().contains("wall_clock_secs"));
+    }
+
+    #[test]
+    fn every_cell_records_its_wall_clock() {
+        let reg = Registry::standard();
+        let sc = reg.get("fig13").unwrap();
+        let report = run_sweep(sc, &tiny(), &[1, 2], 2);
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            assert!(
+                cell.wall_clock_secs > 0.0,
+                "cell {}/{} has no timing",
+                cell.point,
+                cell.seed
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_order_is_longest_first_with_stable_ties() {
+        assert_eq!(schedule_order(&[1.0, 9.0, 1.0, 9.0]), vec![1, 3, 0, 2]);
+        assert_eq!(schedule_order(&[]), Vec::<usize>::new());
+        assert_eq!(schedule_order(&[2.0]), vec![0]);
+    }
+
+    #[test]
+    fn dominant_cells_of_the_fig05_sweep_are_claimed_first() {
+        // fig05 sweeps the swarm size (20/40/60 nodes); the 60-node cells
+        // dominate the wall clock and must be claimed before everything
+        // else, or one of them lands last and serialises the tail.
+        let reg = Registry::standard();
+        let sc = reg.get("fig05").unwrap();
+        let seeds = [1u64, 2];
+        let cells = enumerate_cells(sc, &seeds);
+        let base = CommonOpts::default();
+        let costs: Vec<f64> = cells
+            .iter()
+            .map(|&(pi, _)| estimate_cost(&base, &sc.sweep.points[pi]))
+            .collect();
+        let order = schedule_order(&costs);
+        let biggest = sc.sweep.points.len() - 1; // points scale upward
+        for &i in &order[..seeds.len()] {
+            assert_eq!(
+                cells[i].0, biggest,
+                "a non-dominant cell was scheduled ahead: {order:?}"
+            );
+        }
+    }
+
+    /// Greedy list-scheduling makespan: each cell (in `order`) goes to the
+    /// least-loaded worker — the same discipline as the live claim loop,
+    /// with cost standing in for wall clock.
+    fn simulated_makespan(costs: &[f64], order: &[usize], workers: usize) -> f64 {
+        let mut load = vec![0.0f64; workers];
+        for &i in order {
+            let w = (0..load.len())
+                .min_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b)))
+                .expect("at least one worker");
+            load[w] += costs[i];
+        }
+        load.iter().fold(0.0f64, |m, &l| m.max(l))
+    }
+
+    #[test]
+    fn longest_first_beats_naive_order_on_a_dominant_cell() {
+        // One cell 8× heavier than the rest, two workers. Naive enumeration
+        // order starts the heavy cell last: makespan 10 (2 + 8 on one
+        // worker). Longest-first starts it immediately: makespan 8, the
+        // optimum.
+        let costs = [1.0, 1.0, 1.0, 1.0, 1.0, 8.0];
+        let naive: Vec<usize> = (0..costs.len()).collect();
+        let lpt = schedule_order(&costs);
+        let naive_span = simulated_makespan(&costs, &naive, 2);
+        let lpt_span = simulated_makespan(&costs, &lpt, 2);
+        assert_eq!(naive_span, 10.0);
+        assert_eq!(lpt_span, 8.0);
+        assert!(lpt_span < naive_span);
     }
 
     #[test]

@@ -24,8 +24,17 @@
 //! flow–link graph containing the changed links and leaves every other
 //! component untouched; a from-scratch solve decomposes per component, so the
 //! incremental result is identical (the `fairness_oracle` property test
-//! enforces this). Only flows whose rate actually changed get a new
-//! completion estimate.
+//! enforces this). Component discovery additionally **prunes unsaturable
+//! links**: a link whose registered flows could not fill it even if every one
+//! ran flat-out at its own TCP ceiling can never constrain anyone, so the
+//! search does not cross it (margin-guarded by `PRUNE_MARGIN`). Only flows
+//! whose rate actually changed get a new completion estimate.
+//!
+//! The solver itself is ordered progressive filling: a min-heap over flow
+//! ceilings and a lazily-invalidated min-heap over link saturation levels
+//! drive the water level from one freezing point to the next, so a solve
+//! costs O((F + L) log(F + L)) instead of a full rescan of every flow and
+//! link per round.
 //!
 //! Each active connection has exactly **one** live completion event in the
 //! driver's queue; the [`Network`] returns [`ConnUpdate`] records telling the
@@ -51,14 +60,15 @@
 //! let mut net = Network::new(topology::constrained_access(3));
 //! let t0 = SimTime::ZERO;
 //! net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 100_000);
-//! let alone = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+//! let alone = net.current_rate(NodeId(0), NodeId(1)).unwrap();
 //! let updates = net.queue_block(t0, NodeId(0), NodeId(2), BlockId(1), 100_000);
 //! assert_eq!(updates.len(), 2, "both flows re-priced");
-//! let shared = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
+//! let shared = net.current_rate(NodeId(0), NodeId(1)).unwrap();
 //! assert!(shared < alone);
 //! ```
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use desim::{SimDuration, SimTime};
 use dissem_codec::BlockId;
@@ -75,6 +85,28 @@ const MIN_RATE: BytesPerSec = 1.0;
 /// its live completion event: re-scheduling on every last-ulp wiggle of the
 /// solver would flood the event queue without changing any outcome.
 const RATE_EPSILON: f64 = 1e-9;
+
+/// Sentinel for "no link in this path slot / link not part of the component".
+const NO_LINK: u32 = u32::MAX;
+
+/// Relative slack below which component discovery refuses to cross a link: if
+/// the cached TCP ceilings of every flow registered on the link sum to less
+/// than `usable * (1 - PRUNE_MARGIN)`, the link cannot saturate no matter how
+/// the solve goes, so it exerts no constraint and cannot couple components.
+/// The margin is deliberately generous (the ceiling sum is maintained
+/// incrementally and carries float drift; see
+/// [`Network::rebuild_link_tables`]).
+const PRUNE_MARGIN: f64 = 1e-3;
+
+/// Relative component of the link-saturation tolerance in the solver.
+const SAT_EPS_REL: f64 = 1e-12;
+
+/// Absolute component of the link-saturation tolerance. Without it the
+/// tolerance `level * (1 + SAT_EPS_REL)` degenerates to an exact-equality
+/// test at `level == 0` (e.g. a link fully occupied by cross traffic), and a
+/// link sitting a few ulps above zero would spin through extra solver rounds
+/// handing out denormal-sized rates.
+const SAT_EPS_ABS: f64 = 1e-12;
 
 /// Information handed to the receiving protocol when a block arrives.
 #[derive(Debug, Clone, Copy)]
@@ -162,23 +194,16 @@ struct InFlight {
     idle_gap: f64,
 }
 
-/// State of one directional sender→receiver data connection.
+/// Per-connection queue state. The solver-facing per-flow state (current
+/// rate, cached TCP ceiling, registered path) lives in the [`Network`]'s
+/// dense flow table, indexed by the same flow id, so the hot solve/apply
+/// loops walk flat arrays instead of chasing a `HashMap` per event.
 #[derive(Debug)]
 pub struct Connection {
     queue: VecDeque<QueuedBlock>,
     inflight: Option<InFlight>,
-    /// Current service rate in bytes/second (meaningful while active).
-    rate: BytesPerSec,
-    /// The flow's own TCP ceiling as of the last solve that included it
-    /// (the fast path of [`Network::on_block_done`] compares against it).
-    last_cap: f64,
-    /// The links this flow registered on when it became active (`None` while
-    /// idle). Deregistration and the solver use *these*, never a fresh
-    /// `links_on_path` lookup, so a topology remap while the flow is in
-    /// flight cannot desynchronise the per-link tables: the flow keeps its
-    /// registered path until it next goes idle.
-    registered: Option<[LinkId; 3]>,
-    /// Last instant at which `bytes_left` was brought up to date.
+    /// Last instant at which the in-flight block's `bytes_left` was brought
+    /// up to date.
     last_progress: SimTime,
     /// Total bytes whose transmission has completed (drives slow start).
     bytes_acked: u64,
@@ -191,9 +216,6 @@ impl Connection {
         Connection {
             queue: VecDeque::new(),
             inflight: None,
-            rate: MIN_RATE,
-            last_cap: f64::INFINITY,
-            registered: None,
             last_progress: now,
             bytes_acked: 0,
             idle_since: now,
@@ -217,11 +239,6 @@ impl Connection {
             .map(|f| f.bytes_left.ceil() as u64)
             .unwrap_or(0);
         inflight + self.queue.iter().map(|q| q.bytes).sum::<u64>()
-    }
-
-    /// Current service rate estimate in bytes/second.
-    pub fn current_rate(&self) -> BytesPerSec {
-        self.rate
     }
 
     /// Total bytes delivered on this connection so far.
@@ -249,30 +266,92 @@ pub struct NodeTraffic {
     pub blocks_out: u64,
 }
 
+/// Packs an ordered node pair into one sortable key; ascending key order is
+/// exactly the lexicographic `(from, to)` order the per-link membership lists
+/// are kept in, which fixes the flow-discovery order of every solve.
+fn pair_key(from: NodeId, to: NodeId) -> u64 {
+    (u64::from(from.0) << 32) | u64::from(to.0)
+}
+
+/// Inserts `(key, fid)` into a sorted membership list; returns false (and
+/// leaves the list unchanged) if the key is already present.
+fn link_insert(list: &mut Vec<(u64, u32)>, key: u64, fid: u32) -> bool {
+    match list.binary_search_by_key(&key, |&(k, _)| k) {
+        Ok(_) => false,
+        Err(pos) => {
+            list.insert(pos, (key, fid));
+            true
+        }
+    }
+}
+
+/// Removes `key` from a sorted membership list; returns whether it was there.
+fn link_remove(list: &mut Vec<(u64, u32)>, key: u64) -> bool {
+    match list.binary_search_by_key(&key, |&(k, _)| k) {
+        Ok(pos) => {
+            list.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
 /// The emulated network: topology + live connection state + traffic counters
 /// + the max-min fair rate assignment over the link graph.
+///
+/// Flow state is a dense structure-of-arrays table indexed by flow id (a
+/// `u32` handed out the first time an ordered pair exchanges data and stable
+/// thereafter); the `(NodeId, NodeId)`-keyed map is consulted once at each
+/// public entry point and never inside the solver.
 #[derive(Debug)]
 pub struct Network {
     topo: Topology,
-    conns: HashMap<(NodeId, NodeId), Connection>,
+    /// Ordered pair → dense flow id (API boundary only).
+    flow_ids: HashMap<(NodeId, NodeId), u32>,
+    /// Flow id → ordered pair.
+    flow_pair: Vec<(NodeId, NodeId)>,
+    /// Flow id → queue/progress state.
+    conns: Vec<Connection>,
+    /// Flow id → current service rate in bytes/second (meaningful while the
+    /// flow is registered; keeps its last value across idle periods).
+    flow_rate: Vec<f64>,
+    /// Flow id → cached TCP ceiling. Invariant: equal to a fresh
+    /// [`Network::flow_cap`] for every **registered** flow — refreshed on
+    /// activation, on block completion (slow start grew), and by
+    /// [`Network::reprice_paths`] / [`Network::reprice_all`] after topology
+    /// mutations. The solver reads this cache instead of recomputing.
+    flow_ceiling: Vec<f64>,
+    /// Flow id → the links the flow registered on when it became active
+    /// (meaningful while `flow_registered`). Deregistration and the solver
+    /// use *these*, never a fresh `links_on_path` lookup, so a topology remap
+    /// while the flow is in flight cannot desynchronise the per-link tables:
+    /// the flow keeps its registered path until it next goes idle.
+    flow_path: Vec<[LinkId; 3]>,
+    /// Flow id → currently registered on its path links?
+    flow_registered: Vec<bool>,
+    /// Flow id → visit stamp for component discovery (versioned by
+    /// `mark_stamp`, never cleared).
+    flow_mark: Vec<u64>,
     /// Flows (connections with a block in flight) crossing each link, indexed
-    /// by [`LinkId`]. Ordered sets keep every solve deterministic.
-    link_flows: Vec<BTreeSet<(NodeId, NodeId)>>,
+    /// by [`LinkId`]: `(pair_key, flow_id)` sorted by key, so every solve
+    /// discovers flows in the same deterministic order.
+    link_flows: Vec<Vec<(u64, u32)>>,
     /// Sum of the current rates of the flows registered on each link —
     /// maintained incrementally so the admission/removal fast paths can test
     /// saturation without a solve.
     link_usage: Vec<f64>,
+    /// Sum of the cached TCP ceilings of the flows registered on each link —
+    /// the dirty-link test: a link whose ceiling sum cannot reach its usable
+    /// capacity can never saturate and is pruned from component discovery.
+    link_cap_sum: Vec<f64>,
     /// Background (cross-traffic) occupancy per link, in bytes/second.
     cross: Vec<BytesPerSec>,
     traffic: Vec<NodeTraffic>,
-    /// Scratch set for flow-dedup during component discovery (reused across
-    /// solves; cleared, never shrunk).
-    seen_flows: HashSet<(NodeId, NodeId)>,
     /// Scratch per-link visit marks for component discovery, versioned by
     /// `mark_stamp` so the vector never needs clearing.
     link_mark: Vec<u64>,
     /// Component-local index of each marked link (valid while its mark
-    /// carries the current stamp).
+    /// carries the current stamp); [`NO_LINK`] marks a pruned link.
     link_local: Vec<u32>,
     mark_stamp: u64,
     /// Reusable solver buffers (cleared per solve, capacity kept), so
@@ -285,16 +364,18 @@ pub struct Network {
 struct SolverScratch {
     /// Links of the component under solve, in discovery order (= local ids).
     comp_links: Vec<LinkId>,
-    /// Flows of the component, in discovery order.
-    flows: Vec<(NodeId, NodeId)>,
-    /// Component-local link ids of each flow's path.
-    flow_links: Vec<[usize; 3]>,
+    /// Flow ids of the component, in discovery order.
+    flows: Vec<u32>,
+    /// Component-local link ids of each flow's path ([`NO_LINK`] = pruned).
+    flow_links: Vec<[u32; 3]>,
     /// Each flow's own TCP ceiling.
     caps: Vec<f64>,
     /// Per-local-link solver state.
     links: Vec<LinkState>,
     /// Per-local-link flow adjacency (indices into `flows`).
-    link_members: Vec<Vec<usize>>,
+    link_members: Vec<Vec<u32>>,
+    /// The ordered-filling heaps.
+    heaps: SolverHeaps,
     /// Solver outputs.
     rates: Vec<f64>,
     frozen: Vec<bool>,
@@ -307,12 +388,19 @@ impl Network {
         let links = topo.num_links();
         Network {
             topo,
-            conns: HashMap::new(),
-            link_flows: vec![BTreeSet::new(); links],
+            flow_ids: HashMap::new(),
+            flow_pair: Vec::new(),
+            conns: Vec::new(),
+            flow_rate: Vec::new(),
+            flow_ceiling: Vec::new(),
+            flow_path: Vec::new(),
+            flow_registered: Vec::new(),
+            flow_mark: Vec::new(),
+            link_flows: vec![Vec::new(); links],
             link_usage: vec![0.0; links],
+            link_cap_sum: vec![0.0; links],
             cross: vec![0.0; links],
             traffic: vec![NodeTraffic::default(); n],
-            seen_flows: HashSet::new(),
             link_mark: vec![0; links],
             link_local: vec![0; links],
             mark_stamp: 0,
@@ -326,8 +414,10 @@ impl Network {
     }
 
     /// Mutable topology access, used by dynamic-bandwidth scenarios. Callers
-    /// must follow up with [`Network::reprice_paths`] for affected pairs (or
-    /// [`Network::reprice_all`] after wholesale rewrites).
+    /// must follow up with [`Network::reprice_paths`] for every affected
+    /// ordered pair (or [`Network::reprice_all`] after wholesale rewrites):
+    /// besides re-solving the allocation, those calls refresh the cached TCP
+    /// ceilings that delay/loss edits invalidate.
     pub fn topology_mut(&mut self) -> &mut Topology {
         &mut self.topo
     }
@@ -347,9 +437,37 @@ impl Network {
         &self.traffic[node.index()]
     }
 
+    /// Dense flow id of `from → to`, if the pair ever exchanged data.
+    fn flow_id(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        self.flow_ids.get(&(from, to)).copied()
+    }
+
+    /// Flow id of `from → to`, creating a fresh table row if needed.
+    fn flow_id_or_create(&mut self, now: SimTime, from: NodeId, to: NodeId) -> u32 {
+        if let Some(f) = self.flow_id(from, to) {
+            return f;
+        }
+        let f = self.conns.len() as u32;
+        self.flow_ids.insert((from, to), f);
+        self.flow_pair.push((from, to));
+        self.conns.push(Connection::new(now));
+        self.flow_rate.push(MIN_RATE);
+        self.flow_ceiling.push(f64::INFINITY);
+        self.flow_path.push([LinkId(0); 3]);
+        self.flow_registered.push(false);
+        self.flow_mark.push(0);
+        f
+    }
+
     /// Connection state for `from → to`, if one exists.
     pub fn connection(&self, from: NodeId, to: NodeId) -> Option<&Connection> {
-        self.conns.get(&(from, to))
+        self.flow_id(from, to).map(|f| &self.conns[f as usize])
+    }
+
+    /// Current service rate estimate of `from → to` in bytes/second, if the
+    /// pair ever exchanged data (keeps its last value across idle periods).
+    pub fn current_rate(&self, from: NodeId, to: NodeId) -> Option<BytesPerSec> {
+        self.flow_id(from, to).map(|f| self.flow_rate[f as usize])
     }
 
     /// Number of blocks queued + in flight from `from` to `to`.
@@ -382,16 +500,77 @@ impl Network {
     /// Keeps the per-link tables sized to the topology, which can gain links
     /// through [`Topology::share_core`] after the network was built. Flows
     /// already in flight across a remap keep their *registered* links until
-    /// they next go idle (see [`Connection::registered`]), so a late remap
+    /// they next go idle (see [`Network::flow_path`]), so a late remap
     /// changes routing for future activations without corrupting state.
     fn sync_link_tables(&mut self) {
         let links = self.topo.num_links();
         if self.link_flows.len() < links {
-            self.link_flows.resize_with(links, BTreeSet::new);
+            self.link_flows.resize_with(links, Vec::new);
             self.link_usage.resize(links, 0.0);
+            self.link_cap_sum.resize(links, 0.0);
             self.cross.resize(links, 0.0);
             self.link_mark.resize(links, 0);
             self.link_local.resize(links, 0);
+        }
+    }
+
+    /// Rebuilds `link_usage` and `link_cap_sum` exactly from the registered
+    /// flows, resetting the float drift the incremental `+= delta` updates
+    /// accumulate over long runs. Cheap (one pass over the flow table); the
+    /// runner invokes it periodically (see
+    /// [`crate::runner::Runner::set_table_rebuild_interval`]).
+    pub fn rebuild_link_tables(&mut self) {
+        for u in &mut self.link_usage {
+            *u = 0.0;
+        }
+        for c in &mut self.link_cap_sum {
+            *c = 0.0;
+        }
+        for f in 0..self.conns.len() {
+            if !self.flow_registered[f] {
+                continue;
+            }
+            for l in self.flow_path[f] {
+                self.link_usage[l.index()] += self.flow_rate[f];
+                self.link_cap_sum[l.index()] += self.flow_ceiling[f];
+            }
+        }
+    }
+
+    /// Debug-build consistency check: the incrementally maintained per-link
+    /// usage and ceiling sums must agree with a from-scratch recomputation to
+    /// within float-drift tolerance. Exercised on every
+    /// [`Network::reprice_all`] (which the `fairness_oracle` property test
+    /// calls after every random operation).
+    #[cfg(debug_assertions)]
+    fn debug_check_link_tables(&self) {
+        let links = self.link_flows.len();
+        let mut usage = vec![0.0f64; links];
+        let mut cap_sum = vec![0.0f64; links];
+        for f in 0..self.conns.len() {
+            if !self.flow_registered[f] {
+                continue;
+            }
+            for l in self.flow_path[f] {
+                usage[l.index()] += self.flow_rate[f];
+                cap_sum[l.index()] += self.flow_ceiling[f];
+            }
+        }
+        for l in 0..links {
+            let tol = 1e-6 * usage[l].abs().max(1.0);
+            assert!(
+                (usage[l] - self.link_usage[l]).abs() <= tol,
+                "link {l} usage drift: incremental {} vs exact {}",
+                self.link_usage[l],
+                usage[l],
+            );
+            let tol = 1e-6 * cap_sum[l].abs().max(1.0);
+            assert!(
+                (cap_sum[l] - self.link_cap_sum[l]).abs() <= tol,
+                "link {l} cap-sum drift: incremental {} vs exact {}",
+                self.link_cap_sum[l],
+                cap_sum[l],
+            );
         }
     }
 
@@ -445,10 +624,8 @@ impl Network {
         bytes: u64,
     ) -> Vec<ConnUpdate> {
         assert!(from != to, "a node cannot stream blocks to itself");
-        let conn = self
-            .conns
-            .entry((from, to))
-            .or_insert_with(|| Connection::new(now));
+        let fid = self.flow_id_or_create(now, from, to);
+        let conn = &mut self.conns[fid as usize];
         let in_front = conn.pending_blocks() as u32;
         let idle_gap = if conn.is_active() || !conn.queue.is_empty() {
             0.0
@@ -465,15 +642,15 @@ impl Network {
         if conn.is_active() {
             Vec::new()
         } else {
-            self.start_next(now, from, to);
-            self.mark_active(now, from, to)
+            self.start_next(now, fid);
+            self.mark_active(now, fid)
         }
     }
 
     /// Pops the next queued block into the in-flight slot. The caller is
     /// responsible for activation bookkeeping and rescheduling.
-    fn start_next(&mut self, now: SimTime, from: NodeId, to: NodeId) {
-        let conn = self.conns.get_mut(&(from, to)).expect("connection exists");
+    fn start_next(&mut self, now: SimTime, fid: u32) {
+        let conn = &mut self.conns[fid as usize];
         debug_assert!(conn.inflight.is_none());
         if let Some(q) = conn.queue.pop_front() {
             conn.inflight = Some(InFlight {
@@ -500,7 +677,9 @@ impl Network {
         from: NodeId,
         to: NodeId,
     ) -> Option<(CompletedBlock, Vec<ConnUpdate>)> {
-        let conn = self.conns.get_mut(&(from, to))?;
+        let fid = self.flow_id(from, to)?;
+        let f = fid as usize;
+        let conn = &mut self.conns[f];
         let fl = conn.inflight.take()?;
         conn.bytes_acked += fl.bytes;
         conn.last_progress = now;
@@ -521,7 +700,7 @@ impl Network {
         self.traffic[from.index()].data_bytes_out += fl.bytes;
         self.traffic[from.index()].blocks_out += 1;
 
-        let has_more = !self.conns[&(from, to)].queue.is_empty();
+        let has_more = !self.conns[f].queue.is_empty();
         let updates = if has_more {
             // The connection stays active; the only solver input that moved
             // is this flow's own ceiling (slow start grew). If the ceiling
@@ -529,16 +708,23 @@ impl Network {
             // binding anyway (link-limited flow, monotone ceiling growth),
             // the global allocation is untouched — schedule the fresh
             // in-flight block at the current rate without a solve.
-            self.start_next(now, from, to);
-            let new_cap = self.flow_cap(from, to, self.conns[&(from, to)].bytes_acked);
-            let conn = self.conns.get_mut(&(from, to)).expect("connection exists");
-            let cap_unchanged = new_cap == conn.last_cap;
-            let cap_not_binding =
-                new_cap >= conn.last_cap && conn.rate < conn.last_cap * (1.0 - RATE_EPSILON);
+            self.start_next(now, fid);
+            let new_cap = self.flow_cap(from, to, self.conns[f].bytes_acked);
+            let old_cap = self.flow_ceiling[f];
+            if new_cap != old_cap {
+                self.flow_ceiling[f] = new_cap;
+                for l in self.flow_path[f] {
+                    let c = &mut self.link_cap_sum[l.index()];
+                    *c = (*c + new_cap - old_cap).max(0.0);
+                }
+            }
+            let rate = self.flow_rate[f];
+            let cap_unchanged = new_cap == old_cap;
+            let cap_not_binding = new_cap >= old_cap && rate < old_cap * (1.0 - RATE_EPSILON);
             if cap_unchanged || cap_not_binding {
-                conn.last_cap = new_cap;
+                let conn = &self.conns[f];
                 let fl = conn.inflight.as_ref().expect("just started");
-                let finish = now + SimDuration::from_secs_f64(fl.bytes_left / conn.rate);
+                let finish = now + SimDuration::from_secs_f64(fl.bytes_left / rate);
                 vec![ConnUpdate::Schedule {
                     from,
                     to,
@@ -548,14 +734,13 @@ impl Network {
                 // The ceiling moved while binding — re-solve the component,
                 // which can ripple to every flow sharing a link with this one.
                 let links = self.topo.links_on_path(from, to);
-                self.resolve(now, &links, Some((from, to)))
+                self.resolve(now, &links, Some(fid))
             }
         } else {
-            let conn = self.conns.get_mut(&(from, to)).expect("connection exists");
-            conn.idle_since = now;
+            self.conns[f].idle_since = now;
             // The fired event was the connection's only live one, so there is
             // nothing to cancel; the freed capacity re-prices the neighbours.
-            self.mark_idle(now, from, to)
+            self.mark_idle(now, fid)
         };
         Some((completed, updates))
     }
@@ -570,16 +755,17 @@ impl Network {
     /// blocks. Returns a cancellation for this connection's completion event
     /// (if one was live) plus updates for the flows whose shares changed.
     pub fn close_connection(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
-        let Some(conn) = self.conns.get_mut(&(from, to)) else {
+        let Some(fid) = self.flow_id(from, to) else {
             return Vec::new();
         };
+        let conn = &mut self.conns[fid as usize];
         let was_active = conn.is_active();
         conn.queue.clear();
         conn.inflight = None;
         if was_active {
             conn.idle_since = now;
             let mut updates = vec![ConnUpdate::Cancel { from, to }];
-            updates.extend(self.mark_idle(now, from, to));
+            updates.extend(self.mark_idle(now, fid));
             updates
         } else {
             Vec::new()
@@ -591,12 +777,12 @@ impl Network {
     /// completion-event updates.
     pub fn close_all_for(&mut self, now: SimTime, node: NodeId) -> Vec<ConnUpdate> {
         let mut keys: Vec<(NodeId, NodeId)> = self
-            .conns
-            .keys()
+            .flow_pair
+            .iter()
             .filter(|&&(a, b)| a == node || b == node)
             .copied()
             .collect();
-        keys.sort_unstable_by_key(|(a, b)| (a.0, b.0));
+        keys.sort_unstable_by_key(|&(a, b)| (a.0, b.0));
         let mut updates = Vec::new();
         for (a, b) in keys {
             updates.extend(self.close_connection(now, a, b));
@@ -606,9 +792,18 @@ impl Network {
 
     /// Re-prices the flows affected by capacity changes on the core links
     /// carrying the given ordered pairs (used after a scenario rewrites link
-    /// characteristics).
+    /// characteristics), refreshing the pairs' cached TCP ceilings first
+    /// (delay/loss edits move them; bandwidth edits do not).
     pub fn reprice_paths(&mut self, now: SimTime, pairs: &[(NodeId, NodeId)]) -> Vec<ConnUpdate> {
         self.sync_link_tables();
+        for &(a, b) in pairs {
+            if let Some(fid) = self.flow_id(a, b) {
+                let f = fid as usize;
+                if self.flow_registered[f] {
+                    self.refresh_ceiling(f, a, b);
+                }
+            }
+        }
         let mut links: Vec<LinkId> = pairs
             .iter()
             .map(|&(a, b)| self.topo.core_link(a, b))
@@ -618,12 +813,36 @@ impl Network {
         self.resolve(now, &links, None)
     }
 
+    /// Recomputes the cached ceiling of registered flow `f` (= pair `a → b`)
+    /// and folds the change into the per-link ceiling sums.
+    fn refresh_ceiling(&mut self, f: usize, a: NodeId, b: NodeId) {
+        let new_cap = self.flow_cap(a, b, self.conns[f].bytes_acked);
+        let old_cap = self.flow_ceiling[f];
+        if new_cap != old_cap {
+            self.flow_ceiling[f] = new_cap;
+            for l in self.flow_path[f] {
+                let c = &mut self.link_cap_sum[l.index()];
+                *c = (*c + new_cap - old_cap).max(0.0);
+            }
+        }
+    }
+
     /// Re-solves the whole allocation from scratch, returning updates for
     /// every flow whose rate changed. With correct incremental repricing this
     /// is a no-op (the `fairness_oracle` property test asserts exactly that);
-    /// it exists for callers that rewrite the topology wholesale.
+    /// it exists for callers that rewrite the topology wholesale. Every
+    /// flow-bearing link is a seed, so nothing is pruned: this is also the
+    /// unpruned cross-check of the dirty-link optimisation.
     pub fn reprice_all(&mut self, now: SimTime) -> Vec<ConnUpdate> {
         self.sync_link_tables();
+        #[cfg(debug_assertions)]
+        self.debug_check_link_tables();
+        for f in 0..self.conns.len() {
+            if self.flow_registered[f] {
+                let (a, b) = self.flow_pair[f];
+                self.refresh_ceiling(f, a, b);
+            }
+        }
         let links: Vec<LinkId> = (0..self.link_flows.len() as u32)
             .map(LinkId)
             .filter(|l| !self.link_flows[l.index()].is_empty())
@@ -636,8 +855,8 @@ impl Network {
         (self.topo.link_capacity(link) - self.cross[link.index()]).max(MIN_RATE)
     }
 
-    /// Registers `from → to` as an active flow and re-prices what its
-    /// arrival can affect.
+    /// Registers flow `fid` as active and re-prices what its arrival can
+    /// affect.
     ///
     /// **Admission fast path:** if the flow's own ceiling fits inside the
     /// residual slack of every link on its path, it is admitted at the
@@ -648,43 +867,49 @@ impl Network {
     /// extended allocation *is* the new max-min optimum. This is the common
     /// case in a dissemination mesh (fresh slow-start flows on underloaded
     /// links) and keeps steady-state activation O(1).
-    fn mark_active(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
+    fn mark_active(&mut self, now: SimTime, fid: u32) -> Vec<ConnUpdate> {
         self.sync_link_tables();
+        let f = fid as usize;
+        let (from, to) = self.flow_pair[f];
         let links = self.topo.links_on_path(from, to);
+        let key = pair_key(from, to);
         for l in links {
-            self.link_flows[l.index()].insert((from, to));
+            link_insert(&mut self.link_flows[l.index()], key, fid);
         }
-        let acked = self.conns[&(from, to)].bytes_acked;
+        let acked = self.conns[f].bytes_acked;
         let cap = self.flow_cap(from, to, acked);
         let fits = links
             .iter()
             .all(|&l| self.link_usage[l.index()] + cap <= self.usable(l) * (1.0 - RATE_EPSILON));
-        let conn = self.conns.get_mut(&(from, to)).expect("connection exists");
-        debug_assert!(conn.registered.is_none(), "double activation");
-        conn.registered = Some(links);
+        debug_assert!(!self.flow_registered[f], "double activation");
+        self.flow_registered[f] = true;
+        self.flow_path[f] = links;
+        self.flow_ceiling[f] = cap;
+        for l in links {
+            self.link_cap_sum[l.index()] += cap;
+        }
         if fits {
-            conn.rate = cap.max(MIN_RATE);
-            conn.last_cap = cap;
+            self.flow_rate[f] = cap.max(MIN_RATE);
         }
         // The usage invariant — `link_usage` is the rate sum of the
         // *registered* flows — must hold before the solver runs, because the
         // solver accounts rate changes as deltas against it.
         for l in links {
-            self.link_usage[l.index()] += conn.rate;
+            self.link_usage[l.index()] += self.flow_rate[f];
         }
         if fits {
-            let fl = conn.inflight.as_ref().expect("just started");
-            let finish = now + SimDuration::from_secs_f64(fl.bytes_left / conn.rate);
+            let fl = self.conns[f].inflight.as_ref().expect("just started");
+            let finish = now + SimDuration::from_secs_f64(fl.bytes_left / self.flow_rate[f]);
             return vec![ConnUpdate::Schedule {
                 from,
                 to,
                 at: finish,
             }];
         }
-        self.resolve(now, &links, Some((from, to)))
+        self.resolve(now, &links, Some(fid))
     }
 
-    /// Deregisters `from → to` (using the links it registered on, so a
+    /// Deregisters flow `fid` (using the links it registered on, so a
     /// topology remap mid-flight cannot desynchronise the tables) and
     /// re-prices what its departure can affect.
     ///
@@ -693,15 +918,21 @@ impl Network {
     /// bottleneck certificate involved those links — removal only adds slack
     /// to links that were not binding anyone, so the remaining allocation is
     /// still the max-min optimum and no solve is needed.
-    fn mark_idle(&mut self, now: SimTime, from: NodeId, to: NodeId) -> Vec<ConnUpdate> {
-        let conn = self.conns.get_mut(&(from, to)).expect("connection exists");
-        let links = conn.registered.take().expect("idle flow was registered");
-        let rate = conn.rate;
-        let ceiling_capped = rate >= conn.last_cap * (1.0 - RATE_EPSILON);
+    fn mark_idle(&mut self, now: SimTime, fid: u32) -> Vec<ConnUpdate> {
+        let f = fid as usize;
+        debug_assert!(self.flow_registered[f], "idle flow was registered");
+        self.flow_registered[f] = false;
+        let links = self.flow_path[f];
+        let (from, to) = self.flow_pair[f];
+        let key = pair_key(from, to);
+        let rate = self.flow_rate[f];
+        let ceiling = self.flow_ceiling[f];
+        let ceiling_capped = rate >= ceiling * (1.0 - RATE_EPSILON);
         for l in links {
-            let removed = self.link_flows[l.index()].remove(&(from, to));
+            let removed = link_remove(&mut self.link_flows[l.index()], key);
             debug_assert!(removed, "idle flow was not registered on its links");
             self.link_usage[l.index()] = (self.link_usage[l.index()] - rate).max(0.0);
+            self.link_cap_sum[l.index()] = (self.link_cap_sum[l.index()] - ceiling).max(0.0);
         }
         let all_unsaturated = links.iter().all(|&l| {
             // Usage *before* this removal, against the current capacity.
@@ -715,7 +946,8 @@ impl Network {
 
     /// The per-flow TCP ceiling of `from → to`: the Mathis loss limit and the
     /// slow-start window limit (the shared links themselves are constraints
-    /// of the solver, not of the individual flow).
+    /// of the solver, not of the individual flow). Always finite — the
+    /// slow-start cap is — so the per-link ceiling sums are too.
     fn flow_cap(&self, from: NodeId, to: NodeId, bytes_acked: u64) -> f64 {
         let path = crate::tcp::TcpPath {
             bottleneck: f64::INFINITY,
@@ -734,12 +966,15 @@ impl Network {
         &mut self,
         now: SimTime,
         seed_links: &[LinkId],
-        force: Option<(NodeId, NodeId)>,
+        force: Option<u32>,
     ) -> Vec<ConnUpdate> {
         // ---- Component discovery: BFS over the flow–link bipartite graph.
+        // Seeds are always taken (their constraint just changed); any other
+        // link is crossed only if its registered ceilings could saturate it —
+        // an unsaturable link exerts no constraint, so the flows behind it
+        // cannot be affected and their rates are left untouched.
         self.mark_stamp += 1;
         let stamp = self.mark_stamp;
-        self.seen_flows.clear();
         let mut s = std::mem::take(&mut self.scratch);
         s.comp_links.clear();
         s.flows.clear();
@@ -754,17 +989,23 @@ impl Network {
         while qi < s.comp_links.len() {
             let l = s.comp_links[qi];
             qi += 1;
-            for &flow in &self.link_flows[l.index()] {
-                if self.seen_flows.insert(flow) {
-                    s.flows.push(flow);
-                    let regs = self.conns[&flow]
-                        .registered
-                        .expect("active flow is registered");
-                    for nl in regs {
-                        if self.link_mark[nl.index()] != stamp {
-                            self.link_mark[nl.index()] = stamp;
-                            self.link_local[nl.index()] = s.comp_links.len() as u32;
-                            s.comp_links.push(nl);
+            for &(_, fid) in &self.link_flows[l.index()] {
+                let f = fid as usize;
+                if self.flow_mark[f] != stamp {
+                    self.flow_mark[f] = stamp;
+                    s.flows.push(fid);
+                    for nl in self.flow_path[f] {
+                        let ni = nl.index();
+                        if self.link_mark[ni] != stamp {
+                            self.link_mark[ni] = stamp;
+                            let saturable =
+                                self.link_cap_sum[ni] > self.usable(nl) * (1.0 - PRUNE_MARGIN);
+                            if saturable {
+                                self.link_local[ni] = s.comp_links.len() as u32;
+                                s.comp_links.push(nl);
+                            } else {
+                                self.link_local[ni] = NO_LINK;
+                            }
                         }
                     }
                 }
@@ -775,7 +1016,7 @@ impl Network {
             return Vec::new();
         }
 
-        // ---- Solver inputs: local link states, adjacency, per-flow caps.
+        // ---- Solver inputs: local link states, adjacency, cached ceilings.
         s.links.clear();
         if s.link_members.len() < s.comp_links.len() {
             s.link_members.resize_with(s.comp_links.len(), Vec::new);
@@ -790,47 +1031,51 @@ impl Network {
         }
         s.flow_links.clear();
         s.caps.clear();
-        for (i, &(from, to)) in s.flows.iter().enumerate() {
-            let conn = &self.conns[&(from, to)];
-            let ls = conn
-                .registered
-                .expect("active flow is registered")
-                .map(|l| self.link_local[l.index()] as usize);
-            for &li in &ls {
-                s.links[li].unfrozen += 1;
-                s.link_members[li].push(i);
+        for (i, &fid) in s.flows.iter().enumerate() {
+            let f = fid as usize;
+            let mut ls = [NO_LINK; 3];
+            for (slot, l) in self.flow_path[f].into_iter().enumerate() {
+                let local = self.link_local[l.index()];
+                if local != NO_LINK {
+                    s.links[local as usize].unfrozen += 1;
+                    s.link_members[local as usize].push(i as u32);
+                }
+                ls[slot] = local;
             }
             s.flow_links.push(ls);
-            s.caps.push(self.flow_cap(from, to, conn.bytes_acked));
+            s.caps.push(self.flow_ceiling[f]);
         }
         max_min_rates(
             &s.caps,
             &s.flow_links,
             &mut s.links,
             &s.link_members,
+            &mut s.heaps,
             &mut s.rates,
             &mut s.frozen,
         );
 
         // ---- Apply: account progress and emit updates for changed flows.
         let mut out = Vec::new();
-        for (i, &(from, to)) in s.flows.iter().enumerate() {
+        for (i, &fid) in s.flows.iter().enumerate() {
+            let f = fid as usize;
             let new_rate = s.rates[i].max(MIN_RATE);
-            let conn = self.conns.get_mut(&(from, to)).expect("active flow");
-            conn.last_cap = s.caps[i];
-            let changed = (new_rate - conn.rate).abs() > conn.rate * RATE_EPSILON;
-            if changed || force == Some((from, to)) {
+            let old_rate = self.flow_rate[f];
+            let changed = (new_rate - old_rate).abs() > old_rate * RATE_EPSILON;
+            if changed || force == Some(fid) {
+                let conn = &mut self.conns[f];
                 let fl = conn.inflight.as_mut().expect("active flow has inflight");
                 let elapsed = (now - conn.last_progress).as_secs_f64();
-                fl.bytes_left = (fl.bytes_left - elapsed * conn.rate).max(0.0);
+                fl.bytes_left = (fl.bytes_left - elapsed * old_rate).max(0.0);
                 conn.last_progress = now;
-                let old_rate = conn.rate;
-                conn.rate = new_rate;
-                for l in conn.registered.expect("active flow is registered") {
+                let bytes_left = fl.bytes_left;
+                self.flow_rate[f] = new_rate;
+                for l in self.flow_path[f] {
                     self.link_usage[l.index()] =
                         (self.link_usage[l.index()] + new_rate - old_rate).max(0.0);
                 }
-                let finish = now + SimDuration::from_secs_f64(fl.bytes_left / conn.rate);
+                let (from, to) = self.flow_pair[f];
+                let finish = now + SimDuration::from_secs_f64(bytes_left / new_rate);
                 out.push(ConnUpdate::Schedule {
                     from,
                     to,
@@ -863,19 +1108,85 @@ impl LinkState {
     }
 }
 
-/// Progressive filling: raises one common water level over all flows;
-/// a flow freezes at its own ceiling (`caps`) or at the level where a link
-/// on its path saturates. Writes the max-min fair rate of each flow into
-/// `rates` (reused caller buffers; `link_members` lists each link's flows).
+/// Total-order wrapper so `f64` keys can live in a [`BinaryHeap`].
+#[derive(Debug, Clone, Copy)]
+struct OrdF64(f64);
+
+impl PartialEq for OrdF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Min-heap entry: a flow's own ceiling. Entries for already-frozen flows are
+/// skipped lazily at pop time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CapEntry {
+    cap: OrdF64,
+    flow: u32,
+}
+
+/// Min-heap entry: a link's saturation level at push time. Every state change
+/// of a link bumps its version, so stale entries are skipped lazily.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct SatEntry {
+    sat: OrdF64,
+    link: u32,
+    version: u32,
+}
+
+/// The ordered-filling working set, reused across solves.
+#[derive(Debug, Default)]
+struct SolverHeaps {
+    cap_heap: BinaryHeap<Reverse<CapEntry>>,
+    sat_heap: BinaryHeap<Reverse<SatEntry>>,
+    /// Per-link entry version; a heap entry is live iff its version matches.
+    link_version: Vec<u32>,
+    /// Ceiling freezes of the current round, sorted ascending by flow index
+    /// before freezing so the per-link `frozen_usage` sums accumulate in the
+    /// same order as the historical full-rescan solver (bit-identical rates).
+    cand: Vec<u32>,
+}
+
+/// Progressive filling: raises one common water level over all flows; a flow
+/// freezes at its own ceiling (`caps`) or at the level where a link on its
+/// path saturates. Writes the max-min fair rate of each flow into `rates`
+/// (reused caller buffers; `link_members` lists each link's flows, and a
+/// [`NO_LINK`] slot in `flow_links` is ignored — it names a pruned link that
+/// can never saturate).
 ///
-/// Deterministic by construction — plain `f64` comparisons over inputs whose
-/// order the caller fixed — and O(rounds × (flows + links)) with at least one
-/// flow frozen per round.
+/// Instead of rescanning every flow and link per round, two min-heaps track
+/// the next stopping point: one over unfrozen flow ceilings, one over link
+/// saturation levels (lazily invalidated via per-link versions — each freeze
+/// pushes a fresh entry and bumps the version, so stale entries are skipped
+/// at pop time). Within a round, ceiling freezes happen in ascending flow
+/// order and saturation freezes all hand out the identical `level`, so the
+/// floating-point accumulation into `frozen_usage` replays the historical
+/// full-rescan order exactly: rates are bit-identical, in
+/// O((flows + links) log(flows + links)) per solve.
+///
+/// A link counts as saturated when its level is within a combined
+/// absolute+relative tolerance of the water level
+/// (`level * (1 + SAT_EPS_REL) + SAT_EPS_ABS`): the absolute term keeps the
+/// test meaningful at `level == 0`, where a purely relative tolerance
+/// degenerates to exact equality (see [`SAT_EPS_ABS`]).
 fn max_min_rates(
     caps: &[f64],
-    flow_links: &[[usize; 3]],
+    flow_links: &[[u32; 3]],
     links: &mut [LinkState],
-    link_members: &[Vec<usize>],
+    link_members: &[Vec<u32>],
+    heaps: &mut SolverHeaps,
     rates: &mut Vec<f64>,
     frozen: &mut Vec<bool>,
 ) {
@@ -884,71 +1195,141 @@ fn max_min_rates(
     rates.resize(n, 0.0);
     frozen.clear();
     frozen.resize(n, false);
+    let SolverHeaps {
+        cap_heap,
+        sat_heap,
+        link_version,
+        cand,
+    } = heaps;
+    cap_heap.clear();
+    sat_heap.clear();
+    link_version.clear();
+    link_version.resize(links.len(), 0);
+    for (i, &c) in caps.iter().enumerate() {
+        cap_heap.push(Reverse(CapEntry {
+            cap: OrdF64(c),
+            flow: i as u32,
+        }));
+    }
+    for (li, l) in links.iter().enumerate() {
+        if l.unfrozen > 0 {
+            sat_heap.push(Reverse(SatEntry {
+                sat: OrdF64(l.saturation_level()),
+                link: li as u32,
+                version: 0,
+            }));
+        }
+    }
     let mut remaining = n;
     let mut level = 0.0f64;
 
     // Freezing helper as a closure is blocked by borrow rules; a macro keeps
-    // the link bookkeeping in one place instead.
+    // the link bookkeeping (including heap maintenance) in one place.
     macro_rules! freeze {
         ($i:expr, $rate:expr) => {{
-            let i = $i;
-            let r = $rate;
+            let i: usize = $i;
+            let r: f64 = $rate;
             rates[i] = r;
             frozen[i] = true;
             remaining -= 1;
             for &li in &flow_links[i] {
+                if li == NO_LINK {
+                    continue;
+                }
+                let li = li as usize;
                 links[li].unfrozen -= 1;
                 links[li].frozen_usage += r;
+                link_version[li] = link_version[li].wrapping_add(1);
+                if links[li].unfrozen > 0 {
+                    sat_heap.push(Reverse(SatEntry {
+                        sat: OrdF64(links[li].saturation_level()),
+                        link: li as u32,
+                        version: link_version[li],
+                    }));
+                }
             }
         }};
     }
 
     while remaining > 0 {
-        // The next stopping point: the lowest flow ceiling or link
-        // saturation level at or above the current water level.
+        // The next stopping point: the lowest unfrozen flow ceiling or live
+        // link saturation level at or above the current water level.
+        let cap_top = loop {
+            match cap_heap.peek() {
+                Some(&Reverse(e)) if frozen[e.flow as usize] => {
+                    cap_heap.pop();
+                }
+                Some(&Reverse(e)) => break Some(e.cap.0),
+                None => break None,
+            }
+        };
+        let sat_top = loop {
+            match sat_heap.peek() {
+                Some(&Reverse(e)) => {
+                    let li = e.link as usize;
+                    if e.version != link_version[li] || links[li].unfrozen == 0 {
+                        sat_heap.pop();
+                    } else {
+                        break Some(e.sat.0);
+                    }
+                }
+                None => break None,
+            }
+        };
         let mut next = f64::INFINITY;
-        for i in 0..n {
-            if !frozen[i] {
-                next = next.min(caps[i]);
-            }
+        if let Some(c) = cap_top {
+            next = next.min(c);
         }
-        for l in links.iter() {
-            if l.unfrozen > 0 {
-                next = next.min(l.saturation_level());
-            }
+        if let Some(sl) = sat_top {
+            next = next.min(sl);
         }
         level = next.max(level);
-
         let mut any = false;
-        // Flows that hit their own ceiling freeze at the ceiling.
-        for i in 0..n {
-            if !frozen[i] && caps[i] <= level {
+
+        // Flows that hit their own ceiling freeze at the ceiling, in
+        // ascending flow order (see `SolverHeaps::cand`).
+        cand.clear();
+        while let Some(&Reverse(e)) = cap_heap.peek() {
+            if e.cap.0 > level {
+                break;
+            }
+            cap_heap.pop();
+            if !frozen[e.flow as usize] {
+                cand.push(e.flow);
+            }
+        }
+        cand.sort_unstable();
+        for &fi in cand.iter() {
+            let i = fi as usize;
+            if !frozen[i] {
                 freeze!(i, caps[i]);
                 any = true;
             }
         }
+
         // Links that saturate at (or, through floating-point drift, just
         // below) the level freeze their remaining flows at the level. One
-        // saturation can lower another link's level, so sweep to fixpoint.
-        loop {
-            let mut hit = false;
-            for li in 0..links.len() {
-                if links[li].unfrozen == 0 {
-                    continue;
-                }
-                if links[li].saturation_level() <= level * (1.0 + 1e-12) {
-                    for &i in &link_members[li] {
-                        if !frozen[i] {
-                            freeze!(i, level);
-                        }
-                    }
-                    hit = true;
-                    any = true;
-                }
+        // saturation can lower another link's level; the freeze above already
+        // pushed the updated entries, so popping until the heap's minimum
+        // clears the tolerance sweeps the cascade to fixpoint.
+        let thr = level * (1.0 + SAT_EPS_REL) + SAT_EPS_ABS;
+        while let Some(&Reverse(e)) = sat_heap.peek() {
+            let li = e.link as usize;
+            if e.version != link_version[li] || links[li].unfrozen == 0 {
+                sat_heap.pop();
+                continue;
             }
-            if !hit {
+            if e.sat.0 > thr {
                 break;
             }
+            sat_heap.pop();
+            for &fi in &link_members[li] {
+                let i = fi as usize;
+                if !frozen[i] {
+                    freeze!(i, level);
+                }
+            }
+            any = true;
         }
         if !any {
             // Unreachable by construction (the level was chosen as an
@@ -963,447 +1344,4 @@ fn max_min_rates(
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::topology::{constrained_access, shared_core_mesh, NodeSpec, PathSpec};
-    use crate::units::mbps;
-    use desim::RngFactory;
-
-    fn two_node_topo(core_mbps: f64, access_mbps: f64) -> Topology {
-        let node = NodeSpec {
-            up: mbps(access_mbps),
-            down: mbps(access_mbps),
-            access_delay: SimDuration::from_millis(1),
-        };
-        let path = PathSpec {
-            bw: mbps(core_mbps),
-            delay: SimDuration::from_millis(10),
-            loss: 0.0,
-        };
-        Topology::new(vec![node; 2], vec![vec![path; 2]; 2])
-    }
-
-    /// Extracts the completion time of the `Schedule` update for `from → to`.
-    fn sched_at(updates: &[ConnUpdate], from: NodeId, to: NodeId) -> SimTime {
-        updates
-            .iter()
-            .find_map(|u| match u {
-                ConnUpdate::Schedule { from: f, to: t, at } if (*f, *t) == (from, to) => Some(*at),
-                _ => None,
-            })
-            .expect("a Schedule update for the pair")
-    }
-
-    #[test]
-    fn single_block_completes_at_expected_rate() {
-        let mut net = Network::new(two_node_topo(2.0, 6.0));
-        let now = SimTime::ZERO;
-        let r = net.queue_block(now, NodeId(0), NodeId(1), BlockId(0), 250_000);
-        assert_eq!(r.len(), 1);
-        // Slow start dominates a fresh connection, so completion takes longer
-        // than the raw 1-second serialisation at 2 Mbps (250 KB / 250 KB/s).
-        let at = sched_at(&r, NodeId(0), NodeId(1));
-        let finish = at.as_secs_f64();
-        assert!(
-            finish > 1.0,
-            "finish {finish} should exceed the raw serialisation time"
-        );
-        assert!(finish < 10.0, "finish {finish} unreasonably late");
-        let (done, _) = net
-            .on_block_done(at, NodeId(0), NodeId(1))
-            .expect("block in flight");
-        assert_eq!(done.block, BlockId(0));
-        assert_eq!(done.bytes, 250_000);
-        assert_eq!(done.in_front, 0);
-        assert!(
-            done.wasted <= 0.0,
-            "first block on an idle connection has idle-gap wasted time"
-        );
-    }
-
-    #[test]
-    fn completion_without_inflight_is_rejected() {
-        let mut net = Network::new(two_node_topo(2.0, 6.0));
-        // No connection at all.
-        assert!(net
-            .on_block_done(SimTime::ZERO, NodeId(0), NodeId(1))
-            .is_none());
-        let r = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(0), 16_384);
-        // Queueing a second block on an active connection produces no update:
-        // the live completion event is untouched.
-        let r2 = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(1), 16_384);
-        assert!(r2.is_empty());
-        // Draining both blocks empties the connection; a further completion
-        // has nothing in flight and is rejected.
-        let at = sched_at(&r, NodeId(0), NodeId(1));
-        let (_, u1) = net.on_block_done(at, NodeId(0), NodeId(1)).unwrap();
-        let at1 = sched_at(&u1, NodeId(0), NodeId(1));
-        let (_, _) = net.on_block_done(at1, NodeId(0), NodeId(1)).unwrap();
-        assert!(net.on_block_done(at1, NodeId(0), NodeId(1)).is_none());
-    }
-
-    #[test]
-    fn queued_blocks_report_in_front_and_wait() {
-        let mut net = Network::new(two_node_topo(2.0, 6.0));
-        let t0 = SimTime::ZERO;
-        let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 16_384);
-        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(1), 16_384);
-        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(2), 16_384);
-        assert_eq!(net.pending_blocks(NodeId(0), NodeId(1)), 3);
-
-        // Complete the first block.
-        let at0 = sched_at(&r, NodeId(0), NodeId(1));
-        let (b0, r1) = net.on_block_done(at0, NodeId(0), NodeId(1)).unwrap();
-        assert_eq!(b0.in_front, 0);
-        // The second block starts immediately and reports one block in front.
-        let at1 = sched_at(&r1, NodeId(0), NodeId(1));
-        let (b1, r2) = net.on_block_done(at1, NodeId(0), NodeId(1)).unwrap();
-        assert_eq!(b1.block, BlockId(1));
-        assert_eq!(b1.in_front, 1);
-        assert!(
-            b1.wasted > 0.0,
-            "queued block should report positive waiting time"
-        );
-        let at2 = sched_at(&r2, NodeId(0), NodeId(1));
-        let (b2, _) = net.on_block_done(at2, NodeId(0), NodeId(1)).unwrap();
-        assert_eq!(b2.in_front, 2);
-    }
-
-    #[test]
-    fn concurrent_connections_share_access_link() {
-        // Constrained access topology: 800 Kbps uplink, 10 Mbps core.
-        let mut net = Network::new(constrained_access(3));
-        let t0 = SimTime::ZERO;
-        let r1 = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 100_000);
-        let single_rate = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
-        let _r2 = net.queue_block(t0, NodeId(0), NodeId(2), BlockId(1), 100_000);
-        let shared_rate = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
-        assert!(
-            shared_rate < single_rate,
-            "adding a second outgoing flow must reduce the first one's share"
-        );
-        assert!(sched_at(&r1, NodeId(0), NodeId(1)) > t0);
-    }
-
-    #[test]
-    fn flows_contend_on_a_shared_core_link() {
-        // Two disjoint sender/receiver pairs whose only common constraint is
-        // the shared 2 Mbps core: under the old per-path model they would
-        // not contend at all.
-        let rng = RngFactory::new(1);
-        let mut net = Network::new(shared_core_mesh(4, mbps(2.0), 0.0, &rng));
-        let t0 = SimTime::ZERO;
-        let big = 5_000_000;
-        // Mature flow 0 → 1 past slow start by completing one large block.
-        let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), big);
-        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(1), big);
-        let at = sched_at(&r, NodeId(0), NodeId(1));
-        net.on_block_done(at, NodeId(0), NodeId(1)).unwrap();
-        let alone = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
-        assert!(
-            (alone - mbps(2.0)).abs() < 1.0,
-            "a lone mature flow fills the shared core ({alone})"
-        );
-        let updates = net.queue_block(at, NodeId(2), NodeId(3), BlockId(2), big);
-        // The established flow is re-priced by the newcomer's arrival.
-        let _ = sched_at(&updates, NodeId(2), NodeId(3));
-        let shared = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
-        assert!(
-            shared < alone,
-            "a disjoint pair crossing the same core link must steal share \
-             (alone {alone}, shared {shared})"
-        );
-    }
-
-    #[test]
-    fn capped_flows_release_share_to_their_competitors() {
-        // Max-min, not equal split: a flow held below the fair share by its
-        // own ceiling (here: slow start on a fresh connection over a long
-        // path) leaves the rest of the link to its competitor.
-        let node = NodeSpec {
-            up: 100_000.0,
-            down: 100_000.0,
-            access_delay: SimDuration::from_millis(2),
-        };
-        let path = PathSpec {
-            bw: mbps(10.0),
-            delay: SimDuration::from_millis(100),
-            loss: 0.0,
-        };
-        let mut net = Network::new(Topology::new(vec![node; 3], vec![vec![path; 3]; 3]));
-        let t0 = SimTime::ZERO;
-        // Flow A: matured by completing a 100 KB block.
-        let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 100_000);
-        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(1), 400_000);
-        let at = sched_at(&r, NodeId(0), NodeId(1));
-        net.on_block_done(at, NodeId(0), NodeId(1)).unwrap();
-        // Flow B: brand new at the same sender, window-limited over the
-        // ~208 ms RTT (slow-start cap ≈ 21 KB/s, well below the 50 KB/s
-        // fair share of the 100 KB/s uplink).
-        net.queue_block(at, NodeId(0), NodeId(2), BlockId(2), 400_000);
-        let a = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
-        let b = net.connection(NodeId(0), NodeId(2)).unwrap().current_rate();
-        let uplink = 100_000.0;
-        assert!(
-            b < uplink / 2.0,
-            "the slow-starting flow must sit below the fair share (b {b})"
-        );
-        assert!(
-            a > uplink / 2.0 + 1.0,
-            "the uncapped flow must claim the capped flow's leftover ({a})"
-        );
-        assert!(
-            a + b <= uplink * (1.0 + 1e-6),
-            "conservation on the uplink ({a} + {b})"
-        );
-    }
-
-    #[test]
-    fn cross_traffic_takes_core_capacity_and_returns_it() {
-        let rng = RngFactory::new(2);
-        let mut net = Network::new(shared_core_mesh(3, mbps(2.0), 0.0, &rng));
-        let t0 = SimTime::ZERO;
-        // Mature the flow past slow start by completing one large block.
-        let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 5_000_000);
-        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(1), 50_000_000);
-        let t1 = sched_at(&r, NodeId(0), NodeId(1));
-        net.on_block_done(t1, NodeId(0), NodeId(1)).unwrap();
-        let clean = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
-
-        // A CBR stream occupying half the core.
-        let updates = net.set_cross_traffic(t1, (NodeId(0), NodeId(1)), mbps(1.0));
-        assert_eq!(updates.len(), 1, "the flow is re-priced: {updates:?}");
-        let squeezed = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
-        assert!(
-            squeezed < clean * 0.6,
-            "cross traffic must take its share (clean {clean}, squeezed {squeezed})"
-        );
-        let link = net.topology().core_link(NodeId(0), NodeId(1));
-        assert_eq!(net.cross_traffic(link), mbps(1.0));
-
-        // Switching it off restores the rate.
-        net.set_cross_traffic(t1, (NodeId(0), NodeId(1)), 0.0);
-        let restored = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
-        assert!((restored - clean).abs() < clean * 1e-6);
-    }
-
-    #[test]
-    fn share_core_mid_run_with_active_flows_is_safe() {
-        // Regression: remapping pairs onto a shared link while a flow is in
-        // flight must not desynchronise the per-link registration (debug
-        // builds used to hit the mark_idle debug_assert; release builds left
-        // a stale entry distorting every later solve). The in-flight flow
-        // keeps its registered (old, dedicated) link until it goes idle;
-        // new activations ride the shared link.
-        let mut net = Network::new(constrained_access(4));
-        let t0 = SimTime::ZERO;
-        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 200_000);
-        // Remap both pairs onto one shared 2 Mbps link mid-flight.
-        net.topology_mut().share_core(
-            &[(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))],
-            mbps(2.0),
-            0.0,
-        );
-        // Completing the in-flight block (connection goes idle) must not
-        // panic or corrupt state.
-        let t1 = SimTime::from_secs_f64(10.0);
-        net.on_block_done(t1, NodeId(0), NodeId(1))
-            .expect("in flight");
-        // Fresh activations are registered consistently on the new link and
-        // a from-scratch solve agrees with the incremental state.
-        net.queue_block(t1, NodeId(0), NodeId(1), BlockId(1), 200_000);
-        net.queue_block(t1, NodeId(2), NodeId(3), BlockId(2), 200_000);
-        let before: Vec<f64> = [(0u32, 1u32), (2, 3)]
-            .iter()
-            .map(|&(a, b)| net.connection(NodeId(a), NodeId(b)).unwrap().current_rate())
-            .collect();
-        net.reprice_all(t1);
-        let after: Vec<f64> = [(0u32, 1u32), (2, 3)]
-            .iter()
-            .map(|&(a, b)| net.connection(NodeId(a), NodeId(b)).unwrap().current_rate())
-            .collect();
-        for (b, a) in before.iter().zip(after.iter()) {
-            assert!((a - b).abs() <= b * 1e-6, "incremental drift: {b} vs {a}");
-        }
-    }
-
-    #[test]
-    fn repricing_is_scoped_to_the_connected_component() {
-        // Flows 0→1 and 2→3 share no link (dedicated cores, distinct access
-        // links): starting/stopping one must not emit updates for the other.
-        let mut net = Network::new(constrained_access(4));
-        let t0 = SimTime::ZERO;
-        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 1_000_000);
-        let updates = net.queue_block(t0, NodeId(2), NodeId(3), BlockId(1), 1_000_000);
-        assert_eq!(
-            updates.len(),
-            1,
-            "only the new flow's component is touched: {updates:?}"
-        );
-        let _ = sched_at(&updates, NodeId(2), NodeId(3));
-        let updates = net.close_connection(SimTime::from_secs_f64(1.0), NodeId(2), NodeId(3));
-        assert!(
-            !updates
-                .iter()
-                .any(|u| matches!(u, ConnUpdate::Schedule { from, .. } if *from == NodeId(0))),
-            "the disconnected flow must not be re-priced: {updates:?}"
-        );
-    }
-
-    #[test]
-    fn closing_a_connection_cancels_and_restores_shares() {
-        let mut net = Network::new(constrained_access(3));
-        let t0 = SimTime::ZERO;
-        net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 1_000_000);
-        net.queue_block(t0, NodeId(0), NodeId(2), BlockId(1), 1_000_000);
-        let shared = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
-        let later = SimTime::from_secs_f64(1.0);
-        let rs = net.close_connection(later, NodeId(0), NodeId(2));
-        assert!(
-            rs.contains(&ConnUpdate::Cancel {
-                from: NodeId(0),
-                to: NodeId(2)
-            }),
-            "closing an active connection cancels its completion event: {rs:?}"
-        );
-        // ... and re-prices the survivor.
-        let _ = sched_at(&rs, NodeId(0), NodeId(1));
-        let alone = net.connection(NodeId(0), NodeId(1)).unwrap().current_rate();
-        assert!(alone > shared);
-        assert_eq!(net.pending_blocks(NodeId(0), NodeId(2)), 0);
-        // Closing an idle connection produces nothing.
-        assert!(net.close_connection(later, NodeId(0), NodeId(2)).is_empty());
-    }
-
-    #[test]
-    fn close_all_for_tears_down_both_directions() {
-        let mut net = Network::new(constrained_access(4));
-        let t0 = SimTime::ZERO;
-        net.queue_block(t0, NodeId(1), NodeId(0), BlockId(0), 500_000);
-        net.queue_block(t0, NodeId(1), NodeId(2), BlockId(1), 500_000);
-        net.queue_block(t0, NodeId(3), NodeId(1), BlockId(2), 500_000);
-        net.queue_block(t0, NodeId(0), NodeId(2), BlockId(3), 500_000);
-        let updates = net.close_all_for(SimTime::from_secs_f64(0.5), NodeId(1));
-        let cancels: Vec<_> = updates
-            .iter()
-            .filter(|u| matches!(u, ConnUpdate::Cancel { .. }))
-            .collect();
-        assert_eq!(
-            cancels.len(),
-            3,
-            "all three connections touching node 1: {updates:?}"
-        );
-        assert_eq!(net.pending_blocks(NodeId(1), NodeId(0)), 0);
-        assert_eq!(net.pending_blocks(NodeId(1), NodeId(2)), 0);
-        assert_eq!(net.pending_blocks(NodeId(3), NodeId(1)), 0);
-        // Unrelated connections keep flowing.
-        assert_eq!(net.pending_blocks(NodeId(0), NodeId(2)), 1);
-    }
-
-    #[test]
-    fn reprice_paths_after_bandwidth_change() {
-        let mut net = Network::new(two_node_topo(2.0, 6.0));
-        let t0 = SimTime::ZERO;
-        let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 2_000_000);
-        let original_finish = sched_at(&r, NodeId(0), NodeId(1));
-        // Halve the core bandwidth at t = 1s.
-        let t1 = SimTime::from_secs_f64(1.0);
-        net.topology_mut()
-            .set_core_bw(NodeId(0), NodeId(1), mbps(1.0));
-        let rs = net.reprice_paths(t1, &[(NodeId(0), NodeId(1))]);
-        assert_eq!(rs.len(), 1);
-        assert!(
-            sched_at(&rs, NodeId(0), NodeId(1)) > original_finish,
-            "less bandwidth must push completion later"
-        );
-    }
-
-    #[test]
-    fn traffic_counters_accumulate() {
-        let mut net = Network::new(two_node_topo(2.0, 6.0));
-        let mut rng = RngFactory::new(1).stream("ctl");
-        let d = net.control_delay(&mut rng, NodeId(0), NodeId(1), 100);
-        assert!(d > SimDuration::ZERO);
-        assert_eq!(net.traffic(NodeId(0)).control_bytes_out, 100);
-        assert_eq!(net.traffic(NodeId(1)).control_bytes_in, 100);
-
-        let r = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(0), 500);
-        let at = sched_at(&r, NodeId(0), NodeId(1));
-        net.on_block_done(at, NodeId(0), NodeId(1)).unwrap();
-        net.on_block_delivered(NodeId(1), 500);
-        assert_eq!(net.traffic(NodeId(0)).data_bytes_out, 500);
-        assert_eq!(net.traffic(NodeId(1)).data_bytes_in, 500);
-        assert_eq!(net.traffic(NodeId(1)).blocks_in, 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "cannot stream blocks to itself")]
-    fn self_connection_rejected() {
-        let mut net = Network::new(two_node_topo(2.0, 6.0));
-        net.queue_block(SimTime::ZERO, NodeId(0), NodeId(0), BlockId(0), 10);
-    }
-
-    #[test]
-    fn progressive_filling_matches_hand_solved_example() {
-        // The worked 3-flow example of docs/NETWORK_MODEL.md: links L1 (cap
-        // 10, flows A+B), L2 (cap 6, flows B+C); C capped at 2.
-        // Level 2: C freezes at its cap. Level 4: L2 saturates (2 + 4 = 6),
-        // B freezes at 4. Level 6: L1 saturates (4 + 6 = 10), A freezes at 6.
-        let caps = [f64::INFINITY, f64::INFINITY, 2.0];
-        // Give every flow three link slots (the solver's path shape) by
-        // padding with per-flow private links of ample capacity.
-        let flow_links = [[0, 2, 3], [0, 1, 4], [1, 2, 5]];
-        let mut links = vec![
-            LinkState {
-                capacity: 10.0,
-                unfrozen: 2,
-                frozen_usage: 0.0,
-            },
-            LinkState {
-                capacity: 6.0,
-                unfrozen: 2,
-                frozen_usage: 0.0,
-            },
-            LinkState {
-                capacity: 100.0,
-                unfrozen: 2,
-                frozen_usage: 0.0,
-            },
-            LinkState {
-                capacity: 100.0,
-                unfrozen: 1,
-                frozen_usage: 0.0,
-            },
-            LinkState {
-                capacity: 100.0,
-                unfrozen: 1,
-                frozen_usage: 0.0,
-            },
-            LinkState {
-                capacity: 100.0,
-                unfrozen: 1,
-                frozen_usage: 0.0,
-            },
-        ];
-        let link_members: Vec<Vec<usize>> = (0..links.len())
-            .map(|li| {
-                (0..flow_links.len())
-                    .filter(|&i| flow_links[i].contains(&li))
-                    .collect()
-            })
-            .collect();
-        let mut rates = Vec::new();
-        let mut frozen = Vec::new();
-        max_min_rates(
-            &caps,
-            &flow_links,
-            &mut links,
-            &link_members,
-            &mut rates,
-            &mut frozen,
-        );
-        assert!((rates[0] - 6.0).abs() < 1e-9, "A: {rates:?}");
-        assert!((rates[1] - 4.0).abs() < 1e-9, "B: {rates:?}");
-        assert!((rates[2] - 2.0).abs() < 1e-9, "C: {rates:?}");
-    }
-}
+mod tests;

@@ -1,0 +1,549 @@
+use super::*;
+use crate::topology::{constrained_access, shared_core_mesh, NodeSpec, PathSpec};
+use crate::units::mbps;
+use desim::RngFactory;
+
+fn two_node_topo(core_mbps: f64, access_mbps: f64) -> Topology {
+    let node = NodeSpec {
+        up: mbps(access_mbps),
+        down: mbps(access_mbps),
+        access_delay: SimDuration::from_millis(1),
+    };
+    let path = PathSpec {
+        bw: mbps(core_mbps),
+        delay: SimDuration::from_millis(10),
+        loss: 0.0,
+    };
+    Topology::new(vec![node; 2], vec![vec![path; 2]; 2])
+}
+
+/// Extracts the completion time of the `Schedule` update for `from → to`.
+fn sched_at(updates: &[ConnUpdate], from: NodeId, to: NodeId) -> SimTime {
+    updates
+        .iter()
+        .find_map(|u| match u {
+            ConnUpdate::Schedule { from: f, to: t, at } if (*f, *t) == (from, to) => Some(*at),
+            _ => None,
+        })
+        .expect("a Schedule update for the pair")
+}
+
+#[test]
+fn single_block_completes_at_expected_rate() {
+    let mut net = Network::new(two_node_topo(2.0, 6.0));
+    let now = SimTime::ZERO;
+    let r = net.queue_block(now, NodeId(0), NodeId(1), BlockId(0), 250_000);
+    assert_eq!(r.len(), 1);
+    // Slow start dominates a fresh connection, so completion takes longer
+    // than the raw 1-second serialisation at 2 Mbps (250 KB / 250 KB/s).
+    let at = sched_at(&r, NodeId(0), NodeId(1));
+    let finish = at.as_secs_f64();
+    assert!(
+        finish > 1.0,
+        "finish {finish} should exceed the raw serialisation time"
+    );
+    assert!(finish < 10.0, "finish {finish} unreasonably late");
+    let (done, _) = net
+        .on_block_done(at, NodeId(0), NodeId(1))
+        .expect("block in flight");
+    assert_eq!(done.block, BlockId(0));
+    assert_eq!(done.bytes, 250_000);
+    assert_eq!(done.in_front, 0);
+    assert!(
+        done.wasted <= 0.0,
+        "first block on an idle connection has idle-gap wasted time"
+    );
+}
+
+#[test]
+fn completion_without_inflight_is_rejected() {
+    let mut net = Network::new(two_node_topo(2.0, 6.0));
+    // No connection at all.
+    assert!(net
+        .on_block_done(SimTime::ZERO, NodeId(0), NodeId(1))
+        .is_none());
+    let r = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(0), 16_384);
+    // Queueing a second block on an active connection produces no update:
+    // the live completion event is untouched.
+    let r2 = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(1), 16_384);
+    assert!(r2.is_empty());
+    // Draining both blocks empties the connection; a further completion
+    // has nothing in flight and is rejected.
+    let at = sched_at(&r, NodeId(0), NodeId(1));
+    let (_, u1) = net.on_block_done(at, NodeId(0), NodeId(1)).unwrap();
+    let at1 = sched_at(&u1, NodeId(0), NodeId(1));
+    let (_, _) = net.on_block_done(at1, NodeId(0), NodeId(1)).unwrap();
+    assert!(net.on_block_done(at1, NodeId(0), NodeId(1)).is_none());
+}
+
+#[test]
+fn queued_blocks_report_in_front_and_wait() {
+    let mut net = Network::new(two_node_topo(2.0, 6.0));
+    let t0 = SimTime::ZERO;
+    let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 16_384);
+    net.queue_block(t0, NodeId(0), NodeId(1), BlockId(1), 16_384);
+    net.queue_block(t0, NodeId(0), NodeId(1), BlockId(2), 16_384);
+    assert_eq!(net.pending_blocks(NodeId(0), NodeId(1)), 3);
+
+    // Complete the first block.
+    let at0 = sched_at(&r, NodeId(0), NodeId(1));
+    let (b0, r1) = net.on_block_done(at0, NodeId(0), NodeId(1)).unwrap();
+    assert_eq!(b0.in_front, 0);
+    // The second block starts immediately and reports one block in front.
+    let at1 = sched_at(&r1, NodeId(0), NodeId(1));
+    let (b1, r2) = net.on_block_done(at1, NodeId(0), NodeId(1)).unwrap();
+    assert_eq!(b1.block, BlockId(1));
+    assert_eq!(b1.in_front, 1);
+    assert!(
+        b1.wasted > 0.0,
+        "queued block should report positive waiting time"
+    );
+    let at2 = sched_at(&r2, NodeId(0), NodeId(1));
+    let (b2, _) = net.on_block_done(at2, NodeId(0), NodeId(1)).unwrap();
+    assert_eq!(b2.in_front, 2);
+}
+
+#[test]
+fn concurrent_connections_share_access_link() {
+    // Constrained access topology: 800 Kbps uplink, 10 Mbps core.
+    let mut net = Network::new(constrained_access(3));
+    let t0 = SimTime::ZERO;
+    let r1 = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 100_000);
+    let single_rate = net.current_rate(NodeId(0), NodeId(1)).unwrap();
+    let _r2 = net.queue_block(t0, NodeId(0), NodeId(2), BlockId(1), 100_000);
+    let shared_rate = net.current_rate(NodeId(0), NodeId(1)).unwrap();
+    assert!(
+        shared_rate < single_rate,
+        "adding a second outgoing flow must reduce the first one's share"
+    );
+    assert!(sched_at(&r1, NodeId(0), NodeId(1)) > t0);
+}
+
+#[test]
+fn flows_contend_on_a_shared_core_link() {
+    // Two disjoint sender/receiver pairs whose only common constraint is
+    // the shared 2 Mbps core: under the old per-path model they would
+    // not contend at all.
+    let rng = RngFactory::new(1);
+    let mut net = Network::new(shared_core_mesh(4, mbps(2.0), 0.0, &rng));
+    let t0 = SimTime::ZERO;
+    let big = 5_000_000;
+    // Mature flow 0 → 1 past slow start by completing one large block.
+    let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), big);
+    net.queue_block(t0, NodeId(0), NodeId(1), BlockId(1), big);
+    let at = sched_at(&r, NodeId(0), NodeId(1));
+    net.on_block_done(at, NodeId(0), NodeId(1)).unwrap();
+    let alone = net.current_rate(NodeId(0), NodeId(1)).unwrap();
+    assert!(
+        (alone - mbps(2.0)).abs() < 1.0,
+        "a lone mature flow fills the shared core ({alone})"
+    );
+    let updates = net.queue_block(at, NodeId(2), NodeId(3), BlockId(2), big);
+    // The established flow is re-priced by the newcomer's arrival.
+    let _ = sched_at(&updates, NodeId(2), NodeId(3));
+    let shared = net.current_rate(NodeId(0), NodeId(1)).unwrap();
+    assert!(
+        shared < alone,
+        "a disjoint pair crossing the same core link must steal share \
+         (alone {alone}, shared {shared})"
+    );
+}
+
+#[test]
+fn capped_flows_release_share_to_their_competitors() {
+    // Max-min, not equal split: a flow held below the fair share by its
+    // own ceiling (here: slow start on a fresh connection over a long
+    // path) leaves the rest of the link to its competitor.
+    let node = NodeSpec {
+        up: 100_000.0,
+        down: 100_000.0,
+        access_delay: SimDuration::from_millis(2),
+    };
+    let path = PathSpec {
+        bw: mbps(10.0),
+        delay: SimDuration::from_millis(100),
+        loss: 0.0,
+    };
+    let mut net = Network::new(Topology::new(vec![node; 3], vec![vec![path; 3]; 3]));
+    let t0 = SimTime::ZERO;
+    // Flow A: matured by completing a 100 KB block.
+    let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 100_000);
+    net.queue_block(t0, NodeId(0), NodeId(1), BlockId(1), 400_000);
+    let at = sched_at(&r, NodeId(0), NodeId(1));
+    net.on_block_done(at, NodeId(0), NodeId(1)).unwrap();
+    // Flow B: brand new at the same sender, window-limited over the
+    // ~208 ms RTT (slow-start cap ≈ 21 KB/s, well below the 50 KB/s
+    // fair share of the 100 KB/s uplink).
+    net.queue_block(at, NodeId(0), NodeId(2), BlockId(2), 400_000);
+    let a = net.current_rate(NodeId(0), NodeId(1)).unwrap();
+    let b = net.current_rate(NodeId(0), NodeId(2)).unwrap();
+    let uplink = 100_000.0;
+    assert!(
+        b < uplink / 2.0,
+        "the slow-starting flow must sit below the fair share (b {b})"
+    );
+    assert!(
+        a > uplink / 2.0 + 1.0,
+        "the uncapped flow must claim the capped flow's leftover ({a})"
+    );
+    assert!(
+        a + b <= uplink * (1.0 + 1e-6),
+        "conservation on the uplink ({a} + {b})"
+    );
+}
+
+#[test]
+fn cross_traffic_takes_core_capacity_and_returns_it() {
+    let rng = RngFactory::new(2);
+    let mut net = Network::new(shared_core_mesh(3, mbps(2.0), 0.0, &rng));
+    let t0 = SimTime::ZERO;
+    // Mature the flow past slow start by completing one large block.
+    let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 5_000_000);
+    net.queue_block(t0, NodeId(0), NodeId(1), BlockId(1), 50_000_000);
+    let t1 = sched_at(&r, NodeId(0), NodeId(1));
+    net.on_block_done(t1, NodeId(0), NodeId(1)).unwrap();
+    let clean = net.current_rate(NodeId(0), NodeId(1)).unwrap();
+
+    // A CBR stream occupying half the core.
+    let updates = net.set_cross_traffic(t1, (NodeId(0), NodeId(1)), mbps(1.0));
+    assert_eq!(updates.len(), 1, "the flow is re-priced: {updates:?}");
+    let squeezed = net.current_rate(NodeId(0), NodeId(1)).unwrap();
+    assert!(
+        squeezed < clean * 0.6,
+        "cross traffic must take its share (clean {clean}, squeezed {squeezed})"
+    );
+    let link = net.topology().core_link(NodeId(0), NodeId(1));
+    assert_eq!(net.cross_traffic(link), mbps(1.0));
+
+    // Switching it off restores the rate.
+    net.set_cross_traffic(t1, (NodeId(0), NodeId(1)), 0.0);
+    let restored = net.current_rate(NodeId(0), NodeId(1)).unwrap();
+    assert!((restored - clean).abs() < clean * 1e-6);
+}
+
+#[test]
+fn share_core_mid_run_with_active_flows_is_safe() {
+    // Regression: remapping pairs onto a shared link while a flow is in
+    // flight must not desynchronise the per-link registration (debug
+    // builds used to hit the mark_idle debug_assert; release builds left
+    // a stale entry distorting every later solve). The in-flight flow
+    // keeps its registered (old, dedicated) link until it goes idle;
+    // new activations ride the shared link.
+    let mut net = Network::new(constrained_access(4));
+    let t0 = SimTime::ZERO;
+    net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 200_000);
+    // Remap both pairs onto one shared 2 Mbps link mid-flight.
+    net.topology_mut().share_core(
+        &[(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))],
+        mbps(2.0),
+        0.0,
+    );
+    // Completing the in-flight block (connection goes idle) must not
+    // panic or corrupt state.
+    let t1 = SimTime::from_secs_f64(10.0);
+    net.on_block_done(t1, NodeId(0), NodeId(1))
+        .expect("in flight");
+    // Fresh activations are registered consistently on the new link and
+    // a from-scratch solve agrees with the incremental state.
+    net.queue_block(t1, NodeId(0), NodeId(1), BlockId(1), 200_000);
+    net.queue_block(t1, NodeId(2), NodeId(3), BlockId(2), 200_000);
+    let before: Vec<f64> = [(0u32, 1u32), (2, 3)]
+        .iter()
+        .map(|&(a, b)| net.current_rate(NodeId(a), NodeId(b)).unwrap())
+        .collect();
+    net.reprice_all(t1);
+    let after: Vec<f64> = [(0u32, 1u32), (2, 3)]
+        .iter()
+        .map(|&(a, b)| net.current_rate(NodeId(a), NodeId(b)).unwrap())
+        .collect();
+    for (b, a) in before.iter().zip(after.iter()) {
+        assert!((a - b).abs() <= b * 1e-6, "incremental drift: {b} vs {a}");
+    }
+}
+
+#[test]
+fn repricing_is_scoped_to_the_connected_component() {
+    // Flows 0→1 and 2→3 share no link (dedicated cores, distinct access
+    // links): starting/stopping one must not emit updates for the other.
+    let mut net = Network::new(constrained_access(4));
+    let t0 = SimTime::ZERO;
+    net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 1_000_000);
+    let updates = net.queue_block(t0, NodeId(2), NodeId(3), BlockId(1), 1_000_000);
+    assert_eq!(
+        updates.len(),
+        1,
+        "only the new flow's component is touched: {updates:?}"
+    );
+    let _ = sched_at(&updates, NodeId(2), NodeId(3));
+    let updates = net.close_connection(SimTime::from_secs_f64(1.0), NodeId(2), NodeId(3));
+    assert!(
+        !updates
+            .iter()
+            .any(|u| matches!(u, ConnUpdate::Schedule { from, .. } if *from == NodeId(0))),
+        "the disconnected flow must not be re-priced: {updates:?}"
+    );
+}
+
+#[test]
+fn unsaturable_links_do_not_couple_components() {
+    // Dirty-link pruning: two fresh (slow-start-capped) flows share the
+    // sender's 10 Mbps uplink, but their combined ceilings cannot come
+    // close to filling it — the uplink can never saturate, so a change on
+    // one flow's core must not drag the other flow into the solve.
+    let node = NodeSpec {
+        up: mbps(10.0),
+        down: mbps(10.0),
+        access_delay: SimDuration::from_millis(1),
+    };
+    let path = PathSpec {
+        bw: mbps(10.0),
+        delay: SimDuration::from_millis(10),
+        loss: 0.0,
+    };
+    let mut paths = vec![vec![path; 3]; 3];
+    // A narrow dedicated core for 0 → 1, so cross traffic can squeeze it.
+    paths[0][1].bw = 80_000.0;
+    let mut net = Network::new(Topology::new(vec![node; 3], paths));
+    let t0 = SimTime::ZERO;
+    net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 4_000_000);
+    net.queue_block(t0, NodeId(0), NodeId(2), BlockId(1), 4_000_000);
+    let witness = net.current_rate(NodeId(0), NodeId(2)).unwrap();
+
+    // Cross traffic eats most of the narrow core: flow 0→1 must be
+    // re-priced, and *only* it — the shared uplink is unsaturable (the
+    // ceiling sum of both fresh flows is far below 10 Mbps), so the
+    // component stops there instead of crossing to flow 0→2.
+    let updates = net.set_cross_traffic(t0, (NodeId(0), NodeId(1)), 50_000.0);
+    assert_eq!(
+        updates.len(),
+        1,
+        "only the squeezed flow is re-priced: {updates:?}"
+    );
+    let _ = sched_at(&updates, NodeId(0), NodeId(1));
+    assert!(
+        net.current_rate(NodeId(0), NodeId(1)).unwrap() < 40_000.0,
+        "the squeezed flow dropped to the residual core capacity"
+    );
+    assert_eq!(
+        net.current_rate(NodeId(0), NodeId(2)).unwrap().to_bits(),
+        witness.to_bits(),
+        "the flow behind the pruned uplink keeps its exact rate"
+    );
+
+    // The pruned incremental state still matches a from-scratch solve
+    // (reprice_all seeds every flow-bearing link, so nothing is pruned).
+    assert!(
+        net.reprice_all(t0).is_empty(),
+        "pruning must not leave a stale allocation behind"
+    );
+}
+
+#[test]
+fn closing_a_connection_cancels_and_restores_shares() {
+    let mut net = Network::new(constrained_access(3));
+    let t0 = SimTime::ZERO;
+    net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 1_000_000);
+    net.queue_block(t0, NodeId(0), NodeId(2), BlockId(1), 1_000_000);
+    let shared = net.current_rate(NodeId(0), NodeId(1)).unwrap();
+    let later = SimTime::from_secs_f64(1.0);
+    let rs = net.close_connection(later, NodeId(0), NodeId(2));
+    assert!(
+        rs.contains(&ConnUpdate::Cancel {
+            from: NodeId(0),
+            to: NodeId(2)
+        }),
+        "closing an active connection cancels its completion event: {rs:?}"
+    );
+    // ... and re-prices the survivor.
+    let _ = sched_at(&rs, NodeId(0), NodeId(1));
+    let alone = net.current_rate(NodeId(0), NodeId(1)).unwrap();
+    assert!(alone > shared);
+    assert_eq!(net.pending_blocks(NodeId(0), NodeId(2)), 0);
+    // Closing an idle connection produces nothing.
+    assert!(net.close_connection(later, NodeId(0), NodeId(2)).is_empty());
+}
+
+#[test]
+fn close_all_for_tears_down_both_directions() {
+    let mut net = Network::new(constrained_access(4));
+    let t0 = SimTime::ZERO;
+    net.queue_block(t0, NodeId(1), NodeId(0), BlockId(0), 500_000);
+    net.queue_block(t0, NodeId(1), NodeId(2), BlockId(1), 500_000);
+    net.queue_block(t0, NodeId(3), NodeId(1), BlockId(2), 500_000);
+    net.queue_block(t0, NodeId(0), NodeId(2), BlockId(3), 500_000);
+    let updates = net.close_all_for(SimTime::from_secs_f64(0.5), NodeId(1));
+    let cancels: Vec<_> = updates
+        .iter()
+        .filter(|u| matches!(u, ConnUpdate::Cancel { .. }))
+        .collect();
+    assert_eq!(
+        cancels.len(),
+        3,
+        "all three connections touching node 1: {updates:?}"
+    );
+    assert_eq!(net.pending_blocks(NodeId(1), NodeId(0)), 0);
+    assert_eq!(net.pending_blocks(NodeId(1), NodeId(2)), 0);
+    assert_eq!(net.pending_blocks(NodeId(3), NodeId(1)), 0);
+    // Unrelated connections keep flowing.
+    assert_eq!(net.pending_blocks(NodeId(0), NodeId(2)), 1);
+}
+
+#[test]
+fn reprice_paths_after_bandwidth_change() {
+    let mut net = Network::new(two_node_topo(2.0, 6.0));
+    let t0 = SimTime::ZERO;
+    let r = net.queue_block(t0, NodeId(0), NodeId(1), BlockId(0), 2_000_000);
+    let original_finish = sched_at(&r, NodeId(0), NodeId(1));
+    // Halve the core bandwidth at t = 1s.
+    let t1 = SimTime::from_secs_f64(1.0);
+    net.topology_mut()
+        .set_core_bw(NodeId(0), NodeId(1), mbps(1.0));
+    let rs = net.reprice_paths(t1, &[(NodeId(0), NodeId(1))]);
+    assert_eq!(rs.len(), 1);
+    assert!(
+        sched_at(&rs, NodeId(0), NodeId(1)) > original_finish,
+        "less bandwidth must push completion later"
+    );
+}
+
+#[test]
+fn traffic_counters_accumulate() {
+    let mut net = Network::new(two_node_topo(2.0, 6.0));
+    let mut rng = RngFactory::new(1).stream("ctl");
+    let d = net.control_delay(&mut rng, NodeId(0), NodeId(1), 100);
+    assert!(d > SimDuration::ZERO);
+    assert_eq!(net.traffic(NodeId(0)).control_bytes_out, 100);
+    assert_eq!(net.traffic(NodeId(1)).control_bytes_in, 100);
+
+    let r = net.queue_block(SimTime::ZERO, NodeId(0), NodeId(1), BlockId(0), 500);
+    let at = sched_at(&r, NodeId(0), NodeId(1));
+    net.on_block_done(at, NodeId(0), NodeId(1)).unwrap();
+    net.on_block_delivered(NodeId(1), 500);
+    assert_eq!(net.traffic(NodeId(0)).data_bytes_out, 500);
+    assert_eq!(net.traffic(NodeId(1)).data_bytes_in, 500);
+    assert_eq!(net.traffic(NodeId(1)).blocks_in, 1);
+}
+
+#[test]
+#[should_panic(expected = "cannot stream blocks to itself")]
+fn self_connection_rejected() {
+    let mut net = Network::new(two_node_topo(2.0, 6.0));
+    net.queue_block(SimTime::ZERO, NodeId(0), NodeId(0), BlockId(0), 10);
+}
+
+/// Builds the per-link member lists for a direct solver call.
+fn members_of(flow_links: &[[u32; 3]], num_links: usize) -> Vec<Vec<u32>> {
+    (0..num_links)
+        .map(|li| {
+            (0..flow_links.len())
+                .filter(|&i| flow_links[i].contains(&(li as u32)))
+                .map(|i| i as u32)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn progressive_filling_matches_hand_solved_example() {
+    // The worked 3-flow example of docs/NETWORK_MODEL.md: links L1 (cap
+    // 10, flows A+B), L2 (cap 6, flows B+C); C capped at 2.
+    // Level 2: C freezes at its cap. Level 4: L2 saturates (2 + 4 = 6),
+    // B freezes at 4. Level 6: L1 saturates (4 + 6 = 10), A freezes at 6.
+    let caps = [f64::INFINITY, f64::INFINITY, 2.0];
+    // Give every flow three link slots (the solver's path shape) by
+    // padding with per-flow private links of ample capacity.
+    let flow_links = [[0u32, 2, 3], [0, 1, 4], [1, 2, 5]];
+    let mut links = vec![
+        LinkState {
+            capacity: 10.0,
+            unfrozen: 2,
+            frozen_usage: 0.0,
+        },
+        LinkState {
+            capacity: 6.0,
+            unfrozen: 2,
+            frozen_usage: 0.0,
+        },
+        LinkState {
+            capacity: 100.0,
+            unfrozen: 2,
+            frozen_usage: 0.0,
+        },
+        LinkState {
+            capacity: 100.0,
+            unfrozen: 1,
+            frozen_usage: 0.0,
+        },
+        LinkState {
+            capacity: 100.0,
+            unfrozen: 1,
+            frozen_usage: 0.0,
+        },
+        LinkState {
+            capacity: 100.0,
+            unfrozen: 1,
+            frozen_usage: 0.0,
+        },
+    ];
+    let link_members = members_of(&flow_links, links.len());
+    let mut heaps = SolverHeaps::default();
+    let mut rates = Vec::new();
+    let mut frozen = Vec::new();
+    max_min_rates(
+        &caps,
+        &flow_links,
+        &mut links,
+        &link_members,
+        &mut heaps,
+        &mut rates,
+        &mut frozen,
+    );
+    assert!((rates[0] - 6.0).abs() < 1e-9, "A: {rates:?}");
+    assert!((rates[1] - 4.0).abs() < 1e-9, "B: {rates:?}");
+    assert!((rates[2] - 2.0).abs() < 1e-9, "C: {rates:?}");
+}
+
+#[test]
+fn fully_occupied_link_freezes_its_flows_at_level_zero() {
+    // Regression for the saturation tolerance: a link whose usable
+    // capacity is a hair above zero (cross traffic ate everything) has a
+    // saturation level of ~5e-16 — *above* zero. A purely relative
+    // tolerance (`level * (1 + 1e-12)`) degenerates to exact equality at
+    // level 0 and misses it, burning an extra round to hand out
+    // denormal-sized rates; the combined absolute+relative tolerance
+    // freezes everything at exactly 0.0 in the first round.
+    let caps = [0.0, 5.0, 5.0];
+    let flow_links = [
+        [0u32, NO_LINK, NO_LINK],
+        [1, NO_LINK, NO_LINK],
+        [1, NO_LINK, NO_LINK],
+    ];
+    let mut links = vec![
+        LinkState {
+            capacity: 100.0,
+            unfrozen: 1,
+            frozen_usage: 0.0,
+        },
+        LinkState {
+            capacity: 1e-15,
+            unfrozen: 2,
+            frozen_usage: 0.0,
+        },
+    ];
+    let link_members = vec![vec![0u32], vec![1, 2]];
+    let mut heaps = SolverHeaps::default();
+    let mut rates = Vec::new();
+    let mut frozen = Vec::new();
+    max_min_rates(
+        &caps,
+        &flow_links,
+        &mut links,
+        &link_members,
+        &mut heaps,
+        &mut rates,
+        &mut frozen,
+    );
+    assert_eq!(rates[0], 0.0, "cap-frozen at its zero ceiling: {rates:?}");
+    assert_eq!(rates[1], 0.0, "fully occupied link: {rates:?}");
+    assert_eq!(rates[2], 0.0, "fully occupied link: {rates:?}");
+}

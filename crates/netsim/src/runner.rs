@@ -170,6 +170,11 @@ pub struct Runner<P: Protocol> {
     /// Whether start-of-run initialisation ran (a staged re-`run_until` must
     /// not deliver a second `on_init` — the trait promises exactly one).
     inits_done: bool,
+    /// Every this-many events, the network's incrementally maintained
+    /// per-link tables are rebuilt exactly (see
+    /// [`Network::rebuild_link_tables`]), bounding float drift on runs long
+    /// enough to accumulate it. `0` disables the hook.
+    table_rebuild_interval: u64,
 }
 
 impl<P: Protocol> Runner<P> {
@@ -206,7 +211,17 @@ impl<P: Protocol> Runner<P> {
             probe_tick_pending: false,
             probes_started: false,
             inits_done: false,
+            table_rebuild_interval: 1 << 20,
         }
+    }
+
+    /// Sets how often (in processed events) the network's per-link usage and
+    /// ceiling tables are rebuilt exactly from the registered flows,
+    /// resetting incremental float drift. `0` disables the periodic rebuild.
+    /// The default (`1 << 20`) is far beyond typical experiment lengths, so
+    /// short runs never pay for it and never change behaviour.
+    pub fn set_table_rebuild_interval(&mut self, interval: u64) {
+        self.table_rebuild_interval = interval;
     }
 
     /// Installs a run-time probe, sampled every `interval` of virtual time
@@ -354,6 +369,14 @@ impl<P: Protocol> Runner<P> {
             }
             let (_, ev) = self.sim.step().expect("peeked event must exist");
             self.handle(ev);
+            if self.table_rebuild_interval != 0
+                && self
+                    .sim
+                    .events_processed()
+                    .is_multiple_of(self.table_rebuild_interval)
+            {
+                self.net.rebuild_link_tables();
+            }
         };
 
         // The runner, not the probe, knows the tick it sampled on.

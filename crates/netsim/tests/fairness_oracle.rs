@@ -102,7 +102,7 @@ fn check_invariants(net: &Network, n: usize) {
     // Per-link usage from the test's own bookkeeping.
     let mut usage = vec![0.0f64; topo.num_links()];
     for &(a, b) in &flows {
-        let rate = net.connection(a, b).unwrap().current_rate();
+        let rate = net.current_rate(a, b).unwrap();
         for l in topo.links_on_path(a, b) {
             usage[l.index()] += rate;
         }
@@ -123,7 +123,7 @@ fn check_invariants(net: &Network, n: usize) {
     // 2. Max-min optimality: every flow is ceiling-limited or bottlenecked
     //    at a saturated link where it is (one of) the largest flows.
     for &(a, b) in &flows {
-        let rate = net.connection(a, b).unwrap().current_rate();
+        let rate = net.current_rate(a, b).unwrap();
         let ceiling = flow_ceiling(net, a, b);
         if rate >= ceiling * (1.0 - TOL) {
             continue; // capped by its own TCP ceiling
@@ -138,7 +138,7 @@ fn check_invariants(net: &Network, n: usize) {
             let max_on_link = flows
                 .iter()
                 .filter(|&&(x, y)| topo.links_on_path(x, y).contains(&l))
-                .map(|&(x, y)| net.connection(x, y).unwrap().current_rate())
+                .map(|&(x, y)| net.current_rate(x, y).unwrap())
                 .fold(0.0f64, f64::max);
             if rate >= max_on_link * (1.0 - TOL) {
                 bottlenecked = true;
@@ -215,11 +215,11 @@ fn run_scenario(n: usize, access_step: u64, core_kb: u64, loss: f64, shared: boo
     // 3. Incremental = from-scratch: a full re-solve must not move any rate.
     let before: Vec<_> = active_flows(&net, n)
         .into_iter()
-        .map(|(a, b)| ((a, b), net.connection(a, b).unwrap().current_rate()))
+        .map(|(a, b)| ((a, b), net.current_rate(a, b).unwrap()))
         .collect();
     net.reprice_all(now);
     for ((a, b), old) in before {
-        let new = net.connection(a, b).unwrap().current_rate();
+        let new = net.current_rate(a, b).unwrap();
         prop_assert!(
             (new - old).abs() <= old * TOL,
             "incremental drift on {a}→{b}: {old} vs from-scratch {new}"
@@ -291,7 +291,7 @@ fn worked_example_allocates_6_4_2() {
     net.queue_block(t0, NodeId(0), NodeId(2), BlockId(1), 1_000_000); // B
     net.queue_block(t0, NodeId(3), NodeId(2), BlockId(2), 1_000_000); // C
 
-    let rate = |f: u32, t: u32| net.connection(NodeId(f), NodeId(t)).unwrap().current_rate();
+    let rate = |f: u32, t: u32| net.current_rate(NodeId(f), NodeId(t)).unwrap();
     let c = rate(3, 2);
     let b = rate(0, 2);
     let a = rate(0, 1);
@@ -336,8 +336,8 @@ fn identical_histories_give_identical_allocations() {
         let mut rates = Vec::new();
         for a in 0..5u32 {
             for b in 0..5u32 {
-                if let Some(c) = net.connection(NodeId(a), NodeId(b)) {
-                    rates.push((a, b, c.current_rate().to_bits()));
+                if let Some(r) = net.current_rate(NodeId(a), NodeId(b)) {
+                    rates.push((a, b, r.to_bits()));
                 }
             }
         }

@@ -32,6 +32,31 @@ fn bullet_prime_report(seed: u64) -> RunReport {
 }
 
 #[test]
+fn periodic_link_table_rebuild_does_not_change_the_run() {
+    // The drift-guard hook (Runner::set_table_rebuild_interval) recomputes
+    // the incrementally maintained per-link usage/ceiling sums exactly.
+    // Rebuilding after *every* event must reproduce the default run byte for
+    // byte: at experiment scale the incremental sums have not drifted enough
+    // to flip any solver or fast-path decision, so the hook is purely
+    // prophylactic.
+    let run = |interval: u64| {
+        let rng = RngFactory::new(SEED);
+        let topo = topology::modelnet_mesh(NODES, 0.01, &rng);
+        let cfg = Config::new(file());
+        let mut runner = build_runner(topo, &cfg, &rng);
+        runner.set_table_rebuild_interval(interval);
+        format!("{:?}", runner.run(SimDuration::from_secs(3_600)))
+    };
+    let default = format!("{:?}", bullet_prime_report(SEED));
+    assert_eq!(
+        run(1),
+        default,
+        "rebuild-every-event must match the default"
+    );
+    assert_eq!(run(0), default, "disabled hook must match the default");
+}
+
+#[test]
 fn bullet_prime_run_reports_are_byte_identical() {
     let a = format!("{:?}", bullet_prime_report(SEED));
     let b = format!("{:?}", bullet_prime_report(SEED));

@@ -54,10 +54,14 @@ fn four_thread_fig05_sweep_is_byte_identical_to_one_thread() {
     let serial = run_sweep(&fig05, &tiny(), &seeds, 1);
     let parallel = run_sweep(&fig05, &tiny(), &seeds, 4);
     assert_eq!(serial.cells.len(), 4);
-    let a = serial.to_json();
-    let b = parallel.to_json();
+    let a = serial.to_canonical_json();
+    let b = parallel.to_canonical_json();
     assert!(!a.is_empty());
     assert_eq!(a, b, "thread count leaked into the sweep output");
+    // The full rendering carries the per-cell wall-clock telemetry (which is
+    // schedule-dependent and therefore excluded from the identity above).
+    assert!(serial.to_json().contains("wall_clock_secs"));
+    assert!(!a.contains("wall_clock_secs"));
     // Different seeds genuinely produce different cells (the sweep is not
     // vacuously identical).
     assert_ne!(
