@@ -102,6 +102,43 @@ else
     echo "WARN: no committed BENCH_events.json baseline; recorded $new_events without gating"
 fi
 
+# Scale trajectory: the fig20 workload (join-only Bullet' swarm on the O(n)
+# uniform core) at N = 1000 / 5000 / 10000. Every point records events
+# processed, events/sec, wall-clock and the counting-allocator live-heap
+# high-water mark (the portable peak-RSS stand-in — no /proc dependency).
+# The N=1000 events/sec is GATED: a >10% drop against the committed baseline
+# fails CI. The larger Ns stay informational so a single noisy 30 s run
+# cannot wedge CI, but they are committed so the trajectory to 10^4 nodes is
+# visible. Every point must still run to AllComplete.
+echo "==> scale record + regression gate (BENCH_scale.json)"
+committed_scale=$(git show HEAD:BENCH_scale.json 2>/dev/null || cat BENCH_scale.json 2>/dev/null || true)
+scale_eps() {
+    # events_per_sec of the point whose swarm size is $1.
+    printf '%s' "$2" | awk -v n="$1" '
+        $0 ~ "\"nodes\": " n ",$" { f = 1 }
+        f && /"events_per_sec":/ { gsub(/[^0-9.]/, "", $2); print $2; exit }
+    '
+}
+prev_eps=$(scale_eps 1000 "$committed_scale")
+./target/release/bench_scale --out BENCH_scale.json
+new_eps=$(scale_eps 1000 "$(cat BENCH_scale.json)")
+if grep '"stop_reason"' BENCH_scale.json | grep -qv AllComplete; then
+    echo "FAIL: a BENCH_scale point did not run to AllComplete"
+    grep '"stop_reason"' BENCH_scale.json
+    exit 1
+fi
+if [ -n "$prev_eps" ] && [ -n "$new_eps" ]; then
+    awk -v prev="$prev_eps" -v cur="$new_eps" 'BEGIN {
+        if (cur < prev * 0.90) {
+            printf "FAIL: N=1000 events/sec regressed %.0f -> %.0f (more than 10%%; if this is a machine change, re-baseline deliberately)\n", prev, cur
+            exit 1
+        }
+        printf "N=1000 events/sec %.0f -> %.0f (within the 10%% gate)\n", prev, cur
+    }'
+else
+    echo "WARN: no committed BENCH_scale.json baseline; recorded ${new_eps:-nothing} events/sec at N=1000 without gating"
+fi
+
 # Parallel-sweep trajectory: `lab bench` runs the same fig05 sweep at 1 and 4
 # worker threads, *asserts* the two canonical renderings are byte-identical
 # (the determinism-under-parallelism guarantee; per-cell wall-clock telemetry

@@ -9,40 +9,19 @@
 //! current directory). All workload parameters are fixed on purpose — the
 //! point is comparability across commits, not configurability.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use bullet_bench::alloc_track::{self, CountingAlloc};
 use bullet_bench::systems::paper_dynamic_schedule;
 use bullet_prime::Config;
 use desim::{RngFactory, SimDuration};
 use dissem_codec::FileSpec;
 use netsim::topology;
 
-/// Counts heap allocations so the record can track the cost of the runner's
-/// dispatch path. The workload is deterministic, so the count is stable to
-/// within a few allocations across runs (runtime setup contributes a handful
-/// of environment-dependent ones); it is informational and never gated.
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
+// Counts heap allocations (a deterministic proxy for the cost of the
+// runner's dispatch path — stable to within a few allocations across runs)
+// and the live-bytes high-water mark (the portable stand-in for peak RSS).
+// Both are informational here; `bench_scale` gates the scaling trajectory.
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
@@ -79,22 +58,25 @@ fn main() {
     let schedule = paper_dynamic_schedule(NODES, TIME_LIMIT_SECS as f64, &rng);
 
     let started = Instant::now();
-    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let allocs_before = alloc_track::allocs();
+    alloc_track::reset_peak();
     let mut runner = bullet_prime::build_runner(topo, &cfg, &rng);
     for (at, batch) in &schedule {
         runner.schedule_link_change(*at, batch.clone());
     }
     let report = runner.run(SimDuration::from_secs(TIME_LIMIT_SECS));
     let wall = started.elapsed().as_secs_f64();
-    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let allocs = alloc_track::allocs() - allocs_before;
+    let peak_bytes = alloc_track::peak_bytes();
 
-    // `events_processed`, `run_allocs` and `virtual_end_secs` are
-    // deterministic for a given binary; `wall_clock_secs` is whatever the
-    // machine that last ran CI measured — committed anyway so perf PRs leave
-    // a real time trajectory next to the event counts (compare deltas on one
-    // machine, not absolute values across machines).
+    // `events_processed`, `run_allocs`, `peak_alloc_bytes` and
+    // `virtual_end_secs` are deterministic for a given binary;
+    // `wall_clock_secs` is whatever the machine that last ran CI measured —
+    // committed anyway so perf PRs leave a real time trajectory next to the
+    // event counts (compare deltas on one machine, not absolute values
+    // across machines).
     let json = format!(
-        "{{\n  \"benchmark\": \"fig05-style dynamics-heavy run\",\n  \"seed\": {SEED},\n  \"nodes\": {NODES},\n  \"file_bytes\": {FILE_BYTES},\n  \"block_bytes\": {BLOCK_BYTES},\n  \"events_processed\": {},\n  \"run_allocs\": {allocs},\n  \"wall_clock_secs\": {wall:.3},\n  \"virtual_end_secs\": {:.6},\n  \"stop_reason\": \"{:?}\"\n}}\n",
+        "{{\n  \"benchmark\": \"fig05-style dynamics-heavy run\",\n  \"seed\": {SEED},\n  \"nodes\": {NODES},\n  \"file_bytes\": {FILE_BYTES},\n  \"block_bytes\": {BLOCK_BYTES},\n  \"events_processed\": {},\n  \"run_allocs\": {allocs},\n  \"peak_alloc_bytes\": {peak_bytes},\n  \"wall_clock_secs\": {wall:.3},\n  \"virtual_end_secs\": {:.6},\n  \"stop_reason\": \"{:?}\"\n}}\n",
         report.events,
         report.end_time.as_secs_f64(),
         report.reason,

@@ -1,0 +1,113 @@
+//! Emits the emulator scaling record (`BENCH_scale.json`): the fig20
+//! workload — a join-only Bullet′ swarm on the O(n) uniform core — at each
+//! swarm size, recording events processed, events per wall-clock second,
+//! the live-heap high-water mark (the portable stand-in for peak RSS, see
+//! `bullet_bench::alloc_track`) and wall-clock seconds per N.
+//!
+//! ci.sh gates the N = 1 000 point: a >10% drop in events/sec against the
+//! committed baseline fails CI. The larger points are recorded
+//! informationally so the trajectory to 10⁴ nodes stays visible without
+//! making every regression at scale a hard failure on a noisy machine.
+//!
+//! Usage: `bench_scale [--nodes N,M,..] [--out PATH]` (defaults: the full
+//! 1 000 / 5 000 / 10 000 trajectory, `BENCH_scale.json` in the current
+//! directory). The file and block sizes are fixed on purpose — the point is
+//! comparability across commits, not configurability.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bullet_bench::alloc_track::{self, CountingAlloc};
+use bullet_prime::Config;
+use desim::{RngFactory, SimDuration};
+use dissem_codec::FileSpec;
+use netsim::topology;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Fixed workload: the fig20 shape — 2 MiB file in 16 KiB blocks (128
+/// blocks), everyone present from t = 0, no losses beyond the uniform
+/// core's, run to completion.
+const SEED: u64 = 20050410;
+const FILE_BYTES: u64 = 2 * 1024 * 1024;
+const BLOCK_BYTES: u32 = 16 * 1024;
+const TIME_LIMIT_SECS: u64 = 7_200;
+
+fn main() {
+    let mut out_path = String::from("BENCH_scale.json");
+    let mut sizes: Vec<usize> = vec![1_000, 5_000, 10_000];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out" => out_path = value_for("--out"),
+            "--nodes" => {
+                sizes = value_for("--nodes")
+                    .split(',')
+                    .map(|p| {
+                        p.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad --nodes entry '{p}'");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            other => {
+                eprintln!(
+                    "unknown option {other}\nusage: bench_scale [--nodes N,M,..] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut points = String::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        // Each point gets its own factory so the record for a given N never
+        // depends on which other Ns ran in the same invocation.
+        let rng = RngFactory::new(SEED);
+        let topo = topology::uniform_swarm(n, &rng);
+        let cfg = Config::new(FileSpec::new(FILE_BYTES, BLOCK_BYTES));
+        let started = Instant::now();
+        alloc_track::reset_peak();
+        let mut runner = bullet_prime::build_runner(topo, &cfg, &rng);
+        let report = runner.run(SimDuration::from_secs(TIME_LIMIT_SECS));
+        let wall = started.elapsed().as_secs_f64();
+        let peak = alloc_track::peak_bytes();
+        let events_per_sec = report.events as f64 / wall.max(1e-9);
+        eprintln!(
+            "N={n}: {} events in {wall:.2}s wall ({events_per_sec:.0} events/s, peak heap {:.1} MiB)",
+            report.events,
+            peak as f64 / (1024.0 * 1024.0),
+        );
+        let _ = write!(
+            points,
+            "    {{\n      \"nodes\": {n},\n      \"events_processed\": {},\n      \"events_per_sec\": {events_per_sec:.0},\n      \"wall_clock_secs\": {wall:.3},\n      \"peak_alloc_bytes\": {peak},\n      \"virtual_end_secs\": {:.6},\n      \"stop_reason\": \"{:?}\"\n    }}{}",
+            report.events,
+            report.end_time.as_secs_f64(),
+            report.reason,
+            if i + 1 < sizes.len() { ",\n" } else { "\n" },
+        );
+    }
+
+    // `events_processed`, `peak_alloc_bytes` and `virtual_end_secs` are
+    // deterministic for a given binary; `events_per_sec` and
+    // `wall_clock_secs` are whatever the machine that last ran CI measured —
+    // committed anyway so scale PRs leave a real throughput trajectory
+    // (compare deltas on one machine, not absolute values across machines).
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig20-style join-only swarm on the uniform core\",\n  \"seed\": {SEED},\n  \"file_bytes\": {FILE_BYTES},\n  \"block_bytes\": {BLOCK_BYTES},\n  \"points\": [\n{points}  ]\n}}\n"
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -840,6 +840,78 @@ pub fn fig19(opts: &CommonOpts) -> Figure {
     fig
 }
 
+/// Figure 20 (beyond the paper): the emulator's scaling trajectory. A
+/// join-only Bullet′ swarm (everyone present at t = 0, no churn, no link
+/// dynamics) downloads a small file over the O(n) uniform-core topology
+/// ([`topology::uniform_swarm`]) at N ∈ {1,000, 5,000, 10,000}; `--nodes`
+/// collapses the trajectory to that one point. Each point contributes its
+/// download-time CDF plus the deterministic events-processed count; the
+/// wall-clock throughput goes to stderr (and to `BENCH_scale.json` via the
+/// `bench_scale` binary), **not** into the figure, so sweep output stays
+/// byte-identical across machines and thread counts.
+pub fn fig20(opts: &CommonOpts) -> Figure {
+    let file = FileSpec::new(opts.file_bytes_or(2.0, 2.0), opts.block_bytes_or(16));
+    let sizes: Vec<usize> = match opts.nodes {
+        Some(n) => vec![n],
+        None => vec![1_000, 5_000, 10_000],
+    };
+    let rng = RngFactory::new(opts.seed);
+    let mut fig = Figure::new(
+        "Figure 20",
+        format!(
+            "emulator scaling trajectory: join-only swarm on the uniform core \
+             ({} blocks, N = {sizes:?})",
+            file.num_blocks()
+        ),
+    );
+
+    let mut events = Vec::with_capacity(sizes.len());
+    for &n in &sizes {
+        let topo = topology::uniform_swarm(n, &rng);
+        let cfg = Config::new(file);
+        let started = std::time::Instant::now();
+        let mut runner = bullet_prime::build_runner(topo, &cfg, &rng);
+        let report = runner.run(limit(opts));
+        let wall = started.elapsed().as_secs_f64();
+
+        let end = report.end_time.as_secs_f64();
+        let mut unfinished = 0usize;
+        let times: Vec<f64> = report
+            .completion_secs
+            .iter()
+            .skip(1) // Node 0 is the source.
+            .map(|c| {
+                c.unwrap_or_else(|| {
+                    unfinished += 1;
+                    end
+                })
+            })
+            .collect();
+        let mut series = Series::cdf(format!("BulletPrime, N={n}"), &times);
+        if unfinished > 0 {
+            series.label = format!("{} ({unfinished} unfinished)", series.label);
+        }
+        fig.push(series);
+        events.push((n as f64, report.events as f64));
+        fig.note(format!(
+            "N={n}: {} events, virtual end {end:.1}s, {unfinished} unfinished",
+            report.events
+        ));
+        eprintln!(
+            "fig20 N={n}: {} events in {wall:.2}s wall ({:.0} events/s)",
+            report.events,
+            report.events as f64 / wall.max(1e-9)
+        );
+    }
+    fig.push(Series::xy("events processed vs swarm size", events));
+    fig.note(
+        "wall-clock throughput is machine-local and reported on stderr / in \
+         BENCH_scale.json; the figure itself is deterministic per seed"
+            .to_string(),
+    );
+    fig
+}
+
 /// Figure 15: Shotgun vs N parallel rsync processes.
 pub fn fig15(opts: &CommonOpts) -> Figure {
     let nodes = opts.nodes_or(41, 41);

@@ -6,6 +6,8 @@
 //! * [`systems`] — uniform runners for Bullet′, Bullet, BitTorrent and
 //!   SplitStream over a topology and change schedule;
 //! * [`bounds`] — the analytic reference curves of Fig 4;
+//! * [`alloc_track`] — the counting global allocator behind the perf
+//!   records' allocation counts and peak-heap-bytes figures;
 //! * [`experiments`] — one function per figure (4–15 from the paper, plus
 //!   the beyond-the-paper scenarios: 16/17 crash-churn and flash-crowd, 5ts
 //!   the probe-driven bandwidth-over-time view of the dynamic scenario, 18
@@ -16,11 +18,13 @@
 //! The `figNN` binaries live in the `bullet_lab` crate as one-line wrappers
 //! over its scenario registry (equivalent to `lab run <name>`); this crate
 //! keeps `lt_overhead` (the rateless-code reception overhead quoted in
-//! §2.2), `diagnose`, and `bench_events`, which emits the fixed-seed
-//! scheduler-efficiency record (`BENCH_events.json`) that ci.sh gates on.
+//! §2.2), `diagnose`, `bench_events` (the fixed-seed scheduler-efficiency
+//! record `BENCH_events.json` that ci.sh gates on) and `bench_scale` (the
+//! `BENCH_scale.json` swarm-scaling trajectory, gated at N = 1 000).
 //! Criterion micro-benchmarks for the core data structures live in
 //! `benches/`.
 
+pub mod alloc_track;
 pub mod bounds;
 pub mod cdf;
 pub mod experiments;

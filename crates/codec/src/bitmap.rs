@@ -28,18 +28,31 @@ impl BlockBitmap {
     }
 
     /// Creates a bitmap with every one of the `capacity` bits set (e.g. the
-    /// source's own bitmap in unencoded mode).
+    /// source's own bitmap in unencoded mode). Fills whole words; the final
+    /// partial word is masked so no bit above `capacity` is ever set.
     pub fn full(capacity: u32) -> Self {
         let mut bm = BlockBitmap::new(capacity);
-        for i in 0..capacity {
-            bm.insert(BlockId(i));
+        if let Some(last) = bm.words.len().checked_sub(1) {
+            bm.words[..last].fill(u64::MAX);
+            bm.words[last] = tail_mask(capacity);
         }
+        bm.ones = capacity;
         bm
     }
 
     /// Number of block slots this bitmap covers.
     pub fn capacity(&self) -> u32 {
         self.capacity
+    }
+
+    /// Grows the capacity to at least `capacity` (a no-op when already that
+    /// big); present blocks are preserved. Used by trackers that size
+    /// themselves lazily off the bitmaps they observe.
+    pub fn grow_to(&mut self, capacity: u32) {
+        if capacity > self.capacity {
+            self.capacity = capacity;
+            self.words.resize((capacity as usize).div_ceil(64), 0);
+        }
     }
 
     /// Number of blocks currently present.
@@ -124,16 +137,67 @@ impl BlockBitmap {
     }
 
     /// Iterates over the ids of *missing* blocks in ascending order.
+    /// Word-level: each 64-bit word is complemented (masked to the capacity)
+    /// and its set bits walked, so a mostly-full bitmap costs O(words), not
+    /// O(capacity).
     pub fn iter_missing(&self) -> impl Iterator<Item = BlockId> + '_ {
-        (0..self.capacity)
-            .map(BlockId)
-            .filter(move |id| !self.contains(*id))
+        let cap = self.capacity;
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let base = wi as u32 * 64;
+            let valid = if cap >= base + 64 {
+                u64::MAX
+            } else {
+                tail_mask(cap - base)
+            };
+            BitIter {
+                word: !word & valid,
+                base,
+            }
+        })
+    }
+
+    /// First id in `lo..hi` (clamped to the capacity) that is *not* present,
+    /// scanning a word at a time.
+    pub fn first_missing_in(&self, lo: u32, hi: u32) -> Option<BlockId> {
+        let hi = hi.min(self.capacity);
+        if lo >= hi {
+            return None;
+        }
+        let mut wi = (lo / 64) as usize;
+        // Mask off bits below `lo` in the first word, then walk whole words.
+        let mut keep = !((1u64 << (lo % 64)) - 1);
+        while (wi as u32) * 64 < hi {
+            let missing = !self.words[wi] & keep;
+            if missing != 0 {
+                let id = wi as u32 * 64 + missing.trailing_zeros();
+                return (id < hi).then_some(BlockId(id));
+            }
+            keep = u64::MAX;
+            wi += 1;
+        }
+        None
+    }
+
+    /// Iterates over the ids present in `self` but absent from `other`, a
+    /// word at a time (`self & !other`). `other` may have any capacity —
+    /// words it does not cover are treated as empty.
+    pub fn and_not_iter<'a>(
+        &'a self,
+        other: &'a BlockBitmap,
+    ) -> impl Iterator<Item = BlockId> + 'a {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let o = other.words.get(wi).copied().unwrap_or(0);
+            BitIter {
+                word: word & !o,
+                base: wi as u32 * 64,
+            }
+        })
     }
 
     /// Returns the blocks present in `self` but not in `other`
     /// (i.e. what `self` could offer a peer whose bitmap is `other`).
     pub fn difference(&self, other: &BlockBitmap) -> Vec<BlockId> {
-        self.iter().filter(|id| !other.contains(*id)).collect()
+        self.and_not_iter(other).collect()
     }
 
     /// Number of blocks present in `self` but not in `other`, without
@@ -156,6 +220,29 @@ impl BlockBitmap {
             ones += w.count_ones();
         }
         self.ones = ones;
+    }
+
+    /// ORs `self` into `out` (the accumulator form used when folding many
+    /// per-peer bitmaps into one union without reallocating).
+    pub fn union_into(&self, out: &mut BlockBitmap) {
+        out.union_with(self);
+    }
+
+    /// Raw 64-bit words, low blocks first (read-only; bits above the
+    /// capacity are always zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Mask covering the low `bits` bits of a word (`bits` in `1..=64`; a
+/// multiple-of-64 capacity wants the full word).
+fn tail_mask(bits: u32) -> u64 {
+    let rem = bits % 64;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
     }
 }
 
@@ -204,6 +291,86 @@ mod tests {
         let empty = BlockBitmap::new(100);
         assert!(empty.is_empty());
         assert_eq!(empty.fraction(), 0.0);
+    }
+
+    #[test]
+    fn word_filled_full_matches_per_bit_construction() {
+        // The word-granular fill must agree with inserting every bit, for
+        // capacities hitting every partial-word shape (0, <64, =64, >64,
+        // multiple-of-64, off-by-one around word boundaries).
+        for cap in [0u32, 1, 5, 63, 64, 65, 127, 128, 129, 1000] {
+            let fast = BlockBitmap::full(cap);
+            let mut slow = BlockBitmap::new(cap);
+            for i in 0..cap {
+                slow.insert(BlockId(i));
+            }
+            assert_eq!(fast, slow, "capacity {cap}");
+            assert_eq!(fast.count(), cap);
+            assert!(cap == 0 || fast.is_full());
+            assert!(fast.iter_missing().next().is_none());
+            // No stray bits above the capacity: removing an out-of-range id
+            // is a no-op and the word-level count stays exact.
+            let popcount: u32 = fast.words().iter().map(|w| w.count_ones()).sum();
+            assert_eq!(popcount, cap, "capacity {cap} has stray high bits");
+        }
+    }
+
+    #[test]
+    fn and_not_iter_matches_difference() {
+        let mut a = BlockBitmap::new(300);
+        let mut b = BlockBitmap::new(300);
+        for i in (0..300).step_by(3) {
+            a.insert(BlockId(i));
+        }
+        for i in (0..300).step_by(5) {
+            b.insert(BlockId(i));
+        }
+        let fast: Vec<BlockId> = a.and_not_iter(&b).collect();
+        let slow: Vec<BlockId> = a.iter().filter(|id| !b.contains(*id)).collect();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len() as u32, a.difference_count(&b));
+    }
+
+    #[test]
+    fn and_not_iter_tolerates_capacity_mismatch() {
+        let mut a = BlockBitmap::new(130);
+        a.insert(BlockId(0));
+        a.insert(BlockId(129));
+        let b = BlockBitmap::new(10); // shorter word vector: missing words = 0
+        let got: Vec<u32> = a.and_not_iter(&b).map(|id| id.0).collect();
+        assert_eq!(got, vec![0, 129]);
+    }
+
+    #[test]
+    fn first_missing_in_scans_words() {
+        let mut bm = BlockBitmap::new(200);
+        for i in 0..150 {
+            bm.insert(BlockId(i));
+        }
+        bm.remove(BlockId(70));
+        assert_eq!(bm.first_missing_in(0, 200), Some(BlockId(70)));
+        assert_eq!(bm.first_missing_in(71, 200), Some(BlockId(150)));
+        assert_eq!(bm.first_missing_in(71, 150), None);
+        assert_eq!(bm.first_missing_in(0, 70), None);
+        assert_eq!(bm.first_missing_in(70, 71), Some(BlockId(70)));
+        // The range clamps to the capacity and empty ranges yield nothing.
+        assert_eq!(bm.first_missing_in(199, 10_000), Some(BlockId(199)));
+        assert_eq!(bm.first_missing_in(60, 60), None);
+        assert_eq!(BlockBitmap::full(64).first_missing_in(0, 64), None);
+    }
+
+    #[test]
+    fn union_into_accumulates() {
+        let mut acc = BlockBitmap::new(70);
+        let mut a = BlockBitmap::new(70);
+        let mut b = BlockBitmap::new(70);
+        a.insert(BlockId(3));
+        b.insert(BlockId(68));
+        b.insert(BlockId(3));
+        a.union_into(&mut acc);
+        b.union_into(&mut acc);
+        assert_eq!(acc.count(), 2);
+        assert!(acc.contains(BlockId(3)) && acc.contains(BlockId(68)));
     }
 
     #[test]

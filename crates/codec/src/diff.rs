@@ -8,8 +8,6 @@
 //! from us, or when the receiver explicitly asks because it is about to run
 //! out of request candidates.
 
-use std::collections::BTreeSet;
-
 use serde::{Deserialize, Serialize};
 
 use crate::bitmap::BlockBitmap;
@@ -37,9 +35,23 @@ impl Diff {
 
 /// Per-receiver tracker of which of our blocks the receiver has already been
 /// told about.
-#[derive(Debug, Clone, Default)]
+///
+/// The advertised set is a [`BlockBitmap`] grown lazily to whatever capacity
+/// the observed `have` bitmaps require, so diff encoding is a word-level
+/// and-not scan (O(words)) rather than a per-block set walk — the difference
+/// between O(blocks·log blocks) and a few cache lines per diff once swarms
+/// carry 10⁴+ block files.
+#[derive(Debug, Clone)]
 pub struct DiffTracker {
-    advertised: BTreeSet<BlockId>,
+    advertised: BlockBitmap,
+}
+
+impl Default for DiffTracker {
+    fn default() -> Self {
+        DiffTracker {
+            advertised: BlockBitmap::new(0),
+        }
+    }
 }
 
 impl DiffTracker {
@@ -50,12 +62,12 @@ impl DiffTracker {
 
     /// Number of blocks advertised so far.
     pub fn advertised_count(&self) -> usize {
-        self.advertised.len()
+        self.advertised.count() as usize
     }
 
     /// Returns true if `block` was already advertised to this receiver.
     pub fn already_advertised(&self, block: BlockId) -> bool {
-        self.advertised.contains(&block)
+        self.advertised.contains(block)
     }
 
     /// Produces the next incremental diff: every block in `have` that has not
@@ -64,30 +76,31 @@ impl DiffTracker {
     /// The produced blocks are recorded so they will never be advertised
     /// again. An empty diff means the receiver is fully caught up.
     pub fn next_diff(&mut self, have: &BlockBitmap, max_entries: usize) -> Diff {
-        let mut blocks = Vec::new();
-        for id in have.iter() {
-            if blocks.len() >= max_entries {
-                break;
-            }
-            if self.advertised.insert(id) {
-                blocks.push(id);
-            }
+        self.advertised.grow_to(have.capacity());
+        let blocks: Vec<BlockId> = have
+            .and_not_iter(&self.advertised)
+            .take(max_entries)
+            .collect();
+        for &id in &blocks {
+            self.advertised.insert(id);
         }
         Diff { blocks }
     }
 
     /// Number of blocks in `have` that the receiver has not yet been told
-    /// about (what the next diff would carry, ignoring the cap).
+    /// about (what the next diff would carry, ignoring the cap), counted a
+    /// word at a time.
     pub fn pending_count(&self, have: &BlockBitmap) -> usize {
-        have.iter()
-            .filter(|id| !self.advertised.contains(id))
-            .count()
+        have.difference_count(&self.advertised) as usize
     }
 
     /// Records blocks advertised through some other channel (e.g. the initial
     /// file-info exchange when a peering is established).
     pub fn mark_advertised(&mut self, blocks: impl IntoIterator<Item = BlockId>) {
-        self.advertised.extend(blocks);
+        for id in blocks {
+            self.advertised.grow_to(id.0 + 1);
+            self.advertised.insert(id);
+        }
     }
 }
 

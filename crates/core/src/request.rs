@@ -19,7 +19,7 @@
 //! impractical, so the timeout is insurance against pathological stalls, not
 //! an optimisation).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use desim::{SimDuration, SimTime};
 use dissem_codec::{BlockBitmap, BlockId};
@@ -30,12 +30,22 @@ use rand::Rng;
 use crate::config::RequestStrategy;
 
 /// Per-sender availability bookkeeping.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct SenderAvailability {
-    /// Blocks in the order their availability was discovered.
+    /// Blocks in the order their availability was discovered (what preserves
+    /// the first-encountered semantics and the RNG-keyed candidate order).
     order: Vec<BlockId>,
-    /// Membership set for fast lookups.
-    set: BTreeSet<BlockId>,
+    /// Membership bitmap for O(1) lookups and word-level counting.
+    bits: BlockBitmap,
+}
+
+impl SenderAvailability {
+    fn new(block_space: u32) -> Self {
+        SenderAvailability {
+            order: Vec::new(),
+            bits: BlockBitmap::new(block_space),
+        }
+    }
 }
 
 /// A request currently outstanding to some sender.
@@ -53,6 +63,9 @@ pub struct RequestManager {
     rarity: Vec<u32>,
     available: BTreeMap<NodeId, SenderAvailability>,
     in_flight: BTreeMap<BlockId, InFlight>,
+    /// Bitmap mirror of `in_flight`'s keys, for O(1) membership tests and
+    /// word-level candidate counting.
+    in_flight_bits: BlockBitmap,
 }
 
 impl RequestManager {
@@ -63,7 +76,12 @@ impl RequestManager {
             rarity: vec![0; block_space as usize],
             available: BTreeMap::new(),
             in_flight: BTreeMap::new(),
+            in_flight_bits: BlockBitmap::new(block_space),
         }
+    }
+
+    fn block_space(&self) -> u32 {
+        self.rarity.len() as u32
     }
 
     /// The configured strategy.
@@ -73,7 +91,10 @@ impl RequestManager {
 
     /// Registers a new sender with no known availability yet.
     pub fn add_sender(&mut self, peer: NodeId) {
-        self.available.entry(peer).or_default();
+        let space = self.block_space();
+        self.available
+            .entry(peer)
+            .or_insert_with(|| SenderAvailability::new(space));
     }
 
     /// Returns true if `peer` is a registered sender.
@@ -86,7 +107,7 @@ impl RequestManager {
     /// blocks.
     pub fn remove_sender(&mut self, peer: NodeId) -> Vec<BlockId> {
         if let Some(av) = self.available.remove(&peer) {
-            for b in &av.set {
+            for b in av.bits.iter() {
                 let r = &mut self.rarity[b.index()];
                 *r = r.saturating_sub(1);
             }
@@ -99,6 +120,7 @@ impl RequestManager {
             .collect();
         for b in &released {
             self.in_flight.remove(b);
+            self.in_flight_bits.remove(*b);
         }
         released
     }
@@ -106,12 +128,16 @@ impl RequestManager {
     /// Records that `peer` advertised `blocks`. Blocks the receiver already
     /// holds are ignored.
     pub fn on_advertised(&mut self, peer: NodeId, blocks: &[BlockId], have: &BlockBitmap) {
-        let entry = self.available.entry(peer).or_default();
+        let space = self.block_space();
+        let entry = self
+            .available
+            .entry(peer)
+            .or_insert_with(|| SenderAvailability::new(space));
         for &b in blocks {
             if have.contains(b) || b.index() >= self.rarity.len() {
                 continue;
             }
-            if entry.set.insert(b) {
+            if entry.bits.insert(b) {
                 entry.order.push(b);
                 self.rarity[b.index()] += 1;
             }
@@ -121,9 +147,11 @@ impl RequestManager {
     /// Records a block arrival (from anywhere): clears its outstanding entry
     /// and drops it from every sender's candidate list.
     pub fn on_block_received(&mut self, block: BlockId) {
-        self.in_flight.remove(&block);
+        if self.in_flight.remove(&block).is_some() {
+            self.in_flight_bits.remove(block);
+        }
         for av in self.available.values_mut() {
-            if av.set.remove(&block) {
+            if av.bits.remove(block) {
                 let r = &mut self.rarity[block.index()];
                 *r = r.saturating_sub(1);
             }
@@ -135,13 +163,21 @@ impl RequestManager {
     /// requested anywhere (an estimate of how soon we will run out of
     /// candidates for this sender).
     pub fn useful_candidates(&self, peer: NodeId, have: &BlockBitmap) -> usize {
+        // Word-level: |advertised & !have & !in_flight|, a few cache lines
+        // instead of a per-block set walk.
         self.available
             .get(&peer)
             .map(|av| {
-                av.set
+                av.bits
+                    .words()
                     .iter()
-                    .filter(|b| !have.contains(**b) && !self.in_flight.contains_key(b))
-                    .count()
+                    .enumerate()
+                    .map(|(i, &a)| {
+                        let h = have.words().get(i).copied().unwrap_or(0);
+                        let f = self.in_flight_bits.words().get(i).copied().unwrap_or(0);
+                        (a & !h & !f).count_ones() as usize
+                    })
+                    .sum()
             })
             .unwrap_or(0)
     }
@@ -173,14 +209,14 @@ impl RequestManager {
             return Vec::new();
         };
         // Compact: drop blocks we already have or that left the set.
-        av.order
-            .retain(|b| av.set.contains(b) && !have.contains(*b));
+        let bits = &av.bits;
+        av.order.retain(|b| bits.contains(*b) && !have.contains(*b));
 
         let candidates: Vec<BlockId> = av
             .order
             .iter()
             .copied()
-            .filter(|b| !self.in_flight.contains_key(b))
+            .filter(|b| !self.in_flight_bits.contains(*b))
             .collect();
         if candidates.is_empty() {
             return Vec::new();
@@ -224,6 +260,7 @@ impl RequestManager {
                     since: now,
                 },
             );
+            self.in_flight_bits.insert(b);
         }
         chosen
     }
@@ -241,6 +278,9 @@ impl RequestManager {
                 true
             }
         });
+        for &(_, b) in &released {
+            self.in_flight_bits.remove(b);
+        }
         released
     }
 }

@@ -1,0 +1,6 @@
+//! Regenerates the Figure 20 scenario — a thin wrapper over
+//! `lab run fig20`. Run with `--help` for options.
+
+fn main() {
+    bullet_lab::figure_binary_main("fig20");
+}

@@ -114,9 +114,11 @@ fn list(registry: &Registry) {
 /// wall-clock per thread count (and per cell within each run) for one sweep.
 /// The record only exists when the canonical byte-identity comparison passed
 /// — a violation aborts with an error before anything is written.
-/// `host_threads` records the parallelism the machine actually offered, so a
-/// flat 1-vs-4-thread curve on a single-core host is readable as a host
-/// limitation rather than an executor bug.
+/// `host_threads` records the parallelism the machine actually offered, and
+/// `skipped` the requested thread counts the host could not genuinely run in
+/// parallel (they are skipped, not timed — an oversubscribed "4-thread" run
+/// on a single-core host would commit misleading flat numbers to the
+/// baseline).
 #[derive(Debug, serde::Serialize)]
 struct BenchRecord {
     scenario: String,
@@ -124,6 +126,7 @@ struct BenchRecord {
     cells: usize,
     host_threads: usize,
     runs: Vec<BenchRun>,
+    skipped: Vec<SkippedRun>,
 }
 
 #[derive(Debug, serde::Serialize)]
@@ -139,6 +142,24 @@ struct CellTiming {
     point: String,
     seed: u64,
     wall_clock_secs: f64,
+}
+
+/// A requested thread count the bench did not run, and why.
+#[derive(Debug, serde::Serialize)]
+struct SkippedRun {
+    threads: usize,
+    reason: String,
+}
+
+/// Splits the requested bench thread counts into those the host can run
+/// without oversubscription (`threads <= host_threads`) and those it cannot.
+/// Single-threaded runs always pass: they measure the serial baseline and
+/// cannot be oversubscribed.
+fn partition_thread_counts(requested: &[usize], host_threads: usize) -> (Vec<usize>, Vec<usize>) {
+    requested
+        .iter()
+        .copied()
+        .partition(|&t| t <= host_threads.max(1))
 }
 
 /// Lab-specific flags peeled off before [`CommonOpts`] sees the rest.
@@ -288,21 +309,36 @@ fn bench(registry: &Registry, args: Vec<String>) -> Result<(), String> {
     }
     let explicit_seed = sweep_args.rest.iter().any(|a| a == "--seed");
     let opts = CommonOpts::parse(sweep_args.rest.clone())?;
-    let thread_counts = if sweep_args.threads.is_empty() {
+    let requested = if sweep_args.threads.is_empty() {
         vec![1, 4]
     } else {
         sweep_args.threads.clone()
     };
     let seeds = effective_seeds(scenario, &sweep_args, &opts, explicit_seed);
 
-    let mut reference: Option<String> = None;
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (thread_counts, oversubscribed) = partition_thread_counts(&requested, host_threads);
     let mut record = BenchRecord {
         scenario: name.clone(),
         seeds: seeds.len(),
         cells: 0,
-        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_threads,
         runs: Vec::new(),
+        skipped: oversubscribed
+            .into_iter()
+            .map(|threads| {
+                eprintln!(
+                    "skipping {threads}-thread run: host offers only {host_threads} thread(s), \
+                     the timing would be oversubscription noise"
+                );
+                SkippedRun {
+                    threads,
+                    reason: format!("host offers {host_threads} thread(s)"),
+                }
+            })
+            .collect(),
     };
+    let mut reference: Option<String> = None;
     for &threads in &thread_counts {
         let started = Instant::now();
         let report = run_sweep(scenario, &opts, &seeds, threads);
@@ -432,5 +468,22 @@ mod tests {
     #[test]
     fn bench_rejects_missing_scenario() {
         assert!(dispatch(vec!["bench".to_string()]).is_err());
+    }
+
+    #[test]
+    fn oversubscribed_thread_counts_are_skipped_not_timed() {
+        // A single-core host runs the serial baseline and skips the rest —
+        // timing a "4-thread" run there would commit false parallelism to
+        // the baseline record.
+        assert_eq!(partition_thread_counts(&[1, 4], 1), (vec![1], vec![4]));
+        // A host at or above the requested width runs everything.
+        assert_eq!(partition_thread_counts(&[1, 4], 4), (vec![1, 4], vec![]));
+        assert_eq!(
+            partition_thread_counts(&[1, 2, 8], 4),
+            (vec![1, 2], vec![8])
+        );
+        // Even a host reporting zero available parallelism (the API failed)
+        // still runs the serial baseline.
+        assert_eq!(partition_thread_counts(&[1, 2], 0), (vec![1], vec![2]));
     }
 }

@@ -16,8 +16,8 @@ pub struct Registry {
 impl Registry {
     /// Builds the standard registry: Figures 4–15 of the paper plus the
     /// beyond-the-paper scenarios (16: crash wave, 17: flash crowd, 18:
-    /// shared core bottleneck, 19: cross-traffic square wave, 5ts:
-    /// probe-driven bandwidth-over-time).
+    /// shared core bottleneck, 19: cross-traffic square wave, 20: emulator
+    /// scaling trajectory, 5ts: probe-driven bandwidth-over-time).
     pub fn standard() -> Self {
         use DynamicsKind as D;
         use SystemSet as S;
@@ -159,6 +159,14 @@ impl Registry {
                 D::CrossTraffic,
                 experiments::fig19,
             ),
+            Scenario::new(
+                "fig20",
+                "emulator scaling trajectory: join-only swarms up to 10,000 nodes",
+                S::BulletPrime,
+                T::UniformSwarm,
+                D::Static,
+                experiments::fig20,
+            ),
         ];
 
         // Default parameter sweeps where one knob is the interesting axis:
@@ -238,11 +246,11 @@ mod tests {
         let names = reg.names();
         for expected in [
             "fig04", "fig05", "fig05ts", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(reg.len(), 17);
+        assert_eq!(reg.len(), 18);
         assert!(reg.get("fig99").is_none());
     }
 

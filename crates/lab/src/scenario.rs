@@ -51,6 +51,8 @@ pub enum TopologyKind {
     PlanetLabLike,
     /// Every core path rides one shared bottleneck link (fig18/fig19).
     SharedCore,
+    /// O(n) uniform unconstrained core for large-swarm scaling runs (fig20).
+    UniformSwarm,
 }
 
 impl TopologyKind {
@@ -63,6 +65,7 @@ impl TopologyKind {
             TopologyKind::Cascade => "cascade",
             TopologyKind::PlanetLabLike => "planetlab-like",
             TopologyKind::SharedCore => "shared-core",
+            TopologyKind::UniformSwarm => "uniform-swarm",
         }
     }
 }

@@ -556,6 +556,102 @@ mod runner_tests {
         runner.run(SimDuration::from_secs(1));
     }
 
+    /// Drives deliberate connection churn against the runner's dense
+    /// completion-event table (regression for the `(from, to) → EventKey`
+    /// map it replaced): a mid-flight close must cancel the connection's
+    /// single live event (its block never arrives), re-queueing afterwards
+    /// must create a fresh event, and shared-uplink rate changes in between
+    /// must *move* the survivor's event rather than duplicate it.
+    struct Churn {
+        id: NodeId,
+        got: Vec<BlockId>,
+    }
+
+    impl Protocol for Churn {
+        type Msg = Msg;
+        type Timer = u64;
+
+        fn on_init(&mut self, ctx: &mut Ctx<'_, Self>) {
+            if self.id == NodeId(0) {
+                // Two small blocks towards node 1 and one large one towards
+                // node 2, sharing node 0's uplink.
+                ctx.queue_block(NodeId(1), BlockId(0), 100_000);
+                ctx.queue_block(NodeId(1), BlockId(1), 100_000);
+                ctx.queue_block(NodeId(2), BlockId(10), 1_000_000);
+                ctx.set_timer(SimDuration::from_millis(200), 1);
+                ctx.set_timer(SimDuration::from_millis(400), 2);
+            }
+        }
+
+        fn on_control(&mut self, _ctx: &mut Ctx<'_, Self>, _from: NodeId, _msg: Msg) {}
+
+        fn on_block_received(&mut self, _c: &mut Ctx<'_, Self>, _from: NodeId, r: BlockReceipt) {
+            self.got.push(r.block);
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: u64) {
+            match timer {
+                // Cancel: the 1 MB block to node 2 is still in flight (its
+                // uplink share is at most 100 KB/s); closing discards it and
+                // speeds node 1's flow up (rescheduling its live event).
+                1 => ctx.close_connection(NodeId(2)),
+                // Fresh event on a previously cancelled connection; node 1's
+                // flow slows down again (another reschedule).
+                2 => ctx.queue_block(NodeId(2), BlockId(11), 100_000),
+                _ => unreachable!("unknown timer"),
+            }
+        }
+
+        fn is_complete(&self) -> bool {
+            match self.id {
+                NodeId(1) => self.got.len() >= 2,
+                NodeId(2) => self.got.contains(&BlockId(11)),
+                _ => false,
+            }
+        }
+    }
+
+    fn run_churn() -> (RunReport, Vec<Churn>) {
+        let rng = RngFactory::new(9);
+        let topo = topology::constrained_access(3);
+        let nodes: Vec<Churn> = (0..3)
+            .map(|i| Churn {
+                id: NodeId(i),
+                got: Vec::new(),
+            })
+            .collect();
+        let mut runner = Runner::new(Network::new(topo), nodes, &rng);
+        runner.exempt_from_completion(NodeId(0));
+        let report = runner.run(SimDuration::from_secs(1_000));
+        assert_eq!(
+            runner.network().pending_blocks(NodeId(0), NodeId(2)),
+            0,
+            "nothing may linger on the cancelled-then-reopened connection"
+        );
+        (report, runner.into_nodes())
+    }
+
+    #[test]
+    fn cancel_and_reschedule_bookkeeping_survives_churn() {
+        let (report, nodes) = run_churn();
+        assert_eq!(report.reason, StopReason::AllComplete);
+        assert_eq!(
+            nodes[1].got,
+            vec![BlockId(0), BlockId(1)],
+            "the rescheduled (never cancelled) connection delivers in order"
+        );
+        assert_eq!(
+            nodes[2].got,
+            vec![BlockId(11)],
+            "the cancelled block must never arrive; the re-queued one must"
+        );
+        // The whole churn sequence is deterministic: a second run replays the
+        // exact event count and completion instants.
+        let (again, _) = run_churn();
+        assert_eq!(report.completion_secs, again.completion_secs);
+        assert_eq!(report.events, again.events);
+    }
+
     #[test]
     fn time_limit_is_respected() {
         let rng = RngFactory::new(11);

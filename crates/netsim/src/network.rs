@@ -149,12 +149,16 @@ pub struct CompletedBlock {
 }
 
 /// Instruction for the driver to keep a connection's single completion event
-/// in sync with the fluid model.
+/// in sync with the fluid model. Carries the connection's dense flow id so
+/// the driver can index its event table directly; `from`/`to` ride along for
+/// logging and assertions, never for lookups.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConnUpdate {
     /// The in-flight block on `from → to` now finishes at `at`: move the
     /// connection's completion event there (or create it if none is live).
     Schedule {
+        /// Dense flow id of the connection in the network's flow table.
+        fid: u32,
         /// Sending node.
         from: NodeId,
         /// Receiving node.
@@ -165,6 +169,8 @@ pub enum ConnUpdate {
     /// The `from → to` connection no longer has a block in flight: cancel its
     /// completion event.
     Cancel {
+        /// Dense flow id of the connection.
+        fid: u32,
         /// Sending node.
         from: NodeId,
         /// Receiving node.
@@ -531,6 +537,9 @@ impl Network {
                 continue;
             }
             for l in self.flow_path[f] {
+                if self.unconstrained(l) {
+                    continue;
+                }
                 self.link_usage[l.index()] += self.flow_rate[f];
                 self.link_cap_sum[l.index()] += self.flow_ceiling[f];
             }
@@ -552,6 +561,9 @@ impl Network {
                 continue;
             }
             for l in self.flow_path[f] {
+                if self.unconstrained(l) {
+                    continue;
+                }
                 usage[l.index()] += self.flow_rate[f];
                 cap_sum[l.index()] += self.flow_ceiling[f];
             }
@@ -678,7 +690,22 @@ impl Network {
         to: NodeId,
     ) -> Option<(CompletedBlock, Vec<ConnUpdate>)> {
         let fid = self.flow_id(from, to)?;
+        self.on_block_done_by_id(now, fid)
+    }
+
+    /// [`Network::on_block_done`] addressed by dense flow id — the driver's
+    /// hot path, since its completion events already carry the id and the
+    /// tuple-key hash lookup can be skipped entirely.
+    pub fn on_block_done_by_id(
+        &mut self,
+        now: SimTime,
+        fid: u32,
+    ) -> Option<(CompletedBlock, Vec<ConnUpdate>)> {
         let f = fid as usize;
+        if f >= self.conns.len() {
+            return None;
+        }
+        let (from, to) = self.flow_pair[f];
         let conn = &mut self.conns[f];
         let fl = conn.inflight.take()?;
         conn.bytes_acked += fl.bytes;
@@ -714,6 +741,9 @@ impl Network {
             if new_cap != old_cap {
                 self.flow_ceiling[f] = new_cap;
                 for l in self.flow_path[f] {
+                    if self.unconstrained(l) {
+                        continue;
+                    }
                     let c = &mut self.link_cap_sum[l.index()];
                     *c = (*c + new_cap - old_cap).max(0.0);
                 }
@@ -726,6 +756,7 @@ impl Network {
                 let fl = conn.inflight.as_ref().expect("just started");
                 let finish = now + SimDuration::from_secs_f64(fl.bytes_left / rate);
                 vec![ConnUpdate::Schedule {
+                    fid,
                     from,
                     to,
                     at: finish,
@@ -764,7 +795,7 @@ impl Network {
         conn.inflight = None;
         if was_active {
             conn.idle_since = now;
-            let mut updates = vec![ConnUpdate::Cancel { from, to }];
+            let mut updates = vec![ConnUpdate::Cancel { fid, from, to }];
             updates.extend(self.mark_idle(now, fid));
             updates
         } else {
@@ -821,6 +852,9 @@ impl Network {
         if new_cap != old_cap {
             self.flow_ceiling[f] = new_cap;
             for l in self.flow_path[f] {
+                if self.unconstrained(l) {
+                    continue;
+                }
                 let c = &mut self.link_cap_sum[l.index()];
                 *c = (*c + new_cap - old_cap).max(0.0);
             }
@@ -855,6 +889,18 @@ impl Network {
         (self.topo.link_capacity(link) - self.cross[link.index()]).max(MIN_RATE)
     }
 
+    /// True for links that can never constrain anyone: infinite raw capacity
+    /// (the shared "core" of a [`crate::topology::Topology::uniform_swarm`],
+    /// which models an uncongested backbone). Such links skip the per-link
+    /// bookkeeping entirely — registering 10⁴ concurrent flows in one sorted
+    /// membership list would turn activation into O(flows) — and component
+    /// discovery never crosses them, exactly like a pruned unsaturable link.
+    /// Finite links never become infinite (and vice versa), so the guard is
+    /// consistent between a flow's registration and its deregistration.
+    fn unconstrained(&self, link: LinkId) -> bool {
+        self.topo.link_capacity(link).is_infinite()
+    }
+
     /// Registers flow `fid` as active and re-prices what its arrival can
     /// affect.
     ///
@@ -874,6 +920,9 @@ impl Network {
         let links = self.topo.links_on_path(from, to);
         let key = pair_key(from, to);
         for l in links {
+            if self.unconstrained(l) {
+                continue;
+            }
             link_insert(&mut self.link_flows[l.index()], key, fid);
         }
         let acked = self.conns[f].bytes_acked;
@@ -886,6 +935,9 @@ impl Network {
         self.flow_path[f] = links;
         self.flow_ceiling[f] = cap;
         for l in links {
+            if self.unconstrained(l) {
+                continue;
+            }
             self.link_cap_sum[l.index()] += cap;
         }
         if fits {
@@ -895,12 +947,16 @@ impl Network {
         // *registered* flows — must hold before the solver runs, because the
         // solver accounts rate changes as deltas against it.
         for l in links {
+            if self.unconstrained(l) {
+                continue;
+            }
             self.link_usage[l.index()] += self.flow_rate[f];
         }
         if fits {
             let fl = self.conns[f].inflight.as_ref().expect("just started");
             let finish = now + SimDuration::from_secs_f64(fl.bytes_left / self.flow_rate[f]);
             return vec![ConnUpdate::Schedule {
+                fid,
                 from,
                 to,
                 at: finish,
@@ -929,6 +985,9 @@ impl Network {
         let ceiling = self.flow_ceiling[f];
         let ceiling_capped = rate >= ceiling * (1.0 - RATE_EPSILON);
         for l in links {
+            if self.unconstrained(l) {
+                continue;
+            }
             let removed = link_remove(&mut self.link_flows[l.index()], key);
             debug_assert!(removed, "idle flow was not registered on its links");
             self.link_usage[l.index()] = (self.link_usage[l.index()] - rate).max(0.0);
@@ -981,6 +1040,13 @@ impl Network {
         for &l in seed_links {
             if self.link_mark[l.index()] != stamp {
                 self.link_mark[l.index()] = stamp;
+                // An unconstrained link has no membership list and exerts no
+                // constraint: mark it pruned so flow paths skip it, and do
+                // not seed the BFS from it.
+                if self.unconstrained(l) {
+                    self.link_local[l.index()] = NO_LINK;
+                    continue;
+                }
                 self.link_local[l.index()] = s.comp_links.len() as u32;
                 s.comp_links.push(l);
             }
@@ -1009,6 +1075,17 @@ impl Network {
                         }
                     }
                 }
+            }
+        }
+        // A forced flow must always be solved (it needs a fresh Schedule even
+        // at an unchanged rate). It is normally discovered through its access
+        // links; this guard only matters if every link on its path is
+        // unconstrained, where it trivially runs at its own ceiling.
+        if let Some(fid) = force {
+            let f = fid as usize;
+            if self.flow_mark[f] != stamp {
+                self.flow_mark[f] = stamp;
+                s.flows.push(fid);
             }
         }
         if s.flows.is_empty() {
@@ -1071,12 +1148,16 @@ impl Network {
                 let bytes_left = fl.bytes_left;
                 self.flow_rate[f] = new_rate;
                 for l in self.flow_path[f] {
+                    if self.unconstrained(l) {
+                        continue;
+                    }
                     self.link_usage[l.index()] =
                         (self.link_usage[l.index()] + new_rate - old_rate).max(0.0);
                 }
                 let (from, to) = self.flow_pair[f];
                 let finish = now + SimDuration::from_secs_f64(bytes_left / new_rate);
                 out.push(ConnUpdate::Schedule {
+                    fid,
                     from,
                     to,
                     at: finish,

@@ -22,7 +22,9 @@ fn sched_at(updates: &[ConnUpdate], from: NodeId, to: NodeId) -> SimTime {
     updates
         .iter()
         .find_map(|u| match u {
-            ConnUpdate::Schedule { from: f, to: t, at } if (*f, *t) == (from, to) => Some(*at),
+            ConnUpdate::Schedule {
+                from: f, to: t, at, ..
+            } if (*f, *t) == (from, to) => Some(*at),
             _ => None,
         })
         .expect("a Schedule update for the pair")
@@ -348,10 +350,14 @@ fn closing_a_connection_cancels_and_restores_shares() {
     let later = SimTime::from_secs_f64(1.0);
     let rs = net.close_connection(later, NodeId(0), NodeId(2));
     assert!(
-        rs.contains(&ConnUpdate::Cancel {
-            from: NodeId(0),
-            to: NodeId(2)
-        }),
+        rs.iter().any(|u| matches!(
+            u,
+            ConnUpdate::Cancel {
+                from: NodeId(0),
+                to: NodeId(2),
+                ..
+            }
+        )),
         "closing an active connection cancels its completion event: {rs:?}"
     );
     // ... and re-prices the survivor.

@@ -19,10 +19,12 @@
 //! ## Completion events
 //!
 //! Each active connection holds exactly **one** live `BlockDone` event in the
-//! queue, tracked in a `(from, to) → EventKey` map. When the fluid model
-//! re-prices a connection it returns [`ConnUpdate`]s and the runner *moves*
-//! the existing event with [`desim::Simulator::reschedule`] (or cancels it on
-//! teardown) instead of abandoning stale heap entries.
+//! queue, tracked in a dense `Vec<Option<EventKey>>` indexed by the
+//! connection's flow id (every [`ConnUpdate`] carries it, so the hot path
+//! never hashes a `(from, to)` tuple). When the fluid model re-prices a
+//! connection it returns [`ConnUpdate`]s and the runner *moves* the existing
+//! event with [`desim::Simulator::reschedule`] (or cancels it on teardown)
+//! instead of abandoning stale heap entries.
 //!
 //! ## Node lifecycle
 //!
@@ -45,9 +47,6 @@
 //! events, a queue holding nothing but the next tick counts as drained, and
 //! the resulting [`TimeSeries`] is carried on [`RunReport::timeseries`].
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-
 use desim::{EventKey, RngFactory, SimDuration, SimTime, Simulator};
 use rand::rngs::StdRng;
 
@@ -64,8 +63,9 @@ use crate::topology::NodeId;
 enum NetEvent<M> {
     /// A control message arrives at `to`.
     Control { from: NodeId, to: NodeId, msg: M },
-    /// The in-flight block on connection `from → to` finished serialising.
-    BlockDone { from: NodeId, to: NodeId },
+    /// The in-flight block on the connection with dense flow id `fid`
+    /// finished serialising (endpoints come back on the [`CompletedBlock`]).
+    BlockDone { fid: u32 },
     /// A fully serialised block arrives at the receiver.
     BlockArrive { done: CompletedBlock },
     /// A protocol timer fires at `node` (token encoded via `TimerToken`).
@@ -152,8 +152,14 @@ pub struct Runner<P: Protocol> {
     active: Vec<bool>,
     /// Nodes that left or crashed during the run.
     departed: Vec<bool>,
-    /// The single live completion event of each active connection.
-    completion_events: HashMap<(NodeId, NodeId), EventKey>,
+    /// Number of nodes still counting against the all-complete stop
+    /// condition (`!exempt && completion.is_none()`), maintained
+    /// incrementally so the per-event stop check is O(1) instead of a scan
+    /// over every node.
+    incomplete: usize,
+    /// The single live completion event of each active connection, indexed
+    /// by the connection's dense flow id (grown on demand).
+    completion_events: Vec<Option<EventKey>>,
     /// Stop once this many events have been processed.
     max_events: u64,
     /// Reusable command buffer lent to each dispatch's [`Ctx`].
@@ -203,7 +209,8 @@ impl<P: Protocol> Runner<P> {
             exempt: vec![false; n],
             active: vec![true; n],
             departed: vec![false; n],
-            completion_events: HashMap::new(),
+            incomplete: n,
+            completion_events: Vec::new(),
             max_events: u64::MAX,
             scratch: Vec::new(),
             probes: Vec::new(),
@@ -243,7 +250,13 @@ impl<P: Protocol> Runner<P> {
 
     /// Marks `node` as exempt from the all-complete stop condition.
     pub fn exempt_from_completion(&mut self, node: NodeId) {
-        self.exempt[node.index()] = true;
+        let idx = node.index();
+        if !self.exempt[idx] {
+            self.exempt[idx] = true;
+            if self.completion[idx].is_none() {
+                self.incomplete -= 1;
+            }
+        }
     }
 
     /// Caps the total number of events the run may process; the run stops
@@ -413,17 +426,37 @@ impl<P: Protocol> Runner<P> {
     }
 
     fn all_complete(&self) -> bool {
-        self.completion
-            .iter()
-            .zip(self.exempt.iter())
-            .all(|(c, e)| *e || c.is_some())
+        if self.incomplete > 0 {
+            return false;
+        }
+        // Reaching zero happens once per run, so the O(N) cross-check of the
+        // incremental counter is free on the per-event path.
+        debug_assert!(
+            self.completion
+                .iter()
+                .zip(self.exempt.iter())
+                .all(|(c, e)| *e || c.is_some()),
+            "incremental incomplete counter drifted from the per-node state"
+        );
+        true
+    }
+
+    /// Records `node`'s completion instant (idempotent) and keeps the
+    /// incremental all-complete counter in sync.
+    fn mark_complete(&mut self, idx: usize, now: SimTime) {
+        if self.completion[idx].is_none() {
+            self.completion[idx] = Some(now);
+            if !self.exempt[idx] {
+                self.incomplete -= 1;
+            }
+        }
     }
 
     fn refresh_completion(&mut self) {
         let now = self.sim.now();
-        for (i, node) in self.nodes.iter().enumerate() {
-            if self.completion[i].is_none() && self.active[i] && node.is_complete() {
-                self.completion[i] = Some(now);
+        for i in 0..self.nodes.len() {
+            if self.completion[i].is_none() && self.active[i] && self.nodes[i].is_complete() {
+                self.mark_complete(i, now);
             }
         }
     }
@@ -458,7 +491,7 @@ impl<P: Protocol> Runner<P> {
         self.scratch = commands;
         // Completion may have changed for this node.
         if self.completion[idx].is_none() && self.nodes[idx].is_complete() {
-            self.completion[idx] = Some(self.sim.now());
+            self.mark_complete(idx, self.sim.now());
         }
     }
 
@@ -503,20 +536,28 @@ impl<P: Protocol> Runner<P> {
     fn apply_conn_updates(&mut self, updates: Vec<ConnUpdate>) {
         for update in updates {
             match update {
-                ConnUpdate::Schedule { from, to, at } => {
-                    match self.completion_events.entry((from, to)) {
-                        Entry::Occupied(e) => {
-                            let moved = self.sim.reschedule(*e.get(), at);
+                ConnUpdate::Schedule { fid, at, .. } => {
+                    let f = fid as usize;
+                    if self.completion_events.len() <= f {
+                        self.completion_events.resize(f + 1, None);
+                    }
+                    match self.completion_events[f] {
+                        Some(key) => {
+                            let moved = self.sim.reschedule(key, at);
                             debug_assert!(moved, "completion event vanished while tracked");
                         }
-                        Entry::Vacant(v) => {
-                            let key = self.sim.schedule_at(at, NetEvent::BlockDone { from, to });
-                            v.insert(key);
+                        None => {
+                            let key = self.sim.schedule_at(at, NetEvent::BlockDone { fid });
+                            self.completion_events[f] = Some(key);
                         }
                     }
                 }
-                ConnUpdate::Cancel { from, to } => {
-                    if let Some(key) = self.completion_events.remove(&(from, to)) {
+                ConnUpdate::Cancel { fid, .. } => {
+                    if let Some(key) = self
+                        .completion_events
+                        .get_mut(fid as usize)
+                        .and_then(Option::take)
+                    {
                         self.sim.cancel(key);
                     }
                 }
@@ -528,9 +569,15 @@ impl<P: Protocol> Runner<P> {
     /// exempts it from the stop condition and notifies the survivors.
     fn depart(&mut self, node: NodeId) {
         let now = self.sim.now();
-        self.active[node.index()] = false;
-        self.departed[node.index()] = true;
-        self.exempt[node.index()] = true;
+        let idx = node.index();
+        self.active[idx] = false;
+        self.departed[idx] = true;
+        if !self.exempt[idx] {
+            self.exempt[idx] = true;
+            if self.completion[idx].is_none() {
+                self.incomplete -= 1;
+            }
+        }
         let updates = self.net.close_all_for(now, node);
         self.apply_conn_updates(updates);
         // Deterministic notification order: ascending node index.
@@ -548,11 +595,12 @@ impl<P: Protocol> Runner<P> {
                 // Messages to a node that is gone (or not yet here) are lost.
                 self.dispatch(to, |node, ctx| node.on_control(ctx, from, msg));
             }
-            NetEvent::BlockDone { from, to } => {
+            NetEvent::BlockDone { fid } => {
                 // The connection's live event just fired; drop the handle.
-                self.completion_events.remove(&(from, to));
-                if let Some((done, updates)) = self.net.on_block_done(now, from, to) {
+                self.completion_events[fid as usize] = None;
+                if let Some((done, updates)) = self.net.on_block_done_by_id(now, fid) {
                     self.apply_conn_updates(updates);
+                    let (from, to) = (done.from, done.to);
                     let block = done.block;
                     self.dispatch(from, |node, ctx| node.on_block_sent(ctx, to, block));
                     let delay = self.net.data_delivery_delay(from, to);

@@ -102,19 +102,45 @@ struct CoreLink {
 /// Sentinel for the unused diagonal of the pair → core-link table.
 const NO_LINK: u32 = u32::MAX;
 
+/// How the core of the mesh is represented.
+///
+/// The paper's controlled experiments need per-pair state (dedicated core
+/// links with individual bandwidth/delay/loss, remappable onto shared
+/// bottlenecks), which costs O(n²) memory — fine at ModelNet scale (tens of
+/// nodes), prohibitive at 10⁴. Large-swarm scaling runs (`fig20`) instead use
+/// a **uniform** core: one unconstrained shared link and per-pair delays
+/// derived from O(n) per-node jitter, so the whole topology is O(n).
+#[derive(Debug, Clone)]
+enum CoreModel {
+    /// Explicit per-pair path table and core-link graph.
+    Dense {
+        /// `core[a][b]` is the path from `a` to `b`. The diagonal is unused.
+        core: Vec<Vec<PathSpec>>,
+        /// The core links; by construction every off-diagonal pair starts
+        /// with a dedicated one ([`Topology::share_core`] remaps pairs onto
+        /// shared ones).
+        core_links: Vec<CoreLink>,
+        /// `link_of[a][b]` is the index (into `core_links`) of the core link
+        /// the `a → b` path rides. The diagonal holds [`NO_LINK`].
+        link_of: Vec<Vec<u32>>,
+    },
+    /// One shared, unconstrained core link (id `2n`) carrying every pair;
+    /// `path(a, b)` is synthesised as `bw = +inf`, a uniform `loss`, and
+    /// `delay = jitter[a] + jitter[b]`.
+    Uniform {
+        /// Per-node half-delays; the `a → b` core delay is their sum.
+        jitter: Vec<SimDuration>,
+        /// Uniform core loss rate (bounds every flow's Mathis ceiling).
+        loss: f64,
+    },
+}
+
 /// A complete emulated topology: per-node access links plus a directional
 /// core path for every ordered pair, backed by an explicit link graph.
 #[derive(Debug, Clone)]
 pub struct Topology {
     nodes: Vec<NodeSpec>,
-    /// `core[a][b]` is the path from `a` to `b`. The diagonal is unused.
-    core: Vec<Vec<PathSpec>>,
-    /// The core links; by construction every off-diagonal pair starts with a
-    /// dedicated one ([`Topology::share_core`] remaps pairs onto shared ones).
-    core_links: Vec<CoreLink>,
-    /// `link_of[a][b]` is the index (into `core_links`) of the core link the
-    /// `a → b` path rides. The diagonal holds [`NO_LINK`].
-    link_of: Vec<Vec<u32>>,
+    core_model: CoreModel,
 }
 
 impl Topology {
@@ -149,9 +175,34 @@ impl Topology {
         }
         Topology {
             nodes,
-            core,
-            core_links,
-            link_of,
+            core_model: CoreModel::Dense {
+                core,
+                core_links,
+                link_of,
+            },
+        }
+    }
+
+    /// Builds an O(n)-memory topology for large-swarm scaling runs: `n`
+    /// identical access links and a single **unconstrained** shared core
+    /// link carrying every ordered pair (no per-pair state). The `a → b`
+    /// core delay is `jitter[a] + jitter[b]`.
+    ///
+    /// The resulting topology rejects per-pair core surgery:
+    /// [`Topology::set_core_bw`], [`Topology::scale_core_bw`] and
+    /// [`Topology::share_core`] panic on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter.len() != nodes.len()` or fewer than two nodes.
+    pub fn new_uniform(nodes: Vec<NodeSpec>, jitter: Vec<SimDuration>, loss: f64) -> Self {
+        let n = nodes.len();
+        assert!(n >= 2, "a topology needs at least two nodes");
+        assert_eq!(jitter.len(), n, "one jitter entry per node");
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        Topology {
+            nodes,
+            core_model: CoreModel::Uniform { jitter, loss },
         }
     }
 
@@ -176,9 +227,21 @@ impl Topology {
         &self.nodes[node.index()]
     }
 
-    /// Core path spec from `a` to `b`.
-    pub fn path(&self, a: NodeId, b: NodeId) -> &PathSpec {
-        &self.core[a.index()][b.index()]
+    /// Core path spec from `a` to `b`. Returned by value: on uniform-core
+    /// topologies the spec is synthesised, not stored.
+    pub fn path(&self, a: NodeId, b: NodeId) -> PathSpec {
+        match &self.core_model {
+            CoreModel::Dense { core, .. } => core[a.index()][b.index()],
+            CoreModel::Uniform { jitter, loss } => PathSpec {
+                bw: f64::INFINITY,
+                delay: if a == b {
+                    SimDuration::ZERO
+                } else {
+                    jitter[a.index()] + jitter[b.index()]
+                },
+                loss: if a == b { 0.0 } else { *loss },
+            },
+        }
     }
 
     /// Sets the capacity of the core link carrying `a → b` to `bw`
@@ -188,9 +251,15 @@ impl Topology {
     pub fn set_core_bw(&mut self, a: NodeId, b: NodeId, bw: BytesPerSec) -> LinkId {
         let j = self.core_link_index(a, b);
         let bw = bw.max(1.0);
-        self.core_links[j].capacity = bw;
-        for &(x, y) in &self.core_links[j].pairs {
-            self.core[x as usize][y as usize].bw = bw;
+        let CoreModel::Dense {
+            core, core_links, ..
+        } = &mut self.core_model
+        else {
+            unreachable!("core_link_index rejects uniform-core topologies");
+        };
+        core_links[j].capacity = bw;
+        for &(x, y) in &core_links[j].pairs {
+            core[x as usize][y as usize].bw = bw;
         }
         self.core_link_id(j)
     }
@@ -199,8 +268,7 @@ impl Topology {
     /// (result floored at 1 byte/second). See [`Topology::set_core_bw`] for
     /// shared-link semantics.
     pub fn scale_core_bw(&mut self, a: NodeId, b: NodeId, factor: f64) -> LinkId {
-        let j = self.core_link_index(a, b);
-        let bw = (self.core_links[j].capacity * factor).max(1.0);
+        let bw = (self.path(a, b).bw * factor).max(1.0);
         self.set_core_bw(a, b, bw)
     }
 
@@ -243,7 +311,15 @@ impl Topology {
             !pairs.is_empty(),
             "a shared core link needs at least one pair"
         );
-        let j = self.core_links.len();
+        let CoreModel::Dense {
+            core,
+            core_links,
+            link_of,
+        } = &mut self.core_model
+        else {
+            panic!("a uniform-core topology has no per-pair core links to remap");
+        };
+        let j = core_links.len();
         let mut link = CoreLink {
             capacity: capacity.max(1.0),
             loss,
@@ -251,24 +327,29 @@ impl Topology {
         };
         for &(a, b) in pairs {
             assert!(a != b, "a core link cannot join a node to itself");
-            let old = self.link_of[a.index()][b.index()];
+            let old = link_of[a.index()][b.index()];
             if old != NO_LINK {
                 let key = (a.0, b.0);
-                self.core_links[old as usize].pairs.retain(|&p| p != key);
+                core_links[old as usize].pairs.retain(|&p| p != key);
             }
-            self.link_of[a.index()][b.index()] = j as u32;
+            link_of[a.index()][b.index()] = j as u32;
             link.pairs.push((a.0, b.0));
-            let path = &mut self.core[a.index()][b.index()];
+            let path = &mut core[a.index()][b.index()];
             path.bw = link.capacity;
             path.loss = loss;
         }
-        self.core_links.push(link);
+        core_links.push(link);
         self.core_link_id(j)
     }
 
-    /// Total number of directed links: `2n` access links plus the core links.
+    /// Total number of directed links: `2n` access links plus the core links
+    /// (a single shared one on uniform-core topologies).
     pub fn num_links(&self) -> usize {
-        2 * self.nodes.len() + self.core_links.len()
+        let core = match &self.core_model {
+            CoreModel::Dense { core_links, .. } => core_links.len(),
+            CoreModel::Uniform { .. } => 1,
+        };
+        2 * self.nodes.len() + core
     }
 
     /// The access uplink of `node`.
@@ -283,7 +364,13 @@ impl Topology {
 
     /// The core link the `a → b` path rides.
     pub fn core_link(&self, a: NodeId, b: NodeId) -> LinkId {
-        self.core_link_id(self.core_link_index(a, b))
+        match &self.core_model {
+            CoreModel::Dense { .. } => self.core_link_id(self.core_link_index(a, b)),
+            CoreModel::Uniform { .. } => {
+                assert!(a != b, "no core link joins a node to itself");
+                self.core_link_id(0)
+            }
+        }
     }
 
     /// The three links the `a → b` path traverses, in path order: `a`'s
@@ -304,13 +391,21 @@ impl Topology {
         } else if i < 2 * n {
             self.nodes[i - n].down
         } else {
-            let l = &self.core_links[i - 2 * n];
-            (l.capacity * (1.0 - l.loss)).max(1.0)
+            match &self.core_model {
+                CoreModel::Dense { core_links, .. } => {
+                    let l = &core_links[i - 2 * n];
+                    (l.capacity * (1.0 - l.loss)).max(1.0)
+                }
+                CoreModel::Uniform { .. } => f64::INFINITY,
+            }
         }
     }
 
     fn core_link_index(&self, a: NodeId, b: NodeId) -> usize {
-        let j = self.link_of[a.index()][b.index()];
+        let CoreModel::Dense { link_of, .. } = &self.core_model else {
+            panic!("a uniform-core topology has no per-pair core links to remap");
+        };
+        let j = link_of[a.index()][b.index()];
         assert!(j != NO_LINK, "no core link joins a node to itself");
         j as usize
     }
@@ -323,7 +418,7 @@ impl Topology {
     /// access).
     pub fn one_way_delay(&self, a: NodeId, b: NodeId) -> SimDuration {
         self.nodes[a.index()].access_delay
-            + self.core[a.index()][b.index()].delay
+            + self.path(a, b).delay
             + self.nodes[b.index()].access_delay
     }
 
@@ -570,6 +665,37 @@ pub fn shared_core_mesh(n: usize, core: BytesPerSec, loss: f64, rng: &RngFactory
     topo
 }
 
+/// The large-swarm scaling topology (`fig20`): `n` well-provisioned nodes
+/// (20 Mbps access links, 1 ms delay) over a **uniform, unconstrained** core
+/// with 3% loss and wide-area delays. The whole topology is O(n) in memory —
+/// per-pair core delays are `jitter[a] + jitter[b]` with per-node jitter
+/// uniform in 20–100 ms (pair delays 40–200 ms), where a dense mesh at
+/// n = 10⁴ would need ~10⁸ path entries.
+///
+/// The parameters are chosen so every flow is limited by its own TCP
+/// (Mathis) ceiling rather than by link contention: at 3% loss the ceiling
+/// of even the fastest pair (≈ 84 ms RTT) is ≈ 120 KB/s, so a node needs
+/// 20+ concurrent transfers before its 2.5 MB/s access link could saturate
+/// — more than Bullet′'s peer-set sizes reach. The fluid solver therefore
+/// prunes every link from component discovery and reprices are O(1), which
+/// is exactly the regime a scaling run wants: the emulator's per-event cost,
+/// not the solver's component size, is what is being measured.
+pub fn uniform_swarm(n: usize, rng: &RngFactory) -> Topology {
+    let mut delay_rng = rng.stream("topology.uniform.delay");
+    let nodes = vec![
+        NodeSpec {
+            up: mbps(20.0),
+            down: mbps(20.0),
+            access_delay: SimDuration::from_millis(1),
+        };
+        n
+    ];
+    let jitter = (0..n)
+        .map(|_| uniform_delay_ms(&mut delay_rng, 20.0, 100.0))
+        .collect();
+    Topology::new_uniform(nodes, jitter, 0.03)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -730,6 +856,56 @@ mod tests {
     fn diagonal_core_link_rejected() {
         let t = constrained_access(3);
         t.core_link(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn uniform_swarm_is_o_n_with_one_shared_core() {
+        let rng = RngFactory::new(11);
+        let t = uniform_swarm(50, &rng);
+        assert_eq!(t.len(), 50);
+        // One shared core link after the 2n access links.
+        assert_eq!(t.num_links(), 2 * 50 + 1);
+        let shared = t.core_link(NodeId(0), NodeId(1));
+        assert_eq!(shared, LinkId(100));
+        for a in [NodeId(0), NodeId(7), NodeId(49)] {
+            for b in [NodeId(1), NodeId(23)] {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(t.core_link(a, b), shared);
+                let p = t.path(a, b);
+                assert!(p.bw.is_infinite());
+                assert_eq!(p.loss, 0.03);
+                assert!(p.delay >= SimDuration::from_millis(40));
+                assert!(p.delay <= SimDuration::from_millis(200));
+            }
+        }
+        assert!(t.link_capacity(shared).is_infinite());
+        assert_eq!(t.link_capacity(t.uplink(NodeId(3))), mbps(20.0));
+        // Delays are symmetric (jitter[a] + jitter[b]) and deterministic.
+        assert_eq!(
+            t.path(NodeId(2), NodeId(9)).delay,
+            t.path(NodeId(9), NodeId(2)).delay
+        );
+        let t2 = uniform_swarm(50, &RngFactory::new(11));
+        assert_eq!(
+            t.path(NodeId(2), NodeId(9)).delay,
+            t2.path(NodeId(2), NodeId(9)).delay
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform-core topology")]
+    fn uniform_swarm_rejects_core_surgery() {
+        let mut t = uniform_swarm(4, &RngFactory::new(1));
+        t.set_core_bw(NodeId(0), NodeId(1), mbps(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform-core topology")]
+    fn uniform_swarm_rejects_share_core() {
+        let mut t = uniform_swarm(4, &RngFactory::new(1));
+        t.share_core(&[(NodeId(0), NodeId(1))], mbps(1.0), 0.0);
     }
 
     #[test]

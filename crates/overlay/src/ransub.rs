@@ -16,6 +16,7 @@
 //! distribute payloads and it returns the messages to emit, so both Bullet
 //! and Bullet′ reuse it unchanged.
 
+use std::borrow::Borrow;
 use std::collections::BTreeMap;
 
 use netsim::NodeId;
@@ -78,29 +79,35 @@ impl Sample {
 /// Each input sample is an (approximately) uniform sample of a disjoint
 /// population of `weight` nodes; the merge draws entries so that every node
 /// in the union remains equally likely to appear, then deduplicates.
-pub fn merge_samples<R: Rng + ?Sized>(rng: &mut R, target: usize, groups: &[Sample]) -> Sample {
-    let total_weight: u32 = groups.iter().map(|g| g.weight).sum();
-    // Expand each entry with a selection weight proportional to the
-    // population it stands in for, then run a weighted shuffle.
-    let mut pool: Vec<(NodeSummary, f64)> = Vec::new();
+///
+/// Generic over [`Borrow`] so callers can pass groups by value
+/// (`&[Sample]`) or — on the per-epoch hot path, where copying every
+/// child's sample per merge would be the dominant cost — by reference
+/// (`&[&Sample]`). The merge itself is O(total entries), and every input on
+/// the tree paths is already compacted to the subset size, so one epoch
+/// costs O(children) merges of fixed-size samples: no whole-subtree copies.
+pub fn merge_samples<R: Rng + ?Sized, S: Borrow<Sample>>(
+    rng: &mut R,
+    target: usize,
+    groups: &[S],
+) -> Sample {
+    let total_weight: u32 = groups.iter().map(|g| g.borrow().weight).sum();
+    // Weighted sampling without replacement via exponential jumps
+    // (Efraimidis–Spirakis keys): one key per entry, weighted by the
+    // population the entry stands in for.
+    let total_entries = groups.iter().map(|g| g.borrow().entries.len()).sum();
+    let mut keyed: Vec<(f64, NodeSummary)> = Vec::with_capacity(total_entries);
     for g in groups {
+        let g = g.borrow();
         if g.entries.is_empty() {
             continue;
         }
         let per_entry = f64::from(g.weight) / g.entries.len() as f64;
         for e in &g.entries {
-            pool.push((*e, per_entry));
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            keyed.push((u.powf(1.0 / per_entry.max(1e-9)), *e));
         }
     }
-    // Weighted sampling without replacement via exponential jumps
-    // (Efraimidis–Spirakis keys).
-    let mut keyed: Vec<(f64, NodeSummary)> = pool
-        .into_iter()
-        .map(|(e, w)| {
-            let u: f64 = rng.gen_range(1e-12..1.0);
-            (u.powf(1.0 / w.max(1e-9)), e)
-        })
-        .collect();
     keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
 
     let mut seen = std::collections::HashSet::new();
@@ -286,24 +293,29 @@ impl RanSubAgent {
         epoch: u64,
         rng: &mut R,
     ) -> Vec<RanSubEmit> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(1 + self.children.len());
         out.push(RanSubEmit::Deliver {
             sample: sample.clone(),
             epoch,
         });
+        let own_sample = self.own.map(|own| Sample {
+            entries: vec![own],
+            weight: 1,
+        });
+        let mut groups: Vec<&Sample> = Vec::with_capacity(2 + self.collected.len());
         for &child in &self.children {
             // Re-mix the incoming subset with what the *other* children (and
             // we ourselves) reported, so each child sees a different subset.
-            let mut groups: Vec<Sample> = vec![sample.clone()];
-            if let Some(own) = self.own {
-                groups.push(Sample {
-                    entries: vec![own],
-                    weight: 1,
-                });
+            // All groups are borrowed: each child's merge reads the collected
+            // samples in place instead of copying them.
+            groups.clear();
+            groups.push(&sample);
+            if let Some(own) = &own_sample {
+                groups.push(own);
             }
             for (&c, s) in &self.collected {
                 if c != child {
-                    groups.push(s.clone());
+                    groups.push(s);
                 }
             }
             let mixed = merge_samples(rng, self.subset_size, &groups);
@@ -326,11 +338,13 @@ impl RanSubAgent {
             return Vec::new();
         }
         self.wave_done = true;
-        let mut groups: Vec<Sample> = vec![Sample {
+        let own_sample = Sample {
             entries: vec![own],
             weight: 1,
-        }];
-        groups.extend(self.collected.values().cloned());
+        };
+        let mut groups: Vec<&Sample> = Vec::with_capacity(1 + self.collected.len());
+        groups.push(&own_sample);
+        groups.extend(self.collected.values());
         let merged = merge_samples(rng, self.subset_size, &groups);
 
         match self.parent {

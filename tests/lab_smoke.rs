@@ -22,7 +22,7 @@ fn registry_lists_every_scenario() {
     let names = reg.names();
     let expected = [
         "fig04", "fig05", "fig05ts", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
-        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
     ];
     assert_eq!(names.len(), expected.len());
     for name in expected {
@@ -119,6 +119,36 @@ fn lab_run_fig18_and_fig19_are_reachable_through_the_registry() {
         "at least one wave boundary lands inside the run"
     );
     assert!(f19.series[0].points.iter().any(|&(_, y)| y > 0.0));
+}
+
+#[test]
+fn lab_run_fig20_completes_a_thousand_node_join_only_swarm() {
+    // One point of the fig20 scaling trajectory, end to end through the
+    // registry: a 1,000-node join-only swarm on the O(n) uniform core must
+    // run to AllComplete — every receiver finishes, none are reported
+    // unfinished — and stay deterministic per seed.
+    let reg = Registry::standard();
+    let opts = CommonOpts {
+        nodes: Some(1_000),
+        file_mb: Some(0.125),
+        ..CommonOpts::default()
+    };
+    let fig = reg.get("fig20").expect("registered").run(&opts);
+    // --nodes collapses the trajectory to one CDF plus the events series.
+    assert_eq!(fig.series.len(), 2);
+    let cdf = &fig.series[0];
+    assert_eq!(cdf.label, "BulletPrime, N=1000", "no receiver unfinished");
+    assert_eq!(cdf.points.len(), 999, "one CDF point per receiver");
+    assert!(cdf.points.iter().all(|&(t, _)| t > 0.0));
+    assert_eq!(fig.series[1].points[0].0, 1000.0);
+    assert!(fig.series[1].points[0].1 > 0.0, "events were counted");
+
+    let again = reg.get("fig20").expect("registered").run(&opts);
+    assert_eq!(
+        fig.to_json(),
+        again.to_json(),
+        "fig20 must be deterministic"
+    );
 }
 
 #[test]
