@@ -102,6 +102,34 @@ else
     echo "WARN: no committed BENCH_events.json baseline; recorded $new_events without gating"
 fi
 
+# Observability contract (docs/OBSERVABILITY.md): bench_events reruns the
+# same fixed-seed workload fully instrumented (counting trace sink +
+# profiler) and records the comparison under "trace". Two hard gates:
+# (a) the canonical report of the traced run is byte-identical to the
+# untraced one — observation must not perturb the simulation — and (b) the
+# traced wall-clock stays within 1.5x of untraced. Both values come from the
+# record just written, so these gates are machine-local and need no baseline.
+echo "==> observability gate (trace identity + overhead, BENCH_events.json)"
+canon_ok=$(grep -o '"canonical_identical": *[a-z]*' BENCH_events.json \
+    | grep -o '[a-z]*$' || true)
+overhead=$(grep -o '"trace_overhead_ratio": *[0-9.]*' BENCH_events.json \
+    | grep -o '[0-9.]*$' || true)
+if [ "$canon_ok" != "true" ]; then
+    echo "FAIL: traced run's canonical report differs from the untraced run (canonical_identical=${canon_ok:-missing})"
+    exit 1
+fi
+if [ -z "$overhead" ]; then
+    echo "FAIL: trace_overhead_ratio missing from BENCH_events.json"
+    exit 1
+fi
+awk -v r="$overhead" 'BEGIN {
+    if (r > 1.5) {
+        printf "FAIL: traced run %.2fx slower than untraced (ceiling 1.5x)\n", r
+        exit 1
+    }
+    printf "trace identity holds; overhead %.2fx (ceiling 1.5x)\n", r
+}'
+
 # Scale trajectory: the fig20 workload (join-only Bullet' swarm on the O(n)
 # uniform core) at N = 1000 / 5000 / 10000. Every point records events
 # processed, events/sec, wall-clock and the counting-allocator live-heap

@@ -145,6 +145,21 @@ impl WireSize for BtMsg {
             BtMsg::Request { blocks } => HDR + 4 * blocks.len(),
         }
     }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            BtMsg::TrackerRequest => "tracker_request",
+            BtMsg::TrackerResponse { .. } => "tracker_response",
+            BtMsg::Handshake { .. } => "handshake",
+            BtMsg::HandshakeAck { .. } => "handshake_ack",
+            BtMsg::Have { .. } => "have",
+            BtMsg::Interested => "interested",
+            BtMsg::NotInterested => "not_interested",
+            BtMsg::Choke => "choke",
+            BtMsg::Unchoke => "unchoke",
+            BtMsg::Request { .. } => "request",
+        }
+    }
 }
 
 /// Per-neighbour state.

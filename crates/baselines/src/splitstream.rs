@@ -54,6 +54,11 @@ impl WireSize for SsMsg {
     fn wire_size(&self) -> usize {
         0
     }
+
+    fn kind(&self) -> &'static str {
+        // Uninhabited: no value of `SsMsg` exists to be traced.
+        match *self {}
+    }
 }
 
 /// The stripe forest: for every stripe, each node's parent and children.

@@ -5,6 +5,13 @@
 //! allocation count is a deterministic proxy for per-event overhead, and the
 //! wall-clock time tracks real cost on the machine that ran CI.
 //!
+//! The same workload then runs a **second** time with a counting trace sink
+//! and the wall-clock profiler enabled. The record carries (a) whether the
+//! traced run's canonical [`netsim::RunReport`] was byte-identical to the
+//! untraced one — the observability layer's "tracing perturbs nothing"
+//! contract — and (b) the traced/untraced wall-clock ratio, which ci.sh
+//! gates at ≤ 1.5×.
+//!
 //! Usage: `bench_events [--out PATH]` (default `BENCH_events.json` in the
 //! current directory). All workload parameters are fixed on purpose — the
 //! point is comparability across commits, not configurability.
@@ -13,10 +20,11 @@ use std::time::Instant;
 
 use bullet_bench::alloc_track::{self, CountingAlloc};
 use bullet_bench::systems::paper_dynamic_schedule;
+use bullet_bench::views::{rounded, EventsRecord, TraceCheck};
 use bullet_prime::Config;
 use desim::{RngFactory, SimDuration};
 use dissem_codec::FileSpec;
-use netsim::topology;
+use netsim::{topology, CountingSink, RunReport};
 
 // Counts heap allocations (a deterministic proxy for the cost of the
 // runner's dispatch path — stable to within a few allocations across runs)
@@ -33,6 +41,40 @@ const NODES: usize = 30;
 const FILE_BYTES: u64 = 16 * 1024 * 1024;
 const BLOCK_BYTES: u32 = 16 * 1024;
 const TIME_LIMIT_SECS: u64 = 7_200;
+
+/// Runs the fixed workload once, optionally traced + profiled, returning the
+/// report, its wall-clock seconds, and the allocation count of the runner
+/// build + run (topology and schedule construction excluded, matching the
+/// historical `run_allocs` measurement window).
+fn run_workload(traced: bool) -> (RunReport, f64, u64) {
+    let rng = RngFactory::new(SEED);
+    let topo = topology::modelnet_mesh(NODES, 0.03, &rng);
+    let cfg = Config::new(FileSpec::new(FILE_BYTES, BLOCK_BYTES));
+    let schedule = paper_dynamic_schedule(NODES, TIME_LIMIT_SECS as f64, &rng);
+
+    let started = Instant::now();
+    let allocs_before = alloc_track::allocs();
+    let mut runner = bullet_prime::build_runner(topo, &cfg, &rng);
+    if traced {
+        runner.set_trace_sink(Box::new(CountingSink::new()));
+        runner.enable_profiling(10.0);
+    }
+    for (at, batch) in &schedule {
+        runner.schedule_link_change(*at, batch.clone());
+    }
+    let report = runner.run(SimDuration::from_secs(TIME_LIMIT_SECS));
+    let wall = started.elapsed().as_secs_f64();
+    let allocs = alloc_track::allocs() - allocs_before;
+    if traced {
+        if let Some(profile) = runner.take_profile() {
+            eprintln!("traced-run wall-clock attribution:");
+            for line in profile.lines() {
+                eprintln!("  {line}");
+            }
+        }
+    }
+    (report, wall, allocs)
+}
 
 fn main() {
     let mut out_path = String::from("BENCH_events.json");
@@ -52,35 +94,48 @@ fn main() {
         }
     }
 
-    let rng = RngFactory::new(SEED);
-    let topo = topology::modelnet_mesh(NODES, 0.03, &rng);
-    let cfg = Config::new(FileSpec::new(FILE_BYTES, BLOCK_BYTES));
-    let schedule = paper_dynamic_schedule(NODES, TIME_LIMIT_SECS as f64, &rng);
-
-    let started = Instant::now();
-    let allocs_before = alloc_track::allocs();
     alloc_track::reset_peak();
-    let mut runner = bullet_prime::build_runner(topo, &cfg, &rng);
-    for (at, batch) in &schedule {
-        runner.schedule_link_change(*at, batch.clone());
-    }
-    let report = runner.run(SimDuration::from_secs(TIME_LIMIT_SECS));
-    let wall = started.elapsed().as_secs_f64();
-    let allocs = alloc_track::allocs() - allocs_before;
+    let (report, wall, allocs) = run_workload(false);
     let peak_bytes = alloc_track::peak_bytes();
 
-    // `events_processed`, `run_allocs`, `peak_alloc_bytes` and
-    // `virtual_end_secs` are deterministic for a given binary;
-    // `wall_clock_secs` is whatever the machine that last ran CI measured —
+    // Second run, traced + profiled: same seed, same schedule. Canonical
+    // identity between the two reports is the observability layer's
+    // perturbs-nothing contract (ci.sh fails on a mismatch); the wall-clock
+    // ratio is its overhead contract (ci.sh gates ≤ 1.5×).
+    let (traced_report, traced_wall, _) = run_workload(true);
+    let canonical_identical = traced_report.canonical() == report.canonical();
+    if !canonical_identical {
+        eprintln!("WARNING: traced run diverged from the untraced run");
+    }
+
+    // `events_processed`, `run_allocs`, `peak_alloc_bytes`,
+    // `virtual_end_secs` and `metrics` are deterministic for a given binary;
+    // wall-clock fields are whatever the machine that last ran CI measured —
     // committed anyway so perf PRs leave a real time trajectory next to the
     // event counts (compare deltas on one machine, not absolute values
     // across machines).
-    let json = format!(
-        "{{\n  \"benchmark\": \"fig05-style dynamics-heavy run\",\n  \"seed\": {SEED},\n  \"nodes\": {NODES},\n  \"file_bytes\": {FILE_BYTES},\n  \"block_bytes\": {BLOCK_BYTES},\n  \"events_processed\": {},\n  \"run_allocs\": {allocs},\n  \"peak_alloc_bytes\": {peak_bytes},\n  \"wall_clock_secs\": {wall:.3},\n  \"virtual_end_secs\": {:.6},\n  \"stop_reason\": \"{:?}\"\n}}\n",
-        report.events,
-        report.end_time.as_secs_f64(),
-        report.reason,
-    );
+    let record = EventsRecord {
+        benchmark: "fig05-style dynamics-heavy run",
+        seed: SEED,
+        nodes: NODES,
+        file_bytes: FILE_BYTES,
+        block_bytes: BLOCK_BYTES,
+        events_processed: report.events,
+        run_allocs: allocs,
+        peak_alloc_bytes: peak_bytes,
+        wall_clock_secs: rounded(wall, 3),
+        virtual_end_secs: rounded(report.end_time.as_secs_f64(), 6),
+        stop_reason: format!("{:?}", report.reason),
+        metrics: report.metrics.clone(),
+        trace: TraceCheck {
+            trace_records: traced_report.trace_records,
+            trace_wall_clock_secs: rounded(traced_wall, 3),
+            trace_overhead_ratio: rounded(traced_wall / wall.max(1e-9), 3),
+            canonical_identical,
+        },
+    };
+    let mut json = serde_json::to_string_pretty(&record).expect("record serializes");
+    json.push('\n');
     print!("{json}");
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("failed to write {out_path}: {e}");

@@ -14,10 +14,10 @@
 //! directory). The file and block sizes are fixed on purpose — the point is
 //! comparability across commits, not configurability.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use bullet_bench::alloc_track::{self, CountingAlloc};
+use bullet_bench::views::{ScalePoint, ScaleRecord};
 use bullet_prime::Config;
 use desim::{RngFactory, SimDuration};
 use dissem_codec::FileSpec;
@@ -67,8 +67,8 @@ fn main() {
         }
     }
 
-    let mut points = String::new();
-    for (i, &n) in sizes.iter().enumerate() {
+    let mut points = Vec::new();
+    for &n in &sizes {
         // Each point gets its own factory so the record for a given N never
         // depends on which other Ns ran in the same invocation.
         let rng = RngFactory::new(SEED);
@@ -80,20 +80,13 @@ fn main() {
         let report = runner.run(SimDuration::from_secs(TIME_LIMIT_SECS));
         let wall = started.elapsed().as_secs_f64();
         let peak = alloc_track::peak_bytes();
-        let events_per_sec = report.events as f64 / wall.max(1e-9);
         eprintln!(
-            "N={n}: {} events in {wall:.2}s wall ({events_per_sec:.0} events/s, peak heap {:.1} MiB)",
+            "N={n}: {} events in {wall:.2}s wall ({:.0} events/s, peak heap {:.1} MiB)",
             report.events,
+            report.events as f64 / wall.max(1e-9),
             peak as f64 / (1024.0 * 1024.0),
         );
-        let _ = write!(
-            points,
-            "    {{\n      \"nodes\": {n},\n      \"events_processed\": {},\n      \"events_per_sec\": {events_per_sec:.0},\n      \"wall_clock_secs\": {wall:.3},\n      \"peak_alloc_bytes\": {peak},\n      \"virtual_end_secs\": {:.6},\n      \"stop_reason\": \"{:?}\"\n    }}{}",
-            report.events,
-            report.end_time.as_secs_f64(),
-            report.reason,
-            if i + 1 < sizes.len() { ",\n" } else { "\n" },
-        );
+        points.push(ScalePoint::from_report(n, &report, wall, peak));
     }
 
     // `events_processed`, `peak_alloc_bytes` and `virtual_end_secs` are
@@ -101,9 +94,15 @@ fn main() {
     // `wall_clock_secs` are whatever the machine that last ran CI measured —
     // committed anyway so scale PRs leave a real throughput trajectory
     // (compare deltas on one machine, not absolute values across machines).
-    let json = format!(
-        "{{\n  \"benchmark\": \"fig20-style join-only swarm on the uniform core\",\n  \"seed\": {SEED},\n  \"file_bytes\": {FILE_BYTES},\n  \"block_bytes\": {BLOCK_BYTES},\n  \"points\": [\n{points}  ]\n}}\n"
-    );
+    let record = ScaleRecord {
+        benchmark: "fig20-style join-only swarm on the uniform core",
+        seed: SEED,
+        file_bytes: FILE_BYTES,
+        block_bytes: BLOCK_BYTES,
+        points,
+    };
+    let mut json = serde_json::to_string_pretty(&record).expect("record serializes");
+    json.push('\n');
     print!("{json}");
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("failed to write {out_path}: {e}");

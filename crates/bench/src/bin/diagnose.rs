@@ -77,14 +77,29 @@ fn main() {
         );
     }
     println!(
-        "run: {} events, ended at {:.1}s, {} receivers unfinished",
+        "run: {} events, ended at {:.1}s ({:?}), {} receivers unfinished, {} trace records",
         report.events,
         report.end_time.as_secs_f64(),
+        report.reason,
         report
             .completion_secs
             .iter()
             .skip(1)
             .filter(|c| c.is_none())
-            .count()
+            .count(),
+        report.trace_records,
     );
+    // The deterministic metrics snapshot: which mechanism was busy. A
+    // truncated run (TimeLimit/EventLimit stop reason) is attributed here —
+    // e.g. a timer storm shows up as timers_fired dwarfing blocks_delivered,
+    // a repricing storm as conn_schedules dwarfing blocks_sent.
+    println!("metrics:");
+    for &(name, value) in &report.metrics.counters {
+        if value > 0 {
+            println!("  {name:<24} {value}");
+        }
+    }
+    for &(name, value) in &report.metrics.gauges {
+        println!("  {name:<24} {value}");
+    }
 }

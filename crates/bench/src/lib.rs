@@ -8,6 +8,8 @@
 //! * [`bounds`] — the analytic reference curves of Fig 4;
 //! * [`alloc_track`] — the counting global allocator behind the perf
 //!   records' allocation counts and peak-heap-bytes figures;
+//! * [`views`] — the serde views of the committed `BENCH_events.json` /
+//!   `BENCH_scale.json` records (field order is what ci.sh greps);
 //! * [`experiments`] — one function per figure (4–15 from the paper, plus
 //!   the beyond-the-paper scenarios: 16/17 crash-churn and flash-crowd, 5ts
 //!   the probe-driven bandwidth-over-time view of the dynamic scenario, 18
@@ -30,6 +32,7 @@ pub mod cdf;
 pub mod experiments;
 pub mod opts;
 pub mod systems;
+pub mod views;
 
 pub use cdf::{improvement_at, Figure, Series};
 pub use opts::{emit, figure_main, CommonOpts};

@@ -79,6 +79,21 @@ impl WireSize for Msg {
             Msg::BlockRequest { blocks, .. } => HDR + 12 + 4 * blocks.len(),
         }
     }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Msg::RansubCollect { .. } => "ransub_collect",
+            Msg::RansubDistribute { .. } => "ransub_distribute",
+            Msg::PeerRequest { .. } => "peer_request",
+            Msg::PeerAccept { .. } => "peer_accept",
+            Msg::PeerReject => "peer_reject",
+            Msg::PeerClose => "peer_close",
+            Msg::Diff { .. } => "diff",
+            Msg::DiffRequest => "diff_request",
+            Msg::TreeAttach => "tree_attach",
+            Msg::BlockRequest { .. } => "block_request",
+        }
+    }
 }
 
 #[cfg(test)]

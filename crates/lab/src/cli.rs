@@ -9,6 +9,10 @@
 //!                      [fig opts]   # sweep at each thread count, assert
 //!                                   # byte-identical canonical output,
 //!                                   # record wall-clock per thread and cell
+//! lab trace <scenario> [--json PATH] [--ring N] [--kind K] [--tail N]
+//!                      [fig opts]   # one traced + profiled run, per-kind
+//!                                   # summary, JSONL export, probe replay
+//!                                   # cross-check (see `trace_cmd`)
 //! ```
 //!
 //! `[fig opts]` are the shared figure options (`--nodes`, `--mb`, `--seed`,
@@ -21,11 +25,12 @@ use bullet_bench::{emit, CommonOpts};
 use crate::executor::run_sweep;
 use crate::registry::Registry;
 
-const USAGE: &str = "usage: lab <list|run|sweep|bench> [scenario] [options]
+const USAGE: &str = "usage: lab <list|run|sweep|bench|trace> [scenario] [options]
   lab list
   lab run <scenario> [figure options; see any figNN --help]
   lab sweep <scenario> [--threads N] [--seeds A,B,..] [--seed-count K] [--json PATH] [figure options]
-  lab bench <scenario> [--threads N,M,..] [--seed-count K] [--out PATH] [figure options]";
+  lab bench <scenario> [--threads N,M,..] [--seed-count K] [--out PATH] [figure options]
+  lab trace <scenario> [--json PATH] [--ring N] [--kind K] [--tail N] [figure options]";
 
 /// Entry point of the `lab` binary: parses `args` (without `argv[0]`) and
 /// runs the requested subcommand. Returns the process exit code.
@@ -60,12 +65,13 @@ fn dispatch<I: IntoIterator<Item = String>>(args: I) -> Result<(), String> {
         }
         "sweep" => sweep(&registry, args),
         "bench" => bench(&registry, args),
+        "trace" => crate::trace_cmd::trace(&registry, args),
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command {other}\n{USAGE}")),
     }
 }
 
-fn take_scenario(mut args: Vec<String>) -> Result<(String, Vec<String>), String> {
+pub(crate) fn take_scenario(mut args: Vec<String>) -> Result<(String, Vec<String>), String> {
     if args.is_empty() || args[0].starts_with('-') {
         return Err(format!("expected a scenario name\n{USAGE}"));
     }
@@ -73,7 +79,7 @@ fn take_scenario(mut args: Vec<String>) -> Result<(String, Vec<String>), String>
     Ok((name, args))
 }
 
-fn resolve<'r>(
+pub(crate) fn resolve<'r>(
     registry: &'r Registry,
     name: &str,
 ) -> Result<&'r crate::scenario::Scenario, String> {

@@ -13,8 +13,12 @@
 //!   `std::thread` pool over (point, seed) cells whose merged output is
 //!   **byte-identical for any thread count**, because every cell is an
 //!   independent deterministic simulation and results merge by cell index;
-//! * [`cli`] — the `lab` binary (`list` / `run` / `sweep` / `bench`) and the
-//!   one-line `figNN` wrapper entry point.
+//! * [`cli`] — the `lab` binary (`list` / `run` / `sweep` / `bench` /
+//!   `trace`) and the one-line `figNN` wrapper entry point;
+//! * [`trace_cmd`] — the `lab trace` subcommand: one scenario run with the
+//!   structured trace sink, stats probe and virtual-time profiler enabled,
+//!   per-kind summary, JSONL export and the probe replay cross-check (see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! The experiment bodies themselves stay in `bullet_bench::experiments`;
 //! run-time observation (goodput-over-time and friends) comes from
@@ -24,6 +28,7 @@ pub mod cli;
 pub mod executor;
 pub mod registry;
 pub mod scenario;
+pub mod trace_cmd;
 
 pub use cli::{figure_binary_main, lab_main};
 pub use executor::{run_sweep, CellReport, SweepReport};
@@ -31,3 +36,4 @@ pub use registry::Registry;
 pub use scenario::{
     DynamicsKind, ParamPoint, Scenario, SeedPlan, SweepSpec, SystemSet, TopologyKind,
 };
+pub use trace_cmd::{check_replay, traced_run, TracedRun};

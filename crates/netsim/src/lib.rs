@@ -26,27 +26,40 @@
 //! * [`dynamics`] — scripted bandwidth-change, cross-traffic and churn
 //!   scenarios;
 //! * [`probe`] — run-time observers sampled on a virtual-time tick, feeding
-//!   the bandwidth-over-time analyses.
+//!   the bandwidth-over-time analyses;
+//! * [`trace`] / [`metrics`] / [`profile`] — the observability layer
+//!   (structured trace records, the always-on counters/gauges registry, and
+//!   the wall-clock profiler; see `docs/OBSERVABILITY.md` for the schema and
+//!   the zero-overhead-when-off contract).
 
 pub mod conformance;
 pub mod dynamics;
+pub mod metrics;
 pub mod network;
 pub mod probe;
+pub mod profile;
 pub mod protocol;
 pub mod runner;
 pub mod tcp;
 pub mod topology;
+pub mod trace;
 pub mod units;
 
 pub use dynamics::{
     BandwidthChange, ChangeSchedule, CrossSchedule, CrossTraffic, LinkChangeBatch, NodeEvent,
     NodeSchedule,
 };
-pub use network::{BlockReceipt, ConnUpdate, Network, NodeTraffic};
+pub use metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, VtHistogram};
+pub use network::{BlockReceipt, ConnUpdate, Network, NodeTraffic, SolverStats};
 pub use probe::{NodeSample, Probe, ProbeStats, StatsProbe, TimeSample, TimeSeries};
+pub use profile::{EventKind, HookKind, ProfileReport, ProfileRow, VtProfiler};
 pub use protocol::{Command, Ctx, Protocol, TimerToken, WireSize};
 pub use runner::{RunReport, Runner, StopReason};
 pub use topology::{LinkId, NodeId, NodeSpec, PathSpec, Topology};
+pub use trace::{
+    replay_goodput, summarize, CountingSink, JsonlSink, ReplaySample, RingSink, TraceEvent,
+    TraceRecord, TraceSink, TraceSummary,
+};
 pub use units::{gbps, kbps, mbps, to_mbps, BytesPerSec};
 
 #[cfg(test)]

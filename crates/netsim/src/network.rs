@@ -302,6 +302,35 @@ fn link_remove(list: &mut Vec<(u64, u32)>, key: u64) -> bool {
     }
 }
 
+/// Monotonic counters describing the fluid solver's work: how often each
+/// O(1) certificate-preserving fast path fired versus a full component
+/// re-solve, and how big the solved components got. Pure virtual-time
+/// accounting (no wall-clock input), so identical runs report identical
+/// stats; the runner diffs successive values to attribute solver activity
+/// to individual events in trace records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Admission fast-path hits (`mark_active` without a solve).
+    pub fast_admit: u64,
+    /// Removal fast-path hits (`mark_idle` without a solve).
+    pub fast_remove: u64,
+    /// Non-binding ceiling-growth fast-path hits (block completion without
+    /// a solve).
+    pub fast_growth: u64,
+    /// Full component re-solves (progressive-filling runs).
+    pub full_solves: u64,
+    /// Cumulative flows across all full solves.
+    pub solved_flows: u64,
+    /// Cumulative links across all full solves.
+    pub solved_links: u64,
+    /// Largest single component solved, in flows.
+    pub max_comp_flows: u64,
+    /// Largest single component solved, in links.
+    pub max_comp_links: u64,
+    /// High-water mark of the ordered-filling heaps (entries, both heaps).
+    pub max_heap: u64,
+}
+
 /// The emulated network: topology + live connection state + traffic counters
 /// + the max-min fair rate assignment over the link graph.
 ///
@@ -363,6 +392,8 @@ pub struct Network {
     /// Reusable solver buffers (cleared per solve, capacity kept), so
     /// steady-state repricing does not allocate.
     scratch: SolverScratch,
+    /// Fast-path vs full-solve accounting (see [`SolverStats`]).
+    solver_stats: SolverStats,
 }
 
 /// The solver's working buffers, reused across solves.
@@ -411,7 +442,13 @@ impl Network {
             link_local: vec![0; links],
             mark_stamp: 0,
             scratch: SolverScratch::default(),
+            solver_stats: SolverStats::default(),
         }
+    }
+
+    /// Cumulative fluid-solver activity counters.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver_stats
     }
 
     /// The underlying topology (read-only).
@@ -752,6 +789,7 @@ impl Network {
             let cap_unchanged = new_cap == old_cap;
             let cap_not_binding = new_cap >= old_cap && rate < old_cap * (1.0 - RATE_EPSILON);
             if cap_unchanged || cap_not_binding {
+                self.solver_stats.fast_growth += 1;
                 let conn = &self.conns[f];
                 let fl = conn.inflight.as_ref().expect("just started");
                 let finish = now + SimDuration::from_secs_f64(fl.bytes_left / rate);
@@ -953,6 +991,7 @@ impl Network {
             self.link_usage[l.index()] += self.flow_rate[f];
         }
         if fits {
+            self.solver_stats.fast_admit += 1;
             let fl = self.conns[f].inflight.as_ref().expect("just started");
             let finish = now + SimDuration::from_secs_f64(fl.bytes_left / self.flow_rate[f]);
             return vec![ConnUpdate::Schedule {
@@ -998,6 +1037,7 @@ impl Network {
             self.link_usage[l.index()] + rate <= self.usable(l) * (1.0 - RATE_EPSILON)
         });
         if ceiling_capped && all_unsaturated {
+            self.solver_stats.fast_remove += 1;
             return Vec::new();
         }
         self.resolve(now, &links, None)
@@ -1122,7 +1162,7 @@ impl Network {
             s.flow_links.push(ls);
             s.caps.push(self.flow_ceiling[f]);
         }
-        max_min_rates(
+        let heap_peak = max_min_rates(
             &s.caps,
             &s.flow_links,
             &mut s.links,
@@ -1131,6 +1171,13 @@ impl Network {
             &mut s.rates,
             &mut s.frozen,
         );
+        let st = &mut self.solver_stats;
+        st.full_solves += 1;
+        st.solved_flows += s.flows.len() as u64;
+        st.solved_links += s.comp_links.len() as u64;
+        st.max_comp_flows = st.max_comp_flows.max(s.flows.len() as u64);
+        st.max_comp_links = st.max_comp_links.max(s.comp_links.len() as u64);
+        st.max_heap = st.max_heap.max(heap_peak);
 
         // ---- Apply: account progress and emit updates for changed flows.
         let mut out = Vec::new();
@@ -1262,6 +1309,9 @@ struct SolverHeaps {
 /// (`level * (1 + SAT_EPS_REL) + SAT_EPS_ABS`): the absolute term keeps the
 /// test meaningful at `level == 0`, where a purely relative tolerance
 /// degenerates to exact equality (see [`SAT_EPS_ABS`]).
+///
+/// Returns the peak combined entry count of the two heaps (an observability
+/// statistic; see [`SolverStats::max_heap`]).
 fn max_min_rates(
     caps: &[f64],
     flow_links: &[[u32; 3]],
@@ -1270,7 +1320,7 @@ fn max_min_rates(
     heaps: &mut SolverHeaps,
     rates: &mut Vec<f64>,
     frozen: &mut Vec<bool>,
-) {
+) -> u64 {
     let n = caps.len();
     rates.clear();
     rates.resize(n, 0.0);
@@ -1303,6 +1353,7 @@ fn max_min_rates(
     }
     let mut remaining = n;
     let mut level = 0.0f64;
+    let mut heap_peak = (cap_heap.len() + sat_heap.len()) as u64;
 
     // Freezing helper as a closure is blocked by borrow rules; a macro keeps
     // the link bookkeeping (including heap maintenance) in one place.
@@ -1333,6 +1384,7 @@ fn max_min_rates(
     }
 
     while remaining > 0 {
+        heap_peak = heap_peak.max((cap_heap.len() + sat_heap.len()) as u64);
         // The next stopping point: the lowest unfrozen flow ceiling or live
         // link saturation level at or above the current water level.
         let cap_top = loop {
@@ -1422,6 +1474,7 @@ fn max_min_rates(
             }
         }
     }
+    heap_peak
 }
 
 #[cfg(test)]

@@ -1,0 +1,322 @@
+//! The virtual-time profiler: where does the wall-clock second go?
+//!
+//! The benchmark gates say a fixed-seed fig05-style run must finish in well
+//! under a second; when it does not, the interesting question is which of
+//! the ~10⁵ events ate the budget. [`VtProfiler`] attributes the wall-clock
+//! cost of every handled event to (a) its event kind, (b) the protocol hook
+//! it drove, and (c) the virtual-time bucket it executed under — so a
+//! regression shows up as "BlockDone handling during the t = 20–30 s churn
+//! burst", not as an undifferentiated total.
+//!
+//! Profiling measures real elapsed time, so its output is inherently
+//! non-deterministic. It therefore never rides on [`crate::RunReport`]
+//! (which must stay byte-identical across identical runs); the runner hands
+//! the profile out separately via `take_profile`. Attribution uses two
+//! `Instant::now()` calls per handled event and touches no simulation state,
+//! so a profiled run still produces bit-identical results.
+
+use std::time::Duration;
+
+use serde::{Serialize, Value};
+
+/// The runner's event kinds, as attribution labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum EventKind {
+    /// Control-message delivery.
+    Control,
+    /// Block finished serialising (fluid-model completion).
+    BlockDone,
+    /// Block arrival at the receiver.
+    BlockArrive,
+    /// Protocol timer firing.
+    Timer,
+    /// Link-change batch application.
+    LinkChange,
+    /// Cross-traffic change application.
+    CrossChange,
+    /// Node lifecycle event (join/leave/crash).
+    Lifecycle,
+    /// Probe sampling instant.
+    ProbeTick,
+}
+
+impl EventKind {
+    const COUNT: usize = 8;
+
+    /// All kinds, in declaration order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::Control,
+        EventKind::BlockDone,
+        EventKind::BlockArrive,
+        EventKind::Timer,
+        EventKind::LinkChange,
+        EventKind::CrossChange,
+        EventKind::Lifecycle,
+        EventKind::ProbeTick,
+    ];
+
+    /// Stable snake_case label.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Control => "control",
+            EventKind::BlockDone => "block_done",
+            EventKind::BlockArrive => "block_arrive",
+            EventKind::Timer => "timer",
+            EventKind::LinkChange => "link_change",
+            EventKind::CrossChange => "cross_change",
+            EventKind::Lifecycle => "lifecycle",
+            EventKind::ProbeTick => "probe_tick",
+        }
+    }
+}
+
+/// The protocol hooks, as attribution labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HookKind {
+    /// [`crate::Protocol::on_init`].
+    OnInit,
+    /// [`crate::Protocol::on_control`].
+    OnControl,
+    /// [`crate::Protocol::on_block_received`].
+    OnBlockReceived,
+    /// [`crate::Protocol::on_block_sent`].
+    OnBlockSent,
+    /// [`crate::Protocol::on_timer`].
+    OnTimer,
+    /// [`crate::Protocol::on_peer_failed`].
+    OnPeerFailed,
+    /// [`crate::Protocol::on_shutdown`].
+    OnShutdown,
+}
+
+impl HookKind {
+    const COUNT: usize = 7;
+
+    /// All hooks, in declaration order.
+    pub const ALL: [HookKind; HookKind::COUNT] = [
+        HookKind::OnInit,
+        HookKind::OnControl,
+        HookKind::OnBlockReceived,
+        HookKind::OnBlockSent,
+        HookKind::OnTimer,
+        HookKind::OnPeerFailed,
+        HookKind::OnShutdown,
+    ];
+
+    /// Stable snake_case label.
+    pub fn name(self) -> &'static str {
+        match self {
+            HookKind::OnInit => "on_init",
+            HookKind::OnControl => "on_control",
+            HookKind::OnBlockReceived => "on_block_received",
+            HookKind::OnBlockSent => "on_block_sent",
+            HookKind::OnTimer => "on_timer",
+            HookKind::OnPeerFailed => "on_peer_failed",
+            HookKind::OnShutdown => "on_shutdown",
+        }
+    }
+}
+
+/// Accumulating profiler state owned by the runner while profiling is on.
+#[derive(Debug, Clone)]
+pub struct VtProfiler {
+    bucket_secs: f64,
+    kind_count: [u64; EventKind::COUNT],
+    kind_nanos: [u64; EventKind::COUNT],
+    hook_count: [u64; HookKind::COUNT],
+    hook_nanos: [u64; HookKind::COUNT],
+    /// Wall nanoseconds per virtual-time bucket.
+    vt_nanos: Vec<u64>,
+}
+
+impl VtProfiler {
+    /// Creates a profiler bucketing wall time by `bucket_secs` of virtual
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs` is not positive.
+    pub fn new(bucket_secs: f64) -> Self {
+        assert!(bucket_secs > 0.0, "bucket width must be positive");
+        VtProfiler {
+            bucket_secs,
+            kind_count: [0; EventKind::COUNT],
+            kind_nanos: [0; EventKind::COUNT],
+            hook_count: [0; HookKind::COUNT],
+            hook_nanos: [0; HookKind::COUNT],
+            vt_nanos: Vec::new(),
+        }
+    }
+
+    /// Attributes `elapsed` wall time to `kind` at virtual time `t_secs`.
+    #[inline]
+    pub fn record_event(&mut self, kind: EventKind, t_secs: f64, elapsed: Duration) {
+        let nanos = elapsed.as_nanos() as u64;
+        self.kind_count[kind as usize] += 1;
+        self.kind_nanos[kind as usize] += nanos;
+        let idx = (t_secs / self.bucket_secs) as usize;
+        if idx >= self.vt_nanos.len() {
+            self.vt_nanos.resize(idx + 1, 0);
+        }
+        self.vt_nanos[idx] += nanos;
+    }
+
+    /// Attributes `elapsed` wall time to a protocol `hook`. Hook time is a
+    /// subset of the enclosing event's time, not additional to it.
+    #[inline]
+    pub fn record_hook(&mut self, hook: HookKind, elapsed: Duration) {
+        self.hook_count[hook as usize] += 1;
+        self.hook_nanos[hook as usize] += elapsed.as_nanos() as u64;
+    }
+
+    /// Freezes the accumulated attribution into a report.
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            kinds: EventKind::ALL
+                .iter()
+                .map(|&k| ProfileRow {
+                    name: k.name(),
+                    count: self.kind_count[k as usize],
+                    nanos: self.kind_nanos[k as usize],
+                })
+                .collect(),
+            hooks: HookKind::ALL
+                .iter()
+                .map(|&h| ProfileRow {
+                    name: h.name(),
+                    count: self.hook_count[h as usize],
+                    nanos: self.hook_nanos[h as usize],
+                })
+                .collect(),
+            vt_bucket_secs: self.bucket_secs,
+            vt_nanos: self.vt_nanos.clone(),
+        }
+    }
+}
+
+/// One attribution row: label, occurrences, accumulated wall nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// The event-kind or hook label.
+    pub name: &'static str,
+    /// Occurrences.
+    pub count: u64,
+    /// Accumulated wall time, nanoseconds.
+    pub nanos: u64,
+}
+
+/// The frozen "where does the wall-clock go" breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Wall time per event kind, in [`EventKind::ALL`] order.
+    pub kinds: Vec<ProfileRow>,
+    /// Wall time per protocol hook (a subset of the event time), in
+    /// [`HookKind::ALL`] order.
+    pub hooks: Vec<ProfileRow>,
+    /// Bucket width of the virtual-time attribution, seconds.
+    pub vt_bucket_secs: f64,
+    /// Wall nanoseconds per virtual-time bucket.
+    pub vt_nanos: Vec<u64>,
+}
+
+impl ProfileReport {
+    /// Total wall nanoseconds attributed to event handling.
+    pub fn total_nanos(&self) -> u64 {
+        self.kinds.iter().map(|r| r.nanos).sum()
+    }
+
+    /// Human-readable table, one line per non-empty row, sorted by wall
+    /// time descending within each section.
+    pub fn lines(&self) -> Vec<String> {
+        let total = self.total_nanos().max(1) as f64;
+        let mut out = Vec::new();
+        let section = |out: &mut Vec<String>, title: &str, rows: &[ProfileRow]| {
+            out.push(format!("{title}:"));
+            let mut rows: Vec<&ProfileRow> = rows.iter().filter(|r| r.count > 0).collect();
+            rows.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(a.name.cmp(b.name)));
+            for r in rows {
+                out.push(format!(
+                    "  {:<18} {:>9} calls  {:>9.3} ms  {:>5.1}%",
+                    r.name,
+                    r.count,
+                    r.nanos as f64 / 1e6,
+                    r.nanos as f64 / total * 100.0,
+                ));
+            }
+        };
+        section(&mut out, "per event kind", &self.kinds);
+        section(&mut out, "per protocol hook", &self.hooks);
+        out.push("per virtual-time bucket:".to_string());
+        for (i, &nanos) in self.vt_nanos.iter().enumerate() {
+            if nanos == 0 {
+                continue;
+            }
+            out.push(format!(
+                "  [{:>6.1}s..{:>6.1}s) {:>9.3} ms  {:>5.1}%",
+                i as f64 * self.vt_bucket_secs,
+                (i + 1) as f64 * self.vt_bucket_secs,
+                nanos as f64 / 1e6,
+                nanos as f64 / total * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+impl Serialize for ProfileReport {
+    fn to_value(&self) -> Value {
+        let rows = |rows: &[ProfileRow]| {
+            Value::Object(
+                rows.iter()
+                    .map(|r| {
+                        (
+                            r.name.to_string(),
+                            Value::Object(vec![
+                                ("count".to_string(), Value::UInt(r.count)),
+                                ("nanos".to_string(), Value::UInt(r.nanos)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        Value::Object(vec![
+            ("kinds".to_string(), rows(&self.kinds)),
+            ("hooks".to_string(), rows(&self.hooks)),
+            (
+                "vt_bucket_secs".to_string(),
+                Value::Float(self.vt_bucket_secs),
+            ),
+            (
+                "vt_nanos".to_string(),
+                Value::Array(self.vt_nanos.iter().map(|&v| Value::UInt(v)).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_accumulates_per_kind_hook_and_bucket() {
+        let mut p = VtProfiler::new(10.0);
+        p.record_event(EventKind::Control, 1.0, Duration::from_nanos(100));
+        p.record_event(EventKind::Control, 12.0, Duration::from_nanos(50));
+        p.record_event(EventKind::BlockDone, 12.5, Duration::from_nanos(25));
+        p.record_hook(HookKind::OnControl, Duration::from_nanos(80));
+        let report = p.report();
+        assert_eq!(report.total_nanos(), 175);
+        let control = &report.kinds[EventKind::Control as usize];
+        assert_eq!((control.count, control.nanos), (2, 150));
+        assert_eq!(report.vt_nanos, vec![100, 75]);
+        let on_control = &report.hooks[HookKind::OnControl as usize];
+        assert_eq!((on_control.count, on_control.nanos), (1, 80));
+        // Rendering never divides by zero and skips empty rows.
+        let lines = VtProfiler::new(1.0).report().lines();
+        assert!(lines.iter().all(|l| !l.contains("NaN")));
+    }
+}

@@ -109,6 +109,14 @@ use crate::topology::NodeId;
 pub trait WireSize {
     /// Serialized size of the message in bytes.
     fn wire_size(&self) -> usize;
+
+    /// Stable snake_case tag naming the message type, used by the structured
+    /// trace (`msg` records) and its summarize/filter analyzer. The default
+    /// lumps every message under one tag; protocols override it per variant
+    /// to make traces legible.
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
 }
 
 /// A protocol timer vocabulary, stored by the runner as a compact `u64`.

@@ -47,14 +47,19 @@
 //! events, a queue holding nothing but the next tick counts as drained, and
 //! the resulting [`TimeSeries`] is carried on [`RunReport::timeseries`].
 
+use std::time::Instant;
+
 use desim::{EventKey, RngFactory, SimDuration, SimTime, Simulator};
 use rand::rngs::StdRng;
 
 use crate::dynamics::{CrossTraffic, LinkChangeBatch, NodeEvent};
+use crate::metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 use crate::network::{CompletedBlock, ConnUpdate, Network};
 use crate::probe::{Probe, StatsProbe, TimeSeries};
+use crate::profile::{EventKind, HookKind, ProfileReport, VtProfiler};
 use crate::protocol::{Command, Ctx, Protocol, TimerToken, WireSize};
 use crate::topology::NodeId;
+use crate::trace::{TraceEvent, TraceRecord, TraceSink};
 
 /// Internal event vocabulary of the runner, parameterized by the protocol's
 /// message type. Timers are carried as encoded tokens so the event stays one
@@ -78,6 +83,22 @@ enum NetEvent<M> {
     Lifecycle { event: NodeEvent },
     /// The periodic probe sampling instant (see [`crate::probe`]).
     ProbeTick,
+}
+
+impl<M> NetEvent<M> {
+    /// The profiler's attribution label for this event.
+    fn kind(&self) -> EventKind {
+        match self {
+            NetEvent::Control { .. } => EventKind::Control,
+            NetEvent::BlockDone { .. } => EventKind::BlockDone,
+            NetEvent::BlockArrive { .. } => EventKind::BlockArrive,
+            NetEvent::Timer { .. } => EventKind::Timer,
+            NetEvent::LinkChange { .. } => EventKind::LinkChange,
+            NetEvent::CrossChange { .. } => EventKind::CrossChange,
+            NetEvent::Lifecycle { .. } => EventKind::Lifecycle,
+            NetEvent::ProbeTick => EventKind::ProbeTick,
+        }
+    }
 }
 
 /// Why the run ended.
@@ -110,9 +131,28 @@ pub struct RunReport {
     /// Per-node measurements over virtual time, if a series-building probe
     /// was installed (see [`Runner::record_timeseries`]).
     pub timeseries: Option<TimeSeries>,
+    /// The run's metrics snapshot: runner counters and gauges plus the
+    /// engine's scheduling stats and the fluid solver's activity counters
+    /// (see `docs/OBSERVABILITY.md` for every name). Deterministic — a pure
+    /// function of virtual-time activity.
+    pub metrics: MetricsSnapshot,
+    /// Records accepted by the installed [`TraceSink`], 0 when untraced.
+    /// Observability metadata: excluded from [`RunReport::canonical`] so a
+    /// traced run can be byte-compared against an untraced one.
+    pub trace_records: u64,
 }
 
 impl RunReport {
+    /// The report's observability-independent identity: its `Debug` form
+    /// with the trace-record count zeroed. Two runs of the same
+    /// configuration produce equal canonical strings regardless of whether
+    /// (or how) they were traced — the byte-identity contract ci.sh gates.
+    pub fn canonical(&self) -> String {
+        let mut c = self.clone();
+        c.trace_records = 0;
+        format!("{c:?}")
+    }
+
     /// Completion times of the nodes that finished, sorted ascending.
     pub fn finished_times(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.completion_secs.iter().flatten().copied().collect();
@@ -181,6 +221,15 @@ pub struct Runner<P: Protocol> {
     /// [`Network::rebuild_link_tables`]), bounding float drift on runs long
     /// enough to accumulate it. `0` disables the hook.
     table_rebuild_interval: u64,
+    /// Always-on counters/gauges registry (see [`crate::metrics`]).
+    metrics: MetricsRegistry,
+    /// Number of live completion events (== in-flight connections), feeding
+    /// the `max_active_conns` gauge.
+    live_conn_events: u64,
+    /// Installed structured-trace sink, if any (see [`crate::trace`]).
+    trace: Option<Box<dyn TraceSink>>,
+    /// Wall-clock profiler, if enabled (see [`crate::profile`]).
+    profiler: Option<VtProfiler>,
 }
 
 impl<P: Protocol> Runner<P> {
@@ -219,6 +268,97 @@ impl<P: Protocol> Runner<P> {
             probes_started: false,
             inits_done: false,
             table_rebuild_interval: 1 << 20,
+            metrics: MetricsRegistry::default(),
+            live_conn_events: 0,
+            trace: None,
+            profiler: None,
+        }
+    }
+
+    /// Installs a structured trace sink (replacing any previous one). Every
+    /// subsequent runner action emits [`TraceEvent`]s into it. Tracing is
+    /// passive: it reads no RNG and writes no simulation state, so a traced
+    /// run is bit-identical to an untraced one.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink, disabling tracing.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Enables wall-clock profiling: subsequent event handling is attributed
+    /// per event kind, per protocol hook, and per `bucket_secs` of virtual
+    /// time (see [`crate::profile`]). Like tracing, profiling observes
+    /// without touching simulation state.
+    pub fn enable_profiling(&mut self, bucket_secs: f64) {
+        self.profiler = Some(VtProfiler::new(bucket_secs));
+    }
+
+    /// Freezes, removes and returns the profiler's report. Wall-clock
+    /// attribution is inherently non-deterministic, which is why it travels
+    /// here and never on [`RunReport`].
+    pub fn take_profile(&mut self) -> Option<ProfileReport> {
+        self.profiler.take().map(|p| p.report())
+    }
+
+    /// Read access to the live metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The full deterministic metrics snapshot: the registry's counters and
+    /// gauges extended with the engine's scheduling stats and the fluid
+    /// solver's activity counters (prefixed `events_` / `solver_`). This is
+    /// what lands on [`RunReport::metrics`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let sim = self.sim.stats();
+        // The engine tracks the pending high-water itself; surface it through
+        // the registry's gauge slot.
+        if let Some(slot) = snap
+            .gauges
+            .iter_mut()
+            .find(|(n, _)| *n == Gauge::MaxPendingEvents.name())
+        {
+            slot.1 = slot.1.max(sim.max_pending);
+        }
+        snap.counters.push(("events_scheduled", sim.scheduled));
+        snap.counters.push(("events_cancelled", sim.cancelled));
+        snap.counters.push(("events_rescheduled", sim.rescheduled));
+        let solver = self.net.solver_stats();
+        snap.counters
+            .push(("solver_full_solves", solver.full_solves));
+        snap.counters.push(("solver_fast_admit", solver.fast_admit));
+        snap.counters
+            .push(("solver_fast_remove", solver.fast_remove));
+        snap.counters
+            .push(("solver_fast_growth", solver.fast_growth));
+        snap.counters
+            .push(("solver_flows_solved", solver.solved_flows));
+        snap.counters
+            .push(("solver_links_solved", solver.solved_links));
+        snap.gauges
+            .push(("solver_max_comp_flows", solver.max_comp_flows));
+        snap.gauges
+            .push(("solver_max_comp_links", solver.max_comp_links));
+        snap.gauges.push(("solver_max_heap", solver.max_heap));
+        snap
+    }
+
+    /// Builds and records one trace record if a sink is installed. The
+    /// closure defers field computation (wire sizes, stats lookups) to the
+    /// traced-on path, keeping the traced-off cost to one branch.
+    #[inline]
+    fn trace_emit(&mut self, ev: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            let rec = TraceRecord {
+                t: self.sim.now().as_secs_f64(),
+                seq: self.sim.events_processed(),
+                ev: ev(),
+            };
+            sink.record(&rec);
         }
     }
 
@@ -339,7 +479,9 @@ impl<P: Protocol> Runner<P> {
             self.inits_done = true;
             for i in 0..self.nodes.len() {
                 if self.active[i] {
-                    self.dispatch(NodeId(i as u32), |node, ctx| node.on_init(ctx));
+                    self.dispatch(NodeId(i as u32), HookKind::OnInit, |node, ctx| {
+                        node.on_init(ctx)
+                    });
                 }
             }
         }
@@ -380,8 +522,35 @@ impl<P: Protocol> Runner<P> {
                 }
                 Some(_) => {}
             }
-            let (_, ev) = self.sim.step().expect("peeked event must exist");
+            let (t, ev) = self.sim.step().expect("peeked event must exist");
+            self.metrics.events_by_vt.observe(t.as_secs_f64());
+            let prof_start = self.profiler.is_some().then(|| (ev.kind(), Instant::now()));
+            let solver_before = self.trace.is_some().then(|| self.net.solver_stats());
             self.handle(ev);
+            if let Some((kind, start)) = prof_start {
+                let elapsed = start.elapsed();
+                if let Some(p) = self.profiler.as_mut() {
+                    p.record_event(kind, t.as_secs_f64(), elapsed);
+                }
+            }
+            // Solver activity is attributed per event by diffing the
+            // network's counters around the dispatch — one trace record per
+            // event that touched the solver, no sink plumbed through the
+            // fluid model.
+            if let Some(before) = solver_before {
+                let after = self.net.solver_stats();
+                if after != before {
+                    self.trace_emit(|| TraceEvent::Solver {
+                        full_solves: after.full_solves - before.full_solves,
+                        fast_admit: after.fast_admit - before.fast_admit,
+                        fast_remove: after.fast_remove - before.fast_remove,
+                        fast_growth: after.fast_growth - before.fast_growth,
+                        comp_flows: after.solved_flows - before.solved_flows,
+                        comp_links: after.solved_links - before.solved_links,
+                        max_heap: after.max_heap,
+                    });
+                }
+            }
             if self.table_rebuild_interval != 0
                 && self
                     .sim
@@ -414,6 +583,8 @@ impl<P: Protocol> Runner<P> {
             reason,
             departed: self.departed.clone(),
             timeseries,
+            metrics: self.metrics_snapshot(),
+            trace_records: self.trace.as_ref().map_or(0, |s| s.recorded()),
         }
     }
 
@@ -423,6 +594,8 @@ impl<P: Protocol> Runner<P> {
         for probe in &mut self.probes {
             probe.sample(now, &self.nodes, &self.net, &self.active);
         }
+        self.metrics.inc(Counter::ProbeTicks);
+        self.trace_emit(|| TraceEvent::ProbeTick);
     }
 
     fn all_complete(&self) -> bool {
@@ -463,8 +636,9 @@ impl<P: Protocol> Runner<P> {
 
     /// Runs `f` against one node with a fresh [`Ctx`] borrowing the shared
     /// scratch buffer, then applies the commands the handler recorded.
-    /// No-op for inactive nodes.
-    fn dispatch<F>(&mut self, node: NodeId, f: F)
+    /// No-op for inactive nodes. `hook` labels the call for the profiler's
+    /// per-hook wall-clock attribution.
+    fn dispatch<F>(&mut self, node: NodeId, hook: HookKind, f: F)
     where
         F: FnOnce(&mut P, &mut Ctx<'_, P>),
     {
@@ -485,7 +659,14 @@ impl<P: Protocol> Runner<P> {
             &mut self.rngs[idx],
             &mut commands,
         );
+        let hook_start = self.profiler.is_some().then(Instant::now);
         f(&mut self.nodes[idx], &mut ctx);
+        if let Some(start) = hook_start {
+            let elapsed = start.elapsed();
+            if let Some(p) = self.profiler.as_mut() {
+                p.record_hook(hook, elapsed);
+            }
+        }
         self.apply_commands(node, &mut commands);
         // Hand the (now drained) buffer back, keeping its capacity.
         self.scratch = commands;
@@ -503,6 +684,8 @@ impl<P: Protocol> Runner<P> {
             match cmd {
                 Command::SendControl { to, msg } => {
                     let size = msg.wire_size();
+                    self.metrics.inc(Counter::ControlMessages);
+                    self.metrics.add(Counter::ControlBytes, size as u64);
                     let delay =
                         self.net
                             .control_delay(&mut self.rngs[from.index()], from, to, size);
@@ -523,6 +706,7 @@ impl<P: Protocol> Runner<P> {
                     self.apply_conn_updates(updates);
                 }
                 Command::SetTimer { delay, token } => {
+                    self.metrics.inc(Counter::TimersSet);
                     self.sim
                         .schedule_in(delay, NetEvent::Timer { node: from, token });
                 }
@@ -541,16 +725,28 @@ impl<P: Protocol> Runner<P> {
                     if self.completion_events.len() <= f {
                         self.completion_events.resize(f + 1, None);
                     }
-                    match self.completion_events[f] {
+                    let key = match self.completion_events[f] {
                         Some(key) => {
                             let moved = self.sim.reschedule(key, at);
                             debug_assert!(moved, "completion event vanished while tracked");
+                            key
                         }
                         None => {
                             let key = self.sim.schedule_at(at, NetEvent::BlockDone { fid });
                             self.completion_events[f] = Some(key);
+                            self.live_conn_events += 1;
+                            self.metrics
+                                .raise(Gauge::MaxActiveConns, self.live_conn_events);
+                            key
                         }
-                    }
+                    };
+                    self.metrics.inc(Counter::ConnSchedules);
+                    let raw = key.raw();
+                    self.trace_emit(|| TraceEvent::ConnSchedule {
+                        fid,
+                        key: raw,
+                        at: at.as_secs_f64(),
+                    });
                 }
                 ConnUpdate::Cancel { fid, .. } => {
                     if let Some(key) = self
@@ -559,6 +755,10 @@ impl<P: Protocol> Runner<P> {
                         .and_then(Option::take)
                     {
                         self.sim.cancel(key);
+                        self.live_conn_events -= 1;
+                        self.metrics.inc(Counter::ConnCancels);
+                        let raw = key.raw();
+                        self.trace_emit(|| TraceEvent::ConnCancel { fid, key: raw });
                     }
                 }
             }
@@ -583,7 +783,9 @@ impl<P: Protocol> Runner<P> {
         // Deterministic notification order: ascending node index.
         for i in 0..self.nodes.len() {
             if i != node.index() && self.active[i] {
-                self.dispatch(NodeId(i as u32), |n, ctx| n.on_peer_failed(ctx, node));
+                self.dispatch(NodeId(i as u32), HookKind::OnPeerFailed, |n, ctx| {
+                    n.on_peer_failed(ctx, node)
+                });
             }
         }
     }
@@ -592,17 +794,39 @@ impl<P: Protocol> Runner<P> {
         let now = self.sim.now();
         match ev {
             NetEvent::Control { from, to, msg } => {
+                if self.trace.is_some() {
+                    let (tag, bytes) = (msg.kind(), msg.wire_size() as u64);
+                    self.trace_emit(|| TraceEvent::Msg {
+                        from: from.0,
+                        to: to.0,
+                        msg: tag,
+                        bytes,
+                    });
+                }
                 // Messages to a node that is gone (or not yet here) are lost.
-                self.dispatch(to, |node, ctx| node.on_control(ctx, from, msg));
+                self.dispatch(to, HookKind::OnControl, |node, ctx| {
+                    node.on_control(ctx, from, msg)
+                });
             }
             NetEvent::BlockDone { fid } => {
                 // The connection's live event just fired; drop the handle.
-                self.completion_events[fid as usize] = None;
+                if self.completion_events[fid as usize].take().is_some() {
+                    self.live_conn_events -= 1;
+                }
                 if let Some((done, updates)) = self.net.on_block_done_by_id(now, fid) {
-                    self.apply_conn_updates(updates);
+                    self.metrics.inc(Counter::BlocksSent);
                     let (from, to) = (done.from, done.to);
-                    let block = done.block;
-                    self.dispatch(from, |node, ctx| node.on_block_sent(ctx, to, block));
+                    let (block, bytes) = (done.block, done.bytes);
+                    self.trace_emit(|| TraceEvent::BlockSent {
+                        from: from.0,
+                        to: to.0,
+                        block: block.index() as u64,
+                        bytes,
+                    });
+                    self.apply_conn_updates(updates);
+                    self.dispatch(from, HookKind::OnBlockSent, |node, ctx| {
+                        node.on_block_sent(ctx, to, block)
+                    });
                     let delay = self.net.data_delivery_delay(from, to);
                     self.sim.schedule_in(delay, NetEvent::BlockArrive { done });
                 }
@@ -611,47 +835,86 @@ impl<P: Protocol> Runner<P> {
                 if !self.active[done.to.index()] {
                     return; // Delivered into the void.
                 }
+                self.metrics.inc(Counter::BlocksDelivered);
                 self.net.on_block_delivered(done.to, done.bytes);
+                let (to, from) = (done.to, done.from);
+                let (block, bytes) = (done.block, done.bytes);
                 let receipt = crate::network::BlockReceipt {
-                    block: done.block,
-                    bytes: done.bytes,
+                    block,
+                    bytes,
                     in_front: done.in_front,
                     wasted: done.wasted,
                     queued_at: done.queued_at,
                     delivered_at: now,
                 };
-                self.dispatch(done.to, |node, ctx| {
-                    node.on_block_received(ctx, done.from, receipt)
+                self.dispatch(to, HookKind::OnBlockReceived, |node, ctx| {
+                    node.on_block_received(ctx, from, receipt)
                 });
+                // Recorded *after* the hook so the receiver's cumulative
+                // useful-byte count includes this delivery — the invariant
+                // `replay_goodput` differences against.
+                if self.trace.is_some() {
+                    let useful = self.nodes[to.index()].probe_stats().useful_bytes;
+                    self.trace_emit(|| TraceEvent::BlockReceived {
+                        node: to.0,
+                        from: from.0,
+                        block: block.index() as u64,
+                        bytes,
+                        useful_bytes: useful,
+                    });
+                }
             }
             NetEvent::Timer { node, token } => {
-                self.dispatch(node, |n, ctx| n.on_timer(ctx, P::Timer::decode(token)));
+                self.metrics.inc(Counter::TimersFired);
+                self.trace_emit(|| TraceEvent::Timer {
+                    node: node.0,
+                    token,
+                });
+                self.dispatch(node, HookKind::OnTimer, |n, ctx| {
+                    n.on_timer(ctx, P::Timer::decode(token))
+                });
             }
             NetEvent::LinkChange { index } => {
+                self.metrics.inc(Counter::LinkChanges);
+                self.trace_emit(|| TraceEvent::LinkChange {
+                    index: index as u64,
+                });
                 let batch = std::mem::take(&mut self.link_changes[index]);
                 let pairs = batch.apply(self.net.topology_mut());
                 let updates = self.net.reprice_paths(now, &pairs);
                 self.apply_conn_updates(updates);
             }
             NetEvent::CrossChange { change } => {
+                self.metrics.inc(Counter::CrossChanges);
+                self.trace_emit(|| TraceEvent::CrossChange {
+                    from: change.via.0 .0,
+                    to: change.via.1 .0,
+                    rate: change.rate,
+                });
                 let updates = self.net.set_cross_traffic(now, change.via, change.rate);
                 self.apply_conn_updates(updates);
             }
             NetEvent::Lifecycle { event } => match event {
                 NodeEvent::Join(node) => {
                     if !self.active[node.index()] && !self.departed[node.index()] {
+                        self.metrics.inc(Counter::NodeJoins);
+                        self.trace_emit(|| TraceEvent::NodeJoin { node: node.0 });
                         self.active[node.index()] = true;
-                        self.dispatch(node, |n, ctx| n.on_init(ctx));
+                        self.dispatch(node, HookKind::OnInit, |n, ctx| n.on_init(ctx));
                     }
                 }
                 NodeEvent::Leave(node) => {
                     if self.active[node.index()] {
-                        self.dispatch(node, |n, ctx| n.on_shutdown(ctx));
+                        self.metrics.inc(Counter::NodeLeaves);
+                        self.trace_emit(|| TraceEvent::NodeLeave { node: node.0 });
+                        self.dispatch(node, HookKind::OnShutdown, |n, ctx| n.on_shutdown(ctx));
                         self.depart(node);
                     }
                 }
                 NodeEvent::Crash(node) => {
                     if self.active[node.index()] {
+                        self.metrics.inc(Counter::NodeCrashes);
+                        self.trace_emit(|| TraceEvent::NodeCrash { node: node.0 });
                         self.depart(node);
                     }
                 }

@@ -1,0 +1,599 @@
+//! Structured run tracing: a causal, virtual-time-stamped record stream.
+//!
+//! End-of-run aggregates say *what* happened; a trace says *why*. Every
+//! record carries the virtual time and the dense index of the simulator
+//! event it was emitted under ([`TraceRecord::seq`]), so records replay in
+//! exactly the order the runner processed them — the stream is a total order
+//! of the run's observable actions.
+//!
+//! Tracing is strictly passive: sinks receive shared references to records
+//! built from state the runner already computed, no RNG stream is consulted,
+//! and no simulator state is touched. A traced run is therefore bit-identical
+//! to an untraced run of the same configuration (see `docs/OBSERVABILITY.md`
+//! for the overhead contract), and a sink that drops records — e.g. a full
+//! [`RingSink`] — cannot perturb the experiment.
+//!
+//! The JSONL schema is flat: one object per line with `t` (virtual seconds),
+//! `seq` (events processed when the record was emitted) and `kind`, plus the
+//! kind's own fields. [`replay_goodput`] rebuilds the per-node goodput series
+//! of [`crate::StatsProbe`] from nothing but `block_received` and
+//! `probe_tick` records — the cross-check `lab trace` runs after every traced
+//! experiment.
+
+use std::collections::VecDeque;
+use std::io::Write;
+
+use serde::{Serialize, Value};
+
+/// One trace record: virtual time, the dense id of the simulator event it
+/// was emitted under, and the event body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time of emission, in seconds.
+    pub t: f64,
+    /// Number of simulator events processed when the record was emitted —
+    /// the dense dispatch id tying the record to its causing event.
+    pub seq: u64,
+    /// What happened.
+    pub ev: TraceEvent,
+}
+
+/// The trace vocabulary. Node and flow identities are dense `u32` ids; event
+/// keys are the raw [`desim::EventKey`] ids of the runner's simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A control message was delivered to a protocol hook.
+    Msg {
+        /// Sender node id.
+        from: u32,
+        /// Receiver node id.
+        to: u32,
+        /// Message type tag (see [`crate::WireSize::kind`]).
+        msg: &'static str,
+        /// Wire size in bytes.
+        bytes: u64,
+    },
+    /// A protocol timer fired.
+    Timer {
+        /// The node whose timer fired.
+        node: u32,
+        /// The encoded timer token.
+        token: u64,
+    },
+    /// A block finished serialising onto the wire at the sender.
+    BlockSent {
+        /// Sender node id.
+        from: u32,
+        /// Receiver node id.
+        to: u32,
+        /// Block index.
+        block: u64,
+        /// Block size in bytes.
+        bytes: u64,
+    },
+    /// A block fully arrived and was handed to the receiver's protocol.
+    BlockReceived {
+        /// Receiver node id.
+        node: u32,
+        /// Sender node id.
+        from: u32,
+        /// Block index.
+        block: u64,
+        /// Block size in bytes.
+        bytes: u64,
+        /// The receiver's cumulative useful bytes *after* the delivery —
+        /// what [`replay_goodput`] differences into goodput.
+        useful_bytes: u64,
+    },
+    /// The fluid model scheduled (or moved) a connection's completion event.
+    ConnSchedule {
+        /// Dense flow id of the connection.
+        fid: u32,
+        /// Raw event key of the completion event.
+        key: u64,
+        /// Scheduled completion instant, in virtual seconds.
+        at: f64,
+    },
+    /// The fluid model cancelled a connection's completion event.
+    ConnCancel {
+        /// Dense flow id of the connection.
+        fid: u32,
+        /// Raw event key of the cancelled event.
+        key: u64,
+    },
+    /// Fluid-solver activity attributed to the current event: counter deltas
+    /// against the previous event (see [`crate::network::SolverStats`]).
+    Solver {
+        /// Full component re-solves this event triggered.
+        full_solves: u64,
+        /// O(1) fast-path admissions.
+        fast_admit: u64,
+        /// O(1) fast-path removals.
+        fast_remove: u64,
+        /// O(1) non-binding ceiling growths.
+        fast_growth: u64,
+        /// Flows solved across this event's full solves.
+        comp_flows: u64,
+        /// Links solved across this event's full solves.
+        comp_links: u64,
+        /// High-water of the solver's ordered-filling heaps so far.
+        max_heap: u64,
+    },
+    /// A node joined the experiment.
+    NodeJoin {
+        /// The joining node.
+        node: u32,
+    },
+    /// A node left gracefully.
+    NodeLeave {
+        /// The leaving node.
+        node: u32,
+    },
+    /// A node crashed.
+    NodeCrash {
+        /// The crashed node.
+        node: u32,
+    },
+    /// A scheduled link-change batch took effect.
+    LinkChange {
+        /// Index of the batch in the runner's schedule.
+        index: u64,
+    },
+    /// A cross-traffic occupancy change took effect.
+    CrossChange {
+        /// Source endpoint of the affected path.
+        from: u32,
+        /// Destination endpoint of the affected path.
+        to: u32,
+        /// New occupancy in bytes/second.
+        rate: f64,
+    },
+    /// The probes sampled every node.
+    ProbeTick,
+}
+
+impl TraceEvent {
+    /// The record's `kind` tag — stable names, used by the JSONL schema and
+    /// the summarize/filter analyzer.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Msg { .. } => "msg",
+            TraceEvent::Timer { .. } => "timer",
+            TraceEvent::BlockSent { .. } => "block_sent",
+            TraceEvent::BlockReceived { .. } => "block_received",
+            TraceEvent::ConnSchedule { .. } => "conn_schedule",
+            TraceEvent::ConnCancel { .. } => "conn_cancel",
+            TraceEvent::Solver { .. } => "solver",
+            TraceEvent::NodeJoin { .. } => "node_join",
+            TraceEvent::NodeLeave { .. } => "node_leave",
+            TraceEvent::NodeCrash { .. } => "node_crash",
+            TraceEvent::LinkChange { .. } => "link_change",
+            TraceEvent::CrossChange { .. } => "cross_change",
+            TraceEvent::ProbeTick => "probe_tick",
+        }
+    }
+
+    /// The kind-specific fields, in schema order.
+    fn fields(&self) -> Vec<(String, Value)> {
+        fn f(name: &str, v: Value) -> (String, Value) {
+            (name.to_string(), v)
+        }
+        match *self {
+            TraceEvent::Msg {
+                from,
+                to,
+                msg,
+                bytes,
+            } => vec![
+                f("from", Value::UInt(from.into())),
+                f("to", Value::UInt(to.into())),
+                f("msg", Value::Str(msg.to_string())),
+                f("bytes", Value::UInt(bytes)),
+            ],
+            TraceEvent::Timer { node, token } => vec![
+                f("node", Value::UInt(node.into())),
+                f("token", Value::UInt(token)),
+            ],
+            TraceEvent::BlockSent {
+                from,
+                to,
+                block,
+                bytes,
+            } => vec![
+                f("from", Value::UInt(from.into())),
+                f("to", Value::UInt(to.into())),
+                f("block", Value::UInt(block)),
+                f("bytes", Value::UInt(bytes)),
+            ],
+            TraceEvent::BlockReceived {
+                node,
+                from,
+                block,
+                bytes,
+                useful_bytes,
+            } => vec![
+                f("node", Value::UInt(node.into())),
+                f("from", Value::UInt(from.into())),
+                f("block", Value::UInt(block)),
+                f("bytes", Value::UInt(bytes)),
+                f("useful_bytes", Value::UInt(useful_bytes)),
+            ],
+            TraceEvent::ConnSchedule { fid, key, at } => vec![
+                f("fid", Value::UInt(fid.into())),
+                f("key", Value::UInt(key)),
+                f("at", Value::Float(at)),
+            ],
+            TraceEvent::ConnCancel { fid, key } => vec![
+                f("fid", Value::UInt(fid.into())),
+                f("key", Value::UInt(key)),
+            ],
+            TraceEvent::Solver {
+                full_solves,
+                fast_admit,
+                fast_remove,
+                fast_growth,
+                comp_flows,
+                comp_links,
+                max_heap,
+            } => vec![
+                f("full_solves", Value::UInt(full_solves)),
+                f("fast_admit", Value::UInt(fast_admit)),
+                f("fast_remove", Value::UInt(fast_remove)),
+                f("fast_growth", Value::UInt(fast_growth)),
+                f("comp_flows", Value::UInt(comp_flows)),
+                f("comp_links", Value::UInt(comp_links)),
+                f("max_heap", Value::UInt(max_heap)),
+            ],
+            TraceEvent::NodeJoin { node } => vec![f("node", Value::UInt(node.into()))],
+            TraceEvent::NodeLeave { node } => vec![f("node", Value::UInt(node.into()))],
+            TraceEvent::NodeCrash { node } => vec![f("node", Value::UInt(node.into()))],
+            TraceEvent::LinkChange { index } => vec![f("index", Value::UInt(index))],
+            TraceEvent::CrossChange { from, to, rate } => vec![
+                f("from", Value::UInt(from.into())),
+                f("to", Value::UInt(to.into())),
+                f("rate", Value::Float(rate)),
+            ],
+            TraceEvent::ProbeTick => Vec::new(),
+        }
+    }
+}
+
+impl Serialize for TraceRecord {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("t".to_string(), Value::Float(self.t)),
+            ("seq".to_string(), Value::UInt(self.seq)),
+            ("kind".to_string(), Value::Str(self.ev.kind().to_string())),
+        ];
+        fields.extend(self.ev.fields());
+        Value::Object(fields)
+    }
+}
+
+/// Where trace records go. Object-safe so the runner can hold any sink
+/// behind one pointer; implementations must treat `record` as append-only
+/// observation (dropping a record is fine, feeding anything back is not).
+pub trait TraceSink {
+    /// Offers one record to the sink. The sink may keep it or drop it.
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// Number of records the sink accepted.
+    fn recorded(&self) -> u64;
+
+    /// Number of records the sink dropped (offered but not kept).
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// A bounded in-memory sink: keeps the most recent `capacity` records,
+/// dropping the oldest on overflow (and counting the drops). The cheap
+/// default for `lab trace` summaries and post-mortem forensics on truncated
+/// runs.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: VecDeque<TraceRecord>,
+    capacity: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Consumes the ring, returning the retained records oldest-first.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.buf.into()
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec.clone());
+        self.recorded += 1;
+    }
+
+    fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A sink that writes each record as one JSON line (see the module docs for
+/// the schema). Buffer the writer — the runner emits records on the hot
+/// path.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    recorded: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            recorded: 0,
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, rec: &TraceRecord) {
+        let line = serde_json::to_string(rec).expect("trace records always serialize");
+        // Trace output is best-effort observation: an I/O error must not
+        // abort the experiment, so it is swallowed here by design.
+        let _ = writeln!(self.writer, "{line}");
+        self.recorded += 1;
+    }
+
+    fn recorded(&self) -> u64 {
+        self.recorded
+    }
+}
+
+/// A sink that counts records without retaining them — the cheapest way to
+/// measure tracing overhead or surface the per-run record count.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    recorded: u64,
+}
+
+impl CountingSink {
+    /// Creates the sink.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, _rec: &TraceRecord) {
+        self.recorded += 1;
+    }
+
+    fn recorded(&self) -> u64 {
+        self.recorded
+    }
+}
+
+/// Per-kind record counts plus stream extent — the `lab trace` summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// `(kind, count)` pairs, sorted by kind name.
+    pub by_kind: Vec<(&'static str, u64)>,
+    /// Total records summarized.
+    pub total: u64,
+    /// Virtual time of the first record, if any.
+    pub first_t: Option<f64>,
+    /// Virtual time of the last record, if any.
+    pub last_t: Option<f64>,
+}
+
+/// Summarizes a record stream: counts per kind, total, and time extent.
+pub fn summarize<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> TraceSummary {
+    let mut summary = TraceSummary::default();
+    for rec in records {
+        summary.total += 1;
+        if summary.first_t.is_none() {
+            summary.first_t = Some(rec.t);
+        }
+        summary.last_t = Some(rec.t);
+        let kind = rec.ev.kind();
+        match summary.by_kind.binary_search_by(|(k, _)| k.cmp(&kind)) {
+            Ok(i) => summary.by_kind[i].1 += 1,
+            Err(i) => summary.by_kind.insert(i, (kind, 1)),
+        }
+    }
+    summary
+}
+
+/// One replayed sample: the tick instant and each node's goodput in bits
+/// per second, derived purely from the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaySample {
+    /// Virtual time of the probe tick, in seconds.
+    pub time_secs: f64,
+    /// Per-node goodput over the elapsed tick, bits/second, indexed by node.
+    pub goodput_bps: Vec<f64>,
+}
+
+/// Rebuilds the [`crate::StatsProbe`] per-node goodput series from a trace:
+/// `block_received` records carry each node's cumulative useful bytes, and
+/// `probe_tick` records mark the sampling instants in exact stream order, so
+/// differencing reproduces the probe's arithmetic — including the
+/// ties-count-into-the-next-interval semantics, because a delivery landing
+/// exactly on a tick appears *after* the tick in the stream iff the probe
+/// counted it in the next interval.
+pub fn replay_goodput<'a>(
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+    nodes: usize,
+) -> Vec<ReplaySample> {
+    let mut useful = vec![0u64; nodes];
+    let mut prev = vec![0u64; nodes];
+    let mut prev_t = 0.0f64;
+    let mut out = Vec::new();
+    for rec in records {
+        match rec.ev {
+            TraceEvent::BlockReceived {
+                node, useful_bytes, ..
+            } => {
+                if let Some(slot) = useful.get_mut(node as usize) {
+                    *slot = useful_bytes;
+                }
+            }
+            TraceEvent::ProbeTick => {
+                let dt = rec.t - prev_t;
+                let goodput = useful
+                    .iter()
+                    .zip(prev.iter())
+                    .map(|(&now, &before)| {
+                        if dt > 0.0 {
+                            now.saturating_sub(before) as f64 * 8.0 / dt
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                prev.copy_from_slice(&useful);
+                prev_t = rec.t;
+                out.push(ReplaySample {
+                    time_secs: rec.t,
+                    goodput_bps: goodput,
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: f64, seq: u64, ev: TraceEvent) -> TraceRecord {
+        TraceRecord { t, seq, ev }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_records_and_counts_drops() {
+        let mut ring = RingSink::new(2);
+        for seq in 0..5 {
+            ring.record(&rec(seq as f64, seq, TraceEvent::ProbeTick));
+        }
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 3);
+        let kept: Vec<u64> = ring.records().map(|r| r.seq).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn jsonl_lines_follow_the_flat_schema() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&rec(
+            1.5,
+            42,
+            TraceEvent::Msg {
+                from: 0,
+                to: 3,
+                msg: "diff",
+                bytes: 64,
+            },
+        ));
+        sink.record(&rec(2.0, 43, TraceEvent::ProbeTick));
+        assert_eq!(sink.recorded(), 2);
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"t":1.5,"seq":42,"kind":"msg","from":0,"to":3,"msg":"diff","bytes":64}"#
+        );
+        assert_eq!(lines[1], r#"{"t":2.0,"seq":43,"kind":"probe_tick"}"#);
+    }
+
+    #[test]
+    fn summary_counts_by_kind_sorted() {
+        let records = vec![
+            rec(0.0, 0, TraceEvent::ProbeTick),
+            rec(1.0, 5, TraceEvent::Timer { node: 1, token: 0 }),
+            rec(2.0, 9, TraceEvent::ProbeTick),
+        ];
+        let s = summarize(&records);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.by_kind, vec![("probe_tick", 2), ("timer", 1)]);
+        assert_eq!((s.first_t, s.last_t), (Some(0.0), Some(2.0)));
+    }
+
+    #[test]
+    fn replay_differences_useful_bytes_between_ticks() {
+        let recv = |t, seq, node, useful| {
+            rec(
+                t,
+                seq,
+                TraceEvent::BlockReceived {
+                    node,
+                    from: 0,
+                    block: 0,
+                    bytes: 0,
+                    useful_bytes: useful,
+                },
+            )
+        };
+        let records = vec![
+            rec(0.0, 0, TraceEvent::ProbeTick),
+            recv(0.5, 1, 1, 1000),
+            // Lands exactly on the tick but *after* it in the stream: counts
+            // into the next interval, exactly like the live probe.
+            rec(1.0, 2, TraceEvent::ProbeTick),
+            recv(1.0, 3, 1, 3000),
+            rec(2.0, 4, TraceEvent::ProbeTick),
+        ];
+        let samples = replay_goodput(&records, 2);
+        assert_eq!(samples.len(), 3);
+        // First sample at t = 0: no elapsed time, goodput 0.
+        assert_eq!(samples[0].goodput_bps, vec![0.0, 0.0]);
+        assert_eq!(samples[1].goodput_bps, vec![0.0, 8000.0]);
+        assert_eq!(samples[2].goodput_bps, vec![0.0, 16000.0]);
+    }
+}

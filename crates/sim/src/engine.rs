@@ -26,6 +26,22 @@ pub enum Control {
     Stop,
 }
 
+/// Scheduling-activity counters maintained by the simulator. The counts are
+/// pure functions of the event schedule (no wall-clock input), so two
+/// identical runs report identical stats — they are safe to surface in
+/// deterministic run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events inserted via `schedule_at` / `schedule_in`.
+    pub scheduled: u64,
+    /// Successful cancellations (the event was still pending).
+    pub cancelled: u64,
+    /// Successful reschedules (the event was still pending).
+    pub rescheduled: u64,
+    /// High-water mark of the pending-event set.
+    pub max_pending: u64,
+}
+
 /// A deterministic discrete-event simulator parameterised by its event payload.
 ///
 /// The simulator only owns time and the event set; all domain state lives in
@@ -56,6 +72,7 @@ pub struct Simulator<E> {
     queue: EventQueue<E>,
     processed: u64,
     max_events: u64,
+    stats: SimStats,
 }
 
 impl<E> Default for Simulator<E> {
@@ -72,6 +89,7 @@ impl<E> Simulator<E> {
             queue: EventQueue::new(),
             processed: 0,
             max_events: u64::MAX,
+            stats: SimStats::default(),
         }
     }
 
@@ -96,6 +114,11 @@ impl<E> Simulator<E> {
         self.queue.len()
     }
 
+    /// Scheduling-activity counters accumulated since construction.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
     /// Schedules `event` for delivery at absolute time `at`, returning a key
     /// for later [`cancel`](Simulator::cancel) / [`reschedule`](Simulator::reschedule).
     ///
@@ -104,24 +127,38 @@ impl<E> Simulator<E> {
     /// estimates that land "now".
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
         let at = at.max(self.now);
-        self.queue.push(at, event)
+        let key = self.queue.push(at, event);
+        self.stats.scheduled += 1;
+        self.stats.max_pending = self.stats.max_pending.max(self.queue.len() as u64);
+        key
     }
 
     /// Schedules `event` for delivery `delay` after the current instant.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventKey {
-        self.queue.push(self.now + delay, event)
+        let key = self.queue.push(self.now + delay, event);
+        self.stats.scheduled += 1;
+        self.stats.max_pending = self.stats.max_pending.max(self.queue.len() as u64);
+        key
     }
 
     /// Cancels a pending event, returning its payload, or `None` if it was
     /// already delivered or cancelled.
     pub fn cancel(&mut self, key: EventKey) -> Option<E> {
-        self.queue.cancel(key)
+        let payload = self.queue.cancel(key);
+        if payload.is_some() {
+            self.stats.cancelled += 1;
+        }
+        payload
     }
 
     /// Moves a pending event to the new absolute time `at` (clamped to the
     /// current instant). Returns `false` if the event is no longer pending.
     pub fn reschedule(&mut self, key: EventKey, at: SimTime) -> bool {
-        self.queue.reschedule(key, at.max(self.now))
+        let moved = self.queue.reschedule(key, at.max(self.now));
+        if moved {
+            self.stats.rescheduled += 1;
+        }
+        moved
     }
 
     /// Returns true if the event behind `key` has not yet been delivered or
@@ -310,6 +347,35 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_secs_f64(4.0));
         sim.advance_to(SimTime::from_secs_f64(1.0));
         assert_eq!(sim.now(), SimTime::from_secs_f64(4.0), "never backwards");
+    }
+
+    #[test]
+    fn stats_count_scheduling_activity() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let a = sim.schedule_at(SimTime::from_secs_f64(1.0), 1);
+        let b = sim.schedule_at(SimTime::from_secs_f64(2.0), 2);
+        sim.schedule_at(SimTime::from_secs_f64(3.0), 3);
+        assert!(sim.reschedule(a, SimTime::from_secs_f64(4.0)));
+        assert_eq!(sim.cancel(b), Some(2));
+        // Dead keys do not inflate the counters.
+        assert!(sim.cancel(b).is_none());
+        assert!(!sim.reschedule(b, SimTime::from_secs_f64(9.0)));
+        let stats = sim.stats();
+        assert_eq!(stats.scheduled, 3);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.rescheduled, 1);
+        assert_eq!(stats.max_pending, 3);
+        // Stats survive a run and never reset.
+        sim.run(|_, _, _| Control::Continue);
+        assert_eq!(sim.stats().scheduled, 3);
+    }
+
+    #[test]
+    fn event_keys_expose_dense_raw_ids() {
+        let mut sim: Simulator<()> = Simulator::new();
+        let a = sim.schedule_at(SimTime::ZERO, ());
+        let b = sim.schedule_at(SimTime::ZERO, ());
+        assert_eq!(a.raw() + 1, b.raw());
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod queue;
 pub mod rng;
 pub mod time;
 
-pub use engine::{Control, RunOutcome, Simulator};
+pub use engine::{Control, RunOutcome, SimStats, Simulator};
 pub use queue::{EventKey, EventQueue};
 pub use rng::RngFactory;
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};

@@ -33,6 +33,15 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventKey(u64);
 
+impl EventKey {
+    /// The dense id behind the key. Keys are issued sequentially from 0 by
+    /// each queue, so the raw id doubles as a stable, compact identifier in
+    /// trace records and other observability output.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// A heap triple: delivery time, insertion sequence, and the key of the entry
 /// it belongs to. The payload lives in the side table so reschedules do not
 /// need to clone it.

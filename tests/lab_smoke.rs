@@ -1,11 +1,17 @@
 //! Smoke tests for the scenario lab: the registry covers every figure, the
-//! parallel sweep executor is byte-deterministic across thread counts, and
-//! the probe-driven time-series scenario produces a usable series.
+//! parallel sweep executor is byte-deterministic across thread counts, the
+//! probe-driven time-series scenario produces a usable series, and the
+//! observability layer (trace + probe + profiler, `lab trace`) interleaves
+//! with all of it without perturbing the simulation.
 
 use bullet_repro::bullet_bench::{experiments, CommonOpts};
 use bullet_repro::bullet_lab::{
-    run_sweep, DynamicsKind, Registry, Scenario, SystemSet, TopologyKind,
+    check_replay, run_sweep, traced_run, DynamicsKind, Registry, Scenario, SystemSet, TopologyKind,
 };
+use bullet_repro::bullet_prime::{build_runner, Config};
+use bullet_repro::desim::{RngFactory, SimDuration};
+use bullet_repro::dissem_codec::FileSpec;
+use bullet_repro::netsim::{topology, RingSink, TraceEvent};
 
 fn tiny() -> CommonOpts {
     CommonOpts {
@@ -149,6 +155,79 @@ fn lab_run_fig20_completes_a_thousand_node_join_only_swarm() {
         again.to_json(),
         "fig20 must be deterministic"
     );
+}
+
+#[test]
+fn thousand_node_swarm_interleaves_probe_and_trace() {
+    // The fig20 workload traced at N = 1,000: the probe samples every tick
+    // *while* the trace stream records every delivery, and the two
+    // observation channels must agree — replaying the per-node goodput from
+    // nothing but `block_received` + `probe_tick` records reproduces the
+    // live StatsProbe series at swarm scale, dense node ids and all.
+    let reg = Registry::standard();
+    let fig20 = reg.get("fig20").expect("registered");
+    let opts = CommonOpts {
+        nodes: Some(1_000),
+        file_mb: Some(0.125),
+        tick: Some(5.0),
+        ..CommonOpts::default()
+    };
+    let run = traced_run(fig20, &opts, 1 << 22).expect("fig20 is traceable");
+    assert_eq!(run.nodes, 1_000);
+    assert_eq!(run.dropped, 0, "the default-sized ring must not overflow");
+    assert_eq!(run.recorded, run.report.trace_records);
+    assert!(
+        run.records
+            .iter()
+            .any(|r| matches!(r.ev, TraceEvent::ProbeTick)),
+        "probe ticks must appear inside the trace stream"
+    );
+    let series = run.report.timeseries.as_ref().expect("probe installed");
+    assert_eq!(series.samples[0].nodes.len(), 1_000);
+    let msg = check_replay(&run.records, series, run.nodes).expect("replay must match");
+    assert!(msg.contains("1000 nodes"), "{msg}");
+    // The trace is ordered: seq is non-decreasing across the whole stream.
+    assert!(
+        run.records.windows(2).all(|w| w[0].seq <= w[1].seq),
+        "records must replay in dispatch order"
+    );
+}
+
+#[test]
+fn overflowing_ring_sink_does_not_affect_the_simulation() {
+    // A sink that drops records (here: a 32-record ring under a run emitting
+    // thousands) must leave the simulation untouched — tracing is passive
+    // observation, and backpressure from a full sink cannot exist. The
+    // canonical report (trace_records zeroed) must be byte-identical to the
+    // untraced run's.
+    let workload = |sink_capacity: Option<usize>| {
+        let rng = RngFactory::new(20050410);
+        let topo = topology::modelnet_mesh(8, 0.01, &rng);
+        let cfg = Config::new(FileSpec::new(512 * 1024, 16 * 1024));
+        let mut runner = build_runner(topo, &cfg, &rng);
+        if let Some(cap) = sink_capacity {
+            runner.set_trace_sink(Box::new(RingSink::new(cap)));
+        }
+        let report = runner.run(SimDuration::from_secs(3_600));
+        let sink = runner.take_trace_sink();
+        (report, sink)
+    };
+    let (untraced, _) = workload(None);
+    let (traced, sink) = workload(Some(32));
+    let sink = sink.expect("sink was installed");
+    assert!(
+        sink.dropped() > 0,
+        "the tiny ring must actually have overflowed for this test to bite"
+    );
+    assert_eq!(sink.recorded(), traced.trace_records);
+    assert_eq!(
+        traced.canonical(),
+        untraced.canonical(),
+        "a dropping sink perturbed the simulation"
+    );
+    // The non-canonical reports differ only by the trace-record count.
+    assert_ne!(traced.trace_records, untraced.trace_records);
+    assert_eq!(untraced.trace_records, 0);
 }
 
 #[test]
