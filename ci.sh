@@ -167,6 +167,32 @@ else
     echo "WARN: no committed BENCH_scale.json baseline; recorded ${new_eps:-nothing} events/sec at N=1000 without gating"
 fi
 
+# Open-system service trajectory: the reduced fixed-seed fig21 offered-load
+# sweep (Poisson swarm arrivals over a shared core, netsim::run_service).
+# Every point's counters and percentiles are deterministic; the sustained
+# goodput at the TOP offered load is GATED — a >10% drop against the
+# committed baseline fails CI, so admission-path or steady-state regressions
+# cannot land silently. The top-load point is the last one in the record, so
+# the extraction takes the last sustained_goodput_bps line.
+echo "==> service record + regression gate (BENCH_service.json)"
+committed_service=$(git show HEAD:BENCH_service.json 2>/dev/null || cat BENCH_service.json 2>/dev/null || true)
+prev_goodput=$(printf '%s' "$committed_service" \
+    | grep -o '"sustained_goodput_bps": *[0-9.]*' | grep -o '[0-9.]*$' | tail -n1 || true)
+./target/release/bench_service --out BENCH_service.json
+new_goodput=$(grep -o '"sustained_goodput_bps": *[0-9.]*' BENCH_service.json \
+    | grep -o '[0-9.]*$' | tail -n1)
+if [ -n "$prev_goodput" ] && [ -n "$new_goodput" ]; then
+    awk -v prev="$prev_goodput" -v cur="$new_goodput" 'BEGIN {
+        if (cur < prev * 0.90) {
+            printf "FAIL: top-load sustained goodput regressed %.0f -> %.0f bps (more than 10%%)\n", prev, cur
+            exit 1
+        }
+        printf "top-load sustained goodput %.0f -> %.0f bps (within the 10%% gate)\n", prev, cur
+    }'
+else
+    echo "WARN: no committed BENCH_service.json baseline; recorded ${new_goodput:-nothing} bps without gating"
+fi
+
 # Parallel-sweep trajectory: `lab bench` runs the same fig05 sweep at 1 and 4
 # worker threads, *asserts* the two canonical renderings are byte-identical
 # (the determinism-under-parallelism guarantee; per-cell wall-clock telemetry

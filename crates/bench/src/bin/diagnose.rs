@@ -1,15 +1,55 @@
 //! Diagnostic deep-dive into a single Bullet′ run: per-receiver completion
 //! time, peer counts, duplicate fraction and control overhead. Useful when a
 //! figure looks off and you want to know *which* mechanism is responsible.
+//!
+//! With `--service`, diagnoses the open-system service mode instead: one
+//! fig21-style run at the top offered load, summarised as the
+//! [`ServiceReport`](netsim::ServiceReport) the service manager produced
+//! (sustained goodput, admission/queue counters, per-cohort percentiles).
 
+use bullet_bench::experiments::{run_service_point, service_summary, FIG21_LOADS};
 use bullet_bench::CommonOpts;
 use bullet_prime::Config;
 use desim::{RngFactory, SimDuration};
 use dissem_codec::FileSpec;
 use netsim::{topology, NodeId};
 
+/// The `--service` mode: runs fig21's top-load cell and prints its service
+/// summary (the same rendering `lab serve` uses).
+fn diagnose_service(opts: &CommonOpts) {
+    let index = FIG21_LOADS.len() - 1;
+    let load = FIG21_LOADS[index];
+    println!("open-system service diagnosis: fig21 at {load} arrivals per 1000 s");
+    let report = run_service_point("fig21", index, opts).expect("top load index");
+    print!("{}", service_summary(&report));
+    if let Some(sample) = report
+        .samples
+        .iter()
+        .max_by(|a, b| a.goodput_bps.total_cmp(&b.goodput_bps))
+    {
+        println!(
+            "busiest tick: t={:.0}s, {:.3} Mbps, {} in flight, {} queued, core {:.0}%",
+            sample.time_secs,
+            sample.goodput_bps / 1e6,
+            sample.in_flight,
+            sample.queued,
+            sample.core_utilisation * 100.0,
+        );
+    }
+}
+
 fn main() {
-    let opts = CommonOpts::from_env();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let service = args.iter().any(|a| a == "--service");
+    args.retain(|a| a != "--service");
+    let opts = CommonOpts::parse(args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if service {
+        diagnose_service(&opts);
+        return;
+    }
     let nodes = opts.nodes_or(40, 100);
     let file = FileSpec::new(opts.file_bytes_or(10.0, 100.0), opts.block_bytes_or(16));
     let rng = RngFactory::new(opts.seed);

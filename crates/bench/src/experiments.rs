@@ -15,9 +15,15 @@ use desim::{RngFactory, SimDuration, SimTime};
 use dissem_codec::FileSpec;
 use netsim::dynamics::{crash_wave_schedule, cross_traffic_square_wave, flash_crowd_schedule};
 use netsim::units::{mbps, to_mbps};
-use netsim::{topology, ChangeSchedule, NodeEvent, NodeId};
+use netsim::{
+    run_service, topology, ArrivalGen, ChangeSchedule, NodeEvent, NodeId, ServiceConfig,
+    ServiceReport, SwarmShape, SwarmSource,
+};
 
-use bullet_prime::{Config, OutstandingPolicy, PeerSetPolicy, RequestStrategy};
+use bullet_prime::{
+    build_service_runner, Config, FlashShape, OutstandingPolicy, PeerSetPolicy, RequestStrategy,
+    ServiceSwarms,
+};
 use shotgun::{
     parallel_rsync_times, planetlab_client_bandwidths, simulate_shotgun, RsyncModelParams,
 };
@@ -965,6 +971,325 @@ pub fn fig15(opts: &CommonOpts) -> Figure {
     fig
 }
 
+// ---------------------------------------------------------------------------
+// Open-system service scenarios (fig21 / fig22): generator-driven continuous
+// swarms over a shared contended core, measured by sustained goodput and
+// completion-time percentiles instead of a single finish time. The service
+// manager itself lives in `netsim::service`; the Bullet′ swarm factory in
+// `bullet_prime::service`. `docs/SERVICE_MODE.md` documents the model.
+// ---------------------------------------------------------------------------
+
+/// The offered-load points of fig21, in swarm arrivals per 1000 virtual
+/// seconds. Ascending, so the knee (segment queueing, core saturation) sits
+/// at the tail of every series.
+pub const FIG21_LOADS: [f64; 4] = [16.0, 32.0, 64.0, 128.0];
+
+/// Labels of the independent service cells a scenario runs, or `None` if
+/// `name` is not an open-system service scenario. `lab serve` parallelises
+/// over these cells; each is one [`run_service_point`] call.
+pub fn service_points(name: &str) -> Option<Vec<String>> {
+    match name {
+        "fig21" => Some(
+            FIG21_LOADS
+                .iter()
+                .map(|l| format!("load-{l:.0}-per-1000s"))
+                .collect(),
+        ),
+        "fig22" => Some(vec!["flash-crowd".to_string()]),
+        _ => None,
+    }
+}
+
+/// Runs one service cell of a scenario (`index` into [`service_points`]) and
+/// returns its deterministic [`ServiceReport`]. `None` for unknown scenarios
+/// or out-of-range indices.
+pub fn run_service_point(name: &str, index: usize, opts: &CommonOpts) -> Option<ServiceReport> {
+    match name {
+        "fig21" => FIG21_LOADS.get(index).map(|&load| fig21_report(load, opts)),
+        "fig22" if index == 0 => Some(fig22_report(opts)),
+        _ => None,
+    }
+}
+
+/// The horizon of a service run: `--time-limit` verbatim under `--full`,
+/// otherwise capped so the reduced suite stays fast (the closed-system
+/// figures stop at AllComplete; an open system runs its whole window).
+fn service_horizon(opts: &CommonOpts) -> f64 {
+    if opts.full {
+        opts.time_limit
+    } else {
+        opts.time_limit.min(1800.0)
+    }
+}
+
+/// One fig21 offered-load cell: a slot pool over a shared 16 Mbps core
+/// serving Poisson swarm arrivals at `load_per_1000s`, cohort and file sizes
+/// drawn per swarm from seeded ranges.
+fn fig21_report(load_per_1000s: f64, opts: &CommonOpts) -> ServiceReport {
+    let pool = opts.nodes_or(48, 96);
+    // Four segments; each arriving swarm claims one for its lifetime, so
+    // past four concurrent swarms arrivals queue — the knee's mechanism.
+    let slots = (pool / 4).max(2);
+    let size_lo = slots.saturating_sub(2).max(2);
+    let block = opts.block_bytes_or(16);
+    let file_hi = opts.file_bytes_or(2.0, 8.0).max(block as u64);
+    let file_lo = (file_hi / 2).max(block as u64);
+    let horizon = service_horizon(opts);
+
+    let rng = RngFactory::new(opts.seed);
+    let topo = topology::shared_core_mesh(pool, mbps(16.0), 0.0, &rng);
+    let core = topo.core_link(NodeId(0), NodeId(1));
+    let template = Config::new(FileSpec::new(file_hi, block));
+    let mut runner = build_service_runner(topo, &template, &rng);
+    let mut source = ServiceSwarms::new(template, &rng, (size_lo, slots), (file_lo, file_hi));
+    let cfg = ServiceConfig {
+        horizon: SimTime::from_secs_f64(horizon),
+        warmup: SimTime::from_secs_f64(0.15 * horizon),
+        tick: SimDuration::from_secs_f64(opts.tick.unwrap_or(horizon / 60.0)),
+        segment_slots: slots,
+        max_arrivals: 256,
+        core: Some(core),
+    };
+    let gen = ArrivalGen::Poisson {
+        rate_per_sec: load_per_1000s / 1000.0,
+    };
+    run_service(&mut runner, &cfg, &gen, &mut source, &rng)
+}
+
+/// Figure 21 (beyond the paper): the open-system offered-load sweep. Swarms
+/// arrive by a Poisson process over one shared 16 Mbps core, each claiming a
+/// segment of the slot pool for its lifetime; the sweep raises the arrival
+/// rate until segments and core saturate. Sustained goodput (measured past
+/// the warmup boundary) climbs with offered load and then flattens at the
+/// service capacity, while completion latency — measured from *arrival*, so
+/// segment-queueing delay counts — turns the knee upward.
+pub fn fig21(opts: &CommonOpts) -> Figure {
+    let pool = opts.nodes_or(48, 96);
+    let mut fig = Figure::new(
+        "Figure 21",
+        format!(
+            "open-system offered-load sweep over a shared 16 Mbps core \
+             ({pool}-slot pool, {:.0} s horizon)",
+            service_horizon(opts)
+        ),
+    );
+    fig.x_label = "offered load (swarm arrivals per 1000 s)".into();
+    fig.y_label = "goodput (Mbps) / latency (s)".into();
+
+    let labels = service_points("fig21").expect("fig21 is a service scenario");
+    let mut goodput = Vec::new();
+    let mut p50 = Vec::new();
+    let mut p90 = Vec::new();
+    let mut completed = Vec::new();
+    let mut backlog = Vec::new();
+    for (i, label) in labels.iter().enumerate() {
+        let report = run_service_point("fig21", i, opts).expect("index in range");
+        let x = FIG21_LOADS[i];
+        let horizon = report.horizon_secs;
+        goodput.push((x, report.sustained_goodput_bps / 1e6));
+        p50.push((x, report.latency_quantile(0.5).unwrap_or(horizon)));
+        p90.push((x, report.latency_quantile(0.9).unwrap_or(horizon)));
+        completed.push((x, report.completed as f64));
+        backlog.push((x, (report.in_flight_at_end + report.queued_at_end) as f64));
+        fig.note(format!(
+            "{label}: {} arrivals, {} admitted, {} completed, {} in flight + {} queued \
+             at the horizon, peak concurrency {}, sustained {:.2} Mbps",
+            report.arrivals,
+            report.admitted,
+            report.completed,
+            report.in_flight_at_end,
+            report.queued_at_end,
+            report.max_concurrent,
+            report.sustained_goodput_bps / 1e6,
+        ));
+    }
+    fig.push(Series::xy("sustained goodput (Mbps)", goodput));
+    fig.push(Series::xy("p50 completion latency since arrival (s)", p50));
+    fig.push(Series::xy("p90 completion latency since arrival (s)", p90));
+    fig.push(Series::xy("swarms completed in the window", completed));
+    fig.push(Series::xy("backlog at the horizon (swarms)", backlog));
+    fig.note(
+        "the knee: past the pool's service capacity goodput flattens while \
+         arrival-to-completion latency inflates with segment queueing"
+            .to_string(),
+    );
+    fig
+}
+
+/// Fig22's swarm source: cohort 0 is the warm swarm (everyone present at
+/// admission), every later cohort is a flash crowd (a handful of slots
+/// active at admission, the rest joining over a window). `build` is shared —
+/// the flash shape only changes *when* slots activate, not what they run.
+struct WarmThenFlash {
+    warm: ServiceSwarms,
+    flash: ServiceSwarms,
+}
+
+impl SwarmSource<bullet_prime::BulletPrimeNode> for WarmThenFlash {
+    fn shape(&mut self, index: usize) -> SwarmShape {
+        if index == 0 {
+            self.warm.shape(index)
+        } else {
+            self.flash.shape(index)
+        }
+    }
+
+    fn build(&mut self, base: NodeId, shape: &SwarmShape) -> Vec<bullet_prime::BulletPrimeNode> {
+        self.warm.build(base, shape)
+    }
+}
+
+/// The fig22 service run: two half-pool swarms over a shared 16 Mbps core —
+/// one warm (arrives at t = 0, fully present), one flash crowd (arrives 30 s
+/// in, while the warm swarm is mid-transfer, with 4 slots active and the
+/// rest joining uniformly over a 120 s window; ~10³ joiners at `--full`
+/// scale).
+fn fig22_report(opts: &CommonOpts) -> ServiceReport {
+    let pool = opts.nodes_or(32, 2016);
+    let slots = (pool / 2).max(2);
+    let block = opts.block_bytes_or(16);
+    let file = opts.file_bytes_or(4.0, 8.0).max(block as u64);
+    let horizon = service_horizon(opts);
+
+    let rng = RngFactory::new(opts.seed);
+    let topo = topology::shared_core_mesh(pool, mbps(16.0), 0.0, &rng);
+    let core = topo.core_link(NodeId(0), NodeId(1));
+    let template = Config::new(FileSpec::new(file, block));
+    let mut runner = build_service_runner(topo, &template, &rng);
+    let warm = ServiceSwarms::new(template.clone(), &rng, (slots, slots), (file, file));
+    let mut flash = ServiceSwarms::new(template, &rng, (slots, slots), (file, file));
+    flash.flash = Some(FlashShape {
+        initial: 4.min(slots),
+        window_secs: 120.0,
+    });
+    let mut source = WarmThenFlash { warm, flash };
+    let cfg = ServiceConfig {
+        horizon: SimTime::from_secs_f64(horizon),
+        // No warmup: fig22 is about the transient itself, so the goodput
+        // window covers the whole horizon including the flash landing.
+        warmup: SimTime::ZERO,
+        tick: SimDuration::from_secs_f64(opts.tick.unwrap_or(horizon / 90.0)),
+        segment_slots: slots,
+        max_arrivals: 2,
+        core: Some(core),
+    };
+    let gen = ArrivalGen::Trace(vec![SimTime::ZERO, SimTime::from_secs_f64(30.0)]);
+    run_service(&mut runner, &cfg, &gen, &mut source, &rng)
+}
+
+/// Figure 22 (beyond the paper): a flash crowd arriving beside a warm swarm.
+/// The service samples show the pool-wide goodput and core occupancy as the
+/// joiner wave lands mid-transfer of the warm swarm, and the per-cohort
+/// percentiles compare the warm swarm's completion latency against the flash
+/// crowd's (which includes the join stagger).
+pub fn fig22(opts: &CommonOpts) -> Figure {
+    let report = fig22_report(opts);
+    let pool = opts.nodes_or(32, 2016);
+    let mut fig = Figure::new(
+        "Figure 22",
+        format!(
+            "flash crowd vs a warm swarm on a shared 16 Mbps core \
+             ({pool}-slot pool, {} joiners in the wave)",
+            (pool / 2).max(2).saturating_sub(4.min((pool / 2).max(2))),
+        ),
+    );
+    fig.x_label = "time (s)".into();
+    fig.y_label = "goodput (Mbps) / swarms / utilisation (%)".into();
+
+    let mut goodput = Vec::new();
+    let mut in_flight = Vec::new();
+    let mut utilisation = Vec::new();
+    for s in &report.samples {
+        goodput.push((s.time_secs, s.goodput_bps / 1e6));
+        in_flight.push((s.time_secs, s.in_flight as f64));
+        utilisation.push((s.time_secs, s.core_utilisation * 100.0));
+    }
+    fig.push(Series::xy("service goodput (Mbps)", goodput));
+    fig.push(Series::xy("swarms in flight", in_flight));
+    fig.push(Series::xy("core-link utilisation (%)", utilisation));
+
+    // Cohort tags start at 1 (0 marks a slot outside any service cohort) and
+    // follow admission order, so the warm swarm — admitted at t = 0, before
+    // the flash — always carries tag 1, wherever it lands in reap order.
+    for c in &report.cohorts {
+        let who = if c.cohort == 1 {
+            "warm swarm"
+        } else {
+            "flash crowd"
+        };
+        fig.note(format!(
+            "{who} (cohort {}): {} slots, arrived {:.0}s, completion since arrival \
+             p50 {:.1}s / p90 {:.1}s / p99 {:.1}s",
+            c.cohort, c.size, c.arrival_secs, c.p50_secs, c.p90_secs, c.p99_secs,
+        ));
+    }
+    if report.completed < report.admitted {
+        fig.note(format!(
+            "{} of {} swarms still in flight at the {:.0} s horizon",
+            report.admitted - report.completed,
+            report.admitted,
+            report.horizon_secs,
+        ));
+    }
+    fig.note(format!(
+        "sustained goodput past warmup: {:.2} Mbps; peak concurrency {}",
+        report.sustained_goodput_bps / 1e6,
+        report.max_concurrent,
+    ));
+    fig
+}
+
+/// Multi-line human summary of a [`ServiceReport`] — shared by `lab serve`
+/// and `diagnose --service`.
+pub fn service_summary(report: &ServiceReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "horizon {:.0}s (warmup {:.0}s): {} arrivals, {} admitted, {} completed, \
+         {} in flight + {} queued at the horizon",
+        report.horizon_secs,
+        report.warmup_secs,
+        report.arrivals,
+        report.admitted,
+        report.completed,
+        report.in_flight_at_end,
+        report.queued_at_end,
+    );
+    let _ = writeln!(
+        out,
+        "sustained goodput {:.3} Mbps ({} useful bytes in the measurement window), \
+         peak concurrency {}, {} events",
+        report.sustained_goodput_bps / 1e6,
+        report.steady_useful_bytes,
+        report.max_concurrent,
+        report.events,
+    );
+    if let (Some(p50), Some(p90), Some(p99)) = (
+        report.latency_quantile(0.5),
+        report.latency_quantile(0.9),
+        report.latency_quantile(0.99),
+    ) {
+        let _ = writeln!(
+            out,
+            "completion latency since arrival: p50 {p50:.1}s / p90 {p90:.1}s / p99 {p99:.1}s"
+        );
+    }
+    let shown = report.cohorts.len().min(12);
+    for c in &report.cohorts[..shown] {
+        let _ = writeln!(
+            out,
+            "  cohort {:>3}: {:>3} slots, {:>8} B file, arrived {:>7.1}s, \
+             admitted {:>7.1}s, p50 {:>7.1}s, p90 {:>7.1}s",
+            c.cohort, c.size, c.file_bytes, c.arrival_secs, c.admit_secs, c.p50_secs, c.p90_secs,
+        );
+    }
+    if report.cohorts.len() > shown {
+        let _ = writeln!(out, "  ... {} more cohorts", report.cohorts.len() - shown);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -976,6 +1301,63 @@ mod tests {
             time_limit: 1800.0,
             ..CommonOpts::default()
         }
+    }
+
+    #[test]
+    fn service_points_cover_exactly_the_open_system_scenarios() {
+        assert_eq!(service_points("fig21").unwrap().len(), FIG21_LOADS.len());
+        assert_eq!(service_points("fig22").unwrap().len(), 1);
+        assert!(service_points("fig13").is_none());
+        assert!(run_service_point("fig21", FIG21_LOADS.len(), &tiny()).is_none());
+        assert!(run_service_point("fig13", 0, &tiny()).is_none());
+    }
+
+    #[test]
+    fn fig21_top_load_reaches_open_system_concurrency() {
+        // The acceptance bar: the offered-load sweep's top point must be a
+        // genuinely open system — many arrivals over the shared core, with
+        // overlapping swarms.
+        let opts = CommonOpts {
+            nodes: Some(16),
+            file_mb: Some(0.25),
+            time_limit: 1500.0,
+            ..CommonOpts::default()
+        };
+        let report = run_service_point("fig21", FIG21_LOADS.len() - 1, &opts).unwrap();
+        assert!(
+            report.admitted >= 8,
+            "top load must admit at least 8 swarms: {report:?}"
+        );
+        assert!(
+            report.max_concurrent >= 2,
+            "swarms must overlap on the shared core: {report:?}"
+        );
+        assert!(report.completed > 0, "{report:?}");
+        assert!(report.sustained_goodput_bps > 0.0, "{report:?}");
+        let summary = service_summary(&report);
+        assert!(summary.contains("sustained goodput"));
+        assert!(summary.contains("cohort"));
+    }
+
+    #[test]
+    fn fig22_flash_cohort_shapes_differ_from_the_warm_swarm() {
+        let opts = CommonOpts {
+            nodes: Some(12),
+            file_mb: Some(0.25),
+            time_limit: 1800.0,
+            ..CommonOpts::default()
+        };
+        let report = run_service_point("fig22", 0, &opts).unwrap();
+        assert_eq!(report.arrivals, 2, "{report:?}");
+        assert_eq!(report.admitted, 2, "warm + flash both admitted: {report:?}");
+        assert!(!report.samples.is_empty());
+        // Cohorts are reported in reap order; the warm swarm is the one
+        // admitted first and always carries tag 1.
+        let warm = report.cohorts.iter().find(|c| c.cohort == 1).unwrap();
+        let flash = report.cohorts.iter().find(|c| c.cohort != 1).unwrap();
+        assert_eq!(warm.arrival_secs, 0.0);
+        assert!(flash.arrival_secs > 0.0);
+        assert_eq!(warm.size, flash.size, "both swarms span half the pool");
     }
 
     #[test]

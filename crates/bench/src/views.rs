@@ -12,7 +12,7 @@
 //! records stay short and diffs stay readable; deterministic fields are
 //! emitted exactly.
 
-use netsim::{MetricsSnapshot, RunReport};
+use netsim::{MetricsSnapshot, RunReport, ServiceReport};
 use serde::Serialize;
 
 /// Rounds to `digits` decimal places (for wall-clock fields committed to the
@@ -123,9 +123,115 @@ impl ScalePoint {
     }
 }
 
+/// One offered-load point of the `BENCH_service.json` record.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServicePoint {
+    /// Offered load of this point in swarm arrivals per 1000 virtual
+    /// seconds (the awk anchor of the ci.sh service gate — keep it the
+    /// first field).
+    pub offered_per_1000s: f64,
+    /// Sustained goodput past the warmup boundary, bits per second
+    /// (deterministic, gated ±10% at the top load).
+    pub sustained_goodput_bps: f64,
+    /// Swarm arrivals materialised within the horizon (deterministic).
+    pub arrivals: usize,
+    /// Swarms admitted to a segment (deterministic).
+    pub admitted: usize,
+    /// Swarms completed and reaped (deterministic).
+    pub completed: usize,
+    /// Swarms still occupying a segment at the horizon (deterministic).
+    pub in_flight_at_end: usize,
+    /// Swarms still queueing for a segment at the horizon (deterministic).
+    pub queued_at_end: usize,
+    /// Peak number of concurrently admitted swarms (deterministic).
+    pub max_concurrent: usize,
+    /// Median completion latency since arrival, seconds (deterministic;
+    /// 0 when nothing completed).
+    pub p50_latency_secs: f64,
+    /// 90th-percentile completion latency since arrival (deterministic;
+    /// 0 when nothing completed).
+    pub p90_latency_secs: f64,
+    /// Simulator events processed (deterministic).
+    pub events_processed: u64,
+    /// Wall-clock seconds (machine-dependent, informational).
+    pub wall_clock_secs: f64,
+}
+
+/// The `BENCH_service.json` record: the reduced fixed-seed fig21
+/// offered-load sweep (one open-system service run per load point).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceRecord {
+    /// Human-readable workload label.
+    pub benchmark: &'static str,
+    /// RNG seed of the fixed workload.
+    pub seed: u64,
+    /// Slot-pool size shared by every point.
+    pub pool_nodes: usize,
+    /// Service horizon in virtual seconds.
+    pub horizon_secs: f64,
+    /// One entry per offered-load point, ascending.
+    pub points: Vec<ServicePoint>,
+}
+
+impl ServicePoint {
+    /// Builds a point from a finished service run's report and its measured
+    /// wall clock, rounding the noisy fields.
+    pub fn from_report(offered_per_1000s: f64, report: &ServiceReport, wall_secs: f64) -> Self {
+        ServicePoint {
+            offered_per_1000s,
+            sustained_goodput_bps: rounded(report.sustained_goodput_bps, 1),
+            arrivals: report.arrivals,
+            admitted: report.admitted,
+            completed: report.completed,
+            in_flight_at_end: report.in_flight_at_end,
+            queued_at_end: report.queued_at_end,
+            max_concurrent: report.max_concurrent,
+            p50_latency_secs: rounded(report.latency_quantile(0.5).unwrap_or(0.0), 3),
+            p90_latency_secs: rounded(report.latency_quantile(0.9).unwrap_or(0.0), 3),
+            events_processed: report.events,
+            wall_clock_secs: rounded(wall_secs, 3),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn service_record_keeps_the_ci_extraction_shape() {
+        let record = ServiceRecord {
+            benchmark: "test",
+            seed: 1,
+            pool_nodes: 48,
+            horizon_secs: 1200.0,
+            points: vec![ServicePoint {
+                offered_per_1000s: 128.0,
+                sustained_goodput_bps: 12081234.5,
+                arrivals: 229,
+                admitted: 171,
+                completed: 167,
+                in_flight_at_end: 4,
+                queued_at_end: 58,
+                max_concurrent: 4,
+                p50_latency_secs: 207.5,
+                p90_latency_secs: 418.5,
+                events_processed: 1128352,
+                wall_clock_secs: 6.333,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&record).unwrap();
+        // The ci.sh service gate extracts the LAST sustained_goodput_bps
+        // line (the top-load point); verify the `"key": value` shape.
+        assert!(
+            json.contains(r#""sustained_goodput_bps": 12081234.5"#),
+            "{json}"
+        );
+        // The anchor field leads its point.
+        let anchor = json.find(r#""offered_per_1000s": 128.0"#).unwrap();
+        let goodput = json.find(r#""sustained_goodput_bps":"#).unwrap();
+        assert!(anchor < goodput);
+    }
 
     #[test]
     fn scale_record_keeps_the_ci_extraction_shape() {

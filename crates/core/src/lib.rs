@@ -31,6 +31,7 @@ pub mod metrics;
 pub mod node;
 pub mod peering;
 pub mod request;
+pub mod service;
 
 pub use builder::{build_group_runner, build_nodes, build_nodes_with_tree, build_runner};
 pub use config::{Config, OutstandingPolicy, PeerSetPolicy, RequestStrategy, TransferMode};
@@ -40,6 +41,7 @@ pub use metrics::DownloadMetrics;
 pub use node::{BulletPrimeNode, Role, Timer};
 pub use peering::{EpochDecision, PeerManager, ReceiverObservation, SenderObservation};
 pub use request::RequestManager;
+pub use service::{build_service_runner, FlashShape, ServiceSwarms};
 
 #[cfg(test)]
 mod end_to_end {

@@ -1,0 +1,6 @@
+//! Regenerates the Figure 21 scenario — a thin wrapper over
+//! `lab run fig21`. Run with `--help` for options.
+
+fn main() {
+    bullet_lab::figure_binary_main("fig21");
+}

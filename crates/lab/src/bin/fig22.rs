@@ -1,0 +1,6 @@
+//! Regenerates the Figure 22 scenario — a thin wrapper over
+//! `lab run fig22`. Run with `--help` for options.
+
+fn main() {
+    bullet_lab::figure_binary_main("fig22");
+}

@@ -9,6 +9,10 @@
 //!                      [fig opts]   # sweep at each thread count, assert
 //!                                   # byte-identical canonical output,
 //!                                   # record wall-clock per thread and cell
+//! lab serve <scenario> [--threads N,M,..] [--json PATH] [fig opts]
+//!                                   # open-system service run (fig21/fig22):
+//!                                   # generator-driven swarm arrivals, one
+//!                                   # ServiceReport per cell (see `serve`)
 //! lab trace <scenario> [--json PATH] [--ring N] [--kind K] [--tail N]
 //!                      [fig opts]   # one traced + profiled run, per-kind
 //!                                   # summary, JSONL export, probe replay
@@ -25,11 +29,12 @@ use bullet_bench::{emit, CommonOpts};
 use crate::executor::run_sweep;
 use crate::registry::Registry;
 
-const USAGE: &str = "usage: lab <list|run|sweep|bench|trace> [scenario] [options]
+pub(crate) const USAGE: &str = "usage: lab <list|run|sweep|bench|serve|trace> [scenario] [options]
   lab list
   lab run <scenario> [figure options; see any figNN --help]
   lab sweep <scenario> [--threads N] [--seeds A,B,..] [--seed-count K] [--json PATH] [figure options]
   lab bench <scenario> [--threads N,M,..] [--seed-count K] [--out PATH] [figure options]
+  lab serve <scenario> [--threads N,M,..] [--json PATH] [figure options]
   lab trace <scenario> [--json PATH] [--ring N] [--kind K] [--tail N] [figure options]";
 
 /// Entry point of the `lab` binary: parses `args` (without `argv[0]`) and
@@ -65,6 +70,7 @@ fn dispatch<I: IntoIterator<Item = String>>(args: I) -> Result<(), String> {
         }
         "sweep" => sweep(&registry, args),
         "bench" => bench(&registry, args),
+        "serve" => crate::serve::serve(&registry, args),
         "trace" => crate::trace_cmd::trace(&registry, args),
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command {other}\n{USAGE}")),
@@ -170,16 +176,16 @@ fn partition_thread_counts(requested: &[usize], host_threads: usize) -> (Vec<usi
 
 /// Lab-specific flags peeled off before [`CommonOpts`] sees the rest.
 #[derive(Debug, Default)]
-struct SweepArgs {
-    threads: Vec<usize>,
-    seeds: Option<Vec<u64>>,
-    seed_count: Option<usize>,
-    json: Option<String>,
-    out: Option<String>,
-    rest: Vec<String>,
+pub(crate) struct SweepArgs {
+    pub(crate) threads: Vec<usize>,
+    pub(crate) seeds: Option<Vec<u64>>,
+    pub(crate) seed_count: Option<usize>,
+    pub(crate) json: Option<String>,
+    pub(crate) out: Option<String>,
+    pub(crate) rest: Vec<String>,
 }
 
-fn parse_sweep_args(args: Vec<String>) -> Result<SweepArgs, String> {
+pub(crate) fn parse_sweep_args(args: Vec<String>) -> Result<SweepArgs, String> {
     let mut out = SweepArgs::default();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {

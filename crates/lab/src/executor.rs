@@ -183,6 +183,64 @@ impl<T> SlotTable<T> {
     }
 }
 
+/// Runs `order.len()` independent jobs on `threads` workers and merges the
+/// results **by job index**, not completion order. `order` is the claim
+/// permutation (idle workers steal the next unclaimed entry); the result at
+/// position `i` is `job(i)` regardless of which worker ran it or when.
+fn run_ordered<T: Send>(
+    order: &[usize],
+    threads: usize,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    assert!(threads > 0, "need at least one worker");
+    let n = order.len();
+    let results: Vec<Option<T>> = if threads == 1 || n <= 1 {
+        let mut table: Vec<Option<T>> = Vec::new();
+        table.resize_with(n, || None);
+        for &i in order {
+            table[i] = Some(job(i));
+        }
+        table
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let table = SlotTable::new(n);
+        let workers = threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Work stealing: claim the next unexecuted job (`order`
+                    // is a permutation of the job indices).
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = order.get(k) else { break };
+                    let result = job(i);
+                    // SAFETY: `order` is a permutation and `fetch_add` yields
+                    // each `k` once, so this worker is the unique writer of
+                    // slot `i`; reads happen after the scope joins.
+                    unsafe { table.put(i, result) };
+                });
+            }
+        });
+        table.into_results()
+    };
+    results
+        .into_iter()
+        .map(|r| r.expect("every claimed job stores a result"))
+        .collect()
+}
+
+/// Runs `n` independent jobs (indices `0..n`, claimed in index order) on
+/// `threads` workers; the result vector is in index order for any thread
+/// count. The deterministic building block `lab serve` parallelises its
+/// service cells with.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+pub fn run_indexed<T: Send>(n: usize, threads: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let order: Vec<usize> = (0..n).collect();
+    run_ordered(&order, threads, job)
+}
+
 /// Runs `scenario`'s sweep (its parameter points × `seeds`) on `threads`
 /// workers and merges the per-cell figures by cell index.
 ///
@@ -200,15 +258,16 @@ pub fn run_sweep(
     seeds: &[u64],
     threads: usize,
 ) -> SweepReport {
-    assert!(threads > 0, "need at least one worker");
     let cells = enumerate_cells(scenario, seeds);
     let costs: Vec<f64> = cells
         .iter()
         .map(|&(pi, _)| estimate_cost(base, &scenario.sweep.points[pi]))
         .collect();
+    // Cells are claimed heaviest first (LPT scheduling; see the module doc).
     let order = schedule_order(&costs);
 
-    let run_cell = |&(pi, seed): &(usize, u64)| -> CellReport {
+    let reports = run_ordered(&order, threads, |i| {
+        let (pi, seed) = cells[i];
         let point = &scenario.sweep.points[pi];
         let opts = scenario.cell_opts(base, point, seed);
         let started = Instant::now();
@@ -219,43 +278,11 @@ pub fn run_sweep(
             wall_clock_secs: started.elapsed().as_secs_f64(),
             figure,
         }
-    };
-
-    let results: Vec<Option<CellReport>> = if threads == 1 || cells.len() <= 1 {
-        let mut table: Vec<Option<CellReport>> = Vec::new();
-        table.resize_with(cells.len(), || None);
-        for &i in &order {
-            table[i] = Some(run_cell(&cells[i]));
-        }
-        table
-    } else {
-        let cursor = AtomicUsize::new(0);
-        let table = SlotTable::new(cells.len());
-        let workers = threads.min(cells.len());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    // Work stealing: claim the next unexecuted cell, heaviest
-                    // first (`order` is a permutation of the cell indices).
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = order.get(k) else { break };
-                    let report = run_cell(&cells[i]);
-                    // SAFETY: `order` is a permutation and `fetch_add` yields
-                    // each `k` once, so this worker is the unique writer of
-                    // slot `i`; reads happen after the scope joins.
-                    unsafe { table.put(i, report) };
-                });
-            }
-        });
-        table.into_results()
-    };
+    });
 
     SweepReport {
         scenario: scenario.name.to_string(),
-        cells: results
-            .into_iter()
-            .map(|c| c.expect("every claimed cell stores a result"))
-            .collect(),
+        cells: reports,
     }
 }
 
@@ -372,6 +399,15 @@ mod tests {
         assert_eq!(naive_span, 10.0);
         assert_eq!(lpt_span, 8.0);
         assert!(lpt_span < naive_span);
+    }
+
+    #[test]
+    fn run_indexed_preserves_index_order_for_any_thread_count() {
+        let serial = run_indexed(9, 1, |i| i * i);
+        for threads in [2, 4, 16] {
+            assert_eq!(run_indexed(9, threads, |i| i * i), serial);
+        }
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
     }
 
     #[test]

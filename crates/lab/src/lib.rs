@@ -14,7 +14,11 @@
 //!   **byte-identical for any thread count**, because every cell is an
 //!   independent deterministic simulation and results merge by cell index;
 //! * [`cli`] — the `lab` binary (`list` / `run` / `sweep` / `bench` /
-//!   `trace`) and the one-line `figNN` wrapper entry point;
+//!   `serve` / `trace`) and the one-line `figNN` wrapper entry point;
+//! * [`serve`] — the `lab serve` subcommand: open-system service runs
+//!   (fig21/fig22) driven by `netsim::service`'s generator-admitted swarms,
+//!   reported as sustained goodput and per-cohort completion percentiles
+//!   (see `docs/SERVICE_MODE.md`);
 //! * [`trace_cmd`] — the `lab trace` subcommand: one scenario run with the
 //!   structured trace sink, stats probe and virtual-time profiler enabled,
 //!   per-kind summary, JSONL export and the probe replay cross-check (see
@@ -28,12 +32,14 @@ pub mod cli;
 pub mod executor;
 pub mod registry;
 pub mod scenario;
+pub mod serve;
 pub mod trace_cmd;
 
 pub use cli::{figure_binary_main, lab_main};
-pub use executor::{run_sweep, CellReport, SweepReport};
+pub use executor::{run_indexed, run_sweep, CellReport, SweepReport};
 pub use registry::Registry;
 pub use scenario::{
     DynamicsKind, ParamPoint, Scenario, SeedPlan, SweepSpec, SystemSet, TopologyKind,
 };
+pub use serve::{run_serve, ServeCell, ServeRun};
 pub use trace_cmd::{check_replay, traced_run, TracedRun};

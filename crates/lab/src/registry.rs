@@ -17,7 +17,8 @@ impl Registry {
     /// Builds the standard registry: Figures 4–15 of the paper plus the
     /// beyond-the-paper scenarios (16: crash wave, 17: flash crowd, 18:
     /// shared core bottleneck, 19: cross-traffic square wave, 20: emulator
-    /// scaling trajectory, 5ts: probe-driven bandwidth-over-time).
+    /// scaling trajectory, 21: open-system offered-load sweep, 22: flash
+    /// crowd beside a warm swarm, 5ts: probe-driven bandwidth-over-time).
     pub fn standard() -> Self {
         use DynamicsKind as D;
         use SystemSet as S;
@@ -167,6 +168,22 @@ impl Registry {
                 D::Static,
                 experiments::fig20,
             ),
+            Scenario::new(
+                "fig21",
+                "open-system offered-load sweep: Poisson swarm arrivals to the knee",
+                S::BulletPrime,
+                T::SharedCore,
+                D::OpenArrivals,
+                experiments::fig21,
+            ),
+            Scenario::new(
+                "fig22",
+                "flash crowd of joiners arriving beside an already-warm swarm",
+                S::BulletPrime,
+                T::SharedCore,
+                D::OpenArrivals,
+                experiments::fig22,
+            ),
         ];
 
         // Default parameter sweeps where one knob is the interesting axis:
@@ -247,10 +264,11 @@ mod tests {
         for expected in [
             "fig04", "fig05", "fig05ts", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+            "fig21", "fig22",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(reg.len(), 18);
+        assert_eq!(reg.len(), 20);
         assert!(reg.get("fig99").is_none());
     }
 

@@ -85,6 +85,9 @@ pub enum DynamicsKind {
     FlashCrowd,
     /// A background cross-traffic square wave on the shared core link.
     CrossTraffic,
+    /// Open-system service mode: generator-driven swarm arrivals over a
+    /// shared slot pool (fig21/fig22, `lab serve`).
+    OpenArrivals,
 }
 
 impl DynamicsKind {
@@ -97,6 +100,7 @@ impl DynamicsKind {
             DynamicsKind::CrashWave => "crash-wave",
             DynamicsKind::FlashCrowd => "flash-crowd",
             DynamicsKind::CrossTraffic => "cross-traffic",
+            DynamicsKind::OpenArrivals => "open-arrivals",
         }
     }
 }

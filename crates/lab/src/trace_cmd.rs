@@ -58,6 +58,7 @@ const KINDS: &[&str] = &[
     "node_join",
     "node_leave",
     "node_crash",
+    "node_retire",
     "link_change",
     "cross_change",
     "probe_tick",
@@ -248,6 +249,13 @@ pub fn traced_run(
             scenario.name
         ));
     }
+    if scenario.dynamics == DynamicsKind::OpenArrivals {
+        return Err(format!(
+            "scenario '{}' is an open-system service run; use `lab serve {}` \
+             (its ServiceReport carries the steady-state series a trace would)",
+            scenario.name, scenario.name
+        ));
+    }
     let tick = opts.tick.unwrap_or(2.0);
     let rng = RngFactory::new(opts.seed);
     let (topo, file) = build_workload(scenario.topology, opts, &rng);
@@ -302,6 +310,9 @@ pub fn traced_run(
                 }
                 runner.schedule_node_event(*at, *event);
             }
+        }
+        DynamicsKind::OpenArrivals => {
+            unreachable!("open-arrivals scenarios were rejected before the workload was built")
         }
         DynamicsKind::CrossTraffic => {
             // The fig19 square wave: a CBR stream occupying half the shared
@@ -511,6 +522,16 @@ mod tests {
         let fig15 = registry.get("fig15").expect("registered");
         let err = traced_run(fig15, &CommonOpts::default(), 16).unwrap_err();
         assert!(err.contains("Shotgun"), "{err}");
+    }
+
+    #[test]
+    fn open_system_scenarios_point_at_lab_serve() {
+        let registry = Registry::standard();
+        for name in ["fig21", "fig22"] {
+            let sc = registry.get(name).expect("registered");
+            let err = traced_run(sc, &CommonOpts::default(), 16).unwrap_err();
+            assert!(err.contains("lab serve"), "{name}: {err}");
+        }
     }
 
     #[test]

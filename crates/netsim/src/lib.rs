@@ -40,6 +40,7 @@ pub mod probe;
 pub mod profile;
 pub mod protocol;
 pub mod runner;
+pub mod service;
 pub mod tcp;
 pub mod topology;
 pub mod trace;
@@ -55,6 +56,10 @@ pub use probe::{NodeSample, Probe, ProbeStats, StatsProbe, TimeSample, TimeSerie
 pub use profile::{EventKind, HookKind, ProfileReport, ProfileRow, VtProfiler};
 pub use protocol::{Command, Ctx, Protocol, TimerToken, WireSize};
 pub use runner::{RunReport, Runner, StopReason};
+pub use service::{
+    arrival_schedule, run_service, ArrivalGen, CohortReport, ServiceConfig, ServiceReport,
+    ServiceSample, SwarmShape, SwarmSource,
+};
 pub use topology::{LinkId, NodeId, NodeSpec, PathSpec, Topology};
 pub use trace::{
     replay_goodput, summarize, CountingSink, JsonlSink, ReplaySample, RingSink, TraceEvent,

@@ -46,10 +46,12 @@ pub enum Counter {
     CrossChanges,
     /// Probe sampling instants.
     ProbeTicks,
+    /// Nodes retired by the service layer after their swarm completed.
+    NodeRetires,
 }
 
 impl Counter {
-    const COUNT: usize = 14;
+    const COUNT: usize = 15;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -67,6 +69,7 @@ impl Counter {
         Counter::LinkChanges,
         Counter::CrossChanges,
         Counter::ProbeTicks,
+        Counter::NodeRetires,
     ];
 
     /// The counter's stable snake_case name (JSON key, docs).
@@ -86,6 +89,7 @@ impl Counter {
             Counter::LinkChanges => "link_changes",
             Counter::CrossChanges => "cross_changes",
             Counter::ProbeTicks => "probe_ticks",
+            Counter::NodeRetires => "node_retires",
         }
     }
 }

@@ -367,6 +367,10 @@ pub struct Network {
     /// Flow id → visit stamp for component discovery (versioned by
     /// `mark_stamp`, never cleared).
     flow_mark: Vec<u64>,
+    /// Flow ids released by [`Network::release_flows_for`], available for
+    /// reuse: without recycling, an open-system run that keeps admitting and
+    /// retiring swarms would grow the dense flow table monotonically.
+    free_fids: Vec<u32>,
     /// Flows (connections with a block in flight) crossing each link, indexed
     /// by [`LinkId`]: `(pair_key, flow_id)` sorted by key, so every solve
     /// discovers flows in the same deterministic order.
@@ -433,6 +437,7 @@ impl Network {
             flow_path: Vec::new(),
             flow_registered: Vec::new(),
             flow_mark: Vec::new(),
+            free_fids: Vec::new(),
             link_flows: vec![Vec::new(); links],
             link_usage: vec![0.0; links],
             link_cap_sum: vec![0.0; links],
@@ -485,9 +490,23 @@ impl Network {
         self.flow_ids.get(&(from, to)).copied()
     }
 
-    /// Flow id of `from → to`, creating a fresh table row if needed.
+    /// Flow id of `from → to`, creating a fresh table row if needed. Rows
+    /// released by [`Network::release_flows_for`] are recycled before the
+    /// table grows, so the dense arrays stay bounded by the peak number of
+    /// concurrently live pairs rather than by run length.
     fn flow_id_or_create(&mut self, now: SimTime, from: NodeId, to: NodeId) -> u32 {
         if let Some(f) = self.flow_id(from, to) {
+            return f;
+        }
+        if let Some(f) = self.free_fids.pop() {
+            let i = f as usize;
+            debug_assert!(!self.flow_registered[i], "recycled a registered flow");
+            self.flow_ids.insert((from, to), f);
+            self.flow_pair[i] = (from, to);
+            self.conns[i] = Connection::new(now);
+            self.flow_rate[i] = MIN_RATE;
+            self.flow_ceiling[i] = f64::INFINITY;
+            self.flow_path[i] = [LinkId(0); 3];
             return f;
         }
         let f = self.conns.len() as u32;
@@ -857,6 +876,48 @@ impl Network {
             updates.extend(self.close_connection(now, a, b));
         }
         updates
+    }
+
+    /// Tears down every connection touching `node` **and releases the flow
+    /// rows** back to the free list, so a retired swarm leaves no residue in
+    /// the dense flow table. This is the service-mode teardown path: unlike
+    /// [`Network::close_all_for`] (a churn event, after which the pair may
+    /// resume), a released pair's next exchange gets a brand-new connection
+    /// with fresh slow-start state. Returns the aggregated completion-event
+    /// updates.
+    pub fn release_flows_for(&mut self, now: SimTime, node: NodeId) -> Vec<ConnUpdate> {
+        let mut keys: Vec<(NodeId, NodeId)> = self
+            .flow_ids
+            .keys()
+            .filter(|&&(a, b)| a == node || b == node)
+            .copied()
+            .collect();
+        keys.sort_unstable_by_key(|&(a, b)| (a.0, b.0));
+        let mut updates = Vec::new();
+        for (a, b) in keys {
+            updates.extend(self.close_connection(now, a, b));
+            let fid = self
+                .flow_ids
+                .remove(&(a, b))
+                .expect("released pair was live");
+            self.free_fids.push(fid);
+        }
+        updates
+    }
+
+    /// Number of live (mapped) flow-table entries — released rows awaiting
+    /// reuse are not counted. Service-mode leak tests assert this returns to
+    /// baseline after each swarm completes.
+    pub fn live_flows(&self) -> usize {
+        self.flow_ids.len()
+    }
+
+    /// Current aggregate rate of the registered flows crossing `link`, in
+    /// bytes/second (cross traffic not included). Combined with
+    /// [`crate::topology::Topology::link_capacity`] this gives the core-link
+    /// utilisation the service layer samples.
+    pub fn link_load(&self, link: LinkId) -> BytesPerSec {
+        self.link_usage[link.index()]
     }
 
     /// Re-prices the flows affected by capacity changes on the core links

@@ -71,6 +71,9 @@ pub struct NodeSample {
     pub receivers: usize,
     /// Whether the node was participating at the instant.
     pub active: bool,
+    /// Cohort tag of the slot's occupant (0 outside service runs), so a
+    /// series spanning several cohorts on one slot can be split per swarm.
+    pub cohort: u32,
 }
 
 /// All nodes' measurements at one sampling instant.
@@ -145,10 +148,19 @@ impl TimeSeries {
 /// An observer the runner invokes once per virtual-time tick.
 ///
 /// `nodes` is every protocol instance (indexed by node id), `active` the
-/// participation flags; probes must not assume every node is participating.
+/// participation flags, `cohorts` the per-slot cohort tags (all zero outside
+/// service runs); probes must not assume every node is participating, nor
+/// that a slot hosts the same node for the whole run.
 pub trait Probe<P: Protocol> {
     /// Takes one sample at virtual time `now`.
-    fn sample(&mut self, now: SimTime, nodes: &[P], net: &Network, active: &[bool]);
+    fn sample(
+        &mut self,
+        now: SimTime,
+        nodes: &[P],
+        net: &Network,
+        active: &[bool],
+        cohorts: &[u32],
+    );
 
     /// Called once when the run ends; a probe that built a [`TimeSeries`]
     /// surrenders it here so the runner can attach it to the report.
@@ -164,6 +176,7 @@ pub trait Probe<P: Protocol> {
 #[derive(Debug, Default)]
 pub struct StatsProbe {
     prev_bytes: Vec<u64>,
+    prev_cohort: Vec<u32>,
     prev_time: f64,
     samples: Vec<TimeSample>,
 }
@@ -176,16 +189,35 @@ impl StatsProbe {
 }
 
 impl<P: Protocol> Probe<P> for StatsProbe {
-    fn sample(&mut self, now: SimTime, nodes: &[P], _net: &Network, active: &[bool]) {
+    fn sample(
+        &mut self,
+        now: SimTime,
+        nodes: &[P],
+        _net: &Network,
+        active: &[bool],
+        cohorts: &[u32],
+    ) {
         let t = now.as_secs_f64();
         if self.prev_bytes.is_empty() {
             self.prev_bytes = vec![0; nodes.len()];
+            self.prev_cohort = vec![0; nodes.len()];
         }
         let dt = t - self.prev_time;
         let mut out = Vec::with_capacity(nodes.len());
         for (i, node) in nodes.iter().enumerate() {
             let stats = node.probe_stats();
-            let delta = stats.useful_bytes.saturating_sub(self.prev_bytes[i]);
+            // A cohort change means the slot was re-populated with a fresh
+            // node whose cumulative counter restarted from zero: everything
+            // it has banked belongs to this interval. Differencing against
+            // the previous occupant's count would go negative (and the
+            // previous occupant's tail bytes already landed in the interval
+            // it retired in).
+            let delta = if cohorts[i] != self.prev_cohort[i] {
+                self.prev_cohort[i] = cohorts[i];
+                stats.useful_bytes
+            } else {
+                stats.useful_bytes.saturating_sub(self.prev_bytes[i])
+            };
             let goodput_bps = if dt > 0.0 {
                 delta as f64 * 8.0 / dt
             } else {
@@ -198,6 +230,7 @@ impl<P: Protocol> Probe<P> for StatsProbe {
                 senders: stats.senders,
                 receivers: stats.receivers,
                 active: active[i],
+                cohort: cohorts[i],
             });
         }
         self.prev_time = t;
@@ -245,6 +278,7 @@ mod tests {
                         senders: 0,
                         receivers: 9,
                         active: true,
+                        cohort: 0,
                     },
                     NodeSample {
                         goodput_bps: 100.0,
@@ -252,6 +286,7 @@ mod tests {
                         senders: 1,
                         receivers: 1,
                         active: true,
+                        cohort: 0,
                     },
                     NodeSample {
                         goodput_bps: 300.0,
@@ -259,6 +294,7 @@ mod tests {
                         senders: 2,
                         receivers: 2,
                         active: true,
+                        cohort: 0,
                     },
                     // Crashed node: excluded.
                     NodeSample {
@@ -267,6 +303,7 @@ mod tests {
                         senders: 0,
                         receivers: 0,
                         active: false,
+                        cohort: 0,
                     },
                 ],
             }],

@@ -66,13 +66,22 @@ use crate::trace::{TraceEvent, TraceRecord, TraceSink};
 /// word regardless of the protocol's timer enum.
 #[derive(Debug)]
 enum NetEvent<M> {
-    /// A control message arrives at `to`.
-    Control { from: NodeId, to: NodeId, msg: M },
+    /// A control message arrives at `to`. `epoch` is the target slot's
+    /// incarnation at send time: a message in flight towards a slot that has
+    /// since been retired (and possibly re-populated with a new cohort's
+    /// node, see [`Runner::retire`]) is dropped at delivery.
+    Control {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        epoch: u32,
+    },
     /// The in-flight block on the connection with dense flow id `fid`
     /// finished serialising (endpoints come back on the [`CompletedBlock`]).
     BlockDone { fid: u32 },
-    /// A fully serialised block arrives at the receiver.
-    BlockArrive { done: CompletedBlock },
+    /// A fully serialised block arrives at the receiver (`epoch` as on
+    /// [`NetEvent::Control`]).
+    BlockArrive { done: CompletedBlock, epoch: u32 },
     /// A protocol timer fires at `node` (token encoded via `TimerToken`).
     Timer { node: NodeId, token: u64 },
     /// A scheduled link-change batch takes effect.
@@ -230,6 +239,32 @@ pub struct Runner<P: Protocol> {
     trace: Option<Box<dyn TraceSink>>,
     /// Wall-clock profiler, if enabled (see [`crate::profile`]).
     profiler: Option<VtProfiler>,
+    /// Per-node slot incarnation, bumped by [`Runner::retire`]: events in
+    /// flight towards an older incarnation are dropped at delivery, so a
+    /// recycled slot never observes a previous cohort's traffic.
+    epoch: Vec<u32>,
+    /// Live timer events set by each node, so [`Runner::retire`] can cancel
+    /// the remainder in bulk (cancelling an already-fired key is a safe
+    /// no-op; see [`desim::Simulator::cancel`]). Pruned opportunistically
+    /// against the queue so the lists stay proportional to the number of
+    /// *pending* timers, not the number ever set.
+    timer_keys: Vec<TimerTrack>,
+    /// Cohort tag of each node slot (0 = unassigned); service mode stamps
+    /// admitted swarms so probe samples can be grouped per cohort.
+    cohort: Vec<u32>,
+    /// Open-system ("service") mode: ignore the all-complete stop condition
+    /// and keep the clock moving to the requested limit even when the queue
+    /// drains — an open system idles between arrivals instead of stopping.
+    run_to_limit: bool,
+}
+
+/// Bookkeeping for one node's live timer keys (see [`Runner::timer_keys`]).
+#[derive(Debug, Default)]
+struct TimerTrack {
+    keys: Vec<EventKey>,
+    /// Prune (drop already-fired keys) when `keys` reaches this length;
+    /// doubled after each prune so the amortised cost per timer is O(1).
+    prune_at: usize,
 }
 
 impl<P: Protocol> Runner<P> {
@@ -272,6 +307,10 @@ impl<P: Protocol> Runner<P> {
             live_conn_events: 0,
             trace: None,
             profiler: None,
+            epoch: vec![0; n],
+            timer_keys: (0..n).map(|_| TimerTrack::default()).collect(),
+            cohort: vec![0; n],
+            run_to_limit: false,
         }
     }
 
@@ -418,6 +457,122 @@ impl<P: Protocol> Runner<P> {
         self.active[node.index()]
     }
 
+    /// Switches the runner into (or out of) open-system mode: with the flag
+    /// on, `run_until` ignores the all-complete stop condition and advances
+    /// the clock to the requested limit even when the event queue drains,
+    /// because an open system idles between arrivals instead of stopping.
+    /// The event limit still applies.
+    pub fn set_run_to_limit(&mut self, on: bool) {
+        self.run_to_limit = on;
+    }
+
+    /// When `node` completed its download, the instant it did.
+    pub fn completion_time(&self, node: NodeId) -> Option<SimTime> {
+        self.completion[node.index()]
+    }
+
+    /// Number of events currently pending in the queue (cancelled tombstones
+    /// excluded). Service-mode leak tests assert this returns to baseline
+    /// after each swarm completes.
+    pub fn pending_events(&self) -> usize {
+        self.sim.pending()
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    /// Tags `node` with a cohort id (0 = unassigned). The tag is handed to
+    /// every probe sample, so per-cohort series can be separated after a
+    /// service run in which slots host several cohorts over time.
+    pub fn set_cohort(&mut self, node: NodeId, cohort: u32) {
+        self.cohort[node.index()] = cohort;
+    }
+
+    /// The cohort tag of `node` (0 = unassigned).
+    pub fn cohort_of(&self, node: NodeId) -> u32 {
+        self.cohort[node.index()]
+    }
+
+    /// Retires `node` from the experiment after its swarm completed: the
+    /// slot is deactivated and exempted, its remaining timers are cancelled,
+    /// its flow-table rows are released for reuse (see
+    /// [`Network::release_flows_for`]), and its slot incarnation is bumped so
+    /// stale in-flight events towards it are dropped at delivery. Unlike a
+    /// leave or crash, retirement is silent — no [`Protocol::on_peer_failed`]
+    /// fan-out — because the whole cohort retires together.
+    pub fn retire(&mut self, node: NodeId) {
+        let now = self.sim.now();
+        let idx = node.index();
+        self.active[idx] = false;
+        if !self.exempt[idx] {
+            self.exempt[idx] = true;
+            if self.completion[idx].is_none() {
+                self.incomplete -= 1;
+            }
+        }
+        self.epoch[idx] = self.epoch[idx].wrapping_add(1);
+        for key in self.timer_keys[idx].keys.drain(..) {
+            self.sim.cancel(key);
+        }
+        self.timer_keys[idx].prune_at = 0;
+        let updates = self.net.release_flows_for(now, node);
+        self.apply_conn_updates(updates);
+        self.metrics.inc(Counter::NodeRetires);
+        self.trace_emit(|| TraceEvent::NodeRetire { node: node.0 });
+    }
+
+    /// Installs a fresh protocol instance in an inactive slot, resetting its
+    /// completion, exemption and departure state so the slot can host a new
+    /// cohort's node. The slot stays inactive; activate it with
+    /// [`Runner::activate_now`] (or a scheduled [`NodeEvent::Join`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is still active.
+    pub fn replace_node(&mut self, node: NodeId, fresh: P) {
+        let idx = node.index();
+        assert!(!self.active[idx], "replace_node requires an inactive slot");
+        self.nodes[idx] = fresh;
+        let was_counted = !self.exempt[idx] && self.completion[idx].is_none();
+        self.completion[idx] = None;
+        self.exempt[idx] = false;
+        self.departed[idx] = false;
+        if !was_counted {
+            self.incomplete += 1;
+        }
+    }
+
+    /// Activates an inactive, non-departed node immediately (the service
+    /// manager's admission path — the in-queue [`NodeEvent::Join`] detour
+    /// would cost a spurious event at an already-known instant).
+    pub fn activate_now(&mut self, node: NodeId) {
+        self.activate_cohort(&[node]);
+    }
+
+    /// Activates a whole cohort at the current instant: every member's
+    /// participation flag flips *before* any `on_init` hook runs, so each
+    /// init already sees its cohort-mates as active (tree registration and
+    /// first pushes would otherwise be dropped towards peers later in the
+    /// slot order). Already-active or departed slots are skipped. Hooks run
+    /// in the order given.
+    pub fn activate_cohort(&mut self, nodes: &[NodeId]) {
+        let mut fresh = Vec::with_capacity(nodes.len());
+        for &node in nodes {
+            let idx = node.index();
+            if !self.active[idx] && !self.departed[idx] {
+                self.metrics.inc(Counter::NodeJoins);
+                self.trace_emit(|| TraceEvent::NodeJoin { node: node.0 });
+                self.active[idx] = true;
+                fresh.push(node);
+            }
+        }
+        for node in fresh {
+            self.dispatch(node, HookKind::OnInit, |n, ctx| n.on_init(ctx));
+        }
+    }
+
     /// Schedules a batch of link changes to take effect at `at`.
     pub fn schedule_link_change(&mut self, at: SimTime, batch: LinkChangeBatch) {
         let index = self.link_changes.len();
@@ -501,18 +656,27 @@ impl<P: Protocol> Runner<P> {
         }
 
         let reason = loop {
-            if self.all_complete() {
+            if !self.run_to_limit && self.all_complete() {
                 break StopReason::AllComplete;
             }
             if self.sim.events_processed() >= self.max_events {
                 break StopReason::EventLimit;
             }
             // A queue holding nothing but the next probe tick is drained:
-            // observation alone must not keep the experiment alive.
-            if self.probe_tick_pending && self.sim.pending() == 1 {
+            // observation alone must not keep the experiment alive. In
+            // open-system mode the probes keep sampling through idle
+            // periods instead — the system is waiting, not finished.
+            if !self.run_to_limit && self.probe_tick_pending && self.sim.pending() == 1 {
                 break StopReason::Drained;
             }
             match self.sim.peek_time() {
+                None if self.run_to_limit => {
+                    // An idle open system: let virtual time pass to the
+                    // requested boundary so the caller's arrival/tick
+                    // bookkeeping stays on schedule.
+                    self.sim.advance_to(limit);
+                    break StopReason::TimeLimit;
+                }
                 None => break StopReason::Drained,
                 Some(t) if t > limit => {
                     // Clamp the clock to the limit (events beyond it stay
@@ -592,7 +756,7 @@ impl<P: Protocol> Runner<P> {
     fn sample_probes(&mut self) {
         let now = self.sim.now();
         for probe in &mut self.probes {
-            probe.sample(now, &self.nodes, &self.net, &self.active);
+            probe.sample(now, &self.nodes, &self.net, &self.active, &self.cohort);
         }
         self.metrics.inc(Counter::ProbeTicks);
         self.trace_emit(|| TraceEvent::ProbeTick);
@@ -689,8 +853,16 @@ impl<P: Protocol> Runner<P> {
                     let delay =
                         self.net
                             .control_delay(&mut self.rngs[from.index()], from, to, size);
-                    self.sim
-                        .schedule_in(delay, NetEvent::Control { from, to, msg });
+                    let epoch = self.epoch[to.index()];
+                    self.sim.schedule_in(
+                        delay,
+                        NetEvent::Control {
+                            from,
+                            to,
+                            msg,
+                            epoch,
+                        },
+                    );
                 }
                 Command::QueueBlock { to, block, bytes } => {
                     // A departed (or not-yet-joined) node accepts no data:
@@ -707,8 +879,16 @@ impl<P: Protocol> Runner<P> {
                 }
                 Command::SetTimer { delay, token } => {
                     self.metrics.inc(Counter::TimersSet);
-                    self.sim
+                    let key = self
+                        .sim
                         .schedule_in(delay, NetEvent::Timer { node: from, token });
+                    let track = &mut self.timer_keys[from.index()];
+                    track.keys.push(key);
+                    if track.keys.len() >= track.prune_at.max(64) {
+                        let sim = &self.sim;
+                        track.keys.retain(|&k| sim.is_pending(k));
+                        track.prune_at = (track.keys.len() * 2).max(64);
+                    }
                 }
             }
         }
@@ -793,7 +973,17 @@ impl<P: Protocol> Runner<P> {
     fn handle(&mut self, ev: NetEvent<P::Msg>) {
         let now = self.sim.now();
         match ev {
-            NetEvent::Control { from, to, msg } => {
+            NetEvent::Control {
+                from,
+                to,
+                msg,
+                epoch,
+            } => {
+                // A message towards a slot retired since the send is void,
+                // even if the slot meanwhile hosts a new cohort's node.
+                if epoch != self.epoch[to.index()] {
+                    return;
+                }
                 if self.trace.is_some() {
                     let (tag, bytes) = (msg.kind(), msg.wire_size() as u64);
                     self.trace_emit(|| TraceEvent::Msg {
@@ -828,10 +1018,15 @@ impl<P: Protocol> Runner<P> {
                         node.on_block_sent(ctx, to, block)
                     });
                     let delay = self.net.data_delivery_delay(from, to);
-                    self.sim.schedule_in(delay, NetEvent::BlockArrive { done });
+                    let epoch = self.epoch[to.index()];
+                    self.sim
+                        .schedule_in(delay, NetEvent::BlockArrive { done, epoch });
                 }
             }
-            NetEvent::BlockArrive { done } => {
+            NetEvent::BlockArrive { done, epoch } => {
+                if epoch != self.epoch[done.to.index()] {
+                    return; // The receiving slot was retired in flight.
+                }
                 if !self.active[done.to.index()] {
                     return; // Delivered into the void.
                 }

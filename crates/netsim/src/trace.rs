@@ -134,6 +134,13 @@ pub enum TraceEvent {
         /// The crashed node.
         node: u32,
     },
+    /// A node was retired by the service layer after its swarm completed.
+    /// If a new cohort later takes the slot over, its `node_join` record
+    /// restarts the slot's useful-byte counter (see [`replay_goodput`]).
+    NodeRetire {
+        /// The retired node.
+        node: u32,
+    },
     /// A scheduled link-change batch took effect.
     LinkChange {
         /// Index of the batch in the runner's schedule.
@@ -167,6 +174,7 @@ impl TraceEvent {
             TraceEvent::NodeJoin { .. } => "node_join",
             TraceEvent::NodeLeave { .. } => "node_leave",
             TraceEvent::NodeCrash { .. } => "node_crash",
+            TraceEvent::NodeRetire { .. } => "node_retire",
             TraceEvent::LinkChange { .. } => "link_change",
             TraceEvent::CrossChange { .. } => "cross_change",
             TraceEvent::ProbeTick => "probe_tick",
@@ -247,6 +255,7 @@ impl TraceEvent {
             TraceEvent::NodeJoin { node } => vec![f("node", Value::UInt(node.into()))],
             TraceEvent::NodeLeave { node } => vec![f("node", Value::UInt(node.into()))],
             TraceEvent::NodeCrash { node } => vec![f("node", Value::UInt(node.into()))],
+            TraceEvent::NodeRetire { node } => vec![f("node", Value::UInt(node.into()))],
             TraceEvent::LinkChange { index } => vec![f("index", Value::UInt(index))],
             TraceEvent::CrossChange { from, to, rate } => vec![
                 f("from", Value::UInt(from.into())),
@@ -463,7 +472,9 @@ pub struct ReplaySample {
 /// differencing reproduces the probe's arithmetic — including the
 /// ties-count-into-the-next-interval semantics, because a delivery landing
 /// exactly on a tick appears *after* the tick in the stream iff the probe
-/// counted it in the next interval.
+/// counted it in the next interval. `node_join` records zero a slot's
+/// cumulative count, mirroring the live probe's cohort-change reset when a
+/// service run re-populates a retired slot with a fresh node.
 pub fn replay_goodput<'a>(
     records: impl IntoIterator<Item = &'a TraceRecord>,
     nodes: usize,
@@ -479,6 +490,21 @@ pub fn replay_goodput<'a>(
             } => {
                 if let Some(slot) = useful.get_mut(node as usize) {
                     *slot = useful_bytes;
+                }
+            }
+            TraceEvent::NodeJoin { node } => {
+                // A joining node's useful-byte counter starts from zero. For
+                // churn joiners this is a no-op (the slot never received
+                // anything); for a service-mode slot taken over by a new
+                // cohort it discards the previous occupant's final count,
+                // exactly like the live probe's cohort-change reset. A slot
+                // that retires and is never re-filled keeps its counter, so
+                // its tail bytes still land in the retirement interval.
+                if let Some(slot) = useful.get_mut(node as usize) {
+                    *slot = 0;
+                }
+                if let Some(slot) = prev.get_mut(node as usize) {
+                    *slot = 0;
                 }
             }
             TraceEvent::ProbeTick => {

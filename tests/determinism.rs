@@ -11,10 +11,12 @@
 //! allocation order, ...) and would silently invalidate every figure.
 
 use bullet_repro::bullet_bench::{run_system, SystemKind};
-use bullet_repro::bullet_prime::{build_runner, Config};
-use bullet_repro::desim::{RngFactory, SimDuration};
+use bullet_repro::bullet_prime::{build_runner, build_service_runner, Config, ServiceSwarms};
+use bullet_repro::desim::{RngFactory, SimDuration, SimTime};
 use bullet_repro::dissem_codec::FileSpec;
-use bullet_repro::netsim::{topology, RunReport};
+use bullet_repro::netsim::{
+    mbps, run_service, topology, ArrivalGen, RunReport, ServiceConfig, ServiceReport,
+};
 
 const NODES: usize = 10;
 const SEED: u64 = 20050410;
@@ -64,6 +66,45 @@ fn bullet_prime_run_reports_are_byte_identical() {
 
     let c = format!("{:?}", bullet_prime_report(SEED + 1));
     assert_ne!(a, c, "a different seed should not reproduce the same run");
+}
+
+fn service_report(seed: u64) -> ServiceReport {
+    // A two-swarm open-system run over a shared core: arrivals, admission,
+    // cohort activation, completion and retirement all on the clock.
+    let rng = RngFactory::new(seed);
+    let topo = topology::shared_core_mesh(16, mbps(20.0), 0.0, &rng);
+    let template = Config::new(file());
+    let mut runner = build_service_runner(topo, &template, &rng);
+    let mut source = ServiceSwarms::new(template, &rng, (4, 6), (128 * 1024, 256 * 1024));
+    let cfg = ServiceConfig {
+        horizon: SimTime::from_secs_f64(600.0),
+        warmup: SimTime::from_secs_f64(60.0),
+        tick: SimDuration::from_secs(10),
+        segment_slots: 8,
+        max_arrivals: 4,
+        core: None,
+    };
+    let gen = ArrivalGen::Trace(vec![SimTime::ZERO, SimTime::from_secs_f64(10.0)]);
+    run_service(&mut runner, &cfg, &gen, &mut source, &rng)
+}
+
+#[test]
+fn open_system_service_runs_are_byte_identical() {
+    let a = service_report(SEED);
+    let b = service_report(SEED);
+    assert_eq!(
+        a.canonical(),
+        b.canonical(),
+        "same seed must reproduce the ServiceReport byte for byte"
+    );
+    assert_eq!(a.admitted, 2, "both trace arrivals admitted: {a:?}");
+
+    let c = service_report(SEED + 1);
+    assert_ne!(
+        a.canonical(),
+        c.canonical(),
+        "a different seed should not reproduce the same service run"
+    );
 }
 
 #[test]

@@ -95,6 +95,32 @@ fn figure_18_and_19_smoke() {
 }
 
 #[test]
+fn figure_21_and_22_smoke() {
+    // The open-system service figures at smoke scale: a 16-slot pool, short
+    // horizon. fig21 plots five series against offered load; fig22 plots
+    // three time series from the service samples.
+    let mut opts = tiny();
+    opts.nodes = Some(16);
+    opts.time_limit = 900.0;
+    let f21 = experiments::fig21(&opts);
+    check(&f21, 5);
+    assert!(f21.series[0].label.contains("sustained goodput"));
+    assert!(f21.series[1].label.contains("p50"));
+    assert!(f21.x_label.contains("offered load"));
+    assert!(f21.notes.iter().any(|n| n.contains("admitted")));
+
+    let mut opts = tiny();
+    opts.nodes = Some(16);
+    let f22 = experiments::fig22(&opts);
+    check(&f22, 3);
+    assert!(f22.series[0].label.contains("goodput"));
+    assert!(f22.series[1].label.contains("in flight"));
+    assert!(f22.series[2].label.contains("utilisation"));
+    assert!(f22.notes.iter().any(|n| n.contains("warm swarm")));
+    assert!(f22.notes.iter().any(|n| n.contains("flash crowd")));
+}
+
+#[test]
 fn churn_run_completes_for_survivors_and_excludes_crashed_nodes() {
     // The acceptance scenario: 25% of the receivers crash mid-transfer.
     // Surviving Bullet' receivers must still complete, and the crashed nodes

@@ -6,7 +6,8 @@
 
 use bullet_repro::bullet_bench::{experiments, CommonOpts};
 use bullet_repro::bullet_lab::{
-    check_replay, run_sweep, traced_run, DynamicsKind, Registry, Scenario, SystemSet, TopologyKind,
+    check_replay, run_serve, run_sweep, traced_run, DynamicsKind, Registry, Scenario, SystemSet,
+    TopologyKind,
 };
 use bullet_repro::bullet_prime::{build_runner, Config};
 use bullet_repro::desim::{RngFactory, SimDuration};
@@ -28,7 +29,7 @@ fn registry_lists_every_scenario() {
     let names = reg.names();
     let expected = [
         "fig04", "fig05", "fig05ts", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
-        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
     ];
     assert_eq!(names.len(), expected.len());
     for name in expected {
@@ -228,6 +229,86 @@ fn overflowing_ring_sink_does_not_affect_the_simulation() {
     // The non-canonical reports differ only by the trace-record count.
     assert_ne!(traced.trace_records, untraced.trace_records);
     assert_eq!(untraced.trace_records, 0);
+}
+
+#[test]
+fn four_thread_lab_serve_fig21_is_byte_identical_to_one_thread() {
+    // The open-system acceptance scenario: `lab serve fig21` at smoke scale.
+    // Each offered-load cell is one deterministic service simulation, so the
+    // merged canonical output must not depend on the worker count — and the
+    // top-load cell must be a genuinely open system: many swarms admitted
+    // over the shared core, overlapping in time.
+    let opts = CommonOpts {
+        nodes: Some(16),
+        file_mb: Some(0.25),
+        time_limit: 900.0,
+        ..CommonOpts::default()
+    };
+    let serial = run_serve("fig21", &opts, 1).expect("fig21 is a service scenario");
+    let parallel = run_serve("fig21", &opts, 4).expect("fig21 is a service scenario");
+    assert_eq!(serial.cells.len(), experiments::FIG21_LOADS.len());
+    let a = serial.canonical();
+    let b = parallel.canonical();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "thread count leaked into the serve output");
+
+    let top = &serial.cells.last().expect("cells are non-empty").report;
+    assert!(
+        top.admitted >= 8,
+        "the top load must admit at least 8 swarms: {top:?}"
+    );
+    assert!(
+        top.max_concurrent >= 2,
+        "swarms must overlap on the shared core: {top:?}"
+    );
+    assert!(
+        top.completed > 0 && top.sustained_goodput_bps > 0.0,
+        "{top:?}"
+    );
+    // Cells genuinely differ across loads (the sweep is not vacuous).
+    assert_ne!(
+        serial.cells[0].report.canonical(),
+        serial.cells[1].report.canonical(),
+        "distinct offered loads must differ"
+    );
+    // Closed-system scenarios are rejected with a pointer at `lab serve`.
+    assert!(run_serve("fig13", &opts, 1).is_err());
+}
+
+#[test]
+fn lab_serve_fig22_overlaps_the_flash_crowd_with_the_warm_swarm() {
+    // `lab serve fig22` at smoke scale: the flash crowd must land while the
+    // warm swarm is still in flight (that is the scenario's point), and both
+    // cohorts must complete with the flash cohort's latency carrying the
+    // join stagger.
+    // 8 MB file: at this 16-slot pool the shared core drains ~12 Mbps, so a
+    // 4 MB warm transfer would finish in ~20 s — before the flash lands at
+    // t = 30 s. Doubling the file keeps the warm swarm in flight past it.
+    let opts = CommonOpts {
+        nodes: Some(16),
+        file_mb: Some(8.0),
+        time_limit: 1800.0,
+        ..CommonOpts::default()
+    };
+    let run = run_serve("fig22", &opts, 1).expect("fig22 is a service scenario");
+    assert_eq!(run.cells.len(), 1);
+    let report = &run.cells[0].report;
+    assert_eq!(report.admitted, 2, "{report:?}");
+    assert_eq!(report.completed, 2, "{report:?}");
+    assert_eq!(
+        report.max_concurrent, 2,
+        "the flash crowd must overlap the warm swarm: {report:?}"
+    );
+    // Cohorts are reported in reap order; the warm swarm — admitted first —
+    // always carries tag 1.
+    let warm = report.cohorts.iter().find(|c| c.cohort == 1).unwrap();
+    let flash = report.cohorts.iter().find(|c| c.cohort != 1).unwrap();
+    assert_eq!(warm.arrival_secs, 0.0);
+    assert!(flash.arrival_secs > 0.0);
+    assert!(
+        flash.p90_secs > warm.p90_secs,
+        "the flash cohort's tail carries the join stagger: {report:?}"
+    );
 }
 
 #[test]
