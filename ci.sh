@@ -197,10 +197,29 @@ fi
 # worker threads, *asserts* the two canonical renderings are byte-identical
 # (the determinism-under-parallelism guarantee; per-cell wall-clock telemetry
 # is schedule-dependent and excluded), and records wall-clock per thread
-# count AND per cell in BENCH_sweep.json.
+# count AND per cell in BENCH_sweep.json. `--snapshot fig05w` additionally
+# runs the warm-up-split scenario with prefix sharing on and off; the bench
+# itself fails hard on any canonical divergence between forked and fresh
+# cells.
 echo "==> sweep record (BENCH_sweep.json)"
 ./target/release/lab bench fig05 --threads 1,4 --seed-count 2 --mb 2 \
-    --time-limit 3600 --out BENCH_sweep.json
+    --time-limit 3600 --snapshot fig05w --out BENCH_sweep.json
+
+# Snapshot gate: the record must attest that forked-vs-fresh matched and
+# that prefix sharing actually avoided some warm-up simulation time.
+grep -q '"canonical_matches_fresh": *true' BENCH_sweep.json || {
+    echo "FAIL: BENCH_sweep.json does not attest canonical_matches_fresh=true for the snapshot run"
+    exit 1
+}
+saved=$(grep -o '"warmup_secs_saved": *[0-9.]*' BENCH_sweep.json \
+    | grep -o '[0-9.]*$' | tail -n1)
+awk -v s="${saved:-0}" 'BEGIN {
+    if (s <= 0) {
+        printf "FAIL: warm-up sharing saved no time (warmup_secs_saved=%s)\n", s
+        exit 1
+    }
+    printf "warm-up sharing saved %.3fs of warm-up simulation with canonical output unchanged\n", s
+}'
 
 # Scaling gate: with the longest-first lock-free executor, 4 workers must
 # beat 1 worker by >= 1.5x (target 2x) — but only where the host can

@@ -163,7 +163,7 @@ impl WireSize for BtMsg {
 }
 
 /// Per-neighbour state.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Neighbour {
     /// Pieces the neighbour has completed (from bitfield + Have messages).
     has_pieces: BTreeSet<u32>,
@@ -193,7 +193,7 @@ impl Neighbour {
 
 /// A BitTorrent participant. Node 0 is the seed and also answers tracker
 /// announces.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BitTorrentNode {
     id: NodeId,
     cfg: BitTorrentConfig,

@@ -166,7 +166,7 @@ impl StripeForest {
 }
 
 /// A SplitStream participant.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SplitStreamNode {
     id: NodeId,
     file: FileSpec,

@@ -138,6 +138,19 @@ pub fn fig05(opts: &CommonOpts) -> Figure {
     overall_comparison(opts, true)
 }
 
+/// Figure 5w (beyond the paper): one cell of the snapshot/fork warm-up
+/// study. Bullet′ joins and transfers for
+/// [`FIG05W_WARMUP_SECS`](crate::warmup::FIG05W_WARMUP_SECS) virtual
+/// seconds, then the "paper" dynamics variant (the §4.1 correlated
+/// bandwidth decreases) applies for the rest of the run. Run standalone
+/// this is an ordinary uninterrupted simulation; under `lab sweep`/`lab
+/// bench` the scenario's warm-up hooks (see [`crate::warmup`]) let the
+/// executor simulate the shared warm-up once per seed and fork the "calm" /
+/// "paper" / "storm" variants from the checkpoint.
+pub fn fig05w(opts: &CommonOpts) -> Figure {
+    crate::warmup::fig05w_fresh(opts, "paper")
+}
+
 /// Figure 5ts (beyond the paper): the Figure-5 dynamic scenario observed
 /// *while it runs*. A run-time probe samples every receiver on a virtual-time
 /// tick (`--tick`, default 2 s) and the figure plots goodput over time —

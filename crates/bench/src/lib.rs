@@ -36,6 +36,7 @@ pub mod experiments;
 pub mod opts;
 pub mod systems;
 pub mod views;
+pub mod warmup;
 
 pub use cdf::{improvement_at, Figure, Series};
 pub use opts::{emit, figure_main, CommonOpts};
@@ -43,3 +44,4 @@ pub use systems::{
     run_bullet_prime_churn, run_bullet_prime_cross, run_bullet_prime_timeseries,
     run_bullet_prime_with, run_concurrent_meshes, run_system, SystemKind, SystemRun,
 };
+pub use warmup::{WarmPrefix, FIG05W_VARIANTS, FIG05W_WARMUP_SECS};

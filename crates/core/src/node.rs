@@ -60,7 +60,7 @@ pub enum Role {
 }
 
 /// Receiver-side state about one of our senders.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SenderState {
     ctl: OutstandingController,
     /// Bytes received from this sender since the last RanSub epoch.
@@ -101,7 +101,7 @@ impl SenderState {
 }
 
 /// Sender-side state about one of our receivers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ReceiverState {
     diff: DiffTracker,
     /// Blocks that became available since the last diff to this receiver.
@@ -124,14 +124,14 @@ impl ReceiverState {
 }
 
 /// Source-only state: the non-duplicating round-robin push (§3.3.5).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SourceState {
     next_block: u32,
     rr_cursor: usize,
 }
 
 /// A Bullet′ participant.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BulletPrimeNode {
     id: NodeId,
     cfg: Config,

@@ -30,7 +30,7 @@ use rand::Rng;
 use crate::config::RequestStrategy;
 
 /// Per-sender availability bookkeeping.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SenderAvailability {
     /// Blocks in the order their availability was discovered (what preserves
     /// the first-encountered semantics and the RNG-keyed candidate order).
@@ -56,7 +56,7 @@ struct InFlight {
 }
 
 /// Receiver-side request state across all senders.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RequestManager {
     strategy: RequestStrategy,
     /// Number of senders currently advertising each block.

@@ -5,10 +5,15 @@
 //! lab run <scenario> [fig opts]    # one run, same options as the figNN binaries
 //! lab sweep <scenario> [--threads N] [--seeds A,B,..] [--seed-count K]
 //!                      [--json PATH] [fig opts]
-//! lab bench <scenario> [--threads N,M,..] [--seed-count K] [--out PATH]
+//! lab bench <scenario> [--threads N,M,..] [--seed-count K]
+//!           [--snapshot SCENARIO] [--out PATH]
 //!                      [fig opts]   # sweep at each thread count, assert
 //!                                   # byte-identical canonical output,
-//!                                   # record wall-clock per thread and cell
+//!                                   # record wall-clock per thread and cell;
+//!                                   # --snapshot additionally runs the named
+//!                                   # warm-up scenario with prefix sharing
+//!                                   # on and off and asserts the canonical
+//!                                   # outputs match (fork-vs-fresh oracle)
 //! lab serve <scenario> [--threads N,M,..] [--json PATH] [fig opts]
 //!                                   # open-system service run (fig21/fig22):
 //!                                   # generator-driven swarm arrivals, one
@@ -26,14 +31,14 @@ use std::time::Instant;
 
 use bullet_bench::{emit, CommonOpts};
 
-use crate::executor::run_sweep;
+use crate::executor::{run_sweep, run_sweep_with};
 use crate::registry::Registry;
 
 pub(crate) const USAGE: &str = "usage: lab <list|run|sweep|bench|serve|trace> [scenario] [options]
   lab list
   lab run <scenario> [figure options; see any figNN --help]
   lab sweep <scenario> [--threads N] [--seeds A,B,..] [--seed-count K] [--json PATH] [figure options]
-  lab bench <scenario> [--threads N,M,..] [--seed-count K] [--out PATH] [figure options]
+  lab bench <scenario> [--threads N,M,..] [--seed-count K] [--snapshot SCENARIO] [--out PATH] [figure options]
   lab serve <scenario> [--threads N,M,..] [--json PATH] [figure options]
   lab trace <scenario> [--json PATH] [--ring N] [--kind K] [--tail N] [figure options]";
 
@@ -139,6 +144,25 @@ struct BenchRecord {
     host_threads: usize,
     runs: Vec<BenchRun>,
     skipped: Vec<SkippedRun>,
+    /// Warm-prefix sharing check (`--snapshot <scenario>`): the named
+    /// scenario runs with sharing on and off, the canonical renderings are
+    /// asserted byte-identical (a mismatch aborts the bench before anything
+    /// is written), and the sharing run's prefix telemetry lands here.
+    snapshot: Option<SnapshotRecord>,
+}
+
+/// The `--snapshot` subsection of [`BenchRecord`]: forked-vs-fresh identity
+/// plus how much warm-up wall clock the sharing executor saved.
+#[derive(Debug, serde::Serialize)]
+struct SnapshotRecord {
+    scenario: String,
+    /// Always true in a written record — a mismatch is a hard error.
+    canonical_matches_fresh: bool,
+    prefix_cells: usize,
+    forked_cells: usize,
+    warmup_secs_saved: f64,
+    shared_wall_clock_secs: f64,
+    fresh_wall_clock_secs: f64,
 }
 
 #[derive(Debug, serde::Serialize)]
@@ -182,6 +206,7 @@ pub(crate) struct SweepArgs {
     pub(crate) seed_count: Option<usize>,
     pub(crate) json: Option<String>,
     pub(crate) out: Option<String>,
+    pub(crate) snapshot: Option<String>,
     pub(crate) rest: Vec<String>,
 }
 
@@ -210,6 +235,7 @@ pub(crate) fn parse_sweep_args(args: Vec<String>) -> Result<SweepArgs, String> {
             }
             "--json" => out.json = Some(value_for("--json")?),
             "--out" => out.out = Some(value_for("--out")?),
+            "--snapshot" => out.snapshot = Some(value_for("--snapshot")?),
             other => out.rest.push(other.to_string()),
         }
     }
@@ -255,6 +281,11 @@ fn sweep(registry: &Registry, args: Vec<String>) -> Result<(), String> {
     if sweep_args.out.is_some() {
         return Err(format!(
             "sweep writes its report with --json, not --out\n{USAGE}"
+        ));
+    }
+    if sweep_args.snapshot.is_some() {
+        return Err(format!(
+            "--snapshot is a bench flag (sweep always shares warm prefixes)\n{USAGE}"
         ));
     }
     let explicit_seed = sweep_args.rest.iter().any(|a| a == "--seed");
@@ -349,6 +380,7 @@ fn bench(registry: &Registry, args: Vec<String>) -> Result<(), String> {
                 }
             })
             .collect(),
+        snapshot: None,
     };
     let mut reference: Option<String> = None;
     for &threads in &thread_counts {
@@ -385,6 +417,16 @@ fn bench(registry: &Registry, args: Vec<String>) -> Result<(), String> {
         eprintln!("threads {threads}: {wall:.3}s wall clock");
     }
 
+    if let Some(snap_name) = &sweep_args.snapshot {
+        record.snapshot = Some(bench_snapshot(
+            registry,
+            snap_name,
+            &sweep_args,
+            &opts,
+            explicit_seed,
+        )?);
+    }
+
     let json =
         serde_json::to_string_pretty(&record).expect("bench records are always serialisable");
     println!("{json}");
@@ -393,6 +435,57 @@ fn bench(registry: &Registry, args: Vec<String>) -> Result<(), String> {
         eprintln!("wrote {path}");
     }
     Ok(())
+}
+
+/// The `--snapshot` leg of `lab bench`: runs the named warm-up scenario's
+/// sweep with prefix sharing on and off (both single-threaded — the check
+/// is about fork-vs-fresh identity, not parallelism, which the main bench
+/// legs already assert) and *asserts* the canonical renderings are
+/// byte-identical. A divergence is a hard error: the snapshot contract is
+/// broken and nothing is written.
+fn bench_snapshot(
+    registry: &Registry,
+    name: &str,
+    sweep_args: &SweepArgs,
+    opts: &CommonOpts,
+    explicit_seed: bool,
+) -> Result<SnapshotRecord, String> {
+    let scenario = resolve(registry, name)?;
+    if scenario.warmup.is_none() {
+        return Err(format!(
+            "scenario '{name}' has no warm-up split point; --snapshot needs one (try fig05w)\n{USAGE}"
+        ));
+    }
+    let seeds = effective_seeds(scenario, sweep_args, opts, explicit_seed);
+
+    let started = Instant::now();
+    let shared = run_sweep_with(scenario, opts, &seeds, 1, true);
+    let shared_wall = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let fresh = run_sweep_with(scenario, opts, &seeds, 1, false);
+    let fresh_wall = started.elapsed().as_secs_f64();
+
+    if shared.to_canonical_json() != fresh.to_canonical_json() {
+        return Err(format!(
+            "SNAPSHOT DIVERGENCE: forked sweep of {name} differs from the uninterrupted sweep \
+             — the checkpoint/resume contract is broken"
+        ));
+    }
+    eprintln!(
+        "snapshot {name}: {} prefixes -> {} forked cells, {:.3}s saved \
+         (shared {shared_wall:.3}s vs fresh {fresh_wall:.3}s), canonical identical",
+        shared.prefix_cells, shared.forked_cells, shared.warmup_secs_saved
+    );
+    let round = |s: f64| (s * 1000.0).round() / 1000.0;
+    Ok(SnapshotRecord {
+        scenario: name.to_string(),
+        canonical_matches_fresh: true,
+        prefix_cells: shared.prefix_cells,
+        forked_cells: shared.forked_cells,
+        warmup_secs_saved: round(shared.warmup_secs_saved),
+        shared_wall_clock_secs: round(shared_wall),
+        fresh_wall_clock_secs: round(fresh_wall),
+    })
 }
 
 /// The whole of a `figNN` binary: resolve `name` in the standard registry
@@ -468,6 +561,38 @@ mod tests {
             .unwrap_err();
             assert!(err.contains("positive"), "{cmd}: {err}");
         }
+    }
+
+    #[test]
+    fn snapshot_flag_is_bench_only_and_needs_a_warmup_scenario() {
+        let err = dispatch(vec![
+            "sweep".to_string(),
+            "fig13".to_string(),
+            "--snapshot".to_string(),
+            "fig05w".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("bench flag"), "{err}");
+        // --snapshot on a scenario without a warm-up split is an error, not
+        // a silent no-op (the CI gate would otherwise check nothing).
+        let err = dispatch(vec![
+            "bench".to_string(),
+            "fig13".to_string(),
+            "--threads".to_string(),
+            "1".to_string(),
+            "--seed-count".to_string(),
+            "1".to_string(),
+            "--nodes".to_string(),
+            "6".to_string(),
+            "--mb".to_string(),
+            "0.125".to_string(),
+            "--time-limit".to_string(),
+            "1800".to_string(),
+            "--snapshot".to_string(),
+            "fig13".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("no warm-up split"), "{err}");
     }
 
     #[test]

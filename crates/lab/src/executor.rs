@@ -32,10 +32,10 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use bullet_bench::{CommonOpts, Figure};
+use bullet_bench::{CommonOpts, Figure, WarmPrefix};
 use serde::Serialize;
 
-use crate::scenario::{ParamPoint, Scenario};
+use crate::scenario::{ParamPoint, Scenario, Warmup};
 
 /// One executed sweep cell.
 #[derive(Debug, Clone, Serialize)]
@@ -57,6 +57,16 @@ pub struct CellReport {
 pub struct SweepReport {
     /// Scenario name.
     pub scenario: String,
+    /// Number of shared warm-up prefixes simulated (0 when the scenario has
+    /// no warm-up split or prefix sharing was off). Telemetry: excluded from
+    /// the canonical rendering like the wall clocks.
+    pub prefix_cells: usize,
+    /// Number of cells forked from a shared prefix (0 when sharing is off).
+    pub forked_cells: usize,
+    /// Wall-clock seconds prefix sharing saved: Σ over groups of the
+    /// prefix's wall clock × (group size − 1) — the warm-ups that were *not*
+    /// re-simulated. Machine-dependent telemetry.
+    pub warmup_secs_saved: f64,
     /// One entry per (point, seed) cell.
     pub cells: Vec<CellReport>,
 }
@@ -242,7 +252,10 @@ pub fn run_indexed<T: Send>(n: usize, threads: usize, job: impl Fn(usize) -> T +
 }
 
 /// Runs `scenario`'s sweep (its parameter points × `seeds`) on `threads`
-/// workers and merges the per-cell figures by cell index.
+/// workers and merges the per-cell figures by cell index. Equivalent to
+/// [`run_sweep_with`] with prefix sharing on — the default: sharing is an
+/// executor optimisation whose canonical output is byte-identical to the
+/// uninterrupted runs (`lab bench --snapshot` asserts it in CI).
 ///
 /// `base` supplies the options every cell starts from; each cell applies its
 /// parameter point's overrides and its seed. With `threads == 1` the cells
@@ -258,7 +271,34 @@ pub fn run_sweep(
     seeds: &[u64],
     threads: usize,
 ) -> SweepReport {
+    run_sweep_with(scenario, base, seeds, threads, true)
+}
+
+/// [`run_sweep`] with explicit control over warm-prefix sharing.
+///
+/// When `share` is true and the scenario carries [`Warmup`] hooks, cells are
+/// grouped by their resolved numeric parameters + seed (everything that
+/// determines the warm-up; the point *label* only selects post-split
+/// dynamics). Each group's warm-up is simulated once and checkpointed, then
+/// every cell forks from the snapshot. When `share` is false the same cells
+/// run uninterrupted through the scenario's `fresh` hook — the oracle the
+/// forked path is asserted byte-identical against. Scenarios without hooks
+/// ignore `share` entirely.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+pub fn run_sweep_with(
+    scenario: &Scenario,
+    base: &CommonOpts,
+    seeds: &[u64],
+    threads: usize,
+    share: bool,
+) -> SweepReport {
     let cells = enumerate_cells(scenario, seeds);
+    if let Some(warmup) = scenario.warmup.as_ref().filter(|_| share) {
+        return run_sweep_shared(scenario, warmup, base, &cells, threads);
+    }
     let costs: Vec<f64> = cells
         .iter()
         .map(|&(pi, _)| estimate_cost(base, &scenario.sweep.points[pi]))
@@ -271,7 +311,13 @@ pub fn run_sweep(
         let point = &scenario.sweep.points[pi];
         let opts = scenario.cell_opts(base, point, seed);
         let started = Instant::now();
-        let figure = scenario.run(&opts);
+        let figure = match &scenario.warmup {
+            // Sharing off on a warm-up scenario: the uninterrupted oracle,
+            // which honours the point label's dynamics variant (the plain
+            // scenario body has no label and runs one fixed variant).
+            Some(w) => (w.fresh)(&opts, point.label),
+            None => scenario.run(&opts),
+        };
         CellReport {
             point: point.label.to_string(),
             seed,
@@ -282,6 +328,100 @@ pub fn run_sweep(
 
     SweepReport {
         scenario: scenario.name.to_string(),
+        prefix_cells: 0,
+        forked_cells: 0,
+        warmup_secs_saved: 0.0,
+        cells: reports,
+    }
+}
+
+/// The key that decides whether two cells share a warm-up: every numeric
+/// parameter that feeds the prefix (floats by bit pattern — the values come
+/// from identical parsing paths, so equal means bit-equal) plus the seed.
+/// The point label is deliberately absent: it only selects post-split
+/// dynamics.
+type PrefixKey = (Option<usize>, Option<u64>, Option<u32>, u64, u64);
+
+fn prefix_key(opts: &CommonOpts) -> PrefixKey {
+    (
+        opts.nodes,
+        opts.file_mb.map(f64::to_bits),
+        opts.block_kb,
+        opts.time_limit.to_bits(),
+        opts.seed,
+    )
+}
+
+/// The sharing path of [`run_sweep_with`]: one simulated warm-up per cell
+/// group, every cell forked from its group's snapshot. Two phases, each
+/// parallel and index-merged, so the canonical output stays byte-identical
+/// for any thread count.
+fn run_sweep_shared(
+    scenario: &Scenario,
+    warmup: &Warmup,
+    base: &CommonOpts,
+    cells: &[(usize, u64)],
+    threads: usize,
+) -> SweepReport {
+    let cell_opts: Vec<CommonOpts> = cells
+        .iter()
+        .map(|&(pi, seed)| scenario.cell_opts(base, &scenario.sweep.points[pi], seed))
+        .collect();
+
+    // Group cells by prefix key, in first-occurrence order (deterministic:
+    // the enumeration order is point-major, seed-minor).
+    let mut groups: Vec<(PrefixKey, Vec<usize>)> = Vec::new();
+    for (i, opts) in cell_opts.iter().enumerate() {
+        let key = prefix_key(opts);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+    let mut group_of = vec![0usize; cells.len()];
+    for (g, (_, members)) in groups.iter().enumerate() {
+        for &i in members {
+            group_of[i] = g;
+        }
+    }
+
+    // Phase 1: simulate each group's warm-up once (in parallel) and keep its
+    // wall clock — the cost every other member of the group did not pay.
+    let prefixes: Vec<(WarmPrefix, f64)> = run_indexed(groups.len(), threads, |g| {
+        let started = Instant::now();
+        let prefix = (warmup.prefix)(&cell_opts[groups[g].1[0]]);
+        (prefix, started.elapsed().as_secs_f64())
+    });
+
+    // Phase 2: fork every cell from its group's snapshot, heaviest first.
+    let costs: Vec<f64> = cells
+        .iter()
+        .map(|&(pi, _)| estimate_cost(base, &scenario.sweep.points[pi]))
+        .collect();
+    let order = schedule_order(&costs);
+    let reports = run_ordered(&order, threads, |i| {
+        let (pi, seed) = cells[i];
+        let point = &scenario.sweep.points[pi];
+        let started = Instant::now();
+        let figure = (warmup.fork)(&prefixes[group_of[i]].0, &cell_opts[i], point.label);
+        CellReport {
+            point: point.label.to_string(),
+            seed,
+            wall_clock_secs: started.elapsed().as_secs_f64(),
+            figure,
+        }
+    });
+
+    let warmup_secs_saved = groups
+        .iter()
+        .enumerate()
+        .map(|(g, (_, members))| prefixes[g].1 * (members.len() - 1) as f64)
+        .sum();
+    SweepReport {
+        scenario: scenario.name.to_string(),
+        prefix_cells: groups.len(),
+        forked_cells: cells.len(),
+        warmup_secs_saved,
         cells: reports,
     }
 }
@@ -416,6 +556,42 @@ mod tests {
         let sc = reg.get("fig13").unwrap();
         let report = run_sweep(sc, &tiny(), &[5], 8);
         assert_eq!(report.cells.len(), 1);
+    }
+
+    #[test]
+    fn warm_prefix_sharing_matches_fresh_runs_bytewise() {
+        let reg = Registry::standard();
+        let sc = reg.get("fig05w").unwrap();
+        let shared = run_sweep_with(sc, &tiny(), &[7], 1, true);
+        let fresh = run_sweep_with(sc, &tiny(), &[7], 1, false);
+        assert_eq!(shared.to_canonical_json(), fresh.to_canonical_json());
+        // One warm-up for the whole seed's group, all three variants forked.
+        assert_eq!(shared.prefix_cells, 1);
+        assert_eq!(shared.forked_cells, 3);
+        assert!(shared.warmup_secs_saved > 0.0);
+        // Sharing off runs every cell uninterrupted — nothing shared.
+        assert_eq!(fresh.prefix_cells, 0);
+        assert_eq!(fresh.forked_cells, 0);
+        assert_eq!(fresh.warmup_secs_saved, 0.0);
+    }
+
+    #[test]
+    fn prefix_telemetry_is_excluded_from_the_canonical_rendering() {
+        let reg = Registry::standard();
+        let sc = reg.get("fig05w").unwrap();
+        let report = run_sweep_with(sc, &tiny(), &[3], 1, true);
+        assert!(report.to_json().contains("warmup_secs_saved"));
+        assert!(!report.to_canonical_json().contains("warmup_secs_saved"));
+        assert!(!report.to_canonical_json().contains("prefix_cells"));
+    }
+
+    #[test]
+    fn cells_with_different_seeds_do_not_share_a_prefix() {
+        let a = prefix_key(&CommonOpts { seed: 1, ..tiny() });
+        let b = prefix_key(&CommonOpts { seed: 2, ..tiny() });
+        assert_ne!(a, b);
+        // Same numerics + seed do share, whatever the point label will be.
+        assert_eq!(a, prefix_key(&CommonOpts { seed: 1, ..tiny() }));
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * [`executor`] — the parallel sweep executor: a work-stealing
 //!   `std::thread` pool over (point, seed) cells whose merged output is
 //!   **byte-identical for any thread count**, because every cell is an
-//!   independent deterministic simulation and results merge by cell index;
+//!   independent deterministic simulation and results merge by cell index.
+//!   Scenarios with a warm-up split (`fig05w`) additionally share each cell
+//!   group's warm-up prefix: the executor simulates it once, checkpoints the
+//!   runner (`netsim::snapshot`), and forks every cell from the snapshot —
+//!   same canonical bytes, less wall clock;
 //! * [`cli`] — the `lab` binary (`list` / `run` / `sweep` / `bench` /
 //!   `serve` / `trace`) and the one-line `figNN` wrapper entry point;
 //! * [`serve`] — the `lab serve` subcommand: open-system service runs
@@ -36,10 +40,10 @@ pub mod serve;
 pub mod trace_cmd;
 
 pub use cli::{figure_binary_main, lab_main};
-pub use executor::{run_indexed, run_sweep, CellReport, SweepReport};
+pub use executor::{run_indexed, run_sweep, run_sweep_with, CellReport, SweepReport};
 pub use registry::Registry;
 pub use scenario::{
-    DynamicsKind, ParamPoint, Scenario, SeedPlan, SweepSpec, SystemSet, TopologyKind,
+    DynamicsKind, ParamPoint, Scenario, SeedPlan, SweepSpec, SystemSet, TopologyKind, Warmup,
 };
 pub use serve::{run_serve, ServeCell, ServeRun};
 pub use trace_cmd::{check_replay, traced_run, TracedRun};

@@ -4,9 +4,11 @@
 //! CLI lists and resolves scenarios here, and each `figNN` binary is a
 //! one-line wrapper over its registry entry (equivalent to `lab run <name>`).
 
-use bullet_bench::experiments;
+use bullet_bench::{experiments, warmup};
 
-use crate::scenario::{DynamicsKind, ParamPoint, Scenario, SweepSpec, SystemSet, TopologyKind};
+use crate::scenario::{
+    DynamicsKind, ParamPoint, Scenario, SweepSpec, SystemSet, TopologyKind, Warmup,
+};
 
 /// An ordered collection of uniquely named scenarios.
 pub struct Registry {
@@ -48,6 +50,19 @@ impl Registry {
                 D::BandwidthChanges,
                 experiments::fig05ts,
             ),
+            Scenario::new(
+                "fig05w",
+                "snapshot/fork warm-up sharing: one join phase, three dynamics variants",
+                S::BulletPrime,
+                T::ModelNetMesh,
+                D::BandwidthChanges,
+                experiments::fig05w,
+            )
+            .with_warmup(Warmup {
+                prefix: warmup::fig05w_prefix,
+                fork: warmup::fig05w_fork,
+                fresh: warmup::fig05w_fresh,
+            }),
             Scenario::new(
                 "fig06",
                 "request strategies (rarest-random / random / rarest / first)",
@@ -187,8 +202,22 @@ impl Registry {
         ];
 
         // Default parameter sweeps where one knob is the interesting axis:
-        // the overall comparisons sweep swarm size.
+        // the overall comparisons sweep swarm size; fig05w sweeps the
+        // post-warm-up dynamics variant (identical numerics per point, so
+        // all variants of one seed share a warm-up prefix).
         for sc in &mut scenarios {
+            if sc.name == "fig05w" {
+                sc.sweep = SweepSpec {
+                    points: warmup::FIG05W_VARIANTS
+                        .iter()
+                        .map(|&label| ParamPoint {
+                            label,
+                            ..Default::default()
+                        })
+                        .collect(),
+                    ..SweepSpec::default()
+                };
+            }
             if sc.name == "fig04" || sc.name == "fig05" {
                 sc.sweep = SweepSpec {
                     points: vec![
@@ -262,13 +291,13 @@ mod tests {
         let reg = Registry::standard();
         let names = reg.names();
         for expected in [
-            "fig04", "fig05", "fig05ts", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-            "fig21", "fig22",
+            "fig04", "fig05", "fig05ts", "fig05w", "fig06", "fig07", "fig08", "fig09", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+            "fig20", "fig21", "fig22",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
-        assert_eq!(reg.len(), 20);
+        assert_eq!(reg.len(), 21);
         assert!(reg.get("fig99").is_none());
     }
 
@@ -283,6 +312,24 @@ mod tests {
         };
         let fig = reg.get("fig13").expect("registered").run(&opts);
         assert!(!fig.series.is_empty());
+    }
+
+    #[test]
+    fn fig05w_carries_warm_prefix_hooks_and_variant_points() {
+        let reg = Registry::standard();
+        let sc = reg.get("fig05w").unwrap();
+        assert!(sc.warmup.is_some());
+        let labels: Vec<_> = sc.sweep.points.iter().map(|p| p.label).collect();
+        assert_eq!(labels, vec!["calm", "paper", "storm"]);
+        // Identical numerics per point: all variants of one seed must land
+        // in the same prefix group.
+        assert!(sc.sweep.points.iter().all(|p| *p
+            == ParamPoint {
+                label: p.label,
+                ..Default::default()
+            }));
+        // fig05w is the only scenario with a warm-up split.
+        assert_eq!(reg.iter().filter(|s| s.warmup.is_some()).count(), 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! directly); everything the lab needs to enumerate, filter and sweep
 //! scenarios is data.
 
-use bullet_bench::{CommonOpts, Figure};
+use bullet_bench::{CommonOpts, Figure, WarmPrefix};
 
 /// Which dissemination systems a scenario runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,6 +199,26 @@ impl Default for SweepSpec {
     }
 }
 
+/// The warm-prefix hooks of a scenario whose sweep cells share an expensive
+/// warm-up (same topology, join phase and seed; different post-split
+/// dynamics). The executor groups cells by their resolved parameters + seed,
+/// simulates `prefix` once per group, and runs every cell through `fork`;
+/// with sharing off (or standalone `lab run`) cells go through `fresh`
+/// instead. The snapshot contract (`netsim::snapshot`) makes the two paths
+/// canonically byte-identical — `lab bench --snapshot` asserts it.
+///
+/// All three hooks are plain function pointers (like [`Scenario`]'s body):
+/// scenarios stay `'static` data. The `&str` argument is the sweep point's
+/// label, which selects the post-split dynamics variant.
+pub struct Warmup {
+    /// Simulates the shared warm-up of one cell group and checkpoints it.
+    pub prefix: fn(&CommonOpts) -> WarmPrefix,
+    /// Runs one cell by forking the group's checkpoint.
+    pub fork: fn(&WarmPrefix, &CommonOpts, &str) -> Figure,
+    /// Runs one cell uninterrupted from t = 0 (the sharing-off oracle).
+    pub fresh: fn(&CommonOpts, &str) -> Figure,
+}
+
 /// A named, runnable experiment scenario.
 pub struct Scenario {
     /// Unique registry name (`fig04` … `fig17`, `fig05ts`, …).
@@ -213,6 +233,9 @@ pub struct Scenario {
     pub dynamics: DynamicsKind,
     /// Default parameter sweep and seed plan for `lab sweep`.
     pub sweep: SweepSpec,
+    /// Warm-prefix hooks, for scenarios whose sweep cells share a warm-up
+    /// (see [`Warmup`]). `None` for ordinary scenarios.
+    pub warmup: Option<Warmup>,
     /// The experiment body.
     run: fn(&CommonOpts) -> Figure,
 }
@@ -234,8 +257,16 @@ impl Scenario {
             topology,
             dynamics,
             sweep: SweepSpec::default(),
+            warmup: None,
             run,
         }
+    }
+
+    /// Attaches warm-prefix hooks (builder style; see [`Warmup`]).
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: Warmup) -> Self {
+        self.warmup = Some(warmup);
+        self
     }
 
     /// Runs the scenario once with the given options.

@@ -62,6 +62,7 @@ const KINDS: &[&str] = &[
     "link_change",
     "cross_change",
     "probe_tick",
+    "snapshot_resume",
 ];
 
 /// Default ring capacity: comfortably above any reduced-scale run's record
@@ -354,7 +355,7 @@ pub fn check_replay(
     series: &TimeSeries,
     nodes: usize,
 ) -> Result<String, String> {
-    let replayed = replay_goodput(records, nodes);
+    let replayed = replay_goodput(records, nodes)?;
     if replayed.len() != series.samples.len() {
         return Err(format!(
             "replay produced {} samples, the probe recorded {}",

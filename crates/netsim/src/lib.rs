@@ -41,6 +41,7 @@ pub mod profile;
 pub mod protocol;
 pub mod runner;
 pub mod service;
+pub mod snapshot;
 pub mod tcp;
 pub mod topology;
 pub mod trace;
@@ -60,6 +61,7 @@ pub use service::{
     arrival_schedule, run_service, ArrivalGen, CohortReport, ServiceConfig, ServiceReport,
     ServiceSample, SwarmShape, SwarmSource,
 };
+pub use snapshot::{ForkState, Snapshot};
 pub use topology::{LinkId, NodeId, NodeSpec, PathSpec, Topology};
 pub use trace::{
     replay_goodput, summarize, CountingSink, JsonlSink, ReplaySample, RingSink, TraceEvent,

@@ -204,7 +204,7 @@ struct InFlight {
 /// rate, cached TCP ceiling, registered path) lives in the [`Network`]'s
 /// dense flow table, indexed by the same flow id, so the hot solve/apply
 /// loops walk flat arrays instead of chasing a `HashMap` per event.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Connection {
     queue: VecDeque<QueuedBlock>,
     inflight: Option<InFlight>,
@@ -338,7 +338,7 @@ pub struct SolverStats {
 /// `u32` handed out the first time an ordered pair exchanges data and stable
 /// thereafter); the `(NodeId, NodeId)`-keyed map is consulted once at each
 /// public entry point and never inside the solver.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Network {
     topo: Topology,
     /// Ordered pair → dense flow id (API boundary only).
@@ -401,7 +401,7 @@ pub struct Network {
 }
 
 /// The solver's working buffers, reused across solves.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct SolverScratch {
     /// Links of the component under solve, in discovery order (= local ids).
     comp_links: Vec<LinkId>,
@@ -1278,7 +1278,7 @@ impl Network {
 }
 
 /// Working state of one link during progressive filling.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LinkState {
     /// Usable capacity (loss-discounted, minus cross traffic).
     capacity: f64,
@@ -1336,7 +1336,7 @@ struct SatEntry {
 }
 
 /// The ordered-filling working set, reused across solves.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct SolverHeaps {
     cap_heap: BinaryHeap<Reverse<CapEntry>>,
     sat_heap: BinaryHeap<Reverse<SatEntry>>,

@@ -167,13 +167,22 @@ pub trait Probe<P: Protocol> {
     fn take_series(&mut self) -> Option<TimeSeries> {
         None
     }
+
+    /// Returns an independent deep copy of the probe — accumulated series
+    /// included — for [`Runner::checkpoint`](crate::Runner::checkpoint).
+    /// The default `None` marks the probe non-forkable: checkpointing a
+    /// runner carrying one panics (silently dropping a probe would diverge
+    /// the forked run's report from the uninterrupted one).
+    fn fork(&self) -> Option<Box<dyn Probe<P> + Send + Sync>> {
+        None
+    }
 }
 
 /// The built-in probe: goodput / duplicate ratio / peer-set sizes per node.
 /// It does not know its own cadence — it measures elapsed virtual time
 /// between the samples it is handed, and the runner stamps the configured
 /// interval onto the series it surrenders.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct StatsProbe {
     prev_bytes: Vec<u64>,
     prev_cohort: Vec<u32>,
@@ -246,6 +255,10 @@ impl<P: Protocol> Probe<P> for StatsProbe {
             interval_secs: 0.0,
             samples: std::mem::take(&mut self.samples),
         })
+    }
+
+    fn fork(&self) -> Option<Box<dyn Probe<P> + Send + Sync>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -58,13 +58,15 @@ use crate::network::{CompletedBlock, ConnUpdate, Network};
 use crate::probe::{Probe, StatsProbe, TimeSeries};
 use crate::profile::{EventKind, HookKind, ProfileReport, VtProfiler};
 use crate::protocol::{Command, Ctx, Protocol, TimerToken, WireSize};
+use crate::snapshot::ForkState;
 use crate::topology::NodeId;
 use crate::trace::{TraceEvent, TraceRecord, TraceSink};
 
 /// Internal event vocabulary of the runner, parameterized by the protocol's
 /// message type. Timers are carried as encoded tokens so the event stays one
-/// word regardless of the protocol's timer enum.
-#[derive(Debug)]
+/// word regardless of the protocol's timer enum. `Clone` (for `M: Clone`)
+/// exists solely so a [`Snapshot`] can copy the pending event queue.
+#[derive(Debug, Clone)]
 enum NetEvent<M> {
     /// A control message arrives at `to`. `epoch` is the target slot's
     /// incarnation at send time: a message in flight towards a slot that has
@@ -256,10 +258,15 @@ pub struct Runner<P: Protocol> {
     /// and keep the clock moving to the requested limit even when the queue
     /// drains — an open system idles between arrivals instead of stopping.
     run_to_limit: bool,
+    /// Set by [`Runner::resume`] to the snapshot's instant; the next
+    /// `advance_until` emits a [`TraceEvent::SnapshotResume`] marker (and
+    /// clears the flag) so any trace stream recorded from here on declares
+    /// that it starts mid-run, without a `node_join` prelude.
+    resumed_at: Option<SimTime>,
 }
 
 /// Bookkeeping for one node's live timer keys (see [`Runner::timer_keys`]).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct TimerTrack {
     keys: Vec<EventKey>,
     /// Prune (drop already-fired keys) when `keys` reaches this length;
@@ -311,6 +318,7 @@ impl<P: Protocol> Runner<P> {
             timer_keys: (0..n).map(|_| TimerTrack::default()).collect(),
             cohort: vec![0; n],
             run_to_limit: false,
+            resumed_at: None,
         }
     }
 
@@ -627,6 +635,25 @@ impl<P: Protocol> Runner<P> {
 
     /// Runs the experiment until the absolute virtual instant `limit`.
     pub fn run_until(&mut self, limit: SimTime) -> RunReport {
+        let reason = self.advance_until(limit);
+        self.finish_report(reason)
+    }
+
+    /// Runs the event loop to `limit` **without** building a report or
+    /// draining the probes' accumulated series. This is `run_until` minus the
+    /// finishing step: call it to park the runner at a checkpoint instant
+    /// (see [`Runner::checkpoint`]) and later continue with another
+    /// `advance_until` or a final `run_until`, whose report then spans the
+    /// whole run as if it had never been staged.
+    pub fn advance_until(&mut self, limit: SimTime) -> StopReason {
+        // A resumed runner declares itself before anything else lands in the
+        // trace: a stream recorded from here on has no `node_join` prelude,
+        // and `replay_goodput` has no baseline to difference against.
+        if let Some(at) = self.resumed_at.take() {
+            self.trace_emit(|| TraceEvent::SnapshotResume {
+                at: at.as_secs_f64(),
+            });
+        }
         // Initialise every node that starts as a participant — exactly once:
         // the Protocol contract promises a single on_init per participant, so
         // a staged continuation must not re-deliver it.
@@ -655,7 +682,7 @@ impl<P: Protocol> Runner<P> {
             }
         }
 
-        let reason = loop {
+        loop {
             if !self.run_to_limit && self.all_complete() {
                 break StopReason::AllComplete;
             }
@@ -723,8 +750,12 @@ impl<P: Protocol> Runner<P> {
             {
                 self.net.rebuild_link_tables();
             }
-        };
+        }
+    }
 
+    /// Builds the end-of-run report: drains the probes' accumulated series
+    /// and freezes completion, metrics and stop-reason state.
+    fn finish_report(&mut self, reason: StopReason) -> RunReport {
         // The runner, not the probe, knows the tick it sampled on.
         let timeseries = self
             .probes
@@ -1122,6 +1153,189 @@ impl<P: Protocol> Runner<P> {
                     self.probe_tick_pending = true;
                 }
             }
+        }
+    }
+}
+
+/// A deterministic checkpoint of a [`Runner`], taken with
+/// [`Runner::checkpoint`] and turned back into a live runner with
+/// [`Runner::resume`].
+///
+/// The snapshot owns deep copies of everything that feeds the simulation:
+/// the event queue (live keyed table and pending triples, tombstones
+/// included), every per-node RNG stream, the fluid model's flow table with
+/// its per-link usage/ceiling sums, activation/cohort/completion state, the
+/// protocol instances (via [`ForkState`]), the probes (via [`Probe::fork`])
+/// and the metrics registry. It deliberately does **not** capture the
+/// observability attachments — trace sink and profiler — which observe a run
+/// without influencing it; a resumed runner starts untraced and unprofiled.
+///
+/// `Snapshot` is itself cloneable, so one warm-up prefix can be forked into
+/// any number of divergent continuations; clones share no mutable state.
+///
+/// [`ForkState`]: crate::snapshot::ForkState
+pub struct Snapshot<P: Protocol> {
+    sim: Simulator<NetEvent<P::Msg>>,
+    net: Network,
+    nodes: Vec<P>,
+    rngs: Vec<StdRng>,
+    link_changes: Vec<LinkChangeBatch>,
+    completion: Vec<Option<SimTime>>,
+    exempt: Vec<bool>,
+    active: Vec<bool>,
+    departed: Vec<bool>,
+    incomplete: usize,
+    completion_events: Vec<Option<EventKey>>,
+    max_events: u64,
+    probes: Vec<Box<dyn Probe<P> + Send + Sync>>,
+    probe_interval: Option<SimDuration>,
+    probe_tick_pending: bool,
+    probes_started: bool,
+    inits_done: bool,
+    table_rebuild_interval: u64,
+    metrics: MetricsRegistry,
+    live_conn_events: u64,
+    epoch: Vec<u32>,
+    timer_keys: Vec<TimerTrack>,
+    cohort: Vec<u32>,
+    run_to_limit: bool,
+}
+
+impl<P: Protocol + ForkState> Clone for Snapshot<P>
+where
+    P::Msg: Clone,
+{
+    fn clone(&self) -> Self {
+        Snapshot {
+            sim: self.sim.clone(),
+            net: self.net.clone(),
+            nodes: self.nodes.iter().map(ForkState::fork_state).collect(),
+            rngs: self.rngs.clone(),
+            link_changes: self.link_changes.clone(),
+            completion: self.completion.clone(),
+            exempt: self.exempt.clone(),
+            active: self.active.clone(),
+            departed: self.departed.clone(),
+            incomplete: self.incomplete,
+            completion_events: self.completion_events.clone(),
+            max_events: self.max_events,
+            probes: self
+                .probes
+                .iter()
+                .map(|p| p.fork().expect("a forked probe must itself be forkable"))
+                .collect(),
+            probe_interval: self.probe_interval,
+            probe_tick_pending: self.probe_tick_pending,
+            probes_started: self.probes_started,
+            inits_done: self.inits_done,
+            table_rebuild_interval: self.table_rebuild_interval,
+            metrics: self.metrics.clone(),
+            live_conn_events: self.live_conn_events,
+            epoch: self.epoch.clone(),
+            timer_keys: self.timer_keys.clone(),
+            cohort: self.cohort.clone(),
+            run_to_limit: self.run_to_limit,
+        }
+    }
+}
+
+impl<P: Protocol + ForkState> Runner<P>
+where
+    P::Msg: Clone,
+{
+    /// Captures the runner's complete simulation state at the current
+    /// instant. `checkpoint → resume → run-to-end` produces a
+    /// [`RunReport`] byte-identical (via [`RunReport::canonical`]) to the
+    /// uninterrupted run — the contract `tests/snapshot_fork.rs` pins for
+    /// every shipped protocol.
+    ///
+    /// Call it at a quiescent point: between [`Runner::advance_until`]
+    /// stages, never from inside a protocol hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an installed probe does not implement [`Probe::fork`] —
+    /// silently dropping a probe would diverge the forked run's report.
+    pub fn checkpoint(&self) -> Snapshot<P> {
+        Snapshot {
+            sim: self.sim.clone(),
+            net: self.net.clone(),
+            nodes: self.nodes.iter().map(ForkState::fork_state).collect(),
+            rngs: self.rngs.clone(),
+            link_changes: self.link_changes.clone(),
+            completion: self.completion.clone(),
+            exempt: self.exempt.clone(),
+            active: self.active.clone(),
+            departed: self.departed.clone(),
+            incomplete: self.incomplete,
+            completion_events: self.completion_events.clone(),
+            max_events: self.max_events,
+            probes: self
+                .probes
+                .iter()
+                .map(|p| {
+                    p.fork()
+                        .expect("every installed probe must implement Probe::fork to checkpoint")
+                })
+                .collect(),
+            probe_interval: self.probe_interval,
+            probe_tick_pending: self.probe_tick_pending,
+            probes_started: self.probes_started,
+            inits_done: self.inits_done,
+            table_rebuild_interval: self.table_rebuild_interval,
+            metrics: self.metrics.clone(),
+            live_conn_events: self.live_conn_events,
+            epoch: self.epoch.clone(),
+            timer_keys: self.timer_keys.clone(),
+            cohort: self.cohort.clone(),
+            run_to_limit: self.run_to_limit,
+        }
+    }
+
+    /// Reconstructs a live runner from a snapshot. The runner continues
+    /// exactly where [`Runner::checkpoint`] left off — same pending events,
+    /// same RNG positions, same flow table — so scheduling further dynamics
+    /// and running to the end replays the uninterrupted run byte for byte.
+    ///
+    /// Trace sinks and profilers are not part of a snapshot: the resumed
+    /// runner starts untraced (install a new sink with
+    /// [`Runner::set_trace_sink`]; the first record will be a
+    /// `snapshot_resume` marker declaring the mid-run start).
+    pub fn resume(snap: Snapshot<P>) -> Self {
+        let resumed_at = snap.sim.now();
+        Runner {
+            sim: snap.sim,
+            net: snap.net,
+            nodes: snap.nodes,
+            rngs: snap.rngs,
+            link_changes: snap.link_changes,
+            completion: snap.completion,
+            exempt: snap.exempt,
+            active: snap.active,
+            departed: snap.departed,
+            incomplete: snap.incomplete,
+            completion_events: snap.completion_events,
+            max_events: snap.max_events,
+            scratch: Vec::new(),
+            probes: snap
+                .probes
+                .into_iter()
+                .map(|p| p as Box<dyn Probe<P>>)
+                .collect(),
+            probe_interval: snap.probe_interval,
+            probe_tick_pending: snap.probe_tick_pending,
+            probes_started: snap.probes_started,
+            inits_done: snap.inits_done,
+            table_rebuild_interval: snap.table_rebuild_interval,
+            metrics: snap.metrics,
+            live_conn_events: snap.live_conn_events,
+            trace: None,
+            profiler: None,
+            epoch: snap.epoch,
+            timer_keys: snap.timer_keys,
+            cohort: snap.cohort,
+            run_to_limit: snap.run_to_limit,
+            resumed_at: Some(resumed_at),
         }
     }
 }

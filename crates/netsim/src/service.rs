@@ -937,7 +937,8 @@ mod tests {
         let ring = ring.borrow();
         assert_eq!(ring.dropped(), 0, "ring must hold the whole trace");
         let records: Vec<TraceRecord> = ring.records().cloned().collect();
-        let replay = replay_goodput(&records, pool);
+        let replay =
+            replay_goodput(&records, pool).expect("an untraced-prefix-free stream replays");
 
         let live = report.timeseries.as_ref().expect("timeseries recorded");
         assert_eq!(

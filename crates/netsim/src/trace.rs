@@ -157,6 +157,17 @@ pub enum TraceEvent {
     },
     /// The probes sampled every node.
     ProbeTick,
+    /// The run was resumed from a [`Snapshot`](crate::Snapshot) taken at
+    /// virtual time `at`: everything before this instant happened in the
+    /// checkpointed prefix and is absent from this stream. Always the first
+    /// record of a resumed runner's trace — consumers that rebuild state
+    /// from stream prefixes (e.g. [`replay_goodput`]) must reject streams
+    /// carrying it, because the per-node baselines live in the missing
+    /// prefix.
+    SnapshotResume {
+        /// Virtual time of the checkpoint the run resumed from, in seconds.
+        at: f64,
+    },
 }
 
 impl TraceEvent {
@@ -178,6 +189,7 @@ impl TraceEvent {
             TraceEvent::LinkChange { .. } => "link_change",
             TraceEvent::CrossChange { .. } => "cross_change",
             TraceEvent::ProbeTick => "probe_tick",
+            TraceEvent::SnapshotResume { .. } => "snapshot_resume",
         }
     }
 
@@ -263,6 +275,7 @@ impl TraceEvent {
                 f("rate", Value::Float(rate)),
             ],
             TraceEvent::ProbeTick => Vec::new(),
+            TraceEvent::SnapshotResume { at } => vec![f("at", Value::Float(at))],
         }
     }
 }
@@ -475,16 +488,30 @@ pub struct ReplaySample {
 /// counted it in the next interval. `node_join` records zero a slot's
 /// cumulative count, mirroring the live probe's cohort-change reset when a
 /// service run re-populates a retired slot with a fresh node.
+///
+/// # Errors
+///
+/// A stream carrying a `snapshot_resume` record is rejected: it starts at a
+/// checkpoint, so the per-node cumulative baselines (and the `node_join`
+/// prelude) live in the missing prefix and every differenced goodput after
+/// the first tick would silently be wrong. Replay the uninterrupted run, or
+/// trace from the start.
 pub fn replay_goodput<'a>(
     records: impl IntoIterator<Item = &'a TraceRecord>,
     nodes: usize,
-) -> Vec<ReplaySample> {
+) -> Result<Vec<ReplaySample>, String> {
     let mut useful = vec![0u64; nodes];
     let mut prev = vec![0u64; nodes];
     let mut prev_t = 0.0f64;
     let mut out = Vec::new();
     for rec in records {
         match rec.ev {
+            TraceEvent::SnapshotResume { at } => {
+                return Err(format!(
+                    "stream resumes from a snapshot at t={at}: the pre-resume \
+                     baselines are not in the trace, goodput cannot be replayed"
+                ));
+            }
             TraceEvent::BlockReceived {
                 node, useful_bytes, ..
             } => {
@@ -530,7 +557,7 @@ pub fn replay_goodput<'a>(
             _ => {}
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -615,11 +642,33 @@ mod tests {
             recv(1.0, 3, 1, 3000),
             rec(2.0, 4, TraceEvent::ProbeTick),
         ];
-        let samples = replay_goodput(&records, 2);
+        let samples = replay_goodput(&records, 2).unwrap();
         assert_eq!(samples.len(), 3);
         // First sample at t = 0: no elapsed time, goodput 0.
         assert_eq!(samples[0].goodput_bps, vec![0.0, 0.0]);
         assert_eq!(samples[1].goodput_bps, vec![0.0, 8000.0]);
         assert_eq!(samples[2].goodput_bps, vec![0.0, 16000.0]);
+    }
+
+    #[test]
+    fn replay_rejects_streams_that_resume_from_a_snapshot() {
+        let records = vec![
+            rec(12.5, 100, TraceEvent::SnapshotResume { at: 12.5 }),
+            rec(13.0, 101, TraceEvent::ProbeTick),
+        ];
+        let err = replay_goodput(&records, 2).unwrap_err();
+        assert!(
+            err.contains("t=12.5"),
+            "error names the resume point: {err}"
+        );
+        // The marker serializes like any other record.
+        assert_eq!(records[0].ev.kind(), "snapshot_resume");
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&records[0]);
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        assert_eq!(
+            text.trim_end(),
+            r#"{"t":12.5,"seq":100,"kind":"snapshot_resume","at":12.5}"#
+        );
     }
 }

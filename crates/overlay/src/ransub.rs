@@ -157,7 +157,7 @@ pub enum RanSubEmit {
 }
 
 /// Per-node RanSub state machine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RanSubAgent {
     parent: Option<NodeId>,
     children: Vec<NodeId>,

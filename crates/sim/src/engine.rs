@@ -66,7 +66,11 @@ pub struct SimStats {
 /// assert_eq!(seen.len(), 3);
 /// assert_eq!(sim.now().as_secs_f64(), 3.0);
 /// ```
-#[derive(Debug)]
+///
+/// Cloning the simulator (`E: Clone`) checkpoints the clock, the pending-event
+/// set (see [`EventQueue`]'s clone contract) and the counters: the clone
+/// replays the exact future of the original.
+#[derive(Debug, Clone)]
 pub struct Simulator<E> {
     now: SimTime,
     queue: EventQueue<E>,

@@ -76,7 +76,7 @@ impl PartialOrd for HeapEntry {
 
 /// A live entry: the sequence number of its current heap triple (older
 /// triples for the same key are tombstones) plus the payload.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LiveEntry<E> {
     seq: u64,
     at: SimTime,
@@ -85,7 +85,14 @@ struct LiveEntry<E> {
 
 /// A time-ordered, insertion-stable queue of pending events with keyed
 /// cancellation and rescheduling.
-#[derive(Debug)]
+///
+/// Cloning the queue (`E: Clone`) is an exact checkpoint: the heap's backing
+/// vector — tombstones included — and the live table are copied verbatim, so
+/// the clone pops the identical `(time, payload)` sequence and issues the
+/// same future keys as the original. The live table is only ever accessed by
+/// key (never iterated), so the clone's `HashMap` layout cannot influence
+/// behaviour.
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<HeapEntry>,
     live: HashMap<u64, LiveEntry<E>>,

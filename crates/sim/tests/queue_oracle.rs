@@ -99,6 +99,51 @@ fn run_interleaving(ops: &[Op]) -> (Popped, Popped) {
     (real, model.pop_all())
 }
 
+/// Replays `ops`, cloning the queue after `cut` operations (a snapshot) and
+/// running the remainder on the *clone*. Returns the clone's pops, the
+/// abandoned original's pops, and the op count actually applied before the
+/// cut — the harness for the checkpoint/fork contract: a cloned queue must
+/// pop exactly like one that was never snapshotted, and mutating the clone
+/// must leave the original frozen at the cut.
+fn run_with_snapshot(ops: &[Op], cut: usize) -> (Popped, Popped) {
+    let cut = cut % (ops.len() + 1);
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    let mut keys = Vec::new();
+
+    let apply = |queue: &mut EventQueue<usize>, keys: &mut Vec<_>, ops: &[Op]| {
+        for &(kind, time, target) in ops {
+            match kind {
+                0 => {
+                    let id = keys.len();
+                    keys.push(queue.push(SimTime::from_nanos(time), id));
+                }
+                1 if !keys.is_empty() => {
+                    queue.cancel(keys[target % keys.len()]);
+                }
+                2 if !keys.is_empty() => {
+                    queue.reschedule(keys[target % keys.len()], SimTime::from_nanos(time));
+                }
+                _ => {}
+            }
+        }
+    };
+
+    apply(&mut queue, &mut keys, &ops[..cut]);
+    // The snapshot: keys issued before the cut stay valid against the clone,
+    // because a clone preserves the whole key space.
+    let mut snap = queue.clone();
+    apply(&mut snap, &mut keys, &ops[cut..]);
+
+    let drain = |mut q: EventQueue<usize>| -> Popped {
+        let mut out = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            out.push((t.as_nanos(), id));
+        }
+        out
+    };
+    (drain(snap), drain(queue))
+}
+
 proptest! {
     /// Any interleaving of push/cancel/reschedule leaves the tombstoned heap
     /// and the naive sorted-vec model popping the identical (time, payload)
@@ -120,6 +165,26 @@ proptest! {
     ) {
         let (real, modelled) = run_interleaving(&ops);
         prop_assert_eq!(real, modelled);
+    }
+
+    /// A snapshot (clone) taken at a random point of the interleaving, with
+    /// the remaining operations applied to the clone, pops exactly like a
+    /// queue that was never snapshotted — and the abandoned original stays
+    /// frozen at the cut (the clone shares no mutable state with it).
+    #[test]
+    fn snapshot_restore_at_a_random_point_pops_identically(
+        ops in collection::vec((0u8..3, 0u64..50, any::<usize>()), 1..200),
+        cut in any::<usize>(),
+    ) {
+        let (straight, modelled) = run_interleaving(&ops);
+        prop_assert_eq!(&straight, &modelled);
+        let (resumed, frozen) = run_with_snapshot(&ops, cut);
+        prop_assert_eq!(resumed, straight, "the restored queue diverged");
+        // The original, never touched after the cut, must pop exactly what a
+        // prefix-only run pops: post-cut mutations must not leak into it.
+        let cut = cut % (ops.len() + 1);
+        let (prefix_only, _) = run_interleaving(&ops[..cut]);
+        prop_assert_eq!(frozen, prefix_only, "the snapshot original was mutated");
     }
 }
 

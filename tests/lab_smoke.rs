@@ -6,8 +6,8 @@
 
 use bullet_repro::bullet_bench::{experiments, CommonOpts};
 use bullet_repro::bullet_lab::{
-    check_replay, run_serve, run_sweep, traced_run, DynamicsKind, Registry, Scenario, SystemSet,
-    TopologyKind,
+    check_replay, run_serve, run_sweep, run_sweep_with, traced_run, DynamicsKind, Registry,
+    Scenario, SystemSet, TopologyKind,
 };
 use bullet_repro::bullet_prime::{build_runner, Config};
 use bullet_repro::desim::{RngFactory, SimDuration};
@@ -28,8 +28,9 @@ fn registry_lists_every_scenario() {
     let reg = Registry::standard();
     let names = reg.names();
     let expected = [
-        "fig04", "fig05", "fig05ts", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
-        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
+        "fig04", "fig05", "fig05ts", "fig05w", "fig06", "fig07", "fig08", "fig09", "fig10",
+        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+        "fig21", "fig22",
     ];
     assert_eq!(names.len(), expected.len());
     for name in expected {
@@ -75,6 +76,50 @@ fn four_thread_fig05_sweep_is_byte_identical_to_one_thread() {
         serial.cells[0].figure.to_json(),
         serial.cells[1].figure.to_json(),
         "distinct seeds must differ"
+    );
+}
+
+#[test]
+fn fig05w_prefix_sharing_is_byte_identical_to_fresh_runs_at_any_thread_count() {
+    // The snapshot/fork acceptance scenario: the fig05w sweep (three
+    // dynamics variants per seed sharing one warm-up prefix) with prefix
+    // sharing ON — one simulated warm-up per seed, every cell forked from
+    // the checkpoint — must render canonically byte-identical to the same
+    // sweep with sharing OFF (every cell simulated uninterrupted from
+    // t = 0), at 1 and at 4 worker threads.
+    let reg = Registry::standard();
+    let sc = reg.get("fig05w").expect("registered");
+    let seeds = [20050410, 20050411];
+
+    let reference = run_sweep_with(sc, &tiny(), &seeds, 1, false).to_canonical_json();
+    assert!(!reference.is_empty());
+    for threads in [1, 4] {
+        let shared = run_sweep_with(sc, &tiny(), &seeds, threads, true);
+        assert_eq!(
+            shared.to_canonical_json(),
+            reference,
+            "forked sweep at {threads} thread(s) diverged from the uninterrupted runs"
+        );
+        // One warm-up per seed (the three variants differ only by label),
+        // every cell forked.
+        assert_eq!(shared.prefix_cells, seeds.len());
+        assert_eq!(shared.forked_cells, 3 * seeds.len());
+        assert!(
+            shared.warmup_secs_saved > 0.0,
+            "sharing must actually save warm-up wall clock"
+        );
+    }
+    let fresh_parallel = run_sweep_with(sc, &tiny(), &seeds, 4, false);
+    assert_eq!(fresh_parallel.to_canonical_json(), reference);
+
+    // The variants genuinely diverge after the split (same seed, different
+    // post-warm-up dynamics), or the identity above would be vacuous.
+    let shared = run_sweep_with(sc, &tiny(), &seeds, 1, true);
+    // Cells are point-major, seed-minor: [0] = calm/seed0, [4] = storm/seed0.
+    assert_ne!(
+        shared.cells[0].figure.to_json(),
+        shared.cells[4].figure.to_json(),
+        "calm and storm dynamics must produce different figures"
     );
 }
 
